@@ -1,0 +1,272 @@
+//! Per-account aggregation and the incentive currencies of §4.3.
+//!
+//! An account accumulates its jobs' behaviour during a *collection* run;
+//! the experimental policies then derive priorities from these aggregates
+//! during a *redeeming* run. Fugaku points follow the spirit of Solórzano
+//! et al. \[37\]: points reward accounts whose jobs run *below* a reference
+//! per-node power (i.e. low average energy draw), proportionally to the
+//! node-hours delivered at that efficiency, and are docked for running hot.
+
+use crate::job_stats::JobOutcome;
+use serde::{Deserialize, Serialize};
+use sraps_types::{AccountId, Result, SrapsError};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Aggregated statistics for one account.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccountStats {
+    pub jobs_completed: u64,
+    pub node_hours: f64,
+    pub energy_kwh: f64,
+    /// Σ EDP over the account's jobs, kWh·h.
+    pub edp_sum: f64,
+    /// Σ ED²P over the account's jobs, kWh·h².
+    pub ed2p_sum: f64,
+    /// Node-hour-weighted mean per-node power, kW — the "average power" the
+    /// incentive policies rank on.
+    pub avg_node_power_kw: f64,
+    /// Fugaku points redeemed so far (may be negative for hot accounts).
+    pub fugaku_points: f64,
+    /// Σ wait seconds (for fairness reporting per account).
+    pub wait_secs_sum: f64,
+    /// Σ turnaround seconds.
+    pub turnaround_secs_sum: f64,
+}
+
+impl AccountStats {
+    /// Mean EDP per job.
+    pub fn mean_edp(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.edp_sum / self.jobs_completed as f64
+        }
+    }
+
+    /// Mean ED²P per job.
+    pub fn mean_ed2p(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.ed2p_sum / self.jobs_completed as f64
+        }
+    }
+
+    /// Mean wait per job, seconds.
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.wait_secs_sum / self.jobs_completed as f64
+        }
+    }
+}
+
+/// All accounts seen in a simulation, with the reference power the Fugaku
+/// point rule measures against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accounts {
+    /// Reference per-node power for point accrual, kW. Sites set this to a
+    /// typical node draw; points accrue for running below it.
+    pub reference_node_power_kw: f64,
+    /// Stats per account, ordered map for deterministic serialization.
+    pub stats: BTreeMap<u32, AccountStats>,
+}
+
+impl Accounts {
+    pub fn new(reference_node_power_kw: f64) -> Self {
+        Accounts {
+            reference_node_power_kw,
+            stats: BTreeMap::new(),
+        }
+    }
+
+    pub fn get(&self, id: AccountId) -> Option<&AccountStats> {
+        self.stats.get(&id.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Fold one completed job into its account.
+    pub fn record(&mut self, outcome: &JobOutcome) {
+        let s = self.stats.entry(outcome.account.0).or_default();
+        let nh = outcome.node_hours();
+        // Node-hour-weighted running mean of per-node power.
+        let total_nh = s.node_hours + nh;
+        if total_nh > 0.0 {
+            s.avg_node_power_kw =
+                (s.avg_node_power_kw * s.node_hours + outcome.avg_node_power_kw * nh) / total_nh;
+        }
+        s.node_hours = total_nh;
+        s.jobs_completed += 1;
+        s.energy_kwh += outcome.energy_kwh;
+        s.edp_sum += outcome.edp();
+        s.ed2p_sum += outcome.ed2p();
+        s.wait_secs_sum += outcome.wait().as_secs_f64();
+        s.turnaround_secs_sum += outcome.turnaround().as_secs_f64();
+        // Fugaku points: node-hours delivered below the reference power earn
+        // points scaled by the relative saving; above-reference draws dock
+        // points. Reward is capped at ±1 point per node-hour.
+        if self.reference_node_power_kw > 0.0 {
+            let rel_saving = (self.reference_node_power_kw - outcome.avg_node_power_kw)
+                / self.reference_node_power_kw;
+            s.fugaku_points += nh * rel_saving.clamp(-1.0, 1.0);
+        }
+    }
+
+    /// Merge stats collected in another simulation (the paper supports
+    /// "aggregation of this information across simulations").
+    pub fn merge(&mut self, other: &Accounts) {
+        for (id, o) in &other.stats {
+            let s = self.stats.entry(*id).or_default();
+            let total_nh = s.node_hours + o.node_hours;
+            if total_nh > 0.0 {
+                s.avg_node_power_kw = (s.avg_node_power_kw * s.node_hours
+                    + o.avg_node_power_kw * o.node_hours)
+                    / total_nh;
+            }
+            s.node_hours = total_nh;
+            s.jobs_completed += o.jobs_completed;
+            s.energy_kwh += o.energy_kwh;
+            s.edp_sum += o.edp_sum;
+            s.ed2p_sum += o.ed2p_sum;
+            s.fugaku_points += o.fugaku_points;
+            s.wait_secs_sum += o.wait_secs_sum;
+            s.turnaround_secs_sum += o.turnaround_secs_sum;
+        }
+    }
+
+    /// Serialize to the `accounts.json` format of the artifact.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| SrapsError::Io(e.to_string()))
+    }
+
+    /// Parse from `accounts.json` content.
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s).map_err(|e| SrapsError::Data(e.to_string()))
+    }
+
+    /// Write `accounts.json` to disk (the `--accounts` flag).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json()?.as_bytes())?;
+        Ok(())
+    }
+
+    /// Load a previously saved `accounts.json` (the `--accounts-json` flag).
+    pub fn load(path: &Path) -> Result<Self> {
+        let mut s = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut s)?;
+        Self::from_json(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::{JobId, SimTime, UserId};
+
+    fn outcome(account: u32, nodes: u32, secs: i64, node_power_kw: f64) -> JobOutcome {
+        let energy = node_power_kw * nodes as f64 * secs as f64 / 3600.0;
+        JobOutcome {
+            id: JobId(0),
+            user: UserId(0),
+            account: AccountId(account),
+            nodes,
+            submit: SimTime::ZERO,
+            start: SimTime::ZERO,
+            end: SimTime::seconds(secs),
+            energy_kwh: energy,
+            avg_node_power_kw: node_power_kw,
+            avg_cpu_util: 0.5,
+            avg_gpu_util: 0.0,
+            priority: 1.0,
+        }
+    }
+
+    #[test]
+    fn record_accumulates_weighted_power() {
+        let mut a = Accounts::new(1.0);
+        a.record(&outcome(1, 10, 3600, 0.5)); // 10 nh at 0.5 kW
+        a.record(&outcome(1, 10, 3600, 1.5)); // 10 nh at 1.5 kW
+        let s = a.get(AccountId(1)).unwrap();
+        assert_eq!(s.jobs_completed, 2);
+        assert!((s.node_hours - 20.0).abs() < 1e-9);
+        assert!((s.avg_node_power_kw - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fugaku_points_reward_frugal_accounts() {
+        let mut a = Accounts::new(1.0);
+        a.record(&outcome(1, 10, 3600, 0.5)); // frugal: +10 * 0.5 pts
+        a.record(&outcome(2, 10, 3600, 1.5)); // hot: −10 * 0.5 pts
+        assert!(a.get(AccountId(1)).unwrap().fugaku_points > 0.0);
+        assert!(a.get(AccountId(2)).unwrap().fugaku_points < 0.0);
+        assert!(
+            (a.get(AccountId(1)).unwrap().fugaku_points - 5.0).abs() < 1e-9,
+            "10 nh × 50% saving = 5 points"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_stats() {
+        let mut a = Accounts::new(0.8);
+        a.record(&outcome(3, 4, 1800, 0.6));
+        let json = a.to_json().unwrap();
+        let b = Accounts::from_json(&json).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_roundtrip_via_file() {
+        let mut a = Accounts::new(0.8);
+        a.record(&outcome(1, 2, 600, 0.7));
+        let dir = std::env::temp_dir().join("sraps-acct-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("accounts.json");
+        a.save(&path).unwrap();
+        let b = Accounts::load(&path).unwrap();
+        // JSON text round-trips floats to within printing precision only.
+        let (sa, sb) = (a.get(AccountId(1)).unwrap(), b.get(AccountId(1)).unwrap());
+        assert_eq!(sa.jobs_completed, sb.jobs_completed);
+        assert!((sa.energy_kwh - sb.energy_kwh).abs() < 1e-9);
+        assert!((sa.fugaku_points - sb.fugaku_points).abs() < 1e-9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_combines_node_hour_weighted() {
+        let mut a = Accounts::new(1.0);
+        a.record(&outcome(1, 10, 3600, 0.4));
+        let mut b = Accounts::new(1.0);
+        b.record(&outcome(1, 30, 3600, 0.8));
+        a.merge(&b);
+        let s = a.get(AccountId(1)).unwrap();
+        assert_eq!(s.jobs_completed, 2);
+        // (10*0.4 + 30*0.8)/40 = 0.7
+        assert!((s.avg_node_power_kw - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_metrics_handle_empty() {
+        let s = AccountStats::default();
+        assert_eq!(s.mean_edp(), 0.0);
+        assert_eq!(s.mean_wait_secs(), 0.0);
+    }
+
+    #[test]
+    fn bad_json_is_a_data_error() {
+        assert!(matches!(
+            Accounts::from_json("not json"),
+            Err(SrapsError::Data(_))
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! Time-resolved carbon accounting — the "cost estimates for carbon
+//! emissions" the paper's statistics track, extended with a grid-intensity
+//! trace so that *when* a schedule draws its power matters (the lever a
+//! carbon-aware what-if study pulls).
+
+use sraps_types::{SimDuration, SimTime, Trace};
+
+/// A grid carbon-intensity signal, kgCO₂ per kWh over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarbonIntensity {
+    /// Intensity samples; offsets relative to the simulation start.
+    pub trace: Trace,
+}
+
+impl CarbonIntensity {
+    /// Constant intensity (the paper's flat estimate).
+    pub fn constant(kg_per_kwh: f64) -> Self {
+        CarbonIntensity {
+            trace: Trace::constant(kg_per_kwh as f32),
+        }
+    }
+
+    /// A diurnal grid: dirty overnight baseload, cleaner around midday
+    /// (solar). `base` is the midday floor; `swing` the overnight rise.
+    pub fn diurnal(base_kg_per_kwh: f64, swing_kg_per_kwh: f64, span: SimDuration) -> Self {
+        let dt = SimDuration::minutes(15);
+        let n = (span.as_secs() / dt.as_secs()).max(1) as usize;
+        let values = (0..n)
+            .map(|i| {
+                let t = i as i64 * dt.as_secs();
+                let day_frac = (t.rem_euclid(86_400)) as f64 / 86_400.0;
+                // Cleanest at 13:00 (solar peak).
+                let phase = (day_frac - 13.0 / 24.0) * std::f64::consts::TAU;
+                (base_kg_per_kwh + swing_kg_per_kwh * 0.5 * (1.0 - phase.cos())) as f32
+            })
+            .collect();
+        CarbonIntensity {
+            trace: Trace::new(SimDuration::ZERO, dt, values),
+        }
+    }
+
+    /// Intensity at an offset from simulation start.
+    pub fn at(&self, offset: SimDuration) -> f64 {
+        self.trace.sample(offset) as f64
+    }
+
+    /// Integrate emissions over a power history: `(time, total_kw)` samples
+    /// at a fixed `dt`, offsets measured from `t0`.
+    pub fn emissions_kg(
+        &self,
+        t0: SimTime,
+        times: &[SimTime],
+        total_kw: &[f64],
+        dt: SimDuration,
+    ) -> f64 {
+        let dt_h = dt.as_hours_f64();
+        times
+            .iter()
+            .zip(total_kw)
+            .map(|(t, kw)| kw * dt_h * self.at(*t - t0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_intensity_matches_flat_math() {
+        let c = CarbonIntensity::constant(0.4);
+        let times: Vec<SimTime> = (0..4).map(|i| SimTime::seconds(i * 900)).collect();
+        let power = vec![1000.0; 4];
+        // 4 × 1000 kW × 0.25 h × 0.4 kg/kWh = 400 kg.
+        let kg = c.emissions_kg(SimTime::ZERO, &times, &power, SimDuration::minutes(15));
+        // f32 trace storage: exact to float precision, not to 1e-9.
+        assert!((kg - 400.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn diurnal_grid_is_cleanest_at_solar_peak() {
+        let c = CarbonIntensity::diurnal(0.2, 0.3, SimDuration::days(1));
+        let midday = c.at(SimDuration::hours(13));
+        let midnight = c.at(SimDuration::hours(1));
+        assert!((midday - 0.2).abs() < 0.02, "solar floor {midday}");
+        assert!(midnight > midday + 0.2, "overnight {midnight}");
+    }
+
+    #[test]
+    fn shifting_load_to_midday_cuts_emissions() {
+        // Same energy, two schedules: one burns at midnight, one at midday.
+        let c = CarbonIntensity::diurnal(0.2, 0.3, SimDuration::days(1));
+        let dt = SimDuration::hours(1);
+        let at = |hour: i64| vec![SimTime::seconds(hour * 3600)];
+        let night = c.emissions_kg(SimTime::ZERO, &at(1), &[5000.0], dt);
+        let noon = c.emissions_kg(SimTime::ZERO, &at(13), &[5000.0], dt);
+        assert!(
+            noon < night * 0.6,
+            "midday {noon:.0} kg must beat midnight {night:.0} kg"
+        );
+    }
+
+    #[test]
+    fn offsets_respect_t0() {
+        let c = CarbonIntensity::diurnal(0.2, 0.3, SimDuration::days(1));
+        // The same wall-clock instant must see the same intensity whether
+        // the run started at 0 or later.
+        let a = c.emissions_kg(
+            SimTime::ZERO,
+            &[SimTime::seconds(13 * 3600)],
+            &[100.0],
+            SimDuration::hours(1),
+        );
+        let b = c.emissions_kg(
+            SimTime::seconds(3600),
+            &[SimTime::seconds(14 * 3600)],
+            &[100.0],
+            SimDuration::hours(1),
+        );
+        assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Packing-efficiency and fairness metrics after Goponenko et al. \[21\],
+//! as adopted in §3.2.6.
+
+use crate::job_stats::JobOutcome;
+
+/// Area-weighted response time: "the average turnaround time per unit of
+/// node-hour across all scheduled jobs" — each job's turnaround weighted by
+/// the resource area (node-hours) it occupied. Penalizes making big jobs
+/// wait more than small ones.
+pub fn area_weighted_response_time(outcomes: &[JobOutcome]) -> f64 {
+    let (mut num, mut den) = (0.0, 0.0);
+    for o in outcomes {
+        let area = o.node_hours();
+        num += area * o.turnaround().as_secs_f64();
+        den += area;
+    }
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Priority-weighted specific response time: "average sensitivity-adjusted
+/// turnaround time per unit of node-hour". Each job's *specific* response
+/// (turnaround ÷ node-hours) is weighted by its priority, so priority jobs
+/// stuck behind the queue dominate the metric — capturing both packing
+/// efficiency and fairness.
+pub fn priority_weighted_specific_response_time(outcomes: &[JobOutcome]) -> f64 {
+    let (mut num, mut den) = (0.0, 0.0);
+    for o in outcomes {
+        let area = o.node_hours();
+        if area <= 0.0 {
+            continue;
+        }
+        let sensitivity = o.priority.max(1e-9);
+        num += sensitivity * o.turnaround().as_secs_f64() / area;
+        den += sensitivity;
+    }
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::{AccountId, JobId, SimTime, UserId};
+
+    fn job(nodes: u32, submit: i64, start: i64, end: i64, priority: f64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(0),
+            user: UserId(0),
+            account: AccountId(0),
+            nodes,
+            submit: SimTime::seconds(submit),
+            start: SimTime::seconds(start),
+            end: SimTime::seconds(end),
+            energy_kwh: 1.0,
+            avg_node_power_kw: 0.5,
+            avg_cpu_util: 0.5,
+            avg_gpu_util: 0.0,
+            priority,
+        }
+    }
+
+    #[test]
+    fn awrt_weights_big_jobs_harder() {
+        // Two jobs with the same turnaround ratio but very different areas:
+        // making the big one wait should move AWRT more.
+        let small_waits = vec![job(1, 0, 1000, 2000, 1.0), job(100, 0, 0, 1000, 1.0)];
+        let big_waits = vec![job(1, 0, 0, 1000, 1.0), job(100, 0, 1000, 2000, 1.0)];
+        assert!(
+            area_weighted_response_time(&big_waits) > area_weighted_response_time(&small_waits)
+        );
+    }
+
+    #[test]
+    fn awrt_of_empty_is_zero() {
+        assert_eq!(area_weighted_response_time(&[]), 0.0);
+    }
+
+    #[test]
+    fn awrt_single_job_is_its_turnaround() {
+        let j = vec![job(4, 0, 100, 1100, 1.0)];
+        assert!((area_weighted_response_time(&j) - 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pwsrt_prefers_fast_high_priority() {
+        // High-priority job waits long → worse PWSRT than when it goes fast.
+        let hp_fast = vec![job(2, 0, 0, 1000, 10.0), job(2, 0, 5000, 6000, 0.1)];
+        let hp_slow = vec![job(2, 0, 5000, 6000, 10.0), job(2, 0, 0, 1000, 0.1)];
+        assert!(
+            priority_weighted_specific_response_time(&hp_slow)
+                > priority_weighted_specific_response_time(&hp_fast)
+        );
+    }
+
+    #[test]
+    fn pwsrt_skips_zero_area_jobs() {
+        let j = vec![job(0, 0, 10, 10, 5.0)];
+        assert_eq!(priority_weighted_specific_response_time(&j), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Job-size histogram (small/medium/large by node count, §3.2.6).
+
+use serde::{Deserialize, Serialize};
+
+/// Size class of a job by node count. Thresholds follow common facility
+/// reporting: small < 1 % of the machine, large ≥ 10 %, medium between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobSizeClass {
+    Small,
+    Medium,
+    Large,
+}
+
+impl JobSizeClass {
+    /// Classify `nodes` against a machine of `total_nodes`.
+    pub fn classify(nodes: u32, total_nodes: u32) -> JobSizeClass {
+        let frac = nodes as f64 / total_nodes.max(1) as f64;
+        if frac >= 0.10 {
+            JobSizeClass::Large
+        } else if frac >= 0.01 {
+            JobSizeClass::Medium
+        } else {
+            JobSizeClass::Small
+        }
+    }
+}
+
+/// Counts of scheduled jobs per size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SizeHistogram {
+    pub small: u64,
+    pub medium: u64,
+    pub large: u64,
+}
+
+impl SizeHistogram {
+    pub fn record(&mut self, nodes: u32, total_nodes: u32) {
+        match JobSizeClass::classify(nodes, total_nodes) {
+            JobSizeClass::Small => self.small += 1,
+            JobSizeClass::Medium => self.medium += 1,
+            JobSizeClass::Large => self.large += 1,
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.small + self.medium + self.large
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_thresholds() {
+        // 1000-node machine: <10 small, 10-99 medium, ≥100 large.
+        assert_eq!(JobSizeClass::classify(9, 1000), JobSizeClass::Small);
+        assert_eq!(JobSizeClass::classify(10, 1000), JobSizeClass::Medium);
+        assert_eq!(JobSizeClass::classify(99, 1000), JobSizeClass::Medium);
+        assert_eq!(JobSizeClass::classify(100, 1000), JobSizeClass::Large);
+        assert_eq!(JobSizeClass::classify(1000, 1000), JobSizeClass::Large);
+    }
+
+    #[test]
+    fn degenerate_machine_does_not_divide_by_zero() {
+        assert_eq!(JobSizeClass::classify(1, 0), JobSizeClass::Large);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let mut h = SizeHistogram::default();
+        h.record(1, 1000);
+        h.record(50, 1000);
+        h.record(500, 1000);
+        h.record(2, 1000);
+        assert_eq!(h.small, 2);
+        assert_eq!(h.medium, 1);
+        assert_eq!(h.large, 1);
+        assert_eq!(h.total(), 4);
+    }
+}

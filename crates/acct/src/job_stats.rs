@@ -1,0 +1,132 @@
+//! Per-job outcome record and derived metrics.
+
+use serde::{Deserialize, Serialize};
+use sraps_types::{AccountId, JobId, SimDuration, SimTime, UserId};
+
+/// Everything accounting needs about one completed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    pub id: JobId,
+    pub user: UserId,
+    pub account: AccountId,
+    pub nodes: u32,
+    pub submit: SimTime,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Energy consumed by the job's nodes over its run, kWh.
+    pub energy_kwh: f64,
+    /// Mean power per *node* while running, kW.
+    pub avg_node_power_kw: f64,
+    /// Mean CPU utilization in \[0,1\].
+    pub avg_cpu_util: f64,
+    /// Mean GPU utilization in \[0,1\] (0 on CPU-only systems).
+    pub avg_gpu_util: f64,
+    /// Priority the scheduler used for this job.
+    pub priority: f64,
+}
+
+impl JobOutcome {
+    /// Queue wait: start − submit.
+    pub fn wait(&self) -> SimDuration {
+        (self.start - self.submit).clamp_non_negative()
+    }
+
+    /// Runtime: end − start.
+    pub fn runtime(&self) -> SimDuration {
+        (self.end - self.start).clamp_non_negative()
+    }
+
+    /// Turnaround: end − submit.
+    pub fn turnaround(&self) -> SimDuration {
+        (self.end - self.submit).clamp_non_negative()
+    }
+
+    /// Node-hours consumed.
+    pub fn node_hours(&self) -> f64 {
+        self.nodes as f64 * self.runtime().as_hours_f64()
+    }
+
+    /// Energy-delay product, kWh·h. Lower is better: cheap *and* fast.
+    pub fn edp(&self) -> f64 {
+        self.energy_kwh * self.runtime().as_hours_f64()
+    }
+
+    /// Energy-delay² product, kWh·h² — weights latency harder than energy.
+    pub fn ed2p(&self) -> f64 {
+        let h = self.runtime().as_hours_f64();
+        self.energy_kwh * h * h
+    }
+
+    /// Mean power over the whole allocation, kW.
+    pub fn avg_power_kw(&self) -> f64 {
+        self.avg_node_power_kw * self.nodes as f64
+    }
+
+    /// Slowdown: turnaround / runtime (≥ 1 when it ran at all).
+    pub fn slowdown(&self) -> f64 {
+        let r = self.runtime().as_secs_f64();
+        if r <= 0.0 {
+            1.0
+        } else {
+            self.turnaround().as_secs_f64() / r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn outcome(submit: i64, start: i64, end: i64, nodes: u32, energy: f64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(1),
+            user: UserId(0),
+            account: AccountId(0),
+            nodes,
+            submit: SimTime::seconds(submit),
+            start: SimTime::seconds(start),
+            end: SimTime::seconds(end),
+            energy_kwh: energy,
+            avg_node_power_kw: if nodes > 0 && end > start {
+                energy / (nodes as f64 * (end - start) as f64 / 3600.0)
+            } else {
+                0.0
+            },
+            avg_cpu_util: 0.5,
+            avg_gpu_util: 0.5,
+            priority: 1.0,
+        }
+    }
+
+    #[test]
+    fn time_derivations() {
+        let o = outcome(0, 100, 3700, 2, 4.0);
+        assert_eq!(o.wait(), SimDuration::seconds(100));
+        assert_eq!(o.runtime(), SimDuration::seconds(3600));
+        assert_eq!(o.turnaround(), SimDuration::seconds(3700));
+        assert!((o.node_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp_and_ed2p() {
+        let o = outcome(0, 0, 7200, 1, 10.0); // 2 h, 10 kWh
+        assert!((o.edp() - 20.0).abs() < 1e-9);
+        assert!((o.ed2p() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_at_least_one_for_instant_start() {
+        let o = outcome(0, 0, 100, 1, 1.0);
+        assert!((o.slowdown() - 1.0).abs() < 1e-12);
+        let waited = outcome(0, 100, 200, 1, 1.0);
+        assert!((waited.slowdown() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_runtime_is_safe() {
+        let o = outcome(0, 50, 50, 4, 0.0);
+        assert_eq!(o.runtime(), SimDuration::ZERO);
+        assert_eq!(o.slowdown(), 1.0);
+        assert_eq!(o.edp(), 0.0);
+    }
+}

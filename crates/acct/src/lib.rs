@@ -1,0 +1,25 @@
+//! Systems accounting (§3.2.6): statistics for jobs, users, accounts and
+//! the system, plus the incentive-structure machinery of §4.3.
+//!
+//! The engine reports one [`JobOutcome`] per completed job; this crate
+//! aggregates them into [`SystemStats`] (throughput, energy, EDP, fairness
+//! metrics) and per-account [`Accounts`] (average power, EDP, Fugaku
+//! points). Account statistics can be saved to and reloaded from JSON —
+//! the paper's `--accounts` / `--accounts-json` flow — so that a *collection*
+//! run (replay) can feed a *redeeming* run (account-priority policies).
+
+pub mod accounts;
+pub mod carbon;
+pub mod fairness;
+pub mod histogram;
+pub mod job_stats;
+pub mod system_stats;
+pub mod users;
+
+pub use accounts::{AccountStats, Accounts};
+pub use carbon::CarbonIntensity;
+pub use fairness::{area_weighted_response_time, priority_weighted_specific_response_time};
+pub use histogram::{JobSizeClass, SizeHistogram};
+pub use job_stats::JobOutcome;
+pub use system_stats::SystemStats;
+pub use users::{UserStats, Users};

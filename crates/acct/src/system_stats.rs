@@ -1,0 +1,389 @@
+//! System-level aggregation: the `stats.out` equivalent of the artifact and
+//! the twelve objectives of Fig 10(b).
+
+use crate::fairness::{area_weighted_response_time, priority_weighted_specific_response_time};
+use crate::histogram::SizeHistogram;
+use crate::job_stats::JobOutcome;
+use serde::{Deserialize, Serialize};
+use sraps_types::SimDuration;
+
+/// Carbon intensity used for cost estimates, kgCO₂ per kWh (US grid-mix
+/// ballpark; the paper tracks "cost estimates for carbon emissions").
+pub const CARBON_KG_PER_KWH: f64 = 0.4;
+
+/// Aggregated statistics for one simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemStats {
+    pub jobs_completed: u64,
+    /// Simulated span the stats cover.
+    pub span: SimDuration,
+    /// Mean facility power over the run, kW (total including losses).
+    pub avg_total_power_kw: f64,
+    /// Mean electrical losses, kW.
+    pub avg_loss_kw: f64,
+    /// Total energy consumed, MWh.
+    pub total_energy_mwh: f64,
+    /// Mean node-occupancy utilization in \[0,1\].
+    pub avg_utilization: f64,
+    pub size_histogram: SizeHistogram,
+
+    // Job-derived aggregates (sums; means exposed via methods).
+    wait_secs_sum: f64,
+    turnaround_secs_sum: f64,
+    runtime_secs_sum: f64,
+    node_hours_sum: f64,
+    energy_kwh_sum: f64,
+    edp_sum: f64,
+    ed2p_sum: f64,
+    cpu_util_sum: f64,
+    gpu_util_sum: f64,
+    awrt: f64,
+    pwsrt: f64,
+    /// Sorted wait times, seconds (kept for percentile queries).
+    wait_secs_sorted: Vec<f64>,
+}
+
+impl SystemStats {
+    /// Build job-derived aggregates from outcomes; facility-side fields
+    /// (power, energy, utilization) are filled by the engine which owns the
+    /// tick-level histories.
+    pub fn from_outcomes(outcomes: &[JobOutcome], total_nodes: u32) -> Self {
+        let mut s = SystemStats {
+            jobs_completed: outcomes.len() as u64,
+            ..Default::default()
+        };
+        for o in outcomes {
+            s.wait_secs_sum += o.wait().as_secs_f64();
+            s.turnaround_secs_sum += o.turnaround().as_secs_f64();
+            s.runtime_secs_sum += o.runtime().as_secs_f64();
+            s.node_hours_sum += o.node_hours();
+            s.energy_kwh_sum += o.energy_kwh;
+            s.edp_sum += o.edp();
+            s.ed2p_sum += o.ed2p();
+            s.cpu_util_sum += o.avg_cpu_util;
+            s.gpu_util_sum += o.avg_gpu_util;
+            s.size_histogram.record(o.nodes, total_nodes);
+        }
+        s.awrt = area_weighted_response_time(outcomes);
+        s.pwsrt = priority_weighted_specific_response_time(outcomes);
+        s.wait_secs_sorted = outcomes.iter().map(|o| o.wait().as_secs_f64()).collect();
+        s.wait_secs_sorted
+            .sort_by(|a, b| a.partial_cmp(b).expect("waits are finite"));
+        s
+    }
+
+    /// Wait-time percentile (`q` in \[0,1\]), seconds. Operations teams read
+    /// p95/p99 waits, not means — a handful of starved jobs hides in the
+    /// average but not here.
+    pub fn wait_percentile_secs(&self, q: f64) -> f64 {
+        if self.wait_secs_sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.wait_secs_sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.wait_secs_sorted[idx]
+    }
+
+    fn per_job(&self, sum: f64) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            sum / self.jobs_completed as f64
+        }
+    }
+
+    pub fn avg_wait_secs(&self) -> f64 {
+        self.per_job(self.wait_secs_sum)
+    }
+
+    pub fn avg_turnaround_secs(&self) -> f64 {
+        self.per_job(self.turnaround_secs_sum)
+    }
+
+    pub fn avg_runtime_secs(&self) -> f64 {
+        self.per_job(self.runtime_secs_sum)
+    }
+
+    pub fn avg_node_hours(&self) -> f64 {
+        self.per_job(self.node_hours_sum)
+    }
+
+    pub fn avg_energy_kwh(&self) -> f64 {
+        self.per_job(self.energy_kwh_sum)
+    }
+
+    pub fn avg_edp(&self) -> f64 {
+        self.per_job(self.edp_sum)
+    }
+
+    pub fn avg_ed2p(&self) -> f64 {
+        self.per_job(self.ed2p_sum)
+    }
+
+    pub fn avg_cpu_util(&self) -> f64 {
+        self.per_job(self.cpu_util_sum)
+    }
+
+    pub fn avg_gpu_util(&self) -> f64 {
+        self.per_job(self.gpu_util_sum)
+    }
+
+    pub fn area_weighted_response_time(&self) -> f64 {
+        self.awrt
+    }
+
+    pub fn priority_weighted_specific_response_time(&self) -> f64 {
+        self.pwsrt
+    }
+
+    /// Jobs per simulated hour.
+    pub fn job_throughput_per_hour(&self) -> f64 {
+        let h = self.span.as_hours_f64();
+        if h <= 0.0 {
+            0.0
+        } else {
+            self.jobs_completed as f64 / h
+        }
+    }
+
+    /// Estimated carbon emissions of the run, kgCO₂.
+    pub fn carbon_kg(&self) -> f64 {
+        self.total_energy_mwh * 1000.0 * CARBON_KG_PER_KWH
+    }
+
+    /// System power efficiency: IT power / total power.
+    pub fn power_efficiency(&self) -> f64 {
+        if self.avg_total_power_kw <= 0.0 {
+            1.0
+        } else {
+            (self.avg_total_power_kw - self.avg_loss_kw) / self.avg_total_power_kw
+        }
+    }
+
+    /// The twelve objectives of Fig 10(b), all oriented so *lower is
+    /// better* (hence the "inverse" transforms for counts and utilizations),
+    /// in the paper's plotting order.
+    pub fn objectives(&self) -> [(&'static str, f64); 12] {
+        let inv = |v: f64| if v > 0.0 { 1.0 / v } else { f64::INFINITY };
+        [
+            ("Average Wait Time", self.avg_wait_secs()),
+            ("Average Turnaround Time", self.avg_turnaround_secs()),
+            ("Avg Aggregate Node Hours", self.avg_node_hours()),
+            ("Avg EDP^2", self.avg_ed2p()),
+            ("Inverse Total Jobs Completed", inv(self.jobs_completed as f64)),
+            ("Inverse Job Throughput", inv(self.job_throughput_per_hour())),
+            ("Average Runtime", self.avg_runtime_secs()),
+            ("Inverse Avg CPU Util", inv(self.avg_cpu_util())),
+            ("Inverse Avg GPU Util", inv(self.avg_gpu_util())),
+            (
+                "Priority-Weighted Specific Response Time",
+                self.priority_weighted_specific_response_time(),
+            ),
+            ("Avg Energy", self.avg_energy_kwh()),
+            (
+                "Area-Weighted Avg Response Time",
+                self.area_weighted_response_time(),
+            ),
+        ]
+    }
+
+    /// Render a `stats.out`-style text block.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut line = |k: &str, v: String| {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(&v);
+            out.push('\n');
+        };
+        line("jobs completed", self.jobs_completed.to_string());
+        line("span [h]", format!("{:.2}", self.span.as_hours_f64()));
+        line(
+            "throughput [jobs/h]",
+            format!("{:.2}", self.job_throughput_per_hour()),
+        );
+        line("avg total power [kW]", format!("{:.1}", self.avg_total_power_kw));
+        line("avg loss [kW]", format!("{:.1}", self.avg_loss_kw));
+        line("power efficiency", format!("{:.4}", self.power_efficiency()));
+        line("total energy [MWh]", format!("{:.2}", self.total_energy_mwh));
+        line("carbon [kgCO2]", format!("{:.0}", self.carbon_kg()));
+        line("avg utilization", format!("{:.3}", self.avg_utilization));
+        line("avg wait [s]", format!("{:.0}", self.avg_wait_secs()));
+        line(
+            "wait p50/p95/p99 [s]",
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                self.wait_percentile_secs(0.5),
+                self.wait_percentile_secs(0.95),
+                self.wait_percentile_secs(0.99)
+            ),
+        );
+        line(
+            "avg turnaround [s]",
+            format!("{:.0}", self.avg_turnaround_secs()),
+        );
+        line("avg EDP [kWh·h]", format!("{:.2}", self.avg_edp()));
+        line("avg ED2P [kWh·h²]", format!("{:.2}", self.avg_ed2p()));
+        line("AWRT [s]", format!("{:.0}", self.area_weighted_response_time()));
+        line(
+            "PWSRT [s/nh]",
+            format!("{:.2}", self.priority_weighted_specific_response_time()),
+        );
+        line(
+            "size histogram (S/M/L)",
+            format!(
+                "{}/{}/{}",
+                self.size_histogram.small, self.size_histogram.medium, self.size_histogram.large
+            ),
+        );
+        out
+    }
+
+    /// Engine hook: set facility-side aggregates.
+    pub fn set_facility(
+        &mut self,
+        span: SimDuration,
+        avg_total_power_kw: f64,
+        avg_loss_kw: f64,
+        total_energy_mwh: f64,
+        avg_utilization: f64,
+    ) {
+        self.span = span;
+        self.avg_total_power_kw = avg_total_power_kw;
+        self.avg_loss_kw = avg_loss_kw;
+        self.total_energy_mwh = total_energy_mwh;
+        self.avg_utilization = avg_utilization;
+    }
+}
+
+/// L2-normalize each objective across a set of runs: the Fig 10(b)
+/// transform. Returns, per run, the 12 normalized values; `inf` entries
+/// (e.g. inverse GPU util on CPU-only systems) normalize to 1 for every
+/// run carrying them and are flagged by the caller if needed.
+pub fn l2_normalize_objectives(runs: &[&SystemStats]) -> Vec<Vec<f64>> {
+    let k = 12;
+    let mut norms = vec![0.0f64; k];
+    let mut table: Vec<Vec<f64>> = runs
+        .iter()
+        .map(|r| r.objectives().iter().map(|(_, v)| *v).collect())
+        .collect();
+    // Replace infinities with the largest finite value in the column (or 1).
+    for j in 0..k {
+        let max_finite = table
+            .iter()
+            .map(|row| row[j])
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max);
+        for row in table.iter_mut() {
+            if !row[j].is_finite() {
+                row[j] = if max_finite > 0.0 { max_finite } else { 1.0 };
+            }
+        }
+        norms[j] = table.iter().map(|row| row[j] * row[j]).sum::<f64>().sqrt();
+    }
+    for row in table.iter_mut() {
+        for j in 0..k {
+            if norms[j] > 0.0 {
+                row[j] /= norms[j];
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::{AccountId, JobId, SimTime, UserId};
+
+    fn outcome(submit: i64, start: i64, end: i64, nodes: u32) -> JobOutcome {
+        JobOutcome {
+            id: JobId(0),
+            user: UserId(0),
+            account: AccountId(0),
+            nodes,
+            submit: SimTime::seconds(submit),
+            start: SimTime::seconds(start),
+            end: SimTime::seconds(end),
+            energy_kwh: 2.0,
+            avg_node_power_kw: 0.5,
+            avg_cpu_util: 0.6,
+            avg_gpu_util: 0.4,
+            priority: 1.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_mean_correctly() {
+        let outs = vec![outcome(0, 100, 1100, 2), outcome(0, 300, 1300, 4)];
+        let s = SystemStats::from_outcomes(&outs, 100);
+        assert_eq!(s.jobs_completed, 2);
+        assert!((s.avg_wait_secs() - 200.0).abs() < 1e-9);
+        assert!((s.avg_turnaround_secs() - 1200.0).abs() < 1e-9);
+        assert!((s.avg_energy_kwh() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_needs_span() {
+        let mut s = SystemStats::from_outcomes(&[outcome(0, 0, 100, 1)], 10);
+        assert_eq!(s.job_throughput_per_hour(), 0.0);
+        s.set_facility(SimDuration::hours(2), 100.0, 5.0, 0.2, 0.5);
+        assert!((s.job_throughput_per_hour() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objectives_are_twelve_and_lower_better_transforms_applied() {
+        let s = SystemStats::from_outcomes(&[outcome(0, 0, 3600, 1)], 10);
+        let obj = s.objectives();
+        assert_eq!(obj.len(), 12);
+        // Inverse jobs completed = 1/1.
+        assert!((obj[4].1 - 1.0).abs() < 1e-12);
+        // Inverse CPU util = 1/0.6.
+        assert!((obj[7].1 - 1.0 / 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_normalization_unit_norm_columns() {
+        let a = SystemStats::from_outcomes(&[outcome(0, 0, 3600, 1)], 10);
+        let b = SystemStats::from_outcomes(&[outcome(0, 600, 4200, 2)], 10);
+        let rows = l2_normalize_objectives(&[&a, &b]);
+        for j in 0..12 {
+            let norm: f64 = rows.iter().map(|r| r[j] * r[j]).sum::<f64>().sqrt();
+            assert!(
+                norm == 0.0 || (norm - 1.0).abs() < 1e-9,
+                "column {j} norm {norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_key_rows() {
+        let mut s = SystemStats::from_outcomes(&[outcome(0, 0, 100, 1)], 10);
+        s.set_facility(SimDuration::hours(1), 500.0, 25.0, 0.5, 0.8);
+        let text = s.render();
+        assert!(text.contains("jobs completed: 1"));
+        assert!(text.contains("avg total power [kW]: 500.0"));
+        assert!(text.contains("carbon"));
+    }
+
+    #[test]
+    fn wait_percentiles_sorted_and_bounded() {
+        let outs: Vec<JobOutcome> = (0..100)
+            .map(|i| outcome(0, i * 10, i * 10 + 1000, 1))
+            .collect();
+        let s = SystemStats::from_outcomes(&outs, 10);
+        // Waits are 0,10,…,990.
+        assert_eq!(s.wait_percentile_secs(0.0), 0.0);
+        assert!((s.wait_percentile_secs(0.5) - 500.0).abs() <= 10.0);
+        assert!((s.wait_percentile_secs(1.0) - 990.0).abs() < 1e-9);
+        assert!(s.wait_percentile_secs(0.95) <= s.wait_percentile_secs(0.99));
+        // Degenerate inputs.
+        assert_eq!(SystemStats::default().wait_percentile_secs(0.5), 0.0);
+    }
+
+    #[test]
+    fn carbon_scales_with_energy() {
+        let mut s = SystemStats::default();
+        s.set_facility(SimDuration::hours(1), 0.0, 0.0, 2.0, 0.0);
+        assert!((s.carbon_kg() - 2.0 * 1000.0 * CARBON_KG_PER_KWH).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-user aggregation (§3.2.6 tracks statistics "for jobs, users,
+//! accounts"). Unlike accounts, users carry no incentive currency — they
+//! answer the *fairness* questions: does a scheduler setting favour
+//! specific users?
+
+use crate::job_stats::JobOutcome;
+use serde::{Deserialize, Serialize};
+use sraps_types::UserId;
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one user.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct UserStats {
+    pub jobs_completed: u64,
+    pub node_hours: f64,
+    pub energy_kwh: f64,
+    pub wait_secs_sum: f64,
+    pub turnaround_secs_sum: f64,
+    /// Largest single-job wait observed, seconds.
+    pub max_wait_secs: f64,
+}
+
+impl UserStats {
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.wait_secs_sum / self.jobs_completed as f64
+        }
+    }
+
+    pub fn mean_turnaround_secs(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.turnaround_secs_sum / self.jobs_completed as f64
+        }
+    }
+}
+
+/// All users seen in a simulation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Users {
+    pub stats: BTreeMap<u32, UserStats>,
+}
+
+impl Users {
+    pub fn new() -> Self {
+        Users::default()
+    }
+
+    pub fn record(&mut self, outcome: &JobOutcome) {
+        let s = self.stats.entry(outcome.user.0).or_default();
+        s.jobs_completed += 1;
+        s.node_hours += outcome.node_hours();
+        s.energy_kwh += outcome.energy_kwh;
+        let wait = outcome.wait().as_secs_f64();
+        s.wait_secs_sum += wait;
+        s.turnaround_secs_sum += outcome.turnaround().as_secs_f64();
+        s.max_wait_secs = s.max_wait_secs.max(wait);
+    }
+
+    pub fn get(&self, id: UserId) -> Option<&UserStats> {
+        self.stats.get(&id.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Build from a batch of outcomes.
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> Users {
+        let mut u = Users::new();
+        for o in outcomes {
+            u.record(o);
+        }
+        u
+    }
+
+    /// Fairness spread: ratio of the highest to the lowest per-user mean
+    /// wait among users with at least `min_jobs` jobs (1.0 = perfectly
+    /// even; large = somebody is being starved).
+    pub fn wait_spread(&self, min_jobs: u64) -> f64 {
+        let waits: Vec<f64> = self
+            .stats
+            .values()
+            .filter(|s| s.jobs_completed >= min_jobs)
+            .map(|s| s.mean_wait_secs())
+            .collect();
+        let lo = waits.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = waits.iter().cloned().fold(0.0, f64::max);
+        if !lo.is_finite() || lo <= 0.0 {
+            1.0
+        } else {
+            hi / lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::{AccountId, JobId, SimTime};
+
+    fn outcome(user: u32, submit: i64, start: i64, end: i64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(0),
+            user: UserId(user),
+            account: AccountId(0),
+            nodes: 2,
+            submit: SimTime::seconds(submit),
+            start: SimTime::seconds(start),
+            end: SimTime::seconds(end),
+            energy_kwh: 1.0,
+            avg_node_power_kw: 0.5,
+            avg_cpu_util: 0.5,
+            avg_gpu_util: 0.0,
+            priority: 1.0,
+        }
+    }
+
+    #[test]
+    fn record_accumulates_per_user() {
+        let mut u = Users::new();
+        u.record(&outcome(1, 0, 100, 200));
+        u.record(&outcome(1, 0, 300, 400));
+        u.record(&outcome(2, 0, 0, 100));
+        assert_eq!(u.len(), 2);
+        let s1 = u.get(UserId(1)).unwrap();
+        assert_eq!(s1.jobs_completed, 2);
+        assert!((s1.mean_wait_secs() - 200.0).abs() < 1e-9);
+        assert!((s1.max_wait_secs - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_spread_measures_starvation() {
+        let outs: Vec<JobOutcome> = (0..10)
+            .map(|i| outcome(1, 0, 10, 100 + i))
+            .chain((0..10).map(|i| outcome(2, 0, 1000, 2000 + i)))
+            .collect();
+        let u = Users::from_outcomes(&outs);
+        assert!((u.wait_spread(1) - 100.0).abs() < 1e-9, "1000s vs 10s waits");
+    }
+
+    #[test]
+    fn wait_spread_ignores_tiny_users_and_degenerates_to_one() {
+        let u = Users::from_outcomes(&[outcome(1, 0, 0, 10)]);
+        assert_eq!(u.wait_spread(5), 1.0, "nobody qualifies");
+        let even = Users::from_outcomes(&[outcome(1, 0, 0, 10), outcome(2, 0, 0, 10)]);
+        assert_eq!(even.wait_spread(1), 1.0, "zero waits → even");
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig 5: replay and reschedule of 15 days of Adastra (full dataset) —
+//! at moderate load all rescheduled policies overlap almost exactly, and
+//! with known job power profiles the simulator's power tracks the replay's
+//! up/down swings.
+
+use rayon::prelude::*;
+use sraps_bench::{check, header, print_series_block, run_policy, write_csvs};
+use sraps_core::SimOutput;
+use sraps_data::scenario;
+
+fn main() {
+    let s = scenario::fig5(42);
+    header("fig5", "Adastra 15 days: replay vs reschedule at moderate load");
+    println!(
+        "workload: {} jobs on {} nodes over 15 days\n",
+        s.dataset.len(),
+        s.config.total_nodes
+    );
+
+    let runs = [
+        ("replay", "none"),
+        ("fcfs", "none"),
+        ("fcfs", "easy"),
+        ("priority", "firstfit"),
+    ];
+    let outputs: Vec<SimOutput> = runs
+        .par_iter()
+        .map(|(p, b)| run_policy(&s, p, b, false))
+        .collect();
+    for out in &outputs {
+        print_series_block(out, 90);
+        write_csvs("fig5", out);
+    }
+
+    let replay = &outputs[0];
+    let rescheduled = &outputs[1..];
+
+    println!();
+    let max_rel = rescheduled
+        .iter()
+        .flat_map(|a| {
+            rescheduled.iter().map(move |b| {
+                (a.mean_power_kw() - b.mean_power_kw()).abs() / a.mean_power_kw()
+            })
+        })
+        .fold(0.0, f64::max);
+    check(
+        &format!("rescheduled policies overlap (max mean-power spread {:.2}%)", max_rel * 100.0),
+        max_rel < 0.05,
+    );
+    // Power tracking: correlation between replay and fcfs power series.
+    let a: Vec<f64> = replay.power.iter().map(|p| p.total_kw).collect();
+    let b: Vec<f64> = rescheduled[0].power.iter().map(|p| p.total_kw).collect();
+    let n = a.len().min(b.len());
+    let (ma, mb) = (
+        a[..n].iter().sum::<f64>() / n as f64,
+        b[..n].iter().sum::<f64>() / n as f64,
+    );
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma) * (a[i] - ma);
+        vb += (b[i] - mb) * (b[i] - mb);
+    }
+    let corr = cov / (va.sqrt() * vb.sqrt()).max(1e-12);
+    check(
+        &format!("simulated power tracks replay swings (corr {corr:.3})"),
+        corr > 0.7,
+    );
+    check(
+        &format!(
+            "headroom: utilization stays below saturation ({:.1}%)",
+            replay.mean_utilization() * 100.0
+        ),
+        replay.mean_utilization() < 0.9,
+    );
+}

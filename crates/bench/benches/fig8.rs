@@ -1,0 +1,123 @@
+//! Fig 8: incentive structures — account-priority policies on the Fig 6
+//! day. The collection phase (replay with `--accounts`) accumulates each
+//! account's behaviour; the redeeming phase reprioritizes by descending
+//! average power / ascending average power / EDP / Fugaku points.
+//!
+//! Paper's observation to reproduce: Fugaku points reward low average
+//! power from the collection phase, so the three high-power giants are
+//! *not* rewarded and the low-power background is pulled forward — while
+//! acct_avg_power does the opposite.
+
+use rayon::prelude::*;
+use sraps_bench::{check, header, print_series_block, write_csvs};
+use sraps_core::{Engine, SchedulerSelect, SimConfig, SimOutput};
+use sraps_data::scenario;
+
+fn main() {
+    let s = scenario::fig8_scaled(42, 0.25);
+    header("fig8", "Incentive structures via account-based prioritization");
+    println!(
+        "workload: {} jobs on {} nodes (the Fig 6 day, saturated)\n",
+        s.dataset.len(),
+        s.config.total_nodes
+    );
+
+    // Collection phase.
+    let sim = SimConfig::replay(s.config.clone())
+        .with_window(s.sim_start, s.sim_end)
+        .with_accounts();
+    let collection = Engine::new(sim, &s.dataset)
+        .expect("engine")
+        .run()
+        .expect("collection run");
+    println!("collection: {} accounts tracked\n", collection.accounts.len());
+    std::fs::write(
+        sraps_bench::results_dir("fig8").join("accounts.json"),
+        collection.accounts.to_json().expect("json"),
+    )
+    .expect("write accounts.json");
+
+    // Redeeming phase: four incentives, first-fit backfill (paper setup).
+    let policies = [
+        "acct_avg_power",
+        "acct_low_avg_power",
+        "acct_edp",
+        "acct_fugaku_pts",
+    ];
+    let mut outputs: Vec<SimOutput> = policies
+        .par_iter()
+        .map(|policy| {
+            let sim = SimConfig::new(s.config.clone(), policy, "firstfit")
+                .expect("valid")
+                .with_window(s.sim_start, s.sim_end)
+                .with_scheduler(SchedulerSelect::Experimental)
+                .with_accounts_json(collection.accounts.clone());
+            Engine::new(sim, &s.dataset).expect("engine").run().expect("run")
+        })
+        .collect();
+    outputs.insert(0, collection);
+
+    for out in &outputs {
+        print_series_block(out, 72);
+        write_csvs("fig8", out);
+    }
+
+    // The hottest busy account's jobs must *wait less* under
+    // acct_avg_power than under acct_fugaku_pts (which rewards frugal
+    // accounts), and vice versa. Wait time isolates the scheduling effect
+    // from when jobs happen to be submitted.
+    let accounts = &outputs[0].accounts;
+    let busy: Vec<(&u32, &sraps_acct::AccountStats)> = accounts
+        .stats
+        .iter()
+        .filter(|(_, st)| st.jobs_completed >= 20)
+        .collect();
+    let hottest = busy
+        .iter()
+        .max_by(|a, b| a.1.avg_node_power_kw.partial_cmp(&b.1.avg_node_power_kw).unwrap())
+        .map(|(id, _)| **id)
+        .expect("busy accounts exist");
+    let frugal = busy
+        .iter()
+        .min_by(|a, b| a.1.avg_node_power_kw.partial_cmp(&b.1.avg_node_power_kw).unwrap())
+        .map(|(id, _)| **id)
+        .expect("busy accounts exist");
+    let mean_wait = |o: &SimOutput, acct: u32| {
+        let v: Vec<f64> = o
+            .outcomes
+            .iter()
+            .filter(|x| x.account.0 == acct)
+            .map(|x| x.wait().as_secs_f64())
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    // Within-run comparisons avoid the survivorship bias of comparing the
+    // (different) completed-job sets across runs.
+    let hot_under_avg = mean_wait(&outputs[1], hottest);
+    let frugal_under_avg = mean_wait(&outputs[1], frugal);
+    let hot_under_pts = mean_wait(&outputs[4], hottest);
+    let frugal_under_pts = mean_wait(&outputs[4], frugal);
+    println!();
+    check(
+        &format!(
+            "under acct_avg_power the hot account outranks the frugal one (waits {hot_under_avg:.0}s vs {frugal_under_avg:.0}s)"
+        ),
+        hot_under_avg <= frugal_under_avg,
+    );
+    check(
+        &format!(
+            "under acct_fugaku_pts the reward flips toward frugal (hot {hot_under_pts:.0}s vs frugal {frugal_under_pts:.0}s; hot's wait grew {:.1}x)",
+            hot_under_pts / hot_under_avg.max(1.0)
+        ),
+        hot_under_pts >= hot_under_avg,
+    );
+    let counts: Vec<u64> = outputs[1..].iter().map(|o| o.stats.jobs_completed).collect();
+    let (lo, hi) = (
+        *counts.iter().min().expect("runs"),
+        *counts.iter().max().expect("runs"),
+    );
+    check(
+        &format!("redeeming runs complete comparable work ({lo}–{hi} jobs)"),
+        (hi - lo) as f64 / (hi as f64) < 0.05,
+    );
+}

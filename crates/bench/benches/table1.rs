@@ -1,0 +1,85 @@
+//! Table 1: systems and datasets used in the study — regenerated from the
+//! presets and the synthetic dataset generators.
+
+use sraps_bench::{check, header, results_dir};
+use sraps_data::WorkloadSpec;
+use sraps_systems::{presets, TelemetryFidelity};
+use sraps_types::SimDuration;
+
+/// Paper's job counts per dataset (Table 1), for the comparison column.
+const PAPER_JOBS: &[(&str, u64)] = &[
+    ("frontier", 1_238),
+    ("marconi100", 231_238),
+    ("fugaku", 116_977),
+    ("lassen", 1_467_746),
+    ("adastra", 30_570),
+];
+
+fn main() {
+    header("table1", "Systems and datasets used in study");
+
+    println!(
+        "{:<12} {:<14} {:>8} {:<12} {:>12} {:>14}  Characteristics",
+        "System", "Architecture", "Nodes", "Scheduler", "paper jobs", "synth jobs/d"
+    );
+
+    let mut rows = String::from("system,architecture,nodes,scheduler,paper_jobs,synth_jobs_per_day,fidelity\n");
+    for &(name, paper_jobs) in PAPER_JOBS {
+        let cfg = presets::system_by_name(name).expect("preset exists");
+        // One synthetic day at the dataset's typical load, to report the
+        // generator's scale (full job counts would just multiply by span).
+        let load = match name {
+            "marconi100" => 1.0,
+            "adastra" => 0.55,
+            _ => 0.8,
+        };
+        let gen_cfg = if cfg.total_nodes > 16_384 {
+            cfg.scaled_to(8192)
+        } else {
+            cfg.clone()
+        };
+        let mut spec = WorkloadSpec::for_system(&gen_cfg, load, 1);
+        spec.span = SimDuration::days(1);
+        let jobs_per_day = spec.expected_jobs();
+        let fidelity = match cfg.fidelity {
+            TelemetryFidelity::Traces => format!("job traces ({}s)", cfg.trace_dt.as_secs()),
+            TelemetryFidelity::Summary => "job summary".to_string(),
+        };
+        println!(
+            "{:<12} {:<14} {:>8} {:<12} {:>12} {:>14.0}  {}",
+            cfg.name,
+            cfg.architecture,
+            cfg.total_nodes,
+            cfg.scheduler.site_scheduler,
+            paper_jobs,
+            jobs_per_day,
+            fidelity
+        );
+        rows.push_str(&format!(
+            "{},{},{},{},{},{:.0},{fidelity}\n",
+            cfg.name,
+            cfg.architecture,
+            cfg.total_nodes,
+            cfg.scheduler.site_scheduler,
+            paper_jobs,
+            jobs_per_day
+        ));
+    }
+    std::fs::write(results_dir("table1").join("table1.csv"), rows).expect("write csv");
+
+    println!();
+    check(
+        "node counts match Table 1 (9600/980/158976/792/356)",
+        presets::frontier().total_nodes == 9600
+            && presets::marconi100().total_nodes == 980
+            && presets::fugaku().total_nodes == 158_976
+            && presets::lassen().total_nodes == 792
+            && presets::adastra().total_nodes == 356,
+    );
+    check(
+        "fidelity classes match (traces: frontier+marconi100; summary: rest)",
+        presets::frontier().fidelity == TelemetryFidelity::Traces
+            && presets::marconi100().fidelity == TelemetryFidelity::Traces
+            && presets::fugaku().fidelity == TelemetryFidelity::Summary,
+    );
+}

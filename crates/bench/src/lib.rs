@@ -1,0 +1,108 @@
+//! Shared harness for figure/table regeneration benches.
+//!
+//! Every paper element has a bench target that (1) runs the experiment,
+//! (2) prints the series the figure plots (downsampled for terminals),
+//! (3) writes full-resolution CSVs under `target/bench_results/<element>/`,
+//! and (4) prints the qualitative checks the paper's text makes, each
+//! marked `[ok]`/`[??]` so a regression is visible in `cargo bench` output.
+
+use sraps_core::{Engine, SimConfig, SimOutput};
+use sraps_data::scenario::Scenario;
+use std::path::PathBuf;
+
+/// Where CSV outputs land.
+pub fn results_dir(element: &str) -> PathBuf {
+    let dir = PathBuf::from("target").join("bench_results").join(element);
+    std::fs::create_dir_all(&dir).expect("create bench_results dir");
+    dir
+}
+
+/// Run one policy/backfill over a scenario (window applied).
+pub fn run_policy(s: &Scenario, policy: &str, backfill: &str, cooling: bool) -> SimOutput {
+    let mut sim = SimConfig::new(s.config.clone(), policy, backfill)
+        .expect("valid policy/backfill")
+        .with_window(s.sim_start, s.sim_end);
+    if cooling {
+        sim = sim.with_cooling();
+    }
+    Engine::new(sim, &s.dataset)
+        .expect("engine builds")
+        .run()
+        .expect("run completes")
+}
+
+/// Write the standard CSV set for a run.
+pub fn write_csvs(element: &str, out: &SimOutput) {
+    let dir = results_dir(element);
+    std::fs::write(dir.join(format!("{}-power.csv", out.label)), out.power_csv())
+        .expect("write power csv");
+    std::fs::write(dir.join(format!("{}-util.csv", out.label)), out.util_csv())
+        .expect("write util csv");
+    if !out.cooling.is_empty() {
+        std::fs::write(
+            dir.join(format!("{}-cooling.csv", out.label)),
+            out.cooling_csv(),
+        )
+        .expect("write cooling csv");
+    }
+}
+
+/// Downsample to at most `n` points (mean-pooled).
+pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
+    if series.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let chunk = series.len().div_ceil(n);
+    series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Terminal sparkline.
+pub fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (min, max) = series
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    if series.is_empty() || !min.is_finite() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-12);
+    series
+        .iter()
+        .map(|&v| BARS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Print one run's series block (power, utilization) like the figures do.
+pub fn print_series_block(out: &SimOutput, width: usize) {
+    let power: Vec<f64> = out.power.iter().map(|p| p.total_kw).collect();
+    println!(
+        "  {:<24} power [kW]  {}  (mean {:>9.1}, peak {:>9.1})",
+        out.label,
+        sparkline(&downsample(&power, width)),
+        out.mean_power_kw(),
+        out.peak_power_kw()
+    );
+    println!(
+        "  {:<24} util  [%]   {}  (mean {:>8.1}%)",
+        "",
+        sparkline(&downsample(&out.utilization, width)),
+        out.mean_utilization() * 100.0
+    );
+}
+
+/// Print a qualitative check line.
+pub fn check(label: &str, ok: bool) {
+    println!("  [{}] {label}", if ok { "ok" } else { "??" });
+}
+
+/// Standard header for a bench report.
+pub fn header(element: &str, description: &str) {
+    println!("\n================================================================");
+    println!("{element}: {description}");
+    println!("================================================================");
+}

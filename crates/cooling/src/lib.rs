@@ -1,0 +1,23 @@
+//! Transient thermo-fluid cooling model.
+//!
+//! Substitutes the Modelica cooling model of Kumar et al. \[25\] with a
+//! lumped-parameter plant that preserves the couplings the paper studies:
+//!
+//! * IT power becomes heat in the **secondary (facility water) loop** via
+//!   the CDUs' heat exchangers;
+//! * loop temperature integrates a first-order energy balance (thermal
+//!   capacitance), so scheduling-induced power swings appear as *lagged*
+//!   temperature swings at the **cooling tower** (Fig 6, bottom panel);
+//! * tower fans and pumps draw auxiliary power that, together with
+//!   electrical losses, yields **PUE** (Fig 6, third panel).
+//!
+//! The chain per tick: heat in → loop temperature ODE (explicit Euler) →
+//! tower return temperature → fan demand from required rejection → PUE.
+
+pub mod cdu;
+pub mod plant;
+pub mod tower;
+
+pub use cdu::Cdu;
+pub use plant::{CoolingPlant, CoolingSample};
+pub use tower::CoolingTower;

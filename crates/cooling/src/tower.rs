@@ -1,0 +1,88 @@
+//! Evaporative cooling tower: rejects the loop's heat to ambient.
+
+use serde::{Deserialize, Serialize};
+
+/// Cooling-tower model with load-dependent approach temperature and
+/// fan-affinity power law.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingTower {
+    /// Approach above ambient wet-bulb at design load, °C.
+    pub design_approach_c: f64,
+    /// Fan power at design rejection, kW.
+    pub fan_design_kw: f64,
+    /// Heat rejection the tower was sized for, kW.
+    pub design_load_kw: f64,
+}
+
+impl CoolingTower {
+    /// Coldest water the tower can produce at `load_fraction` of design:
+    /// wet-bulb plus an approach that grows with load (heavily loaded fill
+    /// approaches saturation). Approach shrinks at part load but never
+    /// below 40 % of design — a standard counterflow-tower characteristic.
+    pub fn cold_water_c(&self, wetbulb_c: f64, load_fraction: f64) -> f64 {
+        let l = load_fraction.max(0.0);
+        let approach = self.design_approach_c * (0.4 + 0.6 * l.min(1.5));
+        wetbulb_c + approach
+    }
+
+    /// Fan power needed to reject `heat_kw`, by the fan-affinity cube law:
+    /// airflow scales with load, power with airflow³. Above design the fans
+    /// saturate at full speed.
+    pub fn fan_power_kw(&self, heat_kw: f64) -> f64 {
+        if self.design_load_kw <= 0.0 {
+            return 0.0;
+        }
+        let l = (heat_kw / self.design_load_kw).max(0.0);
+        self.fan_design_kw * l.min(1.0).powi(3) + self.fan_design_kw * (l - 1.0).max(0.0) * 0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tower() -> CoolingTower {
+        CoolingTower {
+            design_approach_c: 4.0,
+            fan_design_kw: 300.0,
+            design_load_kw: 20_000.0,
+        }
+    }
+
+    #[test]
+    fn cold_water_above_wetbulb() {
+        let t = tower();
+        for l in [0.0, 0.5, 1.0, 1.4] {
+            assert!(t.cold_water_c(20.0, l) > 20.0);
+        }
+    }
+
+    #[test]
+    fn approach_grows_with_load() {
+        let t = tower();
+        assert!(t.cold_water_c(20.0, 1.0) > t.cold_water_c(20.0, 0.2));
+        // At design load, approach equals the design approach.
+        assert!((t.cold_water_c(20.0, 1.0) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_power_cubic_then_saturating() {
+        let t = tower();
+        let half = t.fan_power_kw(10_000.0);
+        let full = t.fan_power_kw(20_000.0);
+        assert!((half - 300.0 * 0.125).abs() < 1e-9, "cube law at half load");
+        assert!((full - 300.0).abs() < 1e-9);
+        // Overload only adds the small linear penalty term.
+        assert!(t.fan_power_kw(24_000.0) < 320.0);
+    }
+
+    #[test]
+    fn degenerate_tower_is_safe() {
+        let t = CoolingTower {
+            design_approach_c: 4.0,
+            fan_design_kw: 0.0,
+            design_load_kw: 0.0,
+        };
+        assert_eq!(t.fan_power_kw(1000.0), 0.0);
+    }
+}

@@ -1,0 +1,410 @@
+//! `sraps` — the command-line front-end, mirroring the paper artifact's
+//! `python main.py` interface:
+//!
+//! ```text
+//! sraps --system marconi100 --policy fcfs --backfill easy -ff 4381000 -t 61000 -o out/
+//! sraps --scenario fig4 --policy priority --backfill firstfit -o out/
+//! sraps --system frontier --scheduler fastsim --load 0.8 --span 1d
+//! sraps --system marconi100 --scheduler experimental --policy acct_edp \
+//!       --backfill firstfit --accounts --accounts-json replay/accounts.json
+//! ```
+//!
+//! Without `--scenario`, a synthetic dataset shaped like the system's
+//! public dataset is generated (`--load`, `--span`, `--seed` control it).
+//! Outputs (power/util/queue/cooling CSVs, `job_history.csv`, `stats.out`,
+//! `accounts.json`) land in `-o DIR` (default `simulation_results/<id>`).
+
+use sraps_core::{Engine, SchedulerSelect, SimConfig, SimOutput};
+use sraps_data::{scenario, Dataset, WorkloadSpec};
+use sraps_systems::{presets, SystemConfig};
+use sraps_types::{time::parse_duration, SimDuration, SimTime};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct CliArgs {
+    system: Option<String>,
+    scenario: Option<String>,
+    policy: String,
+    backfill: String,
+    scheduler: String,
+    fast_forward: Option<SimDuration>,
+    duration: Option<SimDuration>,
+    load: f64,
+    span: SimDuration,
+    seed: u64,
+    scale: f64,
+    cooling: bool,
+    accounts: bool,
+    accounts_json: Option<PathBuf>,
+    power_cap_kw: Option<f64>,
+    out_dir: Option<PathBuf>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            system: None,
+            scenario: None,
+            policy: "replay".into(),
+            backfill: "none".into(),
+            scheduler: "default".into(),
+            fast_forward: None,
+            duration: None,
+            load: 0.8,
+            span: SimDuration::days(1),
+            seed: 42,
+            scale: 1.0,
+            cooling: false,
+            accounts: false,
+            accounts_json: None,
+            power_cap_kw: None,
+            out_dir: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: sraps (--system NAME | --scenario fig4|fig5|fig6|fig7|fig8|fig10) [options]
+
+options:
+  --system NAME          frontier | marconi100 | fugaku | lassen | adastra
+  --scenario NAME        use a paper scenario's workload and window
+  --policy P             replay|fcfs|sjf|ljf|priority|ml|acct_* (default replay)
+  --backfill B           none|firstfit|easy|conservative (default none)
+  --scheduler S          default|experimental|scheduleflow|fastsim
+  -ff SECS               fast-forward: simulation window start
+  -t DUR                 simulation duration (accepts 61000, 1h, 15d, …)
+  --load F               synthetic offered load (default 0.8)
+  --span DUR             synthetic workload span (default 1d)
+  --seed N               synthetic workload seed (default 42)
+  --scale F              scale large machines (frontier/fugaku) by F
+  -c, --cooling          run the cooling model
+  --accounts             track per-account statistics
+  --accounts-json FILE   reload collection-phase accounts.json
+  --power-cap KW         enforce a facility job-power cap
+  -o, --output DIR       output directory (default simulation_results/<id>)
+  -h, --help             this help
+";
+
+fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
+    let mut a = CliArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--system" => a.system = Some(value(&mut i, "--system")?),
+            "--scenario" => a.scenario = Some(value(&mut i, "--scenario")?),
+            "--policy" => a.policy = value(&mut i, "--policy")?,
+            "--backfill" => a.backfill = value(&mut i, "--backfill")?,
+            "--scheduler" => a.scheduler = value(&mut i, "--scheduler")?,
+            "-ff" => {
+                let v = value(&mut i, "-ff")?;
+                a.fast_forward =
+                    Some(parse_duration(&v).ok_or_else(|| format!("bad -ff value '{v}'"))?);
+            }
+            "-t" => {
+                let v = value(&mut i, "-t")?;
+                a.duration =
+                    Some(parse_duration(&v).ok_or_else(|| format!("bad -t value '{v}'"))?);
+            }
+            "--load" => {
+                a.load = value(&mut i, "--load")?
+                    .parse()
+                    .map_err(|e| format!("bad --load: {e}"))?;
+            }
+            "--span" => {
+                let v = value(&mut i, "--span")?;
+                a.span = parse_duration(&v).ok_or_else(|| format!("bad --span value '{v}'"))?;
+            }
+            "--seed" => {
+                a.seed = value(&mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--scale" => {
+                a.scale = value(&mut i, "--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "-c" | "--cooling" => a.cooling = true,
+            "--accounts" => a.accounts = true,
+            "--accounts-json" => {
+                a.accounts_json = Some(PathBuf::from(value(&mut i, "--accounts-json")?));
+            }
+            "--power-cap" => {
+                a.power_cap_kw = Some(
+                    value(&mut i, "--power-cap")?
+                        .parse()
+                        .map_err(|e| format!("bad --power-cap: {e}"))?,
+                );
+            }
+            "-o" | "--output" => a.out_dir = Some(PathBuf::from(value(&mut i, "--output")?)),
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if a.system.is_none() && a.scenario.is_none() {
+        return Err(format!("need --system or --scenario\n\n{USAGE}"));
+    }
+    Ok(a)
+}
+
+/// System + dataset + optional documented window for a run.
+type RunInputs = (SystemConfig, Dataset, Option<(SimTime, SimTime)>);
+
+/// Build the (config, dataset, window) triple the run will use.
+fn build_inputs(a: &CliArgs) -> Result<RunInputs, String> {
+    if let Some(name) = &a.scenario {
+        let s = match name.as_str() {
+            "fig4" => scenario::fig4(a.seed),
+            "fig5" => scenario::fig5(a.seed),
+            "fig6" => scenario::fig6_scaled(a.seed, a.scale),
+            "fig7" => scenario::fig7(a.seed, a.scale),
+            "fig8" => scenario::fig8_scaled(a.seed, a.scale),
+            "fig10" => scenario::fig10(a.seed, a.scale.min(4096.0 / 158_976.0)),
+            other => return Err(format!("unknown scenario '{other}'")),
+        };
+        return Ok((s.config, s.dataset, Some((s.sim_start, s.sim_end))));
+    }
+    let name = a.system.as_deref().expect("checked in parse_args");
+    let mut cfg =
+        presets::system_by_name(name).ok_or_else(|| format!("unknown system '{name}'"))?;
+    if a.scale < 1.0 {
+        cfg = cfg.scaled_to(((cfg.total_nodes as f64 * a.scale).round() as u32).max(64));
+    }
+    let mut spec = WorkloadSpec::for_system(&cfg, a.load, a.seed);
+    spec.span = a.span;
+    let ds = match name {
+        "frontier" => sraps_data::frontier::synthesize(&cfg, &spec),
+        "marconi100" => sraps_data::marconi100::synthesize(&cfg, &spec),
+        "fugaku" => sraps_data::fugaku::synthesize(&cfg, &spec),
+        "lassen" => sraps_data::lassen::synthesize(&cfg, &spec),
+        "adastra" | "adastraMI250" => sraps_data::adastra::synthesize(&cfg, &spec),
+        other => return Err(format!("no dataloader for '{other}'")),
+    };
+    Ok((cfg, ds, None))
+}
+
+fn write_outputs(dir: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("power_history.csv"), out.power_csv())?;
+    std::fs::write(dir.join("util.csv"), out.util_csv())?;
+    std::fs::write(dir.join("job_history.csv"), out.job_csv())?;
+    std::fs::write(dir.join("stats.out"), out.stats.render())?;
+    if !out.cooling.is_empty() {
+        std::fs::write(dir.join("cooling_model.csv"), out.cooling_csv())?;
+    }
+    if !out.accounts.is_empty() {
+        std::fs::write(
+            dir.join("accounts.json"),
+            out.accounts.to_json().unwrap_or_default(),
+        )?;
+    }
+    Ok(())
+}
+
+fn run(a: CliArgs) -> Result<(), String> {
+    let (cfg, dataset, window) = build_inputs(&a)?;
+    println!(
+        "system {} ({} nodes), dataset {} jobs",
+        cfg.name,
+        cfg.total_nodes,
+        dataset.len()
+    );
+
+    let mut sim = SimConfig::new(cfg, &a.policy, &a.backfill).map_err(|e| e.to_string())?;
+    match a.scheduler.as_str() {
+        "default" => {}
+        "experimental" => sim.scheduler = SchedulerSelect::Experimental,
+        "scheduleflow" => sim.scheduler = SchedulerSelect::ScheduleFlow,
+        "fastsim" => sim.scheduler = SchedulerSelect::FastSim,
+        other => return Err(format!("unknown scheduler '{other}'")),
+    }
+    // Window: explicit -ff/-t beats the scenario's documented window.
+    let start = a
+        .fast_forward
+        .map(|ff| dataset.capture_start + ff)
+        .or(window.map(|w| w.0));
+    let end = match (start, a.duration) {
+        (Some(s), Some(d)) => Some(s + d),
+        (_, Some(d)) => Some(dataset.capture_start + d),
+        _ => window.map(|w| w.1),
+    };
+    if let (Some(s), Some(e)) = (start.or(window.map(|w| w.0)), end) {
+        sim = sim.with_window(s, e);
+    }
+    if a.cooling {
+        sim = sim.with_cooling();
+    }
+    if a.accounts {
+        sim = sim.with_accounts();
+    }
+    if let Some(path) = &a.accounts_json {
+        let loaded = sraps_acct::Accounts::load(path).map_err(|e| e.to_string())?;
+        sim = sim.with_accounts_json(loaded);
+    }
+    if let Some(cap) = a.power_cap_kw {
+        sim = sim.with_power_cap(cap);
+    }
+
+    let out = Engine::new(sim, &dataset)
+        .map_err(|e| e.to_string())?
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "{}: {} jobs, util {:.1}%, mean {:.1} kW, peak {:.1} kW, {:.0}x real-time",
+        out.label,
+        out.stats.jobs_completed,
+        out.mean_utilization() * 100.0,
+        out.mean_power_kw(),
+        out.peak_power_kw(),
+        out.speedup()
+    );
+    println!("{}", out.stats.render());
+
+    // Artifact-style output directory: simulation_results/<7-hex>.
+    let dir = a.out_dir.unwrap_or_else(|| {
+        let id = {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut h = DefaultHasher::new();
+            (out.label.as_str(), a.seed, out.stats.jobs_completed).hash(&mut h);
+            format!("{:07x}", h.finish() & 0xFFF_FFFF)
+        };
+        PathBuf::from("simulation_results").join(id)
+    });
+    write_outputs(&dir, &out).map_err(|e| e.to_string())?;
+    println!("output written to {}", dir.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn artifact_style_invocation_parses() {
+        let a = parse(&[
+            "--system",
+            "marconi100",
+            "--policy",
+            "fcfs",
+            "--backfill",
+            "easy",
+            "-ff",
+            "4381000",
+            "-t",
+            "61000",
+            "-o",
+            "out",
+        ])
+        .unwrap();
+        assert_eq!(a.system.as_deref(), Some("marconi100"));
+        assert_eq!(a.policy, "fcfs");
+        assert_eq!(a.backfill, "easy");
+        assert_eq!(a.fast_forward, Some(SimDuration::seconds(4_381_000)));
+        assert_eq!(a.duration, Some(SimDuration::seconds(61_000)));
+        assert_eq!(a.out_dir, Some(PathBuf::from("out")));
+    }
+
+    #[test]
+    fn duration_suffixes_accepted() {
+        let a = parse(&["--system", "adastra", "-t", "1h", "--span", "15d"]).unwrap();
+        assert_eq!(a.duration, Some(SimDuration::hours(1)));
+        assert_eq!(a.span, SimDuration::days(15));
+    }
+
+    #[test]
+    fn missing_system_and_scenario_is_an_error() {
+        assert!(parse(&["--policy", "fcfs"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let e = parse(&["--system", "adastra", "--frobnicate"]).unwrap_err();
+        assert!(e.contains("unknown argument"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["--system"]).is_err());
+        assert!(parse(&["--system", "adastra", "--power-cap"]).is_err());
+    }
+
+    #[test]
+    fn scenario_and_flags_parse() {
+        let a = parse(&[
+            "--scenario",
+            "fig4",
+            "--policy",
+            "priority",
+            "--backfill",
+            "firstfit",
+            "-c",
+            "--accounts",
+            "--power-cap",
+            "1200",
+            "--seed",
+            "7",
+            "--scale",
+            "0.25",
+        ])
+        .unwrap();
+        assert_eq!(a.scenario.as_deref(), Some("fig4"));
+        assert!(a.cooling && a.accounts);
+        assert_eq!(a.power_cap_kw, Some(1200.0));
+        assert_eq!(a.seed, 7);
+        assert!((a.scale - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_inputs_for_system_and_scenario() {
+        let a = parse(&["--system", "adastra", "--span", "2h", "--load", "0.5"]).unwrap();
+        let (cfg, ds, window) = build_inputs(&a).unwrap();
+        assert_eq!(cfg.name, "adastra");
+        assert!(!ds.is_empty());
+        assert!(window.is_none());
+
+        let a = parse(&["--scenario", "fig5"]).unwrap();
+        let (cfg, _, window) = build_inputs(&a).unwrap();
+        assert_eq!(cfg.name, "adastra");
+        assert!(window.is_some());
+    }
+
+    #[test]
+    fn bad_system_or_scenario_reported() {
+        let a = parse(&["--system", "summit"]).unwrap();
+        assert!(build_inputs(&a).is_err());
+        let a = parse(&["--scenario", "fig99"]).unwrap();
+        assert!(build_inputs(&a).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Run-to-run validation: quantify how closely one simulation tracks
+//! another (replay-vs-reschedule fidelity, cross-validation against the
+//! original RAPS behaviour — the role the Frontier dataset played for the
+//! paper's verification).
+
+use crate::output::SimOutput;
+use serde::{Deserialize, Serialize};
+
+/// Agreement metrics between two runs' facility power series.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeriesAgreement {
+    /// Pearson correlation of the two series.
+    pub correlation: f64,
+    /// Root-mean-square error, kW.
+    pub rmse_kw: f64,
+    /// Mean absolute percentage error vs the reference, in [0, ∞).
+    pub mape: f64,
+    /// Relative difference of the total energies.
+    pub energy_rel_err: f64,
+    /// Samples compared (series truncated to the shorter).
+    pub samples: usize,
+}
+
+/// Compare two power series (`reference` is the ground truth, e.g. replay).
+pub fn compare_power(reference: &SimOutput, candidate: &SimOutput) -> SeriesAgreement {
+    let a: Vec<f64> = reference.power.iter().map(|p| p.total_kw).collect();
+    let b: Vec<f64> = candidate.power.iter().map(|p| p.total_kw).collect();
+    compare_series(&a, &b)
+}
+
+/// Compare two utilization series.
+pub fn compare_utilization(reference: &SimOutput, candidate: &SimOutput) -> SeriesAgreement {
+    compare_series(&reference.utilization, &candidate.utilization)
+}
+
+/// Core series comparison.
+pub fn compare_series(reference: &[f64], candidate: &[f64]) -> SeriesAgreement {
+    let n = reference.len().min(candidate.len());
+    if n == 0 {
+        return SeriesAgreement::default();
+    }
+    let a = &reference[..n];
+    let b = &candidate[..n];
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let (mut cov, mut va, mut vb, mut se, mut ape) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for i in 0..n {
+        let (da, db) = (a[i] - ma, b[i] - mb);
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+        let e = b[i] - a[i];
+        se += e * e;
+        if a[i].abs() > 1e-9 {
+            ape += (e / a[i]).abs();
+        }
+    }
+    let denom = (va.sqrt() * vb.sqrt()).max(1e-12);
+    let (ea, eb) = (a.iter().sum::<f64>(), b.iter().sum::<f64>());
+    SeriesAgreement {
+        correlation: cov / denom,
+        rmse_kw: (se / n as f64).sqrt(),
+        mape: ape / n as f64,
+        energy_rel_err: if ea.abs() > 1e-9 { (eb - ea) / ea } else { 0.0 },
+        samples: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_agree_perfectly() {
+        let s: Vec<f64> = (0..100).map(|i| 100.0 + (i as f64 * 0.3).sin() * 10.0).collect();
+        let m = compare_series(&s, &s);
+        assert!((m.correlation - 1.0).abs() < 1e-9);
+        assert!(m.rmse_kw < 1e-9);
+        assert!(m.mape < 1e-12);
+        assert!(m.energy_rel_err.abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_series_keep_correlation_but_show_energy_error() {
+        let a: Vec<f64> = (0..100).map(|i| 100.0 + (i as f64 * 0.3).sin() * 10.0).collect();
+        let b: Vec<f64> = a.iter().map(|v| v * 1.1).collect();
+        let m = compare_series(&a, &b);
+        assert!(m.correlation > 0.999);
+        assert!((m.energy_rel_err - 0.1).abs() < 1e-9);
+        assert!((m.mape - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anticorrelated_series_detected() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = a.iter().map(|v| -v).collect();
+        let m = compare_series(&a, &b);
+        assert!(m.correlation < -0.999);
+    }
+
+    #[test]
+    fn length_mismatch_truncates() {
+        let a = vec![1.0; 50];
+        let b = vec![1.0; 80];
+        assert_eq!(compare_series(&a, &b).samples, 50);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let m = compare_series(&[], &[1.0]);
+        assert_eq!(m.samples, 0);
+    }
+}

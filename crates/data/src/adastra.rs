@@ -1,0 +1,184 @@
+//! Adastra / Cirou's dataset: 15 days of job summaries with per-component
+//! average power. "GPU power is not provided, but can be derived from node
+//! power and the other components" — the loader performs that derivation.
+
+use crate::dataset::Dataset;
+use crate::packer::pack_jobs_lagged;
+use crate::synthetic::{account_power_bias, gen_summary_telemetry, WorkloadSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sraps_systems::SystemConfig;
+use sraps_types::job::JobBuilder;
+use sraps_types::{JobTelemetry, SimDuration, SimTime, Trace};
+
+/// One Adastra job-summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdastraRecord {
+    pub job_id: u64,
+    pub user_id: u32,
+    pub account_id: u32,
+    pub submit_ts: i64,
+    pub start_ts: i64,
+    pub end_ts: i64,
+    pub time_limit_secs: i64,
+    pub num_nodes: u32,
+    /// Which partition ("mi250" or "genoa").
+    pub partition: String,
+    /// Average node power, watts.
+    pub node_power_avg_w: f32,
+    /// Average CPU power, watts.
+    pub cpu_power_avg_w: f32,
+    /// Average memory power, watts.
+    pub mem_power_avg_w: f32,
+    // NOTE: no GPU power column — faithful to the published dataset.
+    pub priority: f64,
+}
+
+/// Generate Adastra-shaped records across the two partitions.
+pub fn generate(cfg: &SystemConfig, spec: &WorkloadSpec) -> Vec<AdastraRecord> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xADA5_0005);
+    let specs = spec.sample_specs(&mut rng);
+    let packed = pack_jobs_lagged(specs, cfg.total_nodes, spec.sched_lag_max_secs, spec.seed);
+    let gpu_part = cfg.partitions.first();
+    packed
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            // Partition by placement: nodes below the GPU partition bound.
+            let on_gpu = gpu_part
+                .map(|g| {
+                    p.placement
+                        .as_slice()
+                        .first()
+                        .is_some_and(|&n| n < g.first_node + g.node_count)
+                })
+                .unwrap_or(false);
+            let bias = account_power_bias(p.spec.account);
+            let tel = gen_summary_telemetry(&mut rng, &cfg.node_power, on_gpu, bias);
+            let node_w = tel.node_power_w.as_ref().unwrap().mean();
+            let cpu_util = tel.cpu_util.as_ref().unwrap().mean() as f64;
+            let cpu_w = (cfg.node_power.cpu_idle_w
+                + (cfg.node_power.cpu_peak_w - cfg.node_power.cpu_idle_w) * cpu_util)
+                as f32;
+            AdastraRecord {
+                job_id: i as u64 + 1,
+                user_id: p.spec.user,
+                account_id: p.spec.account,
+                submit_ts: p.spec.submit.as_secs(),
+                start_ts: p.start.as_secs(),
+                end_ts: p.end.as_secs(),
+                time_limit_secs: p.spec.walltime.as_secs(),
+                num_nodes: p.spec.nodes,
+                partition: if on_gpu { "mi250".into() } else { "genoa".into() },
+                node_power_avg_w: node_w,
+                cpu_power_avg_w: cpu_w,
+                mem_power_avg_w: cfg.node_power.mem_w as f32,
+                priority: p.spec.priority,
+            }
+        })
+        .collect()
+}
+
+/// Derive GPU power the way the paper describes: node − CPU − memory −
+/// static board power (clamped at zero for CPU-only jobs).
+pub fn derive_gpu_power_w(cfg: &SystemConfig, r: &AdastraRecord) -> f64 {
+    (r.node_power_avg_w as f64
+        - r.cpu_power_avg_w as f64
+        - r.mem_power_avg_w as f64
+        - cfg.node_power.static_w)
+        .max(0.0)
+}
+
+/// Load Adastra records, deriving GPU power and utilizations.
+pub fn load(cfg: &SystemConfig, records: &[AdastraRecord]) -> Dataset {
+    let jobs = records
+        .iter()
+        .map(|r| {
+            let cpu_util = ((r.cpu_power_avg_w as f64 - cfg.node_power.cpu_idle_w)
+                / (cfg.node_power.cpu_peak_w - cfg.node_power.cpu_idle_w))
+                .clamp(0.0, 1.0);
+            let gpu_w = derive_gpu_power_w(cfg, r);
+            let gpu_util = if cfg.node_power.gpu_peak_w > cfg.node_power.gpu_idle_w {
+                ((gpu_w - cfg.node_power.gpu_idle_w)
+                    / (cfg.node_power.gpu_peak_w - cfg.node_power.gpu_idle_w))
+                    .clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let tel = JobTelemetry {
+                cpu_util: Some(Trace::constant(cpu_util as f32)),
+                gpu_util: (r.partition == "mi250").then(|| Trace::constant(gpu_util as f32)),
+                mem_util: None,
+                node_power_w: Some(Trace::constant(r.node_power_avg_w)),
+                net_tx_mbs: None,
+                net_rx_mbs: None,
+                flags: Default::default(),
+            };
+            JobBuilder::new(r.job_id)
+                .user(r.user_id)
+                .account(r.account_id)
+                .submit(SimTime::seconds(r.submit_ts))
+                .window(SimTime::seconds(r.start_ts), SimTime::seconds(r.end_ts))
+                .walltime(SimDuration::seconds(r.time_limit_secs))
+                .nodes(r.num_nodes)
+                .priority(r.priority)
+                .telemetry(tel)
+                .build()
+        })
+        .collect();
+    Dataset::new(&cfg.name, jobs)
+}
+
+/// Generate + load.
+pub fn synthesize(cfg: &SystemConfig, spec: &WorkloadSpec) -> Dataset {
+    load(cfg, &generate(cfg, spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_systems::presets;
+
+    fn spec(cfg: &SystemConfig) -> WorkloadSpec {
+        let mut s = WorkloadSpec::for_system(cfg, 0.5, 31);
+        s.span = SimDuration::days(2);
+        s
+    }
+
+    #[test]
+    fn records_carry_no_gpu_power_column_but_loader_derives_it() {
+        let cfg = presets::adastra();
+        let recs = generate(&cfg, &spec(&cfg));
+        assert!(!recs.is_empty());
+        let gpu_rec = recs.iter().find(|r| r.partition == "mi250").unwrap();
+        let gpu_w = derive_gpu_power_w(&cfg, gpu_rec);
+        assert!(gpu_w > 0.0, "GPU jobs must show derived GPU power");
+        let ds = load(&cfg, &recs);
+        let j = ds.jobs.iter().find(|j| j.id.0 == gpu_rec.job_id).unwrap();
+        assert!(j.telemetry.gpu_util.is_some());
+    }
+
+    #[test]
+    fn both_partitions_appear() {
+        let cfg = presets::adastra();
+        let recs = generate(&cfg, &spec(&cfg));
+        assert!(recs.iter().any(|r| r.partition == "mi250"));
+        // genoa partition may be rarely hit with small samples; just check
+        // derivation clamps at zero for low-power records.
+        let min_rec = recs
+            .iter()
+            .min_by(|a, b| a.node_power_avg_w.partial_cmp(&b.node_power_avg_w).unwrap())
+            .unwrap();
+        assert!(derive_gpu_power_w(&cfg, min_rec) >= 0.0);
+    }
+
+    #[test]
+    fn fifteen_day_shape_is_feasible() {
+        let cfg = presets::adastra();
+        let mut s = spec(&cfg);
+        s.span = SimDuration::days(15);
+        let ds = synthesize(&cfg, &s);
+        assert!(ds.peak_recorded_nodes() <= cfg.total_nodes as u64);
+        assert!(ds.capture_end - ds.capture_start >= SimDuration::days(10));
+    }
+}

@@ -1,0 +1,120 @@
+//! Sampling helpers for workload synthesis.
+//!
+//! Only `rand`'s uniform primitives are used; normal/lognormal variates
+//! come from a local Box-Muller so we avoid an extra distribution crate.
+
+use rand::Rng;
+
+/// Standard normal variate via Box-Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Guard u1 away from 0 so ln() stays finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Lognormal variate with the given parameters of the underlying normal.
+pub fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Sample a job node count from the heavy-tailed mix HPC workloads show:
+/// mostly small powers of two, occasionally large. `max_nodes` caps the
+/// draw; `wide_job_frac` is the probability of drawing from the wide tail.
+pub fn job_node_count<R: Rng>(rng: &mut R, max_nodes: u32, wide_job_frac: f64) -> u32 {
+    debug_assert!(max_nodes >= 1);
+    if rng.gen_bool(wide_job_frac.clamp(0.0, 1.0)) {
+        // Wide tail: log-uniform between 5 % and 60 % of the machine.
+        let lo = (max_nodes as f64 * 0.05).max(1.0);
+        let hi = (max_nodes as f64 * 0.60).max(lo + 1.0);
+        let v = (lo.ln() + rng.gen_range(0.0..1.0) * (hi.ln() - lo.ln())).exp();
+        (v.round() as u32).clamp(1, max_nodes)
+    } else {
+        // Narrow mass: 2^k with k geometric-ish, capped at 2 % of machine.
+        let cap = ((max_nodes as f64 * 0.02).max(1.0)) as u32;
+        let mut n = 1u32;
+        while n < cap && rng.gen_bool(0.45) {
+            n *= 2;
+        }
+        n.clamp(1, max_nodes)
+    }
+}
+
+/// Sample a runtime in seconds: lognormal body (median ≈ `median_secs`),
+/// clamped to `[60, max_secs]`.
+pub fn job_runtime_secs<R: Rng>(rng: &mut R, median_secs: f64, max_secs: f64) -> i64 {
+    let v = lognormal(rng, median_secs.ln(), 1.1);
+    (v.clamp(60.0, max_secs)).round() as i64
+}
+
+/// Wall-time request: the runtime padded by the over-request factor users
+/// apply (1.1–3×), rounded up to 15-minute granularity like real limits.
+pub fn walltime_request_secs<R: Rng>(rng: &mut R, runtime_secs: i64) -> i64 {
+    let factor = rng.gen_range(1.1..3.0);
+    let raw = (runtime_secs as f64 * factor).ceil() as i64;
+    ((raw + 899) / 900) * 900
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| lognormal(&mut r, 5.0, 0.8)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[5000];
+        assert!((median.ln() - 5.0).abs() < 0.1, "median ln {}", median.ln());
+    }
+
+    #[test]
+    fn node_counts_within_bounds_and_mostly_small() {
+        let mut r = rng();
+        let max = 1000;
+        let counts: Vec<u32> = (0..5000).map(|_| job_node_count(&mut r, max, 0.02)).collect();
+        assert!(counts.iter().all(|&c| (1..=max).contains(&c)));
+        let small = counts.iter().filter(|&&c| c <= 20).count();
+        assert!(small as f64 / 5000.0 > 0.8, "small fraction {small}");
+        // Tail exists.
+        assert!(counts.iter().any(|&c| c > 50));
+    }
+
+    #[test]
+    fn runtimes_clamped() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let t = job_runtime_secs(&mut r, 1800.0, 86_400.0);
+            assert!((60..=86_400).contains(&t));
+        }
+    }
+
+    #[test]
+    fn walltime_exceeds_runtime_and_is_quantized() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let rt = job_runtime_secs(&mut r, 3600.0, 86_400.0);
+            let wt = walltime_request_secs(&mut r, rt);
+            assert!(wt >= rt);
+            assert_eq!(wt % 900, 0, "15-minute quantization");
+        }
+    }
+}

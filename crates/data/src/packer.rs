@@ -1,0 +1,235 @@
+//! FCFS packer: turns sampled job demands into a *feasible* historical
+//! schedule (recorded start/end times plus disjoint node placements).
+//!
+//! Replay mode enforces recorded placements (§3.2.3), so generated traces
+//! must never oversubscribe a node. The packer simulates the history the
+//! real machine's batch system would have produced, first-come-first-served:
+//! each job starts at the earliest moment enough nodes are free after its
+//! submission, taking the lowest-numbered free nodes.
+
+use sraps_types::{NodeSet, SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// A job demand before packing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    pub submit: SimTime,
+    pub duration: SimDuration,
+    pub walltime: SimDuration,
+    pub nodes: u32,
+    pub user: u32,
+    pub account: u32,
+    pub priority: f64,
+}
+
+/// A packed job: the spec plus its feasible recorded schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedJob {
+    pub spec: JobSpec,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub placement: NodeSet,
+}
+
+/// Min-heap entry of running jobs by end time.
+#[derive(Debug, PartialEq, Eq)]
+struct Ending(SimTime, Vec<u32>);
+
+impl Ord for Ending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on end time.
+        other.0.cmp(&self.0)
+    }
+}
+
+impl PartialOrd for Ending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Pack jobs FCFS onto `total_nodes` nodes with zero scheduler lag.
+pub fn pack_jobs(specs: Vec<JobSpec>, total_nodes: u32) -> Vec<PackedJob> {
+    pack_jobs_lagged(specs, total_nodes, 0, 0)
+}
+
+/// Pack jobs FCFS with a uniform random *start lag* of up to
+/// `max_lag_secs` after each job becomes feasible.
+///
+/// Real batch systems do not start jobs the instant nodes free up: node
+/// health checks, priority recomputation, and prolog scripts insert
+/// minutes of dead time. This is why recorded histories (the paper's
+/// replay curves) sit visibly below what a clean rescheduler achieves —
+/// Fig 4 shows replay ≈ 80 % vs ≈ 100 % rescheduled. Feasibility is
+/// preserved: the job's nodes are reserved at the decision point and sit
+/// idle through the lag.
+pub fn pack_jobs_lagged(
+    mut specs: Vec<JobSpec>,
+    total_nodes: u32,
+    max_lag_secs: i64,
+    seed: u64,
+) -> Vec<PackedJob> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut lag_rng = SmallRng::seed_from_u64(seed ^ 0x1A66_ED00);
+    specs.sort_by_key(|s| s.submit);
+    let mut free: Vec<u32> = (0..total_nodes).rev().collect(); // pop() = lowest id
+    let mut running: BinaryHeap<Ending> = BinaryHeap::new();
+    let mut out = Vec::with_capacity(specs.len());
+    // FCFS starts are monotone: nobody starts before the job ahead of them
+    // in the queue did. Without this clock, a later job could claim nodes
+    // freed by completions that happen *after* its submit time.
+    let mut clock = SimTime::ZERO;
+
+    for mut spec in specs {
+        debug_assert!(
+            spec.nodes <= total_nodes,
+            "job wider ({}) than machine ({total_nodes})",
+            spec.nodes
+        );
+        spec.nodes = spec.nodes.min(total_nodes);
+        let mut now = spec.submit.max(clock);
+        // Free everything that ended by submission.
+        while running.peek().is_some_and(|e| e.0 <= now) {
+            let Ending(_, nodes) = running.pop().expect("peeked");
+            free.extend(nodes);
+        }
+        // FCFS: wait for completions until the job fits.
+        while (free.len() as u32) < spec.nodes {
+            let Ending(end, nodes) = running
+                .pop()
+                .expect("spec.nodes <= total_nodes ⇒ enough completions exist");
+            now = now.max(end);
+            free.extend(nodes);
+            // Drain everything else ending at the same instant.
+            while running.peek().is_some_and(|e| e.0 <= now) {
+                let Ending(_, more) = running.pop().expect("peeked");
+                free.extend(more);
+            }
+        }
+        // Deterministic placement: lowest-numbered free nodes.
+        free.sort_unstable_by(|a, b| b.cmp(a));
+        let taken: Vec<u32> = (0..spec.nodes)
+            .map(|_| free.pop().expect("fit checked"))
+            .collect();
+        let lag = if max_lag_secs > 0 {
+            SimDuration::seconds(lag_rng.gen_range(0..=max_lag_secs))
+        } else {
+            SimDuration::ZERO
+        };
+        let start = now + lag;
+        // The FCFS clock advances to the *decision point*, not the lagged
+        // start: one scheduling cycle can start several jobs, so lags must
+        // not serialize the queue. Nodes are reserved from `now`, so
+        // feasibility is unaffected by the idle lag window.
+        clock = now;
+        let end = start + spec.duration;
+        running.push(Ending(end, taken.clone()));
+        out.push(PackedJob {
+            start,
+            end,
+            placement: NodeSet::from_indices(taken),
+            spec,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(submit: i64, dur: i64, nodes: u32) -> JobSpec {
+        JobSpec {
+            submit: SimTime::seconds(submit),
+            duration: SimDuration::seconds(dur),
+            walltime: SimDuration::seconds(dur * 2),
+            nodes,
+            user: 0,
+            account: 0,
+            priority: 0.0,
+        }
+    }
+
+    /// Check no two packed jobs share a node while overlapping in time.
+    fn assert_feasible(packed: &[PackedJob]) {
+        for (i, a) in packed.iter().enumerate() {
+            for b in packed.iter().skip(i + 1) {
+                let overlap = a.start < b.end && b.start < a.end;
+                if overlap {
+                    assert!(
+                        a.placement.is_disjoint(&b.placement),
+                        "jobs overlap in time and share nodes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_machine_starts_jobs_at_submit() {
+        let packed = pack_jobs(vec![spec(10, 100, 4)], 8);
+        assert_eq!(packed[0].start, SimTime::seconds(10));
+        assert_eq!(packed[0].end, SimTime::seconds(110));
+        assert_eq!(packed[0].placement.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fcfs_queues_when_full() {
+        let packed = pack_jobs(vec![spec(0, 100, 8), spec(5, 50, 8)], 8);
+        assert_eq!(packed[1].start, SimTime::seconds(100), "waits for first");
+        assert_feasible(&packed);
+    }
+
+    #[test]
+    fn later_job_fits_alongside() {
+        let packed = pack_jobs(vec![spec(0, 100, 4), spec(5, 50, 4)], 8);
+        assert_eq!(packed[1].start, SimTime::seconds(5));
+        assert_feasible(&packed);
+    }
+
+    #[test]
+    fn fcfs_head_of_line_blocking_holds() {
+        // Big job blocked; small job behind it must not jump (no backfill in
+        // recorded history → replay utilization gap the paper shows).
+        let packed = pack_jobs(
+            vec![spec(0, 100, 6), spec(1, 1000, 8), spec(2, 10, 1)],
+            8,
+        );
+        assert_eq!(packed[1].start, SimTime::seconds(100));
+        assert!(packed[2].start >= packed[1].start, "strict FCFS order");
+        assert_feasible(&packed);
+    }
+
+    #[test]
+    fn simultaneous_end_and_start_resolved() {
+        // Regression for the paper's "nodes with both ending and starting
+        // jobs coinciding in the same time step" fix: a job ending exactly
+        // when another needs its nodes must hand them over.
+        let packed = pack_jobs(vec![spec(0, 100, 8), spec(0, 100, 8)], 8);
+        assert_eq!(packed[1].start, SimTime::seconds(100));
+        assert_eq!(packed[1].placement.len(), 8);
+        assert_feasible(&packed);
+    }
+
+    #[test]
+    fn dense_random_workload_is_feasible() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let specs: Vec<JobSpec> = (0..300)
+            .map(|_| {
+                spec(
+                    rng.gen_range(0..5000),
+                    rng.gen_range(10..500),
+                    rng.gen_range(1..32),
+                )
+            })
+            .collect();
+        let packed = pack_jobs(specs, 32);
+        assert_eq!(packed.len(), 300);
+        assert_feasible(&packed);
+        // Starts never precede submits.
+        assert!(packed.iter().all(|p| p.start >= p.spec.submit));
+    }
+}

@@ -1,0 +1,356 @@
+//! Figure-specific workloads: one constructor per paper experiment, with
+//! the knobs the artifact description documents (fast-forward offsets,
+//! simulation windows, injected full-system jobs, load phases).
+//!
+//! Every scenario returns the dataset *plus* the simulation window to run,
+//! so benches and examples cannot drift from the documented setup.
+
+use crate::dataset::Dataset;
+use crate::frontier::{self, WideJob};
+use crate::packer::JobSpec;
+use crate::synthetic::WorkloadSpec;
+use crate::{adastra, marconi100};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sraps_systems::{presets, SystemConfig};
+use sraps_types::{SimDuration, SimTime};
+
+/// A scenario: the system, its dataset, and the window to simulate.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub config: SystemConfig,
+    pub dataset: Dataset,
+    pub sim_start: SimTime,
+    pub sim_end: SimTime,
+    /// Human-readable label matching the paper element.
+    pub label: &'static str,
+}
+
+/// Fig 4: Marconi100/PM100, day 50 + 17 h, a 61 000 s window under heavy
+/// load (replay ≈ 80 % utilization, queue filling). We generate 2.5 days at
+/// 115 % offered load and simulate 61 000 s starting half a day in, so the
+/// system and queue are realistically pre-populated.
+pub fn fig4(seed: u64) -> Scenario {
+    let config = presets::marconi100();
+    let mut spec = WorkloadSpec::for_system(&config, 1.15, seed);
+    spec.span = SimDuration::hours(60);
+    spec.median_runtime_secs = 3200.0;
+    spec.max_runtime_secs = 12.0 * 3600.0;
+    // Runtime mix changed ⇒ the arrival rate must be re-fit to the target.
+    spec.calibrate_rate(config.total_nodes, 1.15);
+    let dataset = marconi100::synthesize(&config, &spec);
+    let sim_start = SimTime::seconds(12 * 3600);
+    Scenario {
+        config,
+        dataset,
+        sim_start,
+        sim_end: sim_start + SimDuration::seconds(61_000),
+        label: "fig4-pm100-day50",
+    }
+}
+
+/// Fig 5: Adastra, the full 15-day dataset at moderate load (the paper's
+/// replay shows head-room: "system utilization is lower and queues not
+/// filling up").
+pub fn fig5(seed: u64) -> Scenario {
+    let config = presets::adastra();
+    let mut spec = WorkloadSpec::for_system(&config, 0.55, seed);
+    spec.span = SimDuration::days(15);
+    spec.median_runtime_secs = 5400.0;
+    spec.calibrate_rate(config.total_nodes, 0.55);
+    let dataset = adastra::synthesize(&config, &spec);
+    Scenario {
+        sim_start: SimTime::ZERO,
+        sim_end: SimTime::ZERO + spec.span,
+        config,
+        dataset,
+        label: "fig5-adastra-15d",
+    }
+}
+
+/// Fig 6 / Fig 8 day: Frontier, 24 h with three 9216-node full-system runs
+/// submitted in the morning, background mix at 85 % offered load. The FCFS
+/// history drains the machine for each giant, producing the utilization
+/// trough-and-plateau signature of the paper. Runs with the cooling model.
+///
+/// `scale` shrinks the machine (and the giants proportionally) for tests;
+/// use 1.0 for the full 9 600-node reproduction.
+pub fn fig6_scaled(seed: u64, scale: f64) -> Scenario {
+    let full = presets::frontier();
+    let nodes = ((full.total_nodes as f64 * scale).round() as u32).max(64);
+    let config = if nodes == full.total_nodes {
+        full
+    } else {
+        full.scaled_to(nodes)
+    };
+    let giant = ((9216.0 * config.total_nodes as f64 / 9600.0).round() as u32)
+        .min(config.total_nodes);
+    let mut spec = WorkloadSpec::for_system(&config, 0.85, seed);
+    spec.span = SimDuration::hours(30);
+    spec.median_runtime_secs = 2800.0;
+    spec.max_runtime_secs = 8.0 * 3600.0;
+    spec.calibrate_rate(config.total_nodes, 0.85);
+    let wide: Vec<WideJob> = (0..3)
+        .map(|i| WideJob {
+            nodes: giant,
+            duration: SimDuration::minutes(80),
+            submit: SimTime::seconds(6 * 3600 + i * 600),
+        })
+        .collect();
+    let records = frontier::generate_with_wide_jobs(&config, &spec, &wide);
+    let dataset = frontier::load(&config, &records);
+    Scenario {
+        config,
+        dataset,
+        sim_start: SimTime::ZERO,
+        sim_end: SimTime::seconds(24 * 3600),
+        label: "fig6-frontier-day",
+    }
+}
+
+/// Full-size Fig 6.
+pub fn fig6(seed: u64) -> Scenario {
+    fig6_scaled(seed, 1.0)
+}
+
+/// Fig 8 day: the Fig 6 day at saturation. Incentive policies only bite
+/// when the queue is deep enough that *ordering* decides who runs now, so
+/// the background mix is pushed past capacity (the paper's Frontier day
+/// was correspondingly contended).
+pub fn fig8_scaled(seed: u64, scale: f64) -> Scenario {
+    let full = presets::frontier();
+    let nodes = ((full.total_nodes as f64 * scale).round() as u32).max(64);
+    let config = if nodes == full.total_nodes {
+        full
+    } else {
+        full.scaled_to(nodes)
+    };
+    let giant = ((9216.0 * config.total_nodes as f64 / 9600.0).round() as u32)
+        .min(config.total_nodes);
+    let mut spec = WorkloadSpec::for_system(&config, 1.2, seed);
+    spec.span = SimDuration::hours(30);
+    spec.median_runtime_secs = 2400.0;
+    spec.max_runtime_secs = 6.0 * 3600.0;
+    spec.n_accounts = 16; // fewer, fatter accounts → clearer incentives
+    spec.calibrate_rate(config.total_nodes, 1.2);
+    let wide: Vec<WideJob> = (0..3)
+        .map(|i| WideJob {
+            nodes: giant,
+            duration: SimDuration::minutes(80),
+            submit: SimTime::seconds(6 * 3600 + i * 600),
+        })
+        .collect();
+    let records = frontier::generate_with_wide_jobs(&config, &spec, &wide);
+    let dataset = frontier::load(&config, &records);
+    Scenario {
+        config,
+        dataset,
+        sim_start: SimTime::ZERO,
+        sim_end: SimTime::seconds(24 * 3600),
+        label: "fig8-frontier-day",
+    }
+}
+
+/// Fig 7: the FastSim synthetic Frontier trace — 5 324 jobs over 15 days,
+/// with a Monday-night arrival lull followed by a Tuesday-morning burst of
+/// wide jobs (the dip-then-spike the paper forecasts).
+pub fn fig7(seed: u64, scale: f64) -> Scenario {
+    let full = presets::frontier();
+    let nodes = ((full.total_nodes as f64 * scale).round() as u32).max(64);
+    let config = if nodes == full.total_nodes {
+        full
+    } else {
+        full.scaled_to(nodes)
+    };
+    let mut spec = WorkloadSpec::for_system(&config, 0.8, seed);
+    spec.span = SimDuration::days(15);
+    // Aim for 5 324 background jobs like the artifact's sacct_jobs.csv.
+    let target = 5324.0 - 40.0;
+    spec.peak_rate_per_hour = target / (0.625 * spec.span.as_hours_f64());
+    spec.median_runtime_secs = 3.0 * 3600.0;
+    spec.max_runtime_secs = 20.0 * 3600.0;
+
+    // Tuesday of week two, 08:00: burst of wide jobs (the spike); the lull
+    // before it comes from the diurnal floor overnight.
+    let tuesday_8am = SimDuration::days(8) + SimDuration::hours(8);
+    let burst: Vec<WideJob> = (0..40)
+        .map(|i| WideJob {
+            nodes: (config.total_nodes / 16).max(1),
+            duration: SimDuration::hours(2),
+            submit: SimTime::ZERO + tuesday_8am + SimDuration::minutes(i as i64),
+        })
+        .collect();
+    let records = frontier::generate_with_wide_jobs(&config, &spec, &burst);
+    let dataset = frontier::load(&config, &records);
+    Scenario {
+        sim_start: SimTime::ZERO,
+        sim_end: SimTime::ZERO + spec.span,
+        config,
+        dataset,
+        label: "fig7-fastsim-trace",
+    }
+}
+
+/// Fig 10: Fugaku/F-Data, 7-day evaluation window after 35 days of history:
+/// ~2 days at 16 % requested utilization then 5 days above capacity, giving
+/// the low-load overlap and high-load divergence of Fig 10(a).
+///
+/// `scale` shrinks Fugaku's 158 976 nodes for tractable runs (benches use
+/// 4 096; shapes are load-relative so the crossover behaviour is preserved).
+pub fn fig10(seed: u64, scale: f64) -> Scenario {
+    let full = presets::fugaku();
+    let nodes = ((full.total_nodes as f64 * scale).round() as u32).max(256);
+    let config = if nodes == full.total_nodes {
+        full
+    } else {
+        full.scaled_to(nodes)
+    };
+    // Phase 1: low load (16 %), days 0-2.
+    let mut low = WorkloadSpec::for_system(&config, 0.16, seed);
+    low.span = SimDuration::days(2);
+    low.median_runtime_secs = 1800.0;
+    low.calibrate_rate(config.total_nodes, 0.16);
+    // Phase 2: overload (130 %), days 2-7.
+    let mut high = WorkloadSpec::for_system(&config, 1.3, seed ^ 1);
+    high.span = SimDuration::days(5);
+    high.median_runtime_secs = 2400.0;
+    high.wide_job_frac = 0.03;
+    high.calibrate_rate(config.total_nodes, 1.3);
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF16_000A);
+    let mut specs = low.sample_specs(&mut rng);
+    let offset = SimDuration::days(2);
+    specs.extend(high.sample_specs(&mut rng).into_iter().map(|mut s| {
+        s.submit += offset;
+        s
+    }));
+    let dataset = build_fugaku_dataset(&config, specs, seed);
+    Scenario {
+        config,
+        dataset,
+        sim_start: SimTime::ZERO,
+        sim_end: SimTime::ZERO + SimDuration::days(7),
+        label: "fig10-fugaku-7d",
+    }
+}
+
+/// Pack specs and render them through the F-Data schema.
+fn build_fugaku_dataset(config: &SystemConfig, specs: Vec<JobSpec>, seed: u64) -> Dataset {
+    // Reuse the fugaku generator's record shaping by packing here and
+    // synthesizing telemetry the same way.
+    use crate::packer::pack_jobs_lagged;
+    use crate::synthetic::{account_power_bias, gen_summary_telemetry};
+    use sraps_types::job::JobBuilder;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF06A_0003);
+    let packed = pack_jobs_lagged(specs, config.total_nodes, 900, seed);
+    let jobs = packed
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let bias = account_power_bias(p.spec.account);
+            let tel = gen_summary_telemetry(&mut rng, &config.node_power, false, bias);
+            JobBuilder::new(i as u64 + 1)
+                .user(p.spec.user)
+                .account(p.spec.account)
+                .submit(p.spec.submit)
+                .window(p.start, p.end)
+                .walltime(p.spec.walltime)
+                .nodes(p.spec.nodes)
+                .priority(p.spec.priority)
+                .telemetry(tel)
+                .build()
+        })
+        .collect();
+    Dataset::new(&config.name, jobs)
+}
+
+/// The scaled variants benches and tests use (documented in
+/// EXPERIMENTS.md): full systems for Marconi100/Adastra, scaled Frontier
+/// and Fugaku.
+pub fn all_scenarios_scaled(seed: u64) -> Vec<Scenario> {
+    vec![
+        fig4(seed),
+        fig5(seed),
+        fig6_scaled(seed, 0.125),
+        fig7(seed, 0.125),
+        fig10(seed, 4096.0 / 158_976.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_is_saturating() {
+        let s = fig4(1);
+        assert_eq!(s.config.name, "marconi100");
+        // Offered load above capacity: the recorded peak hits the machine.
+        assert!(s.dataset.peak_recorded_nodes() as f64 > s.config.total_nodes as f64 * 0.9);
+        assert_eq!((s.sim_end - s.sim_start).as_secs(), 61_000);
+    }
+
+    #[test]
+    fn fig5_has_headroom() {
+        let s = fig5(1);
+        // 15-day span, moderate load: jobs exist, machine not pinned.
+        assert!(s.dataset.len() > 500, "15 days of jobs: {}", s.dataset.len());
+        assert!((s.sim_end - s.sim_start).as_secs() == 15 * 86_400);
+    }
+
+    #[test]
+    fn fig6_contains_three_giants() {
+        let s = fig6_scaled(1, 0.1);
+        let giant = (9216.0 * s.config.total_nodes as f64 / 9600.0).round() as u32;
+        let count = s
+            .dataset
+            .jobs
+            .iter()
+            .filter(|j| j.nodes_requested == giant.min(s.config.total_nodes))
+            .count();
+        assert_eq!(count, 3, "three full-system runs");
+        assert!(s.dataset.peak_recorded_nodes() <= s.config.total_nodes as u64);
+    }
+
+    #[test]
+    fn fig7_job_count_matches_artifact_scale() {
+        let s = fig7(1, 0.05);
+        let n = s.dataset.len() as f64;
+        assert!(
+            (n - 5324.0).abs() / 5324.0 < 0.15,
+            "job count {n} should be ≈5324"
+        );
+    }
+
+    #[test]
+    fn fig10_has_low_then_high_load_phases() {
+        let s = fig10(1, 1024.0 / 158_976.0);
+        let day = 86_400;
+        let early: f64 = s
+            .dataset
+            .jobs
+            .iter()
+            .filter(|j| j.submit.as_secs() < 2 * day)
+            .map(|j| j.nodes_requested as f64 * j.duration().as_hours_f64())
+            .sum();
+        let late: f64 = s
+            .dataset
+            .jobs
+            .iter()
+            .filter(|j| (2 * day..7 * day).contains(&j.submit.as_secs()))
+            .map(|j| j.nodes_requested as f64 * j.duration().as_hours_f64())
+            .sum();
+        let early_load = early / (s.config.total_nodes as f64 * 48.0);
+        let late_load = late / (s.config.total_nodes as f64 * 120.0);
+        assert!(early_load < 0.3, "early load {early_load}");
+        assert!(late_load > 0.8, "late load {late_load}");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = fig4(77);
+        let b = fig4(77);
+        assert_eq!(a.dataset.jobs.len(), b.dataset.jobs.len());
+        assert_eq!(a.dataset.jobs[0], b.dataset.jobs[0]);
+    }
+}

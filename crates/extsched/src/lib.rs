@@ -1,0 +1,31 @@
+//! External scheduling simulators and their S-RAPS integration (§4.2).
+//!
+//! The paper demonstrates that S-RAPS can drive schedulers it does not
+//! own: an *event-based* simulator with private state (ScheduleFlow \[18\])
+//! and a *fast Slurm emulator* with a plugin mode (FastSim \[41\]). Both
+//! originals are external projects (FastSim is closed-source), so this
+//! crate implements faithful stand-ins exercising the same integration
+//! seams:
+//!
+//! * [`plugin`] — the event protocol of §3.2.4: S-RAPS forwards
+//!   submission/end events and asks for "the system state at time t";
+//!   [`plugin::ExternalAdapter`] wraps any [`plugin::ExternalScheduler`]
+//!   into a [`sraps_sched::SchedulerBackend`], maintaining the duplicated
+//!   state the paper describes and *validating* returned placements (the
+//!   check-and-throw for ScheduleFlow's occasional over-allocation noted in
+//!   the artifact appendix).
+//! * [`fastsim`] — event-driven FCFS+EASY Slurm emulation that jumps from
+//!   event to event (hence "up to thousands of times faster than
+//!   real-time"), with both the **plugin mode** and the **sequential
+//!   mode** (schedule first, replay in RAPS after) of §4.2.2.
+//! * [`scheduleflow`] — reservation-list scheduler that recomputes its
+//!   entire plan on every interaction, reproducing the integration's
+//!   reported overhead profile (§4.2.1).
+
+pub mod fastsim;
+pub mod plugin;
+pub mod scheduleflow;
+
+pub use fastsim::{FastSim, FastSimStats, ScheduledStart};
+pub use plugin::{ExtJob, ExternalAdapter, ExternalScheduler, SchedEvent};
+pub use scheduleflow::ScheduleFlow;

@@ -1,0 +1,280 @@
+//! The external-scheduler plugin protocol (§3.2.4) and the adapter that
+//! makes any external engine drivable by S-RAPS.
+
+use sraps_sched::{
+    JobQueue, Placement, ResourceManager, SchedContext, SchedulerBackend, SchedulerStats,
+};
+use sraps_types::{JobId, Result, SimDuration, SimTime, SrapsError};
+use std::collections::HashSet;
+
+/// A job as handed to an external scheduler: the queue entry plus the
+/// ground-truth duration the *emulator* needs to advance its own clock
+/// (real FastSim replays historical runtimes; policies still only see the
+/// wall-time estimate inside `job`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtJob {
+    pub job: sraps_sched::QueuedJob,
+    pub duration: SimDuration,
+}
+
+/// Events S-RAPS forwards to the external engine. Fig 3's magenta arrows:
+/// submissions, job ends, and the driving tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedEvent {
+    JobSubmitted(ExtJob),
+    JobEnded(JobId),
+    Tick(SimTime),
+}
+
+/// The contract an external scheduling simulator implements to plug into
+/// S-RAPS. The engine holds *its own* copy of system state (the paper:
+/// "both S-RAPS and FastSim maintain separate copies of the system state,
+/// which reduces communication … at the cost of additional computational
+/// overhead").
+pub trait ExternalScheduler {
+    fn name(&self) -> &'static str;
+
+    /// Receive an event (submission, end, tick).
+    fn on_event(&mut self, event: SchedEvent);
+
+    /// "Respond with a list of running jobs" for the requested time step:
+    /// process internal events up to `t`, then return the ids that should
+    /// be running (§4.2.2's plugin-mode request/response).
+    fn running_at(&mut self, t: SimTime) -> Vec<JobId>;
+
+    /// How many full plan recomputations the engine has performed.
+    fn recomputations(&self) -> u64;
+}
+
+/// Wraps an [`ExternalScheduler`] into a [`SchedulerBackend`]: forwards
+/// events, interprets the returned running set, and performs placement via
+/// the resource manager.
+pub struct ExternalAdapter<E: ExternalScheduler> {
+    engine: E,
+    /// Jobs already forwarded as submissions.
+    submitted: HashSet<JobId>,
+    /// Running set we last knew (to synthesize JobEnded events).
+    last_running: HashSet<JobId>,
+    /// If true, an external placement that cannot be satisfied is an error
+    /// (the ScheduleFlow check); if false it is skipped and retried.
+    strict: bool,
+    stats: SchedulerStats,
+    name: &'static str,
+    /// Duration oracle for emulation, provided by the loader (keyed off the
+    /// queue's recorded fields).
+    duration_of: Box<dyn Fn(&sraps_sched::QueuedJob) -> SimDuration + Send>,
+}
+
+impl<E: ExternalScheduler> ExternalAdapter<E> {
+    pub fn new(
+        engine: E,
+        strict: bool,
+        name: &'static str,
+        duration_of: Box<dyn Fn(&sraps_sched::QueuedJob) -> SimDuration + Send>,
+    ) -> Self {
+        ExternalAdapter {
+            engine,
+            submitted: HashSet::new(),
+            last_running: HashSet::new(),
+            strict,
+            stats: SchedulerStats::default(),
+            name,
+            duration_of,
+        }
+    }
+
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+}
+
+impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn schedule(
+        &mut self,
+        now: SimTime,
+        queue: &mut JobQueue,
+        rm: &mut ResourceManager,
+        ctx: &SchedContext<'_>,
+    ) -> Result<Vec<Placement>> {
+        self.stats.invocations += 1;
+
+        // 1. Forward newly-queued jobs as submission events.
+        for j in queue.jobs() {
+            if self.submitted.insert(j.id) {
+                self.engine.on_event(SchedEvent::JobSubmitted(ExtJob {
+                    job: j.clone(),
+                    duration: (self.duration_of)(j),
+                }));
+            }
+        }
+        // 2. Synthesize end events from the running-set diff.
+        let running_now: HashSet<JobId> = ctx.running.iter().map(|r| r.id).collect();
+        for gone in self.last_running.difference(&running_now) {
+            self.engine.on_event(SchedEvent::JobEnded(*gone));
+        }
+        self.engine.on_event(SchedEvent::Tick(now));
+
+        // 3. Ask for the state at `now` and interpret it.
+        let desired = self.engine.running_at(now);
+        let mut placed = Vec::new();
+        for id in desired {
+            if running_now.contains(&id) {
+                continue; // already running in S-RAPS
+            }
+            let Some(entry) = queue.jobs().iter().find(|j| j.id == id) else {
+                continue; // unknown or already finished; nothing to place
+            };
+            match rm.allocate(entry.nodes) {
+                Ok(nodes) => placed.push(Placement { job: id, nodes }),
+                Err(e) if self.strict => {
+                    // The paper's ScheduleFlow note: "scheduleflow may
+                    // schedule even if nodes are unavailable, which we
+                    // report as error".
+                    return Err(SrapsError::ExternalScheduler(format!(
+                        "{} placed {id} without available nodes: {e}",
+                        self.name
+                    )));
+                }
+                Err(_) => continue,
+            }
+        }
+        self.stats.placements += placed.len() as u64;
+        self.stats.recomputations = self.engine.recomputations();
+        let ids: Vec<JobId> = placed.iter().map(|p| p.job).collect();
+        queue.remove_placed(&ids);
+        self.last_running = &running_now
+            | &placed.iter().map(|p| p.job).collect::<HashSet<JobId>>();
+        Ok(placed)
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::AccountId;
+
+    /// Toy engine: wants everything submitted to run immediately.
+    struct EagerEngine {
+        known: Vec<JobId>,
+        recomputes: u64,
+    }
+
+    impl ExternalScheduler for EagerEngine {
+        fn name(&self) -> &'static str {
+            "eager"
+        }
+        fn on_event(&mut self, event: SchedEvent) {
+            match event {
+                SchedEvent::JobSubmitted(j) => self.known.push(j.job.id),
+                SchedEvent::JobEnded(id) => self.known.retain(|&k| k != id),
+                SchedEvent::Tick(_) => {}
+            }
+        }
+        fn running_at(&mut self, _t: SimTime) -> Vec<JobId> {
+            self.recomputes += 1;
+            self.known.clone()
+        }
+        fn recomputations(&self) -> u64 {
+            self.recomputes
+        }
+    }
+
+    fn qj(id: u64, nodes: u32) -> sraps_sched::QueuedJob {
+        sraps_sched::QueuedJob {
+            id: JobId(id),
+            account: AccountId(0),
+            submit: SimTime::ZERO,
+            nodes,
+            estimate: SimDuration::seconds(100),
+            priority: 0.0,
+            ml_score: None,
+            recorded_start: SimTime::ZERO,
+            recorded_nodes: None,
+        }
+    }
+
+    fn adapter(strict: bool) -> ExternalAdapter<EagerEngine> {
+        ExternalAdapter::new(
+            EagerEngine {
+                known: vec![],
+                recomputes: 0,
+            },
+            strict,
+            "eager",
+            Box::new(|_| SimDuration::seconds(100)),
+        )
+    }
+
+    #[test]
+    fn forwards_submissions_once_and_places() {
+        let mut a = adapter(false);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 2));
+        q.push(qj(2, 2));
+        let mut rm = ResourceManager::new(8);
+        let ctx = SchedContext {
+            running: &[],
+            accounts: None,
+        };
+        let placed = a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx).unwrap();
+        assert_eq!(placed.len(), 2);
+        assert!(q.is_empty());
+        // Engine saw each submission exactly once.
+        assert_eq!(a.engine().known.len(), 2);
+    }
+
+    #[test]
+    fn strict_mode_errors_on_overallocation() {
+        let mut a = adapter(true);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 6));
+        q.push(qj(2, 6)); // engine wants both; only 8 nodes exist
+        let mut rm = ResourceManager::new(8);
+        let ctx = SchedContext {
+            running: &[],
+            accounts: None,
+        };
+        let err = a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx);
+        assert!(matches!(err, Err(SrapsError::ExternalScheduler(_))));
+    }
+
+    #[test]
+    fn lenient_mode_skips_unplaceable() {
+        let mut a = adapter(false);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 6));
+        q.push(qj(2, 6));
+        let mut rm = ResourceManager::new(8);
+        let ctx = SchedContext {
+            running: &[],
+            accounts: None,
+        };
+        let placed = a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx).unwrap();
+        assert_eq!(placed.len(), 1);
+        assert_eq!(q.len(), 1, "unplaceable job stays queued");
+    }
+
+    #[test]
+    fn recomputation_stat_mirrors_engine() {
+        let mut a = adapter(false);
+        let mut q = JobQueue::new();
+        let mut rm = ResourceManager::new(4);
+        let ctx = SchedContext {
+            running: &[],
+            accounts: None,
+        };
+        for t in 0..5 {
+            a.schedule(SimTime::seconds(t), &mut q, &mut rm, &ctx).unwrap();
+        }
+        assert_eq!(a.stats().recomputations, 5);
+        assert_eq!(a.stats().invocations, 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Feature extraction from jobs (§4.4.3): static (pre-submission)
+//! features available at inference time, and dynamic (telemetry-summary)
+//! features available only for historical jobs.
+//!
+//! "Since timeseries data is inherently noisy and high-dimensional … we
+//! extract summary statistics from timeseries metrics such as maximum,
+//! minimum, and standard deviation" — dynamic features are exactly those
+//! summaries.
+
+use sraps_types::Job;
+
+/// Number of static features.
+pub const STATIC_DIM: usize = 5;
+/// Number of dynamic features.
+pub const DYNAMIC_DIM: usize = 4;
+
+/// Row-major feature matrix with its row-aligned target vectors.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureMatrix {
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// Static features: what a scheduler knows at submit time.
+/// `[nodes, walltime_estimate_h, user_id_bucket, account_id_bucket,
+///   submit_hour_of_day]`
+pub fn static_features(job: &Job) -> Vec<f64> {
+    vec![
+        job.nodes_requested as f64,
+        job.estimate().as_hours_f64(),
+        (job.user.0 % 16) as f64,
+        (job.account.0 % 16) as f64,
+        ((job.submit.as_secs().rem_euclid(86_400)) / 3600) as f64,
+    ]
+}
+
+/// Dynamic features: summary statistics of the job's recorded telemetry.
+/// `[power_mean, power_max, power_std, cpu_util_mean]`
+pub fn dynamic_features(job: &Job) -> Vec<f64> {
+    let p = job.telemetry.node_power_w.as_ref();
+    let c = job.telemetry.cpu_util.as_ref();
+    vec![
+        p.map_or(0.0, |t| t.mean() as f64),
+        p.map_or(0.0, |t| t.max() as f64),
+        p.map_or(0.0, |t| t.std_dev() as f64),
+        c.map_or(0.0, |t| t.mean() as f64),
+    ]
+}
+
+/// Combined clustering features (static + dynamic), the stage-1 input.
+pub fn clustering_features(job: &Job) -> Vec<f64> {
+    let mut v = static_features(job);
+    v.extend(dynamic_features(job));
+    v
+}
+
+/// Training targets predicted per cluster: `[runtime_h, node_power_kw]`.
+pub fn targets(job: &Job) -> Vec<f64> {
+    let p = job
+        .telemetry
+        .node_power_w
+        .as_ref()
+        .map_or(0.0, |t| t.mean() as f64);
+    vec![job.duration().as_hours_f64(), p / 1000.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::job::JobBuilder;
+    use sraps_types::{JobTelemetry, SimDuration, SimTime};
+
+    fn job() -> Job {
+        JobBuilder::new(1)
+            .user(21)
+            .account(37)
+            .submit(SimTime::seconds(13 * 3600 + 120))
+            .window(SimTime::seconds(14 * 3600), SimTime::seconds(16 * 3600))
+            .walltime(SimDuration::hours(3))
+            .nodes(32)
+            .telemetry(JobTelemetry::from_scalars(0.7, None, 450.0))
+            .build()
+    }
+
+    #[test]
+    fn static_features_have_documented_layout() {
+        let f = static_features(&job());
+        assert_eq!(f.len(), STATIC_DIM);
+        assert_eq!(f[0], 32.0);
+        assert!((f[1] - 3.0).abs() < 1e-12);
+        assert_eq!(f[2], (21 % 16) as f64);
+        assert_eq!(f[3], (37 % 16) as f64);
+        assert_eq!(f[4], 13.0);
+    }
+
+    #[test]
+    fn dynamic_features_summarize_telemetry() {
+        let f = dynamic_features(&job());
+        assert_eq!(f.len(), DYNAMIC_DIM);
+        assert!((f[0] - 450.0).abs() < 1e-3);
+        assert!((f[1] - 450.0).abs() < 1e-3);
+        assert_eq!(f[2], 0.0, "constant trace has zero std");
+        assert!((f[3] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clustering_features_concatenate() {
+        assert_eq!(clustering_features(&job()).len(), STATIC_DIM + DYNAMIC_DIM);
+    }
+
+    #[test]
+    fn targets_are_runtime_and_power() {
+        let t = targets(&job());
+        assert!((t[0] - 2.0).abs() < 1e-12);
+        assert!((t[1] - 0.45).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_telemetry_is_zeroes_not_nan() {
+        let j = JobBuilder::new(2)
+            .window(SimTime::ZERO, SimTime::seconds(60))
+            .build();
+        let f = dynamic_features(&j);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert_eq!(f[0], 0.0);
+    }
+}

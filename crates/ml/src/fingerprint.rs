@@ -1,0 +1,234 @@
+//! Power-profile fingerprinting — the other half of the paper's §5 future
+//! work: "we have to rely on user estimates, or **fingerprinting** and
+//! prediction".
+//!
+//! Fig 5 shows that with perfect job power profiles the twin predicts
+//! facility power swings exactly; fingerprinting recovers an approximate
+//! profile when none is recorded. The library clusters historical jobs'
+//! *normalized* power shapes (resampled to a fixed number of phases); at
+//! prediction time, a job's observed prefix is matched against the
+//! library and the best cluster's remaining shape — scaled to the observed
+//! level — becomes the forecast.
+
+use sraps_types::{Job, Result, SimDuration, SrapsError, Trace};
+
+/// Number of equal-length phases a profile is resampled to.
+pub const PROFILE_BINS: usize = 16;
+
+/// A library of representative power shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FingerprintLibrary {
+    /// Cluster centroids: normalized (mean = 1) shapes over PROFILE_BINS.
+    pub shapes: Vec<Vec<f64>>,
+}
+
+/// Resample a job's power trace to `bins` equal phases, normalized to
+/// mean 1 (shape only; level is carried separately).
+pub fn normalized_shape(trace: &Trace, duration: SimDuration, bins: usize) -> Option<Vec<f64>> {
+    if trace.is_empty() || duration.as_secs() <= 0 {
+        return None;
+    }
+    let mut shape = Vec::with_capacity(bins);
+    for b in 0..bins {
+        // Sample the bin's midpoint.
+        let t = duration.as_secs() * (2 * b as i64 + 1) / (2 * bins as i64);
+        shape.push(trace.sample(SimDuration::seconds(t)) as f64);
+    }
+    let mean = shape.iter().sum::<f64>() / bins as f64;
+    if mean <= 0.0 {
+        return None;
+    }
+    for v in &mut shape {
+        *v /= mean;
+    }
+    Some(shape)
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl FingerprintLibrary {
+    /// Build the library from historical jobs with recorded traces.
+    pub fn build(historical: &[Job], n_clusters: usize, seed: u64) -> Result<FingerprintLibrary> {
+        let shapes: Vec<Vec<f64>> = historical
+            .iter()
+            .filter_map(|j| {
+                j.telemetry
+                    .node_power_w
+                    .as_ref()
+                    .and_then(|t| normalized_shape(t, j.duration(), PROFILE_BINS))
+            })
+            .collect();
+        if shapes.len() < n_clusters.max(4) {
+            return Err(SrapsError::Config(format!(
+                "fingerprinting needs ≥{} traced jobs, got {}",
+                n_clusters.max(4),
+                shapes.len()
+            )));
+        }
+        let km = crate::kmeans::KMeans::fit(&shapes, n_clusters, 100, seed);
+        Ok(FingerprintLibrary {
+            shapes: km.centroids,
+        })
+    }
+
+    /// Match an observed prefix (normalized by its own mean) to the
+    /// closest library shape. Library prefixes are renormalized by *their*
+    /// prefix mean so shapes are compared like-for-like — the observer
+    /// cannot know where its prefix sits in the full profile's level.
+    pub fn match_prefix(&self, prefix: &[f64]) -> usize {
+        let k = prefix.len().min(PROFILE_BINS);
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, s) in self.shapes.iter().enumerate() {
+            let pm = s[..k].iter().sum::<f64>() / k as f64;
+            if pm <= 0.0 {
+                continue;
+            }
+            let renorm: Vec<f64> = s[..k].iter().map(|v| v / pm).collect();
+            let d = sq_dist(&renorm, &prefix[..k]);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Forecast a job's full per-node power profile from a partial
+    /// observation: the observed prefix picks a shape; the prefix's mean
+    /// level rescales it back to watts. Returns a trace over the job's
+    /// expected duration.
+    pub fn predict_profile(
+        &self,
+        observed: &Trace,
+        observed_span: SimDuration,
+        expected_duration: SimDuration,
+    ) -> Option<Trace> {
+        let frac_bins = ((observed_span.as_secs_f64() / expected_duration.as_secs_f64())
+            * PROFILE_BINS as f64)
+            .floor()
+            .clamp(1.0, PROFILE_BINS as f64) as usize;
+        // Prefix in normalized space (normalize by its own mean).
+        let raw = normalized_shape(observed, observed_span, frac_bins)?;
+        let cluster = self.match_prefix(&raw);
+        let shape = &self.shapes[cluster];
+        // Observed absolute level.
+        let level = observed.mean() as f64;
+        if level <= 0.0 {
+            return None;
+        }
+        // The prefix of the matched shape has some mean; scale so the
+        // predicted prefix reproduces the observed level.
+        let prefix_mean =
+            shape[..frac_bins].iter().sum::<f64>() / frac_bins as f64;
+        let scale = level / prefix_mean.max(1e-9);
+        let dt = SimDuration::seconds(
+            (expected_duration.as_secs() / PROFILE_BINS as i64).max(1),
+        );
+        Some(Trace::new(
+            SimDuration::ZERO,
+            dt,
+            shape.iter().map(|&v| (v * scale) as f32).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::job::JobBuilder;
+    use sraps_types::{JobTelemetry, SimTime};
+
+    /// Two shape families: ramp-up (0.5→1.5) and flat.
+    fn traced_job(id: u64, ramp: bool, level: f32) -> Job {
+        let dur = 1600i64;
+        let dt = SimDuration::seconds(100);
+        let values: Vec<f32> = (0..16)
+            .map(|i| {
+                if ramp {
+                    level * (0.5 + i as f32 / 15.0)
+                } else {
+                    level
+                }
+            })
+            .collect();
+        JobBuilder::new(id)
+            .window(SimTime::ZERO, SimTime::seconds(dur))
+            .walltime(SimDuration::seconds(dur))
+            .nodes(2)
+            .telemetry(JobTelemetry {
+                node_power_w: Some(Trace::new(SimDuration::ZERO, dt, values)),
+                ..Default::default()
+            })
+            .build()
+    }
+
+    fn library() -> FingerprintLibrary {
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| traced_job(i, i % 2 == 0, 800.0 + (i % 5) as f32 * 40.0))
+            .collect();
+        FingerprintLibrary::build(&jobs, 2, 3).unwrap()
+    }
+
+    #[test]
+    fn normalized_shape_has_unit_mean() {
+        let t = Trace::new(SimDuration::ZERO, SimDuration::seconds(10), vec![2.0, 4.0, 6.0]);
+        let s = normalized_shape(&t, SimDuration::seconds(30), 8).unwrap();
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9);
+        assert!(s[0] < s[7], "rising trace keeps its shape");
+    }
+
+    #[test]
+    fn library_separates_shape_families() {
+        let lib = library();
+        assert_eq!(lib.shapes.len(), 2);
+        // One centroid rises, the other is flat.
+        let rises: Vec<bool> = lib
+            .shapes
+            .iter()
+            .map(|s| s[PROFILE_BINS - 1] > s[0] + 0.3)
+            .collect();
+        assert!(rises.iter().any(|&r| r) && rises.iter().any(|&r| !r));
+    }
+
+    #[test]
+    fn prefix_match_recovers_family_and_level() {
+        let lib = library();
+        // Observe the first quarter of a ramp job at a new power level.
+        let dt = SimDuration::seconds(100);
+        let observed = Trace::new(
+            SimDuration::ZERO,
+            dt,
+            (0..4).map(|i| 1200.0 * (0.5 + i as f32 / 15.0)).collect(),
+        );
+        let predicted = lib
+            .predict_profile(
+                &observed,
+                SimDuration::seconds(400),
+                SimDuration::seconds(1600),
+            )
+            .unwrap();
+        // The forecast must keep rising past the observed prefix…
+        let tail = predicted.sample(SimDuration::seconds(1500));
+        let head = predicted.sample(SimDuration::seconds(50));
+        assert!(tail > head * 1.5, "ramp family: {head} → {tail}");
+        // …and its early level should sit near the observation (~1200·0.55).
+        assert!((head as f64 - 1200.0 * 0.55).abs() / (1200.0 * 0.55) < 0.35);
+    }
+
+    #[test]
+    fn too_few_traces_is_an_error() {
+        let jobs: Vec<Job> = (0..2).map(|i| traced_job(i, false, 500.0)).collect();
+        assert!(FingerprintLibrary::build(&jobs, 2, 1).is_err());
+    }
+
+    #[test]
+    fn degenerate_traces_rejected() {
+        let t = Trace::new(SimDuration::ZERO, SimDuration::seconds(10), vec![0.0, 0.0]);
+        assert!(normalized_shape(&t, SimDuration::seconds(20), 4).is_none());
+        assert!(normalized_shape(&t, SimDuration::ZERO, 4).is_none());
+    }
+}

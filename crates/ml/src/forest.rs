@@ -1,0 +1,140 @@
+//! Random forest on bootstrap samples (training stage 2: the cluster
+//! classifier; also usable for per-cluster regression).
+
+use crate::tree::{DecisionTree, TreeKind, TreeParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A fitted forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    kind: TreeKind,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit `n_trees` trees, each on a bootstrap resample with √dim feature
+    /// subsampling. Tree fits run in parallel (Rayon) — they are
+    /// independent given per-tree seeds.
+    pub fn fit(
+        kind: TreeKind,
+        x: &[Vec<f64>],
+        y: &[f64],
+        n_trees: usize,
+        max_depth: usize,
+        seed: u64,
+    ) -> RandomForest {
+        assert!(!x.is_empty(), "forest needs data");
+        let dim = x[0].len();
+        let params = TreeParams {
+            max_depth,
+            min_samples_split: 4,
+            max_features: Some(((dim as f64).sqrt().ceil() as usize).max(1)),
+        };
+        let trees: Vec<DecisionTree> = (0..n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                let idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                DecisionTree::fit(kind, x, y, &idx, &params, &mut rng)
+            })
+            .collect();
+        RandomForest { kind, trees }
+    }
+
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Predict: majority vote (classification) or mean (regression).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        match self.kind {
+            TreeKind::Regression => {
+                self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+            }
+            TreeKind::Classification => {
+                let mut votes: Vec<(i64, usize)> = Vec::new();
+                for t in &self.trees {
+                    let label = t.predict(row) as i64;
+                    match votes.iter_mut().find(|(l, _)| *l == label) {
+                        Some((_, c)) => *c += 1,
+                        None => votes.push((label, 1)),
+                    }
+                }
+                votes
+                    .into_iter()
+                    .max_by_key(|&(l, c)| (c, -l))
+                    .map(|(l, _)| l as f64)
+                    .unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Classification accuracy on a labelled set.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        debug_assert_eq!(self.kind, TreeKind::Classification);
+        let hit = x
+            .iter()
+            .zip(y)
+            .filter(|(row, &label)| self.predict(row) == label)
+            .count();
+        hit as f64 / x.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let y = x
+            .iter()
+            .map(|v| ((v[0] > 0.5) ^ (v[1] > 0.5)) as i64 as f64)
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor_which_single_splits_cannot() {
+        let (x, y) = xor_data(600, 2);
+        let f = RandomForest::fit(TreeKind::Classification, &x, &y, 40, 10, 3);
+        assert!(f.accuracy(&x, &y) > 0.9, "{}", f.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let (xtr, ytr) = xor_data(600, 2);
+        let (xte, yte) = xor_data(200, 99);
+        let f = RandomForest::fit(TreeKind::Classification, &xtr, &ytr, 40, 10, 3);
+        assert!(f.accuracy(&xte, &yte) > 0.8, "{}", f.accuracy(&xte, &yte));
+    }
+
+    #[test]
+    fn regression_mean_of_trees() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let x: Vec<Vec<f64>> = (0..400).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] + 1.0).collect();
+        let f = RandomForest::fit(TreeKind::Regression, &x, &y, 30, 10, 11);
+        // Prediction near the line in the interior.
+        for probe in [2.0, 5.0, 8.0] {
+            let p = f.predict(&[probe]);
+            assert!((p - (3.0 * probe + 1.0)).abs() < 2.0, "f({probe}) = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = xor_data(200, 2);
+        let a = RandomForest::fit(TreeKind::Classification, &x, &y, 10, 8, 5);
+        let b = RandomForest::fit(TreeKind::Classification, &x, &y, 10, 8, 5);
+        for row in x.iter().take(20) {
+            assert_eq!(a.predict(row), b.predict(row));
+        }
+    }
+}

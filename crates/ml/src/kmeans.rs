@@ -1,0 +1,184 @@
+//! K-means clustering with K-means++ seeding (training stage 1, §4.4.1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Fitted K-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    pub centroids: Vec<Vec<f64>>,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fit `k` clusters on row-major `data` with Lloyd's algorithm,
+    /// K-means++ initialization, and at most `max_iter` sweeps.
+    pub fn fit(data: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeans {
+        assert!(!data.is_empty(), "kmeans needs data");
+        let k = k.min(data.len()).max(1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // K-means++ seeding: first centroid uniform, then proportional to
+        // squared distance from the nearest chosen centroid.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(data[rng.gen_range(0..data.len())].clone());
+        let mut d2: Vec<f64> = data.iter().map(|r| sq_dist(r, &centroids[0])).collect();
+        while centroids.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                // All points coincide with centroids; pick any.
+                rng.gen_range(0..data.len())
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut idx = 0;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        idx = i;
+                        break;
+                    }
+                    target -= w;
+                    idx = i;
+                }
+                idx
+            };
+            centroids.push(data[next].clone());
+            let c = centroids.last().expect("just pushed");
+            for (di, row) in d2.iter_mut().zip(data) {
+                *di = di.min(sq_dist(row, c));
+            }
+        }
+
+        // Lloyd iterations.
+        let dim = data[0].len();
+        let mut assign = vec![0usize; data.len()];
+        for _ in 0..max_iter {
+            let mut moved = false;
+            for (a, row) in assign.iter_mut().zip(data) {
+                let best = Self::nearest(&centroids, row);
+                if best != *a {
+                    *a = best;
+                    moved = true;
+                }
+            }
+            let mut sums = vec![vec![0.0; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (a, row) in assign.iter().zip(data) {
+                counts[*a] += 1;
+                for (s, v) in sums[*a].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for ((c, s), &n) in centroids.iter_mut().zip(&sums).zip(&counts) {
+                if n > 0 {
+                    for (ci, si) in c.iter_mut().zip(s) {
+                        *ci = si / n as f64;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        KMeans { centroids }
+    }
+
+    fn nearest(centroids: &[Vec<f64>], row: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in centroids.iter().enumerate() {
+            let d = sq_dist(row, c);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Cluster index for a row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        Self::nearest(&self.centroids, row)
+    }
+
+    /// Within-cluster sum of squares (inertia) over a dataset.
+    pub fn inertia(&self, data: &[Vec<f64>]) -> f64 {
+        data.iter()
+            .map(|r| sq_dist(r, &self.centroids[self.predict(r)]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut data = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)] {
+            for _ in 0..50 {
+                data.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs();
+        let km = KMeans::fit(&data, 3, 50, 7);
+        assert_eq!(km.k(), 3);
+        // Points of the same blob share a label; different blobs differ.
+        let l0 = km.predict(&data[0]);
+        let l1 = km.predict(&data[50]);
+        let l2 = km.predict(&data[100]);
+        assert!(l0 != l1 && l1 != l2 && l0 != l2);
+        for (i, row) in data.iter().enumerate() {
+            let expected = [l0, l1, l2][i / 50];
+            assert_eq!(km.predict(row), expected, "row {i}");
+        }
+    }
+
+    #[test]
+    fn inertia_far_below_single_cluster() {
+        let data = blobs();
+        let km3 = KMeans::fit(&data, 3, 50, 7);
+        let km1 = KMeans::fit(&data, 1, 50, 7);
+        assert!(km3.inertia(&data) < km1.inertia(&data) / 10.0);
+    }
+
+    #[test]
+    fn k_clamped_to_data_size() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&data, 10, 10, 1);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs();
+        let a = KMeans::fit(&data, 3, 50, 42);
+        let b = KMeans::fit(&data, 3, 50, 42);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = vec![vec![5.0, 5.0]; 20];
+        let km = KMeans::fit(&data, 3, 10, 1);
+        assert!(km.k() >= 1);
+        assert_eq!(km.predict(&[5.0, 5.0]), km.predict(&[5.0, 5.0]));
+    }
+}

@@ -1,0 +1,41 @@
+//! ML-guided scheduling pipeline (§4.4), implemented from scratch.
+//!
+//! The paper's pipeline has three training stages and an inference stage:
+//!
+//! 1. **Clustering** — K-means over static + dynamic job features
+//!    partitions historical jobs into behavioural clusters.
+//! 2. **Classification** — a random forest learns to map *pre-submission*
+//!    features to the cluster label (dynamic features don't exist yet at
+//!    submit time).
+//! 3. **Prediction** — per cluster, regressors predict target metrics
+//!    (runtime, power, …) from static inputs.
+//! 4. **Inference** — new jobs are normalized, classified into a cluster,
+//!    run through that cluster's regressor, and ranked by the score
+//!    `S(Xᵢ) = Σⱼ αⱼ · exp(√(Xᵢⱼ + 1))⁻¹`.
+//!
+//! Everything (K-means++, CART trees, bootstrap forests, ridge regression,
+//! z-score scaling) is implemented here — the paper uses scikit-learn, but
+//! the *policy* the pipeline produces only depends on these standard
+//! algorithms behaving standardly. Forest training is parallelized with
+//! Rayon (tree fits are embarrassingly parallel).
+
+pub mod features;
+pub mod fingerprint;
+pub mod forest;
+pub mod kmeans;
+pub mod pipeline;
+pub mod ridge;
+pub mod scaler;
+pub mod scoring;
+pub mod tree;
+pub mod walltime;
+
+pub use features::{dynamic_features, static_features, FeatureMatrix, DYNAMIC_DIM, STATIC_DIM};
+pub use forest::RandomForest;
+pub use kmeans::KMeans;
+pub use pipeline::{InferenceResult, MlPipeline, PipelineConfig};
+pub use ridge::Ridge;
+pub use scaler::Scaler;
+pub use scoring::{score, ScoreWeights};
+pub use tree::{DecisionTree, TreeKind};
+pub use walltime::WalltimeModel;

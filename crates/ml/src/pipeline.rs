@@ -1,0 +1,287 @@
+//! End-to-end pipeline: train (split → preprocess → cluster → classify →
+//! regress) and infer (classify → predict → score), mirroring the
+//! `driver.py fugaku split/train/test` flow of artifact A4.
+
+use crate::features::{clustering_features, static_features, targets};
+use crate::forest::RandomForest;
+use crate::kmeans::KMeans;
+use crate::ridge::Ridge;
+use crate::scaler::Scaler;
+use crate::scoring::{score, ScoreWeights};
+use crate::tree::TreeKind;
+use sraps_types::{Job, Result, SrapsError};
+
+/// Pipeline hyper-parameters (the artifact's config file).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of behavioural clusters (the artifact uses 5).
+    pub n_clusters: usize,
+    /// Trees in the cluster classifier.
+    pub n_trees: usize,
+    pub max_tree_depth: usize,
+    /// Ridge penalty for per-cluster predictors.
+    pub ridge_lambda: f64,
+    pub seed: u64,
+    /// Score coefficients over `[nodes, predicted_runtime_h,
+    /// predicted_power_kw]`.
+    pub weights: ScoreWeights,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            n_clusters: 5,
+            n_trees: 30,
+            max_tree_depth: 10,
+            ridge_lambda: 0.1,
+            seed: 0x4D4C_5EED, // "ML SEED"
+            weights: ScoreWeights::default_for_scheduling(),
+        }
+    }
+}
+
+/// A trained pipeline.
+#[derive(Debug, Clone)]
+pub struct MlPipeline {
+    config: PipelineConfig,
+    /// Scaler over clustering (static+dynamic) features.
+    cluster_scaler: Scaler,
+    /// Scaler over static features (inference input).
+    static_scaler: Scaler,
+    kmeans: KMeans,
+    classifier: RandomForest,
+    /// Per-cluster per-target ridge predictors: `[cluster][target]`.
+    predictors: Vec<Vec<Ridge>>,
+}
+
+/// Inference output for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResult {
+    pub cluster: usize,
+    pub predicted_runtime_h: f64,
+    pub predicted_node_power_kw: f64,
+    pub score: f64,
+}
+
+impl MlPipeline {
+    /// Train on historical jobs (with telemetry).
+    pub fn train(historical: &[Job], config: PipelineConfig) -> Result<MlPipeline> {
+        if historical.len() < config.n_clusters.max(8) {
+            return Err(SrapsError::Config(format!(
+                "need at least {} historical jobs, got {}",
+                config.n_clusters.max(8),
+                historical.len()
+            )));
+        }
+        // Stage 0: preprocess.
+        let cluster_rows: Vec<Vec<f64>> = historical.iter().map(clustering_features).collect();
+        let static_rows: Vec<Vec<f64>> = historical.iter().map(static_features).collect();
+        let target_rows: Vec<Vec<f64>> = historical.iter().map(targets).collect();
+        let cluster_scaler = Scaler::fit(&cluster_rows);
+        let static_scaler = Scaler::fit(&static_rows);
+        let scaled_cluster = cluster_scaler.transform(&cluster_rows);
+        let scaled_static = static_scaler.transform(&static_rows);
+
+        // Stage 1: cluster on static+dynamic features.
+        let kmeans = KMeans::fit(&scaled_cluster, config.n_clusters, 100, config.seed);
+        let labels: Vec<f64> = scaled_cluster
+            .iter()
+            .map(|r| kmeans.predict(r) as f64)
+            .collect();
+
+        // Stage 2: classifier maps *static-only* features → cluster label.
+        let classifier = RandomForest::fit(
+            TreeKind::Classification,
+            &scaled_static,
+            &labels,
+            config.n_trees,
+            config.max_tree_depth,
+            config.seed ^ 0xC1A5,
+        );
+
+        // Stage 3: per-cluster ridge predictors for each target metric.
+        let n_targets = target_rows[0].len();
+        let mut predictors = Vec::with_capacity(kmeans.k());
+        for c in 0..kmeans.k() {
+            let member_idx: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l as usize == c)
+                .map(|(i, _)| i)
+                .collect();
+            let mut per_target = Vec::with_capacity(n_targets);
+            for t in 0..n_targets {
+                let (x, y): (Vec<Vec<f64>>, Vec<f64>) = if member_idx.is_empty() {
+                    // Empty cluster: fall back to the global fit.
+                    (
+                        scaled_static.clone(),
+                        target_rows.iter().map(|r| r[t]).collect(),
+                    )
+                } else {
+                    (
+                        member_idx.iter().map(|&i| scaled_static[i].clone()).collect(),
+                        member_idx.iter().map(|&i| target_rows[i][t]).collect(),
+                    )
+                };
+                per_target.push(Ridge::fit(&x, &y, config.ridge_lambda));
+            }
+            predictors.push(per_target);
+        }
+
+        Ok(MlPipeline {
+            config,
+            cluster_scaler,
+            static_scaler,
+            kmeans,
+            classifier,
+            predictors,
+        })
+    }
+
+    /// Classification accuracy of the static→cluster mapping on a test set
+    /// (clusters derived from full features, prediction from static only).
+    pub fn classifier_accuracy(&self, jobs: &[Job]) -> f64 {
+        let mut hit = 0usize;
+        for j in jobs {
+            let truth = self
+                .kmeans
+                .predict(&self.cluster_scaler.transform_row(&clustering_features(j)));
+            let pred = self
+                .classifier
+                .predict(&self.static_scaler.transform_row(&static_features(j)))
+                as usize;
+            if truth == pred {
+                hit += 1;
+            }
+        }
+        hit as f64 / jobs.len().max(1) as f64
+    }
+
+    /// Run inference for one submitted job: normalize static features,
+    /// predict the cluster, invoke that cluster's predictors, and score.
+    pub fn infer(&self, job: &Job) -> InferenceResult {
+        let scaled = self.static_scaler.transform_row(&static_features(job));
+        let cluster = (self.classifier.predict(&scaled) as usize).min(self.predictors.len() - 1);
+        let runtime_h = self.predictors[cluster][0].predict(&scaled).max(0.0);
+        let power_kw = self.predictors[cluster][1].predict(&scaled).max(0.0);
+        let s = score(
+            &self.config.weights,
+            &[job.nodes_requested as f64, runtime_h, power_kw],
+        );
+        InferenceResult {
+            cluster,
+            predicted_runtime_h: runtime_h,
+            predicted_node_power_kw: power_kw,
+            score: s,
+        }
+    }
+
+    /// Annotate jobs with their ML score in place — the hand-off to the
+    /// `ml` policy (artifact: `inference_results.parquet` feeding S-RAPS).
+    pub fn annotate(&self, jobs: &mut [Job]) {
+        for j in jobs.iter_mut() {
+            j.ml_score = Some(self.infer(j).score);
+        }
+    }
+
+    pub fn n_clusters(&self) -> usize {
+        self.kmeans.k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::job::JobBuilder;
+    use sraps_types::{JobTelemetry, SimDuration, SimTime};
+
+    /// Two behavioural families: small/short/cool vs wide/long/hot.
+    fn historical(n: usize) -> Vec<Job> {
+        (0..n as u64)
+            .map(|i| {
+                let hot = i % 2 == 0;
+                let nodes = if hot { 64 + (i % 8) as u32 } else { 2 + (i % 3) as u32 };
+                let dur = if hot { 7200 + (i % 600) as i64 } else { 600 + (i % 120) as i64 };
+                let power = if hot { 1800.0 } else { 500.0 };
+                JobBuilder::new(i)
+                    .user((i % 10) as u32)
+                    .account((i % 5) as u32)
+                    .submit(SimTime::seconds(i as i64 * 60))
+                    .window(
+                        SimTime::seconds(i as i64 * 60 + 30),
+                        SimTime::seconds(i as i64 * 60 + 30 + dur),
+                    )
+                    .walltime(SimDuration::seconds(dur * 2))
+                    .nodes(nodes)
+                    .telemetry(JobTelemetry::from_scalars(
+                        if hot { 0.9 } else { 0.3 },
+                        None,
+                        power + (i % 50) as f32,
+                    ))
+                    .build()
+            })
+            .collect()
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig {
+            n_clusters: 2,
+            n_trees: 20,
+            max_tree_depth: 8,
+            ridge_lambda: 0.1,
+            seed: 9,
+            weights: ScoreWeights::default_for_scheduling(),
+        }
+    }
+
+    #[test]
+    fn train_then_infer_separates_families() {
+        let jobs = historical(200);
+        let p = MlPipeline::train(&jobs, config()).unwrap();
+        assert_eq!(p.n_clusters(), 2);
+        // Static features alone recover the behavioural cluster.
+        assert!(p.classifier_accuracy(&jobs) > 0.9, "{}", p.classifier_accuracy(&jobs));
+        // Small jobs must out-score wide/hot jobs.
+        let small = p.infer(&jobs[1]);
+        let hot = p.infer(&jobs[0]);
+        assert!(small.score > hot.score);
+    }
+
+    #[test]
+    fn predictions_in_plausible_ranges() {
+        let jobs = historical(200);
+        let p = MlPipeline::train(&jobs, config()).unwrap();
+        for j in jobs.iter().take(20) {
+            let r = p.infer(j);
+            assert!(r.predicted_runtime_h >= 0.0 && r.predicted_runtime_h < 24.0);
+            assert!(r.predicted_node_power_kw >= 0.0 && r.predicted_node_power_kw < 5.0);
+        }
+    }
+
+    #[test]
+    fn annotate_fills_scores() {
+        let mut jobs = historical(100);
+        let p = MlPipeline::train(&jobs, config()).unwrap();
+        p.annotate(&mut jobs);
+        assert!(jobs.iter().all(|j| j.ml_score.is_some()));
+    }
+
+    #[test]
+    fn too_little_data_is_a_config_error() {
+        let jobs = historical(4);
+        assert!(matches!(
+            MlPipeline::train(&jobs, config()),
+            Err(SrapsError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let jobs = historical(150);
+        let a = MlPipeline::train(&jobs, config()).unwrap();
+        let b = MlPipeline::train(&jobs, config()).unwrap();
+        for j in jobs.iter().take(10) {
+            assert_eq!(a.infer(j), b.infer(j));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Ridge regression via the normal equations (training stage 3: the
+//! per-cluster metric predictors). Solved with Gaussian elimination and
+//! partial pivoting — dimensions here are tiny (≤ 16 features).
+
+use serde::{Deserialize, Serialize};
+
+/// Fitted ridge model: ŷ = w·x + b.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ridge {
+    pub weights: Vec<f64>,
+    pub bias: f64,
+}
+
+impl Ridge {
+    /// Fit with L2 penalty `lambda` (not applied to the bias).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], lambda: f64) -> Ridge {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "ridge needs data");
+        let n = x.len();
+        let d = x[0].len();
+        // Augmented design: [x, 1] → (d+1)² normal matrix.
+        let m = d + 1;
+        let mut a = vec![vec![0.0f64; m]; m];
+        let mut b = vec![0.0f64; m];
+        for (row, &target) in x.iter().zip(y) {
+            for i in 0..m {
+                let xi = if i < d { row[i] } else { 1.0 };
+                b[i] += xi * target;
+                for j in 0..m {
+                    let xj = if j < d { row[j] } else { 1.0 };
+                    a[i][j] += xi * xj;
+                }
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate().take(d) {
+            row[i] += lambda * n as f64;
+        }
+        let sol = solve(a, b);
+        Ridge {
+            bias: sol[d],
+            weights: sol[..d].to_vec(),
+        }
+    }
+
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+
+    /// Mean squared error over a set.
+    pub fn mse(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        x.iter()
+            .zip(y)
+            .map(|(row, &t)| {
+                let e = self.predict(row) - t;
+                e * e
+            })
+            .sum::<f64>()
+            / x.len().max(1) as f64
+    }
+}
+
+/// Gaussian elimination with partial pivoting. Singular systems return the
+/// least-effort solution (zero rows skipped) — with ridge regularization
+/// the matrix is SPD and this path is never hit for λ > 0.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if a[piv][col].abs() < 1e-12 {
+            continue;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for r in col + 1..n {
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            // r > col, so the pivot row sits in the head partition.
+            let (head, tail) = a.split_at_mut(r);
+            let pivot_row = &head[col];
+            for (rc, pc) in tail[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *rc -= f * pc;
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        if a[col][col].abs() < 1e-12 {
+            x[col] = 0.0;
+            continue;
+        }
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col][c] * x[c];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v[0] - 3.0 * v[1] + 7.0).collect();
+        let m = Ridge::fit(&x, &y, 1e-9);
+        assert!((m.weights[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights[1] + 3.0).abs() < 1e-6);
+        assert!((m.bias - 7.0).abs() < 1e-6);
+        assert!(m.mse(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x: Vec<Vec<f64>> = (0..60).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v[0]).collect();
+        let loose = Ridge::fit(&x, &y, 1e-9);
+        let tight = Ridge::fit(&x, &y, 10.0);
+        assert!(tight.weights[0].abs() < loose.weights[0].abs());
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let x: Vec<Vec<f64>> = (0..500).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| 1.5 * v[0] + 2.0 + rng.gen_range(-0.5..0.5))
+            .collect();
+        let m = Ridge::fit(&x, &y, 0.01);
+        assert!((m.weights[0] - 1.5).abs() < 0.1);
+        assert!((m.bias - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn collinear_features_survive_via_ridge() {
+        // x1 = x0 duplicated: OLS is singular; ridge handles it.
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| 4.0 * i as f64).collect();
+        let m = Ridge::fit(&x, &y, 0.1);
+        // Combined effect ≈ 4 split across the twins.
+        let pred = m.predict(&[10.0, 10.0]);
+        assert!((pred - 40.0).abs() < 2.0, "{pred}");
+    }
+}

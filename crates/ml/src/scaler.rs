@@ -1,0 +1,87 @@
+//! Z-score feature normalization ("we normalize static features", §4.4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-column standardizer: x → (x − μ) / σ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    pub means: Vec<f64>,
+    pub stds: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fit on row-major data with `dim` columns.
+    pub fn fit(rows: &[Vec<f64>]) -> Scaler {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for r in rows {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for r in rows {
+            for ((s, v), m) in stds.iter_mut().zip(r).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            // Constant columns scale to zero offset, not NaN.
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Scaler { means, stds }
+    }
+
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_to_zero_mean_unit_variance() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let s = Scaler::fit(&rows);
+        let t = s.transform(&rows);
+        for col in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[col]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[col] * r[col]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_nan() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let s = Scaler::fit(&rows);
+        let t = s.transform_row(&[7.0]);
+        assert_eq!(t[0], 0.0);
+        assert!(t[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn empty_fit_panics() {
+        Scaler::fit(&[]);
+    }
+}

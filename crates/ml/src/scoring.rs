@@ -1,0 +1,95 @@
+//! The ranking score of §4.4.2:
+//!
+//! `S(Xᵢ) = Σⱼ αⱼ · exp(√(Xᵢⱼ + 1))⁻¹`
+//!
+//! Each feature contributes `αⱼ / exp(√(xⱼ+1))`: the exponential damping
+//! means a job's score *falls* as its predicted impact (runtime, power,
+//! size) grows, while small differences between small jobs stay resolvable
+//! ("the exponential function captures fine-grained differences"). With
+//! positive weights, **higher score = lower predicted system impact** —
+//! the ML policy schedules high scores first, which under pressure prefers
+//! small jobs over large ones exactly as §4.4.3 reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature coefficients αⱼ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreWeights {
+    pub alphas: Vec<f64>,
+}
+
+impl ScoreWeights {
+    /// Balanced default over `[nodes, predicted_runtime_h,
+    /// predicted_power_kw]`: the multi-objective trade-off of Fig 10(b).
+    pub fn default_for_scheduling() -> ScoreWeights {
+        ScoreWeights {
+            alphas: vec![1.0, 1.0, 1.0],
+        }
+    }
+}
+
+/// Evaluate `S(X)`; features below −1 are clamped (the formula's domain).
+pub fn score(weights: &ScoreWeights, features: &[f64]) -> f64 {
+    debug_assert_eq!(weights.alphas.len(), features.len());
+    weights
+        .alphas
+        .iter()
+        .zip(features)
+        .map(|(a, &x)| a / ((x.max(-1.0) + 1.0).sqrt()).exp())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w3() -> ScoreWeights {
+        ScoreWeights {
+            alphas: vec![1.0, 1.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn zero_features_score_sum_alpha_over_e() {
+        let s = score(&w3(), &[0.0, 0.0, 0.0]);
+        assert!((s - 3.0 / std::f64::consts::E).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_decreases_with_feature_magnitude() {
+        let small = score(&w3(), &[1.0, 1.0, 1.0]);
+        let big = score(&w3(), &[100.0, 100.0, 100.0]);
+        assert!(small > big, "bigger predicted impact must score lower");
+    }
+
+    #[test]
+    fn weights_steer_the_tradeoff() {
+        // Same features, runtime-heavy weights penalize the long job more.
+        let runtime_heavy = ScoreWeights {
+            alphas: vec![0.1, 10.0, 0.1],
+        };
+        let long_job = [4.0, 50.0, 1.0];
+        let wide_job = [50.0, 4.0, 1.0];
+        assert!(
+            score(&runtime_heavy, &wide_job) > score(&runtime_heavy, &long_job),
+            "runtime-heavy weights must prefer the wide-but-short job"
+        );
+    }
+
+    #[test]
+    fn domain_clamp_keeps_score_finite() {
+        let s = score(&w3(), &[-5.0, -1.0, 0.0]);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn monotone_per_feature() {
+        let w = ScoreWeights { alphas: vec![1.0] };
+        let mut prev = f64::INFINITY;
+        for x in [0.0, 1.0, 4.0, 9.0, 100.0] {
+            let s = score(&w, &[x]);
+            assert!(s < prev);
+            prev = s;
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! CART decision trees: Gini-split classification and variance-split
+//! regression, the base learner of the random forest.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Whether a tree predicts a class label or a real value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeKind {
+    Classification,
+    Regression,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Majority class (classification) or mean target (regression).
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART tree (arena-allocated nodes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    kind: TreeKind,
+    nodes: Vec<Node>,
+}
+
+/// Hyper-parameters for tree fitting.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Features tried per split; `None` = all (single tree), forests pass
+    /// ~√dim for decorrelation.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 4,
+            max_features: None,
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fit on row-major `x` and targets `y` (class indices as f64 for
+    /// classification). `idx` selects the rows in scope (bootstrap sample).
+    pub fn fit(
+        kind: TreeKind,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        params: &TreeParams,
+        rng: &mut SmallRng,
+    ) -> DecisionTree {
+        assert_eq!(x.len(), y.len());
+        assert!(!idx.is_empty(), "tree needs samples");
+        let mut tree = DecisionTree {
+            kind,
+            nodes: Vec::new(),
+        };
+        let mut scratch = idx.to_vec();
+        tree.build(x, y, &mut scratch, 0, params, rng);
+        tree
+    }
+
+    fn leaf_value(kind: TreeKind, y: &[f64], idx: &[usize]) -> f64 {
+        match kind {
+            TreeKind::Regression => idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64,
+            TreeKind::Classification => {
+                // Majority vote over small integer labels.
+                let mut counts: Vec<(i64, usize)> = Vec::new();
+                for &i in idx {
+                    let label = y[i] as i64;
+                    match counts.iter_mut().find(|(l, _)| *l == label) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((label, 1)),
+                    }
+                }
+                counts
+                    .into_iter()
+                    .max_by_key(|&(l, c)| (c, -l)) // deterministic tie-break
+                    .map(|(l, _)| l as f64)
+                    .unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Impurity of a set: Gini for classification, variance for regression.
+    fn impurity(kind: TreeKind, y: &[f64], idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        match kind {
+            TreeKind::Regression => {
+                let n = idx.len() as f64;
+                let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n;
+                idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum::<f64>() / n
+            }
+            TreeKind::Classification => {
+                let mut counts: Vec<(i64, usize)> = Vec::new();
+                for &i in idx {
+                    let label = y[i] as i64;
+                    match counts.iter_mut().find(|(l, _)| *l == label) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((label, 1)),
+                    }
+                }
+                let n = idx.len() as f64;
+                1.0 - counts
+                    .iter()
+                    .map(|&(_, c)| (c as f64 / n) * (c as f64 / n))
+                    .sum::<f64>()
+            }
+        }
+    }
+
+    /// Recursively build; returns node index.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut SmallRng,
+    ) -> usize {
+        let parent_imp = Self::impurity(self.kind, y, idx);
+        if depth >= params.max_depth
+            || idx.len() < params.min_samples_split
+            || parent_imp < 1e-12
+        {
+            let v = Self::leaf_value(self.kind, y, idx);
+            self.nodes.push(Node::Leaf { value: v });
+            return self.nodes.len() - 1;
+        }
+
+        let dim = x[0].len();
+        let n_try = params.max_features.unwrap_or(dim).clamp(1, dim);
+        let mut feats: Vec<usize> = (0..dim).collect();
+        feats.shuffle(rng);
+        feats.truncate(n_try);
+
+        // Best split over tried features; thresholds from random sample
+        // quantiles (cheaper than exhaustive sort per feature, standard for
+        // forests).
+        let mut best: Option<(usize, f64, f64)> = None; // (feat, thr, score)
+        for &f in &feats {
+            // Candidate thresholds: up to 12 random pivots from the data.
+            for _ in 0..12 {
+                let pivot = x[idx[rng.gen_range(0..idx.len())]][f];
+                let (mut nl, mut nr) = (0usize, 0usize);
+                for &i in idx.iter() {
+                    if x[i][f] <= pivot {
+                        nl += 1;
+                    } else {
+                        nr += 1;
+                    }
+                }
+                if nl == 0 || nr == 0 {
+                    continue;
+                }
+                // Weighted child impurity.
+                let left: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] <= pivot).collect();
+                let right: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] > pivot).collect();
+                let score = (left.len() as f64 * Self::impurity(self.kind, y, &left)
+                    + right.len() as f64 * Self::impurity(self.kind, y, &right))
+                    / idx.len() as f64;
+                if best.is_none() || score < best.expect("checked").2 {
+                    best = Some((f, pivot, score));
+                }
+            }
+        }
+
+        let Some((feat, thr, score)) = best else {
+            let v = Self::leaf_value(self.kind, y, idx);
+            self.nodes.push(Node::Leaf { value: v });
+            return self.nodes.len() - 1;
+        };
+        if score >= parent_imp - 1e-12 {
+            // No impurity reduction.
+            let v = Self::leaf_value(self.kind, y, idx);
+            self.nodes.push(Node::Leaf { value: v });
+            return self.nodes.len() - 1;
+        }
+
+        // Partition in place.
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        for &i in idx.iter() {
+            if x[i][feat] <= thr {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        // Reserve this node's slot before children are built.
+        self.nodes.push(Node::Leaf { value: 0.0 });
+        let me = self.nodes.len() - 1;
+        let l = self.build(x, y, &mut left, depth + 1, params, rng);
+        let r = self.build(x, y, &mut right, depth + 1, params, rng);
+        self.nodes[me] = Node::Split {
+            feature: feat,
+            threshold: thr,
+            left: l,
+            right: r,
+        };
+        me
+    }
+
+    /// Predict one row. Note the arena root is the *first reserved* node
+    /// (index of the outermost build call): we track it as node pushed
+    /// first for leaves, or the reserved slot for splits — both are 0.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn classifies_linearly_separable_data() {
+        // Class = x0 > 0.5.
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| if v[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let tree = DecisionTree::fit(
+            TreeKind::Classification,
+            &x,
+            &y,
+            &idx,
+            &TreeParams::default(),
+            &mut r,
+        );
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &label)| tree.predict(row) == label)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "{correct}/200");
+    }
+
+    #[test]
+    fn regresses_step_function() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..300).map(|_| vec![r.gen_range(0.0..1.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|v| if v[0] > 0.3 { 10.0 } else { 2.0 }).collect();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let tree = DecisionTree::fit(
+            TreeKind::Regression,
+            &x,
+            &y,
+            &idx,
+            &TreeParams::default(),
+            &mut r,
+        );
+        assert!((tree.predict(&[0.1]) - 2.0).abs() < 1.0);
+        assert!((tree.predict(&[0.9]) - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1.0, 1.0, 1.0];
+        let idx = vec![0, 1, 2];
+        let mut r = rng();
+        let tree = DecisionTree::fit(
+            TreeKind::Classification,
+            &x,
+            &y,
+            &idx,
+            &TreeParams::default(),
+            &mut r,
+        );
+        assert_eq!(tree.node_count(), 1, "pure targets need no splits");
+        assert_eq!(tree.predict(&[99.0]), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_bounds_tree() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..500).map(|_| vec![r.gen_range(0.0..1.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] * 7.0).collect();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let params = TreeParams {
+            max_depth: 2,
+            ..Default::default()
+        };
+        let tree = DecisionTree::fit(TreeKind::Regression, &x, &y, &idx, &params, &mut r);
+        // Depth-2 binary tree ≤ 7 nodes.
+        assert!(tree.node_count() <= 7, "{}", tree.node_count());
+    }
+
+    #[test]
+    fn single_sample_is_a_leaf() {
+        let x = vec![vec![1.0, 2.0]];
+        let y = vec![5.0];
+        let mut r = rng();
+        let tree =
+            DecisionTree::fit(TreeKind::Regression, &x, &y, &[0], &TreeParams::default(), &mut r);
+        assert_eq!(tree.predict(&[0.0, 0.0]), 5.0);
+    }
+}

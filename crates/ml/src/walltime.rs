@@ -1,0 +1,194 @@
+//! Walltime-estimate correction — the paper's closing future-work item:
+//! "if this information is not available, we have to rely on user
+//! estimates, or fingerprinting and prediction, which are prime candidates
+//! for future work" (§5).
+//!
+//! Users over-request walltime by 1.1–3× (the generators model this), and
+//! EASY/conservative backfill compute reservations from those requests —
+//! padded estimates inflate shadow times and block legitimate backfills.
+//! [`WalltimeModel`] learns the actual-runtime distribution from history
+//! (ridge regression on log-runtime over static features) and produces
+//! tightened estimates with a safety margin.
+
+use crate::features::static_features;
+use crate::ridge::Ridge;
+use crate::scaler::Scaler;
+use sraps_types::{Job, Result, SimDuration, SrapsError};
+
+/// A fitted walltime-correction model.
+#[derive(Debug, Clone)]
+pub struct WalltimeModel {
+    scaler: Scaler,
+    model: Ridge,
+    /// Residual standard deviation on the log-runtime scale. Corrections
+    /// pad by 2σ: on a real system a job exceeding its (corrected) limit
+    /// is killed, so corrections must be upper quantiles, not means —
+    /// under-estimates also poison EASY reservations.
+    log_resid_sigma: f64,
+    /// Extra multiplicative safety margin on top of the 2σ pad (e.g. 1.2).
+    pub safety_factor: f64,
+}
+
+impl WalltimeModel {
+    /// Fit on historical jobs with known runtimes.
+    pub fn fit(historical: &[Job], safety_factor: f64) -> Result<WalltimeModel> {
+        if historical.len() < 8 {
+            return Err(SrapsError::Config(format!(
+                "walltime model needs ≥8 historical jobs, got {}",
+                historical.len()
+            )));
+        }
+        let x: Vec<Vec<f64>> = historical.iter().map(feature_row).collect();
+        let y: Vec<f64> = historical
+            .iter()
+            .map(|j| (j.duration().as_secs_f64().max(60.0)).ln())
+            .collect();
+        let scaler = Scaler::fit(&x);
+        let scaled = scaler.transform(&x);
+        let model = Ridge::fit(&scaled, &y, 0.1);
+        let resid_var = scaled
+            .iter()
+            .zip(&y)
+            .map(|(row, &t)| {
+                let e = model.predict(row) - t;
+                e * e
+            })
+            .sum::<f64>()
+            / historical.len() as f64;
+        Ok(WalltimeModel {
+            scaler,
+            model,
+            log_resid_sigma: resid_var.sqrt(),
+            safety_factor,
+        })
+    }
+
+    /// Predicted (median) runtime for a job, seconds.
+    pub fn predict_runtime_secs(&self, job: &Job) -> f64 {
+        let row = self.scaler.transform_row(&feature_row(job));
+        self.model.predict(&row).exp().max(60.0)
+    }
+
+    /// Residual σ on the log-runtime scale (diagnostics).
+    pub fn log_resid_sigma(&self) -> f64 {
+        self.log_resid_sigma
+    }
+
+    /// Corrected walltime estimate: the ~P97.5 runtime (median × e^{2σ})
+    /// times the safety factor, never *looser* than the user's own request
+    /// (the request stays an upper bound — exceeding it would get the job
+    /// killed on a real system).
+    pub fn corrected_estimate(&self, job: &Job) -> SimDuration {
+        let upper = self.predict_runtime_secs(job)
+            * (2.0 * self.log_resid_sigma).exp()
+            * self.safety_factor;
+        let user = job.estimate().as_secs_f64();
+        SimDuration::seconds(upper.min(user).max(60.0) as i64)
+    }
+
+    /// Rewrite the wall-time limits of a job set with corrected estimates.
+    /// Returns how many jobs were tightened.
+    pub fn apply(&self, jobs: &mut [Job]) -> usize {
+        let mut tightened = 0;
+        for j in jobs.iter_mut() {
+            let corrected = self.corrected_estimate(j);
+            if corrected < j.walltime_limit {
+                j.walltime_limit = corrected;
+                tightened += 1;
+            }
+        }
+        tightened
+    }
+
+    /// Mean absolute error of runtime prediction over a job set, seconds.
+    pub fn mae_secs(&self, jobs: &[Job]) -> f64 {
+        if jobs.is_empty() {
+            return 0.0;
+        }
+        jobs.iter()
+            .map(|j| (self.predict_runtime_secs(j) - j.duration().as_secs_f64()).abs())
+            .sum::<f64>()
+            / jobs.len() as f64
+    }
+}
+
+/// Features for walltime prediction: the user's own request is the
+/// strongest signal, plus size and submission context.
+fn feature_row(job: &Job) -> Vec<f64> {
+    let mut v = static_features(job);
+    v.push(job.estimate().as_secs_f64().max(60.0).ln());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::job::JobBuilder;
+    use sraps_types::SimTime;
+
+    /// Jobs whose actual runtime is a stable fraction of the request, by
+    /// user: user 0 runs at 40 % of request, user 1 at 80 %.
+    fn history(n: usize) -> Vec<Job> {
+        (0..n as u64)
+            .map(|i| {
+                let user = (i % 2) as u32;
+                let request = 3600 + (i % 7) as i64 * 900;
+                let frac = if user == 0 { 0.4 } else { 0.8 };
+                let runtime = (request as f64 * frac) as i64;
+                JobBuilder::new(i)
+                    .user(user)
+                    .account(user)
+                    .submit(SimTime::seconds(i as i64 * 100))
+                    .window(
+                        SimTime::seconds(i as i64 * 100 + 60),
+                        SimTime::seconds(i as i64 * 100 + 60 + runtime),
+                    )
+                    .walltime(SimDuration::seconds(request))
+                    .nodes(4)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_per_user_over_request_patterns() {
+        let jobs = history(200);
+        let m = WalltimeModel::fit(&jobs, 1.2).unwrap();
+        // Prediction error far below the raw over-request error.
+        let mae = m.mae_secs(&jobs);
+        let raw_mae: f64 = jobs
+            .iter()
+            .map(|j| (j.estimate().as_secs_f64() - j.duration().as_secs_f64()).abs())
+            .sum::<f64>()
+            / jobs.len() as f64;
+        assert!(mae < raw_mae * 0.5, "mae {mae:.0}s vs raw {raw_mae:.0}s");
+    }
+
+    #[test]
+    fn corrected_estimate_tighter_but_bounded() {
+        let jobs = history(200);
+        let m = WalltimeModel::fit(&jobs, 1.2).unwrap();
+        for j in jobs.iter().take(20) {
+            let corrected = m.corrected_estimate(j);
+            assert!(corrected <= j.estimate(), "never looser than the request");
+            assert!(corrected.as_secs() >= 60);
+        }
+    }
+
+    #[test]
+    fn apply_tightens_over_requesters() {
+        let mut jobs = history(100);
+        let m = WalltimeModel::fit(&jobs, 1.2).unwrap();
+        let tightened = m.apply(&mut jobs);
+        // User-0 jobs (40 % usage) must all be tightened.
+        assert!(tightened >= 50, "only {tightened} tightened");
+    }
+
+    #[test]
+    fn too_little_history_errors() {
+        assert!(matches!(
+            WalltimeModel::fit(&history(3), 1.2),
+            Err(SrapsError::Config(_))
+        ));
+    }
+}

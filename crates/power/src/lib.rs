@@ -1,0 +1,19 @@
+//! Power modeling: utilization → node power → conversion losses → facility
+//! power.
+//!
+//! This substitutes the component-behaviour power computation of Wojda et
+//! al. \[42\] used by ExaDigiT: each node's CPU/GPU power interpolates between
+//! idle and peak with utilization, memory and board power are constant, and
+//! the node's draw then passes through a load-dependent rectifier efficiency
+//! curve and a fixed distribution efficiency. The digital twin cares about
+//! this structure because losses (and therefore heat and PUE) change with
+//! *how* load is spread over time — which is exactly what scheduling
+//! policies alter.
+
+pub mod loss;
+pub mod node_power;
+pub mod system;
+
+pub use loss::{distribution_loss_w, rectifier_efficiency, rectifier_loss_w};
+pub use node_power::{node_power_from_telemetry, node_power_w};
+pub use system::{PowerModel, PowerSample};

@@ -1,0 +1,78 @@
+//! Electrical conversion losses (rectification + distribution).
+//!
+//! Rectifier efficiency follows a concave quadratic of load fraction —
+//! the characteristic shape of the measured conversion-stage curves in
+//! Wojda et al. \[42\]: efficiency peaks at partial load and falls off toward
+//! both idle (fixed losses dominate) and full load (resistive losses grow).
+
+use sraps_systems::LossSpec;
+
+/// Rectifier efficiency at `load_fraction` of rated power, in `(0, 1]`.
+pub fn rectifier_efficiency(spec: &LossSpec, load_fraction: f64) -> f64 {
+    let l = load_fraction.clamp(0.0, 1.0);
+    let d = l - spec.rectifier_peak_load;
+    (spec.rectifier_peak_eff - spec.rectifier_curvature * d * d).clamp(0.5, 1.0)
+}
+
+/// Watts lost in rectification when delivering `power_w` to IT at the given
+/// facility load fraction. Loss = input − output = P·(1/η − 1).
+pub fn rectifier_loss_w(spec: &LossSpec, power_w: f64, load_fraction: f64) -> f64 {
+    let eta = rectifier_efficiency(spec, load_fraction);
+    power_w * (1.0 / eta - 1.0)
+}
+
+/// Watts lost in distribution (transformers, busbars) upstream of the
+/// rectifiers when the rectifier *input* is `rectifier_input_w`.
+pub fn distribution_loss_w(spec: &LossSpec, rectifier_input_w: f64) -> f64 {
+    rectifier_input_w * (1.0 / spec.distribution_eff - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LossSpec {
+        LossSpec {
+            rectifier_peak_eff: 0.975,
+            rectifier_peak_load: 0.6,
+            rectifier_curvature: 0.06,
+            distribution_eff: 0.99,
+        }
+    }
+
+    #[test]
+    fn efficiency_peaks_at_design_load() {
+        let s = spec();
+        let at_peak = rectifier_efficiency(&s, 0.6);
+        assert!((at_peak - 0.975).abs() < 1e-12);
+        assert!(rectifier_efficiency(&s, 0.1) < at_peak);
+        assert!(rectifier_efficiency(&s, 1.0) < at_peak);
+    }
+
+    #[test]
+    fn efficiency_clamped_to_sane_band() {
+        let s = LossSpec {
+            rectifier_curvature: 10.0, // absurd curvature
+            ..spec()
+        };
+        assert!(rectifier_efficiency(&s, 0.0) >= 0.5);
+        assert!(rectifier_efficiency(&s, 2.0) <= 1.0); // load clamped to 1
+    }
+
+    #[test]
+    fn loss_positive_and_grows_off_peak() {
+        let s = spec();
+        let at_peak = rectifier_loss_w(&s, 1_000_000.0, 0.6);
+        let at_low = rectifier_loss_w(&s, 1_000_000.0, 0.1);
+        assert!(at_peak > 0.0);
+        assert!(at_low > at_peak, "same power at worse efficiency loses more");
+    }
+
+    #[test]
+    fn distribution_loss_scales_linearly() {
+        let s = spec();
+        let l1 = distribution_loss_w(&s, 100.0);
+        let l2 = distribution_loss_w(&s, 200.0);
+        assert!((l2 - 2.0 * l1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-node power from component utilizations or recorded telemetry.
+
+use sraps_systems::NodePowerSpec;
+use sraps_types::{JobTelemetry, SimDuration};
+
+/// Compute one node's power draw in watts for the given component
+/// utilizations (each clamped to `[0, 1]`).
+///
+/// CPU and GPU interpolate linearly between idle and peak; memory and
+/// board/static power are constant. Linear interpolation is the model RAPS
+/// itself uses for utilization-only datasets and is accurate to a few
+/// percent for the GPU-dominated nodes that set these systems' power.
+pub fn node_power_w(spec: &NodePowerSpec, cpu_util: f64, gpu_util: f64) -> f64 {
+    let cu = cpu_util.clamp(0.0, 1.0);
+    let gu = gpu_util.clamp(0.0, 1.0);
+    let cpu = spec.cpu_idle_w + (spec.cpu_peak_w - spec.cpu_idle_w) * cu;
+    let gpu = spec.gpu_idle_w + (spec.gpu_peak_w - spec.gpu_idle_w) * gu;
+    cpu + gpu + spec.mem_w + spec.static_w
+}
+
+/// Per-node power for a job at `offset` into its execution.
+///
+/// Datasets that record node power directly (PM100, Frontier) take
+/// precedence — replay should reproduce recorded power, not re-derive it.
+/// Utilization-only telemetry falls back to the component model.
+pub fn node_power_from_telemetry(
+    spec: &NodePowerSpec,
+    telemetry: &JobTelemetry,
+    offset: SimDuration,
+) -> f64 {
+    if let Some(p) = telemetry.power_at(offset) {
+        return p as f64;
+    }
+    node_power_w(
+        spec,
+        telemetry.cpu_util_at(offset) as f64,
+        telemetry.gpu_util_at(offset) as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sraps_types::Trace;
+
+    fn spec() -> NodePowerSpec {
+        NodePowerSpec {
+            cpus_per_node: 1,
+            gpus_per_node: 4,
+            cpu_idle_w: 100.0,
+            cpu_peak_w: 300.0,
+            gpu_idle_w: 400.0,
+            gpu_peak_w: 2000.0,
+            mem_w: 100.0,
+            static_w: 100.0,
+        }
+    }
+
+    #[test]
+    fn idle_and_peak_endpoints() {
+        let s = spec();
+        assert_eq!(node_power_w(&s, 0.0, 0.0), s.idle_node_w());
+        assert_eq!(node_power_w(&s, 1.0, 1.0), s.peak_node_w());
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let s = spec();
+        let half = node_power_w(&s, 0.5, 0.5);
+        assert!((half - (s.idle_node_w() + s.peak_node_w()) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let s = spec();
+        assert_eq!(node_power_w(&s, -3.0, 2.0), node_power_w(&s, 0.0, 1.0));
+    }
+
+    #[test]
+    fn recorded_power_takes_precedence() {
+        let s = spec();
+        let mut tel = JobTelemetry::from_scalars(1.0, Some(1.0), 1234.0);
+        assert_eq!(
+            node_power_from_telemetry(&s, &tel, SimDuration::ZERO),
+            1234.0
+        );
+        // Without recorded power, fall back to the component model.
+        tel.node_power_w = None;
+        assert_eq!(
+            node_power_from_telemetry(&s, &tel, SimDuration::ZERO),
+            s.peak_node_w()
+        );
+    }
+
+    #[test]
+    fn trace_offset_is_respected() {
+        let s = spec();
+        let tel = JobTelemetry {
+            node_power_w: Some(Trace::new(
+                SimDuration::ZERO,
+                SimDuration::seconds(10),
+                vec![500.0, 900.0],
+            )),
+            ..Default::default()
+        };
+        assert_eq!(
+            node_power_from_telemetry(&s, &tel, SimDuration::seconds(0)),
+            500.0
+        );
+        assert_eq!(
+            node_power_from_telemetry(&s, &tel, SimDuration::seconds(10)),
+            900.0
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! The built-in scheduler: policy ordering + backfill + placement.
+
+use crate::backfill::{conservative_plan, easy_admits, easy_reservation, BackfillKind};
+use crate::policy::PolicyKind;
+use crate::queue::JobQueue;
+use crate::resource_manager::ResourceManager;
+use crate::scheduler::{Placement, SchedContext, SchedulerBackend, SchedulerStats};
+use sraps_types::{Result, SimTime};
+
+/// The default scheduler (`--scheduler default`): one of the built-in
+/// policies combined with a backfill strategy.
+#[derive(Debug, Clone)]
+pub struct BuiltinScheduler {
+    policy: PolicyKind,
+    backfill: BackfillKind,
+    stats: SchedulerStats,
+}
+
+impl BuiltinScheduler {
+    pub fn new(policy: PolicyKind, backfill: BackfillKind) -> Self {
+        BuiltinScheduler {
+            policy,
+            backfill,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    pub fn backfill(&self) -> BackfillKind {
+        self.backfill
+    }
+
+    /// Replay placement: jobs start exactly at their recorded start, on
+    /// their recorded nodes when those are free (always true for
+    /// self-consistent traces); otherwise fall back to first-fit and count
+    /// the deviation.
+    fn schedule_replay(
+        &mut self,
+        now: SimTime,
+        queue: &mut JobQueue,
+        rm: &mut ResourceManager,
+    ) -> Vec<Placement> {
+        let mut placed = Vec::new();
+        for job in queue.jobs() {
+            if job.recorded_start > now {
+                continue;
+            }
+            let nodes = match &job.recorded_nodes {
+                Some(set) if rm.allocate_exact(set).is_ok() => set.clone(),
+                Some(_) => {
+                    // Recorded nodes busy (capture-window edge) → fall back
+                    // to count-based placement and flag the deviation.
+                    match rm.allocate(job.nodes) {
+                        Ok(set) => {
+                            self.stats.placement_fallbacks += 1;
+                            set
+                        }
+                        Err(_) => continue, // machine full; retry next tick
+                    }
+                }
+                // Summary datasets publish no node lists; count-based
+                // placement is the expected path, not a fallback.
+                None => match rm.allocate(job.nodes) {
+                    Ok(set) => set,
+                    Err(_) => continue,
+                },
+            };
+            placed.push(Placement { job: job.id, nodes });
+        }
+        placed
+    }
+
+    /// Scheduled placement: policy order, then walk the queue placing jobs
+    /// according to the backfill rule.
+    fn schedule_ordered(
+        &mut self,
+        now: SimTime,
+        queue: &mut JobQueue,
+        rm: &mut ResourceManager,
+        ctx: &SchedContext<'_>,
+    ) -> Vec<Placement> {
+        self.policy.order(queue, ctx, now);
+        self.stats.recomputations += 1;
+
+        if self.backfill == BackfillKind::Conservative {
+            return self.schedule_conservative(now, queue, rm, ctx);
+        }
+
+        let mut placed = Vec::new();
+        let mut reservation = None;
+        // Nodes virtually consumed by jobs placed in this pass are already
+        // reflected in `rm`, so free_count is always current.
+        for job in queue.jobs() {
+            if reservation.is_none() {
+                // Queue-order phase: place until the head blocks.
+                if rm.can_allocate(job.nodes) {
+                    if let Ok(nodes) = rm.allocate(job.nodes) {
+                        placed.push(Placement { job: job.id, nodes });
+                        continue;
+                    }
+                }
+                // Head blocked: stop (none), or switch to a backfill phase.
+                match self.backfill {
+                    BackfillKind::None => break,
+                    BackfillKind::FirstFit => {
+                        // Sentinel reservation admitting any fitting job.
+                        reservation = Some(crate::backfill::Reservation {
+                            shadow_time: SimTime::MAX,
+                            extra_nodes: u32::MAX,
+                        });
+                        continue;
+                    }
+                    BackfillKind::Easy => {
+                        match easy_reservation(job.nodes, rm.free_count(), ctx.running) {
+                            Some(res) => {
+                                reservation = Some(res);
+                                continue;
+                            }
+                            // Head cannot ever fit (wider than machine):
+                            // skip it and keep scheduling in order.
+                            None => continue,
+                        }
+                    }
+                    BackfillKind::Conservative => unreachable!("handled above"),
+                }
+            }
+            // Backfill phase.
+            let res = reservation.as_mut().expect("set when head blocked");
+            if easy_admits(job, now, rm.free_count(), res) {
+                // A job that outlives the shadow time was admitted on the
+                // strength of the reservation's spare nodes — consume them,
+                // or a train of long narrow jobs would eat the head's
+                // reserved nodes and starve it.
+                if now + job.estimate > res.shadow_time {
+                    res.extra_nodes = res.extra_nodes.saturating_sub(job.nodes);
+                }
+                if let Ok(nodes) = rm.allocate(job.nodes) {
+                    placed.push(Placement { job: job.id, nodes });
+                    self.stats.backfilled += 1;
+                }
+            }
+        }
+        placed
+    }
+
+    /// Conservative backfill: plan a reservation for *every* queued job in
+    /// policy order, then start exactly those whose reserved time has come.
+    fn schedule_conservative(
+        &mut self,
+        now: SimTime,
+        queue: &mut JobQueue,
+        rm: &mut ResourceManager,
+        ctx: &SchedContext<'_>,
+    ) -> Vec<Placement> {
+        let plan = conservative_plan(
+            queue.jobs(),
+            now,
+            rm.free_count(),
+            rm.total_nodes(),
+            ctx.running,
+        );
+        let mut placed = Vec::new();
+        for (job, &start) in queue.jobs().iter().zip(&plan) {
+            if start > now {
+                continue;
+            }
+            if let Ok(nodes) = rm.allocate(job.nodes) {
+                // Everything after the head position counts as backfilled.
+                if !placed.is_empty() {
+                    self.stats.backfilled += 1;
+                }
+                placed.push(Placement { job: job.id, nodes });
+            }
+        }
+        placed
+    }
+}
+
+impl SchedulerBackend for BuiltinScheduler {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn schedule(
+        &mut self,
+        now: SimTime,
+        queue: &mut JobQueue,
+        rm: &mut ResourceManager,
+        ctx: &SchedContext<'_>,
+    ) -> Result<Vec<Placement>> {
+        self.stats.invocations += 1;
+        let placed = if self.policy == PolicyKind::Replay {
+            self.schedule_replay(now, queue, rm)
+        } else {
+            self.schedule_ordered(now, queue, rm, ctx)
+        };
+        self.stats.placements += placed.len() as u64;
+        let ids: Vec<_> = placed.iter().map(|p| p.job).collect();
+        queue.remove_placed(&ids);
+        Ok(placed)
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueuedJob;
+    use crate::scheduler::RunningView;
+    use sraps_types::{AccountId, JobId, NodeSet, SimDuration};
+
+    fn qj(id: u64, submit: i64, nodes: u32, est: i64) -> QueuedJob {
+        QueuedJob {
+            id: JobId(id),
+            account: AccountId(0),
+            submit: SimTime::seconds(submit),
+            nodes,
+            estimate: SimDuration::seconds(est),
+            priority: 0.0,
+            ml_score: None,
+            recorded_start: SimTime::seconds(submit),
+            recorded_nodes: None,
+        }
+    }
+
+    fn ctx_with<'a>(running: &'a [RunningView]) -> SchedContext<'a> {
+        SchedContext {
+            running,
+            accounts: None,
+        }
+    }
+
+    fn schedule(
+        s: &mut BuiltinScheduler,
+        now: i64,
+        queue: &mut JobQueue,
+        rm: &mut ResourceManager,
+        running: &[RunningView],
+    ) -> Vec<Placement> {
+        s.schedule(SimTime::seconds(now), queue, rm, &ctx_with(running))
+            .unwrap()
+    }
+
+    #[test]
+    fn fcfs_no_backfill_blocks_behind_head() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Fcfs, BackfillKind::None);
+        let mut rm = ResourceManager::new(10);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 8, 100)); // fits
+        q.push(qj(2, 1, 8, 100)); // blocks (2 free)
+        q.push(qj(3, 2, 1, 100)); // would fit, must NOT run (no backfill)
+        let placed = schedule(&mut s, 10, &mut q, &mut rm, &[]);
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].job, JobId(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn first_fit_backfills_any_fitting_job() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Fcfs, BackfillKind::FirstFit);
+        let mut rm = ResourceManager::new(10);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 8, 100));
+        q.push(qj(2, 1, 8, 100)); // blocks
+        q.push(qj(3, 2, 2, 1_000_000)); // long but fits → first-fit takes it
+        let placed = schedule(&mut s, 10, &mut q, &mut rm, &[]);
+        let ids: Vec<u64> = placed.iter().map(|p| p.job.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(s.stats().backfilled, 1);
+    }
+
+    #[test]
+    fn easy_backfill_respects_reservation() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Fcfs, BackfillKind::Easy);
+        let mut rm = ResourceManager::new(10);
+        // 8 nodes busy until t=1000 (estimated).
+        let busy = rm.allocate(8).unwrap();
+        let running = [RunningView {
+            id: JobId(100),
+            nodes: 8,
+            estimated_end: SimTime::seconds(1000),
+        }];
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 10, 100)); // head: needs the whole machine → blocked
+        q.push(qj(2, 1, 2, 500)); // ends at 10+500 < 1000 → backfills
+        q.push(qj(3, 2, 2, 5000)); // would end after shadow & extra=0 → no
+        let placed = schedule(&mut s, 10, &mut q, &mut rm, &running);
+        let ids: Vec<u64> = placed.iter().map(|p| p.job.0).collect();
+        assert_eq!(ids, vec![2]);
+        rm.release(&busy);
+    }
+
+    #[test]
+    fn easy_skips_impossible_head_and_continues() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Fcfs, BackfillKind::Easy);
+        let mut rm = ResourceManager::new(4);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 100, 10)); // wider than machine, no running jobs
+        q.push(qj(2, 1, 2, 10));
+        let placed = schedule(&mut s, 10, &mut q, &mut rm, &[]);
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].job, JobId(2));
+    }
+
+    #[test]
+    fn replay_waits_for_recorded_start_and_uses_recorded_nodes() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Replay, BackfillKind::None);
+        let mut rm = ResourceManager::new(10);
+        let mut q = JobQueue::new();
+        let mut j = qj(1, 0, 2, 100);
+        j.recorded_start = SimTime::seconds(50);
+        j.recorded_nodes = Some(NodeSet::from_indices(vec![7, 8]));
+        q.push(j);
+        // Too early: nothing placed.
+        assert!(schedule(&mut s, 10, &mut q, &mut rm, &[]).is_empty());
+        // At recorded start: exact placement honored.
+        let placed = schedule(&mut s, 50, &mut q, &mut rm, &[]);
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].nodes.as_slice(), &[7, 8]);
+        assert_eq!(s.stats().placement_fallbacks, 0);
+    }
+
+    #[test]
+    fn replay_falls_back_when_recorded_nodes_busy() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Replay, BackfillKind::None);
+        let mut rm = ResourceManager::new(10);
+        rm.allocate_exact(&NodeSet::from_indices(vec![7, 8])).unwrap();
+        let mut q = JobQueue::new();
+        let mut j = qj(1, 0, 2, 100);
+        j.recorded_start = SimTime::seconds(0);
+        j.recorded_nodes = Some(NodeSet::from_indices(vec![7, 8]));
+        q.push(j);
+        let placed = schedule(&mut s, 0, &mut q, &mut rm, &[]);
+        assert_eq!(placed.len(), 1);
+        assert_ne!(placed[0].nodes.as_slice(), &[7, 8]);
+        assert_eq!(s.stats().placement_fallbacks, 1);
+    }
+
+    #[test]
+    fn placed_jobs_leave_the_queue_and_stats_count() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Sjf, BackfillKind::FirstFit);
+        let mut rm = ResourceManager::new(4);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 2, 10));
+        q.push(qj(2, 0, 2, 5));
+        let placed = schedule(&mut s, 0, &mut q, &mut rm, &[]);
+        assert_eq!(placed.len(), 2);
+        assert!(q.is_empty());
+        assert_eq!(s.stats().invocations, 1);
+        assert_eq!(s.stats().placements, 2);
+        // SJF: shorter job (2) placed first.
+        assert_eq!(placed[0].job, JobId(2));
+    }
+
+    #[test]
+    fn no_double_allocation_across_ticks() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Fcfs, BackfillKind::FirstFit);
+        let mut rm = ResourceManager::new(6);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 4, 100));
+        q.push(qj(2, 0, 4, 100));
+        let p1 = schedule(&mut s, 0, &mut q, &mut rm, &[]);
+        assert_eq!(p1.len(), 1);
+        let p2 = schedule(&mut s, 10, &mut q, &mut rm, &[]);
+        assert!(p2.is_empty(), "only 2 nodes free");
+        rm.release(&p1[0].nodes);
+        let p3 = schedule(&mut s, 20, &mut q, &mut rm, &[]);
+        assert_eq!(p3.len(), 1);
+        assert!(p1[0].nodes.is_disjoint(&p3[0].nodes) || p1[0].nodes == p3[0].nodes);
+    }
+}

@@ -1,0 +1,120 @@
+//! The scheduler-facing job queue.
+
+use serde::{Deserialize, Serialize};
+use sraps_types::{AccountId, JobId, NodeSet, SimDuration, SimTime};
+
+/// What the scheduler knows about one queued job — deliberately *only*
+/// pre-submission information plus the recorded fields replay needs
+/// (§3.2.3: "the scheduler is not aware of jobs not yet in the queue", and
+/// knows nothing a real scheduler would not).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueuedJob {
+    pub id: JobId,
+    pub account: AccountId,
+    pub submit: SimTime,
+    pub nodes: u32,
+    /// Runtime estimate (wall-time limit) used for reservations.
+    pub estimate: SimDuration,
+    /// Site/dataset priority.
+    pub priority: f64,
+    /// ML pipeline score, if the inference pass annotated this job (§4.4).
+    pub ml_score: Option<f64>,
+    /// Recorded start (replay only).
+    pub recorded_start: SimTime,
+    /// Recorded placement (replay only).
+    pub recorded_nodes: Option<NodeSet>,
+}
+
+/// FIFO-by-submission queue that policies reorder in place each tick.
+#[derive(Debug, Clone, Default)]
+pub struct JobQueue {
+    jobs: Vec<QueuedJob>,
+}
+
+impl JobQueue {
+    pub fn new() -> Self {
+        JobQueue::default()
+    }
+
+    pub fn push(&mut self, job: QueuedJob) {
+        self.jobs.push(job);
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    pub fn jobs(&self) -> &[QueuedJob] {
+        &self.jobs
+    }
+
+    pub fn jobs_mut(&mut self) -> &mut Vec<QueuedJob> {
+        &mut self.jobs
+    }
+
+    /// Remove the queued entries whose ids are in `placed` (called by the
+    /// engine after starting them).
+    pub fn remove_placed(&mut self, placed: &[JobId]) {
+        if placed.is_empty() {
+            return;
+        }
+        self.jobs.retain(|j| !placed.contains(&j.id));
+    }
+
+    /// Stable sort by a policy key, breaking ties by submit time then id so
+    /// results are deterministic across runs.
+    pub fn sort_by_key_stable<F: FnMut(&QueuedJob) -> f64>(&mut self, mut key: F) {
+        self.jobs.sort_by(|a, b| {
+            key(a)
+                .partial_cmp(&key(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.submit.cmp(&b.submit))
+                .then(a.id.cmp(&b.id))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn qj(id: u64, submit: i64, nodes: u32, est: i64, prio: f64) -> QueuedJob {
+        QueuedJob {
+            id: JobId(id),
+            account: AccountId(0),
+            submit: SimTime::seconds(submit),
+            nodes,
+            estimate: SimDuration::seconds(est),
+            priority: prio,
+            ml_score: None,
+            recorded_start: SimTime::seconds(submit),
+            recorded_nodes: None,
+        }
+    }
+
+    #[test]
+    fn push_and_remove_placed() {
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 1, 10, 0.0));
+        q.push(qj(2, 1, 1, 10, 0.0));
+        q.push(qj(3, 2, 1, 10, 0.0));
+        q.remove_placed(&[JobId(2)]);
+        assert_eq!(q.len(), 2);
+        assert!(q.jobs().iter().all(|j| j.id != JobId(2)));
+    }
+
+    #[test]
+    fn sort_is_stable_and_deterministic() {
+        let mut q = JobQueue::new();
+        q.push(qj(2, 5, 1, 10, 1.0));
+        q.push(qj(1, 5, 1, 10, 1.0)); // same key & submit → id breaks tie
+        q.push(qj(3, 0, 1, 10, 1.0));
+        q.sort_by_key_stable(|j| j.priority);
+        let ids: Vec<u64> = q.jobs().iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+    }
+}

@@ -1,0 +1,90 @@
+//! The scheduler abstraction (§3.2.4): the contract between the simulation
+//! engine and any scheduler, built-in or external.
+
+use crate::queue::JobQueue;
+use crate::resource_manager::ResourceManager;
+use serde::{Deserialize, Serialize};
+use sraps_acct::Accounts;
+use sraps_types::{JobId, NodeSet, Result, SimTime};
+
+/// A placement decision: start `job` now on `nodes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    pub job: JobId,
+    pub nodes: NodeSet,
+}
+
+/// The scheduler's view of one running job — what a real batch system
+/// would know: when the job is *expected* to end (from its wall-time
+/// limit), not when it actually will.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningView {
+    pub id: JobId,
+    pub nodes: u32,
+    /// Estimated end = start + wall-time limit.
+    pub estimated_end: SimTime,
+}
+
+/// Read-only context handed to the scheduler each invocation.
+pub struct SchedContext<'a> {
+    /// Jobs currently executing (for reservation computation).
+    pub running: &'a [RunningView],
+    /// Account statistics from a collection run, when the incentive
+    /// policies are active (§4.3).
+    pub accounts: Option<&'a Accounts>,
+}
+
+/// Counters every backend maintains; surfaced in the run statistics so the
+/// overhead comparisons of §4.2 can be reproduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Times `schedule` was invoked by the engine.
+    pub invocations: u64,
+    /// Jobs placed.
+    pub placements: u64,
+    /// Full schedule recomputations performed (≫ placements for the
+    /// recompute-per-event ScheduleFlow integration).
+    pub recomputations: u64,
+    /// Replay placements that fell back from the recorded node set to a
+    /// first-fit allocation (recorded nodes busy — capture-window edge).
+    pub placement_fallbacks: u64,
+    /// Jobs placed via a backfill path rather than queue order.
+    pub backfilled: u64,
+}
+
+/// Any scheduler S-RAPS can drive: the built-in one, the experimental
+/// account-priority one, or adapters around external simulators (§4.2).
+///
+/// The engine guarantees: `queue` contains only submitted, unstarted jobs;
+/// `rm` reflects current occupancy; invocations are monotone in `now`.
+/// The backend guarantees: returned placements reference queued job ids
+/// and nodes handed out by `rm` within this call.
+pub trait SchedulerBackend {
+    /// Name for logs and output directories.
+    fn name(&self) -> &'static str;
+
+    /// Decide placements for this tick. Implementations allocate from `rm`
+    /// themselves so the engine can trust the returned node sets.
+    fn schedule(
+        &mut self,
+        now: SimTime,
+        queue: &mut JobQueue,
+        rm: &mut ResourceManager,
+        ctx: &SchedContext<'_>,
+    ) -> Result<Vec<Placement>>;
+
+    /// Cumulative counters.
+    fn stats(&self) -> SchedulerStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = SchedulerStats::default();
+        assert_eq!(s.invocations, 0);
+        assert_eq!(s.placements, 0);
+    }
+}

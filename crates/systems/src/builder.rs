@@ -1,0 +1,192 @@
+//! Builder for custom systems — the extension path the paper emphasizes
+//! ("administrators can easily represent their systems", §3.2.1).
+
+use crate::config::{
+    CoolingSpec, LossSpec, NodePowerSpec, Partition, SchedulerDefaults, SystemConfig,
+    TelemetryFidelity,
+};
+use sraps_types::{Result, SimDuration};
+
+/// Fluent builder producing a validated [`SystemConfig`].
+///
+/// ```
+/// use sraps_systems::SystemConfigBuilder;
+/// let sys = SystemConfigBuilder::new("mysite", 128)
+///     .cpu_power(80.0, 200.0)
+///     .gpus(4, 300.0, 1600.0)
+///     .tick_seconds(30)
+///     .build()
+///     .unwrap();
+/// assert_eq!(sys.total_nodes, 128);
+/// assert!(sys.has_gpus());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    pub fn new(name: &str, nodes: u32) -> Self {
+        let node_power = NodePowerSpec {
+            cpus_per_node: 1,
+            gpus_per_node: 0,
+            cpu_idle_w: 80.0,
+            cpu_peak_w: 250.0,
+            gpu_idle_w: 0.0,
+            gpu_peak_w: 0.0,
+            mem_w: 60.0,
+            static_w: 60.0,
+        };
+        let design_kw = nodes as f64 * node_power.peak_node_w() / 1000.0;
+        SystemConfigBuilder {
+            cfg: SystemConfig {
+                name: name.into(),
+                architecture: "custom".into(),
+                total_nodes: nodes,
+                partitions: vec![Partition {
+                    name: "batch".into(),
+                    first_node: 0,
+                    node_count: nodes,
+                    has_gpus: false,
+                }],
+                node_power,
+                loss: LossSpec {
+                    rectifier_peak_eff: 0.975,
+                    rectifier_peak_load: 0.6,
+                    rectifier_curvature: 0.06,
+                    distribution_eff: 0.99,
+                },
+                cooling: CoolingSpec {
+                    design_load_kw: design_kw,
+                    supply_setpoint_c: 24.0,
+                    ambient_wetbulb_c: 20.0,
+                    tower_approach_c: 4.0,
+                    loop_thermal_capacity_kj_per_c: design_kw * 18.75,
+                    design_flow_kg_s: design_kw / (4.186 * 6.0),
+                    hx_effectiveness: 0.92,
+                    pump_frac_of_design: 0.02,
+                    fan_design_kw: design_kw * 0.015,
+                },
+                scheduler: SchedulerDefaults {
+                    site_scheduler: "Slurm".into(),
+                    policy: "fcfs".into(),
+                    backfill: "firstfit".into(),
+                },
+                trace_dt: SimDuration::seconds(60),
+                fidelity: TelemetryFidelity::Summary,
+                tick: SimDuration::seconds(60),
+            },
+        }
+    }
+
+    /// Set CPU idle/peak watts per node.
+    pub fn cpu_power(mut self, idle_w: f64, peak_w: f64) -> Self {
+        self.cfg.node_power.cpu_idle_w = idle_w;
+        self.cfg.node_power.cpu_peak_w = peak_w;
+        self
+    }
+
+    /// Add GPUs: count per node and aggregate idle/peak watts per node.
+    pub fn gpus(mut self, per_node: u32, idle_w: f64, peak_w: f64) -> Self {
+        self.cfg.node_power.gpus_per_node = per_node;
+        self.cfg.node_power.gpu_idle_w = idle_w;
+        self.cfg.node_power.gpu_peak_w = peak_w;
+        for p in &mut self.cfg.partitions {
+            p.has_gpus = per_node > 0;
+        }
+        self.resize_cooling()
+    }
+
+    /// Memory + static (board/NIC) watts per node.
+    pub fn overheads(mut self, mem_w: f64, static_w: f64) -> Self {
+        self.cfg.node_power.mem_w = mem_w;
+        self.cfg.node_power.static_w = static_w;
+        self.resize_cooling()
+    }
+
+    /// Replace the partition layout. Partitions must tile `[0, nodes)`;
+    /// `build` validates.
+    pub fn partitions(mut self, parts: Vec<Partition>) -> Self {
+        self.cfg.partitions = parts;
+        self
+    }
+
+    pub fn loss(mut self, loss: LossSpec) -> Self {
+        self.cfg.loss = loss;
+        self
+    }
+
+    pub fn cooling(mut self, cooling: CoolingSpec) -> Self {
+        self.cfg.cooling = cooling;
+        self
+    }
+
+    pub fn scheduler_defaults(mut self, policy: &str, backfill: &str) -> Self {
+        self.cfg.scheduler.policy = policy.into();
+        self.cfg.scheduler.backfill = backfill.into();
+        self
+    }
+
+    pub fn tick_seconds(mut self, s: i64) -> Self {
+        self.cfg.tick = SimDuration::seconds(s);
+        self.cfg.trace_dt = SimDuration::seconds(s);
+        self
+    }
+
+    pub fn fidelity(mut self, f: TelemetryFidelity) -> Self {
+        self.cfg.fidelity = f;
+        self
+    }
+
+    fn resize_cooling(mut self) -> Self {
+        let design_kw = self.cfg.total_nodes as f64 * self.cfg.node_power.peak_node_w() / 1000.0;
+        self.cfg.cooling.design_load_kw = design_kw;
+        self.cfg.cooling.loop_thermal_capacity_kj_per_c = design_kw * 18.75;
+        self.cfg.cooling.design_flow_kg_s = design_kw / (4.186 * 6.0);
+        self.cfg.cooling.fan_design_kw = design_kw * 0.015;
+        self
+    }
+
+    /// Validate and return the config.
+    pub fn build(self) -> Result<SystemConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_validate() {
+        let cfg = SystemConfigBuilder::new("t", 64).build().unwrap();
+        assert_eq!(cfg.total_nodes, 64);
+        assert_eq!(cfg.partitions.len(), 1);
+    }
+
+    #[test]
+    fn gpus_update_partitions_and_cooling() {
+        let cfg = SystemConfigBuilder::new("t", 10)
+            .gpus(4, 200.0, 1600.0)
+            .build()
+            .unwrap();
+        assert!(cfg.partitions[0].has_gpus);
+        // Cooling plant re-sized for the GPU-augmented peak.
+        let expected = 10.0 * cfg.node_power.peak_node_w() / 1000.0;
+        assert!((cfg.cooling.design_load_kw - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_partitions_rejected_at_build() {
+        let r = SystemConfigBuilder::new("t", 10)
+            .partitions(vec![Partition {
+                name: "half".into(),
+                first_node: 0,
+                node_count: 5,
+                has_gpus: false,
+            }])
+            .build();
+        assert!(r.is_err());
+    }
+}

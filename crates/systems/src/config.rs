@@ -1,0 +1,262 @@
+//! The declarative system description consumed by engine and models.
+
+use serde::{Deserialize, Serialize};
+use sraps_types::SimDuration;
+
+/// Which fidelity class the system's public dataset provides (Table 1,
+/// "Characteristics" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TelemetryFidelity {
+    /// Per-job time series (Frontier 15 s, Marconi100 20 s).
+    Traces,
+    /// One scalar summary per job and metric (Fugaku, Lassen, Adastra).
+    Summary,
+}
+
+/// A named slice of the machine (e.g. Adastra's CPU and GPU partitions).
+/// Nodes `[first, first+count)` belong to the partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    pub name: String,
+    pub first_node: u32,
+    pub node_count: u32,
+    /// Whether nodes in this partition carry GPUs.
+    pub has_gpus: bool,
+}
+
+/// Per-node component power envelope. The power model interpolates each
+/// component between idle and peak with its utilization, following the
+/// component-behaviour computation of Wojda et al. \[42\].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePowerSpec {
+    pub cpus_per_node: u32,
+    pub gpus_per_node: u32,
+    /// Idle power of all CPUs in one node, watts.
+    pub cpu_idle_w: f64,
+    /// Peak power of all CPUs in one node, watts.
+    pub cpu_peak_w: f64,
+    /// Idle power of all GPUs in one node, watts (0 for CPU-only systems).
+    pub gpu_idle_w: f64,
+    /// Peak power of all GPUs in one node, watts.
+    pub gpu_peak_w: f64,
+    /// Memory subsystem power per node, watts (modeled constant).
+    pub mem_w: f64,
+    /// Everything else per node (NIC, fans, board), watts.
+    pub static_w: f64,
+}
+
+impl NodePowerSpec {
+    /// Node power at full load, watts.
+    pub fn peak_node_w(&self) -> f64 {
+        self.cpu_peak_w + self.gpu_peak_w + self.mem_w + self.static_w
+    }
+
+    /// Node power when idle, watts.
+    pub fn idle_node_w(&self) -> f64 {
+        self.cpu_idle_w + self.gpu_idle_w + self.mem_w + self.static_w
+    }
+}
+
+/// Electrical-loss chain parameters (rectification + distribution), after
+/// the dynamic conversion-stage model of Wojda et al. \[42\]. Rectifier
+/// efficiency is a concave quadratic of load fraction peaking at
+/// `rectifier_peak_load`:
+/// `η(l) = η_peak − curvature · (l − l_peak)²`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossSpec {
+    /// Peak rectifier efficiency (e.g. 0.975).
+    pub rectifier_peak_eff: f64,
+    /// Load fraction at which the rectifier is most efficient (e.g. 0.6).
+    pub rectifier_peak_load: f64,
+    /// Quadratic fall-off of efficiency away from the peak-load point.
+    pub rectifier_curvature: f64,
+    /// Fixed distribution efficiency (transformers, busbars), e.g. 0.99.
+    pub distribution_eff: f64,
+}
+
+/// Cooling-plant design parameters for the lumped thermo-fluid model
+/// (substituting the Modelica model of Kumar et al. \[25\]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingSpec {
+    /// Design IT heat load the plant was sized for, kW.
+    pub design_load_kw: f64,
+    /// Facility supply-water temperature setpoint, °C.
+    pub supply_setpoint_c: f64,
+    /// Ambient wet-bulb temperature used when no weather trace is given, °C.
+    pub ambient_wetbulb_c: f64,
+    /// Cooling-tower approach at design load, °C above wet bulb.
+    pub tower_approach_c: f64,
+    /// Total water-side thermal capacitance, kJ/°C (loop mass × c_p).
+    pub loop_thermal_capacity_kj_per_c: f64,
+    /// Secondary (facility) loop mass flow at design, kg/s.
+    pub design_flow_kg_s: f64,
+    /// CDU heat-exchanger effectiveness in (0,1].
+    pub hx_effectiveness: f64,
+    /// Pump power as a fraction of design load (constant-speed baseline).
+    pub pump_frac_of_design: f64,
+    /// Tower-fan power at design load, kW (scales ~cubically with demand).
+    pub fan_design_kw: f64,
+}
+
+/// Default scheduler selections for the system (`--scheduler` /
+/// `--policy` / `--backfill` defaults of the artifact).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerDefaults {
+    /// Site batch system named in Table 1 ("Slurm", "Fujitsu TCS", "LSF").
+    pub site_scheduler: String,
+    /// Default policy name for reschedule studies.
+    pub policy: String,
+    /// Default backfill name.
+    pub backfill: String,
+}
+
+/// Full description of one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// CLI name (`--system frontier`).
+    pub name: String,
+    /// Human-readable architecture (Table 1, "Architecture").
+    pub architecture: String,
+    pub total_nodes: u32,
+    pub partitions: Vec<Partition>,
+    pub node_power: NodePowerSpec,
+    pub loss: LossSpec,
+    pub cooling: CoolingSpec,
+    pub scheduler: SchedulerDefaults,
+    /// Telemetry sampling interval of the source dataset.
+    pub trace_dt: SimDuration,
+    pub fidelity: TelemetryFidelity,
+    /// Engine tick. Defaults to the trace interval so replay consumes every
+    /// sample; coarser ticks trade temporal resolution for speed.
+    pub tick: SimDuration,
+}
+
+impl SystemConfig {
+    /// Peak facility IT power if every node ran flat out, kW.
+    pub fn peak_it_power_kw(&self) -> f64 {
+        self.total_nodes as f64 * self.node_power.peak_node_w() / 1000.0
+    }
+
+    /// Idle facility IT power, kW.
+    pub fn idle_it_power_kw(&self) -> f64 {
+        self.total_nodes as f64 * self.node_power.idle_node_w() / 1000.0
+    }
+
+    /// Whether any partition carries GPUs.
+    pub fn has_gpus(&self) -> bool {
+        self.node_power.gpus_per_node > 0
+    }
+
+    /// Return a copy scaled to `nodes` nodes (partitions scaled
+    /// proportionally, cooling plant re-sized). Tests use this to run
+    /// Fugaku-shaped systems at tractable sizes; the workload generators
+    /// scale job widths with the same factor.
+    pub fn scaled_to(&self, nodes: u32) -> SystemConfig {
+        assert!(nodes > 0, "cannot scale a system to zero nodes");
+        let f = nodes as f64 / self.total_nodes as f64;
+        let mut out = self.clone();
+        out.total_nodes = nodes;
+        let mut first = 0u32;
+        let n_parts = self.partitions.len() as u32;
+        out.partitions = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let count = if i as u32 == n_parts - 1 {
+                    nodes - first // last partition absorbs rounding
+                } else {
+                    ((p.node_count as f64 * f).round() as u32).clamp(1, nodes.saturating_sub(first))
+                };
+                let scaled = Partition {
+                    name: p.name.clone(),
+                    first_node: first,
+                    node_count: count,
+                    has_gpus: p.has_gpus,
+                };
+                first += count;
+                scaled
+            })
+            .collect();
+        out.cooling.design_load_kw *= f;
+        out.cooling.loop_thermal_capacity_kj_per_c *= f;
+        out.cooling.design_flow_kg_s *= f;
+        out.cooling.fan_design_kw *= f;
+        out
+    }
+
+    /// Validate internal consistency; called by the builder and useful for
+    /// configs loaded from files.
+    pub fn validate(&self) -> sraps_types::Result<()> {
+        use sraps_types::SrapsError::Config;
+        if self.total_nodes == 0 {
+            return Err(Config(format!("{}: zero nodes", self.name)));
+        }
+        let part_sum: u32 = self.partitions.iter().map(|p| p.node_count).sum();
+        if !self.partitions.is_empty() && part_sum != self.total_nodes {
+            return Err(Config(format!(
+                "{}: partitions cover {} of {} nodes",
+                self.name, part_sum, self.total_nodes
+            )));
+        }
+        for w in self.partitions.windows(2) {
+            if w[0].first_node + w[0].node_count != w[1].first_node {
+                return Err(Config(format!(
+                    "{}: partitions not contiguous at {}",
+                    self.name, w[1].name
+                )));
+            }
+        }
+        if self.node_power.peak_node_w() <= self.node_power.idle_node_w() {
+            return Err(Config(format!("{}: peak power not above idle", self.name)));
+        }
+        if !(0.0..=1.0).contains(&self.cooling.hx_effectiveness) {
+            return Err(Config(format!("{}: hx effectiveness out of range", self.name)));
+        }
+        if !self.tick.is_positive() || !self.trace_dt.is_positive() {
+            return Err(Config(format!("{}: non-positive tick", self.name)));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::presets;
+
+    #[test]
+    fn peak_and_idle_power_order() {
+        for sys in presets::ALL_SYSTEMS {
+            let cfg = presets::system_by_name(sys).unwrap();
+            assert!(
+                cfg.peak_it_power_kw() > cfg.idle_it_power_kw(),
+                "{sys}: peak must exceed idle"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_to_preserves_partition_cover() {
+        let cfg = presets::fugaku().scaled_to(1024);
+        assert_eq!(cfg.total_nodes, 1024);
+        cfg.validate().unwrap();
+        let sum: u32 = cfg.partitions.iter().map(|p| p.node_count).sum();
+        assert_eq!(sum, 1024);
+    }
+
+    #[test]
+    fn validate_rejects_bad_partitions() {
+        let mut cfg = presets::adastra();
+        cfg.partitions[0].node_count += 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_power() {
+        let mut cfg = presets::lassen();
+        cfg.node_power.cpu_peak_w = 0.0;
+        cfg.node_power.gpu_peak_w = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! System configurations for the five HPC systems of the study (Table 1).
+//!
+//! A [`SystemConfig`] captures everything the engine and the physical
+//! models need to represent one machine: node inventory and partitions,
+//! per-component power envelopes, the electrical-loss chain, the cooling
+//! plant, and telemetry cadence. The five constructors mirror the paper's
+//! `--system` CLI option: [`frontier`], [`marconi100`], [`fugaku`],
+//! [`lassen`], [`adastra`].
+//!
+//! Configurations are plain data — the paper implements them as plugins
+//! selectable at simulation start (§3.2.1), and keeping them declarative
+//! preserves that: a site can describe its machine with
+//! [`SystemConfigBuilder`] without touching engine code.
+
+pub mod builder;
+pub mod config;
+pub mod presets;
+
+pub use builder::SystemConfigBuilder;
+pub use config::{
+    CoolingSpec, LossSpec, NodePowerSpec, Partition, SchedulerDefaults, SystemConfig,
+    TelemetryFidelity,
+};
+pub use presets::{adastra, frontier, fugaku, lassen, marconi100, system_by_name, ALL_SYSTEMS};

@@ -1,0 +1,69 @@
+//! The common error type for the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, SrapsError>;
+
+/// Errors shared across the simulator crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SrapsError {
+    /// A scheduler asked for an allocation the resource manager cannot grant
+    /// (e.g. more nodes than exist, or a node that is already busy). The
+    /// paper reports exactly this class of error from the ScheduleFlow
+    /// integration ("scheduleflow may schedule even if nodes are
+    /// unavailable, which we report as error").
+    Allocation(String),
+    /// Configuration is inconsistent (bad window, unknown policy, …).
+    Config(String),
+    /// A dataset record could not be parsed or violates its documented schema.
+    Data(String),
+    /// Telemetry is missing where the simulation requires it and no
+    /// substitution rule applies.
+    Telemetry(String),
+    /// An external scheduler returned a state S-RAPS cannot interpret.
+    ExternalScheduler(String),
+    /// I/O error carrying the rendered message (keeps the type `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for SrapsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrapsError::Allocation(m) => write!(f, "allocation error: {m}"),
+            SrapsError::Config(m) => write!(f, "configuration error: {m}"),
+            SrapsError::Data(m) => write!(f, "data error: {m}"),
+            SrapsError::Telemetry(m) => write!(f, "telemetry error: {m}"),
+            SrapsError::ExternalScheduler(m) => write!(f, "external scheduler error: {m}"),
+            SrapsError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SrapsError {}
+
+impl From<std::io::Error> for SrapsError {
+    fn from(e: std::io::Error) -> Self {
+        SrapsError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = SrapsError::Allocation("17 nodes requested, 3 free".into());
+        assert_eq!(e.to_string(), "allocation error: 17 nodes requested, 3 free");
+        let e = SrapsError::Config("end before start".into());
+        assert!(e.to_string().starts_with("configuration error"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SrapsError = io.into();
+        assert!(matches!(e, SrapsError::Io(_)));
+    }
+}

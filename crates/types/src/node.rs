@@ -1,0 +1,177 @@
+//! Node identity and node sets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one compute node, an index into the system's node array.
+///
+/// `u32` comfortably covers the largest system in the study (Fugaku,
+/// 158 976 nodes) while keeping `NodeSet`s half the size of `usize` ids
+/// (see the type-size guidance in the Rust performance guide).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A set of nodes assigned to a job, stored as a sorted, deduplicated list.
+///
+/// Jobs in the studied datasets allocate whole nodes (shared-node jobs are
+/// filtered by the PM100 loader, matching the paper), so a job's allocation
+/// is exactly a set of node ids. Sorted storage gives O(log n) membership
+/// and cheap set-difference during release.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct NodeSet(Vec<u32>);
+
+impl NodeSet {
+    pub fn new() -> Self {
+        NodeSet(Vec::new())
+    }
+
+    /// Build from raw indices; sorts and deduplicates.
+    pub fn from_indices(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        NodeSet(ids)
+    }
+
+    /// Build from a contiguous range `[start, start+count)`.
+    pub fn contiguous(start: u32, count: u32) -> Self {
+        NodeSet((start..start + count).collect())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.0.binary_search(&id.0).is_ok()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.0.iter().map(|&i| NodeId(i))
+    }
+
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// True when `self` and `other` share no node.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        // Merge-walk over the two sorted lists.
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.0.len() && b < other.0.len() {
+            match self.0[a].cmp(&other.0[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        NodeSet::from_indices(v)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        NodeSet::from_indices(iter.into_iter().map(|n| n.0).collect())
+    }
+}
+
+impl fmt::Display for NodeSet {
+    /// Render as compact ranges, e.g. `n[0-3,7,9-10]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n[")?;
+        let mut first = true;
+        let mut i = 0;
+        while i < self.0.len() {
+            let start = self.0[i];
+            let mut end = start;
+            while i + 1 < self.0.len() && self.0[i + 1] == end + 1 {
+                i += 1;
+                end = self.0[i];
+            }
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            if start == end {
+                write!(f, "{start}")?;
+            } else {
+                write!(f, "{start}-{end}")?;
+            }
+            i += 1;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_indices_sorts_and_dedups() {
+        let s = NodeSet::from_indices(vec![5, 1, 3, 1, 5]);
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contiguous_builds_range() {
+        let s = NodeSet::contiguous(10, 4);
+        assert_eq!(s.as_slice(), &[10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn contains_uses_membership() {
+        let s = NodeSet::from_indices(vec![2, 4, 6]);
+        assert!(s.contains(NodeId(4)));
+        assert!(!s.contains(NodeId(5)));
+    }
+
+    #[test]
+    fn disjoint_detection() {
+        let a = NodeSet::from_indices(vec![1, 3, 5]);
+        let b = NodeSet::from_indices(vec![2, 4, 6]);
+        let c = NodeSet::from_indices(vec![5, 7]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = NodeSet::from_indices(vec![1, 3]);
+        let b = NodeSet::from_indices(vec![2, 3]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn display_compacts_ranges() {
+        let s = NodeSet::from_indices(vec![0, 1, 2, 3, 7, 9, 10]);
+        assert_eq!(s.to_string(), "n[0-3,7,9-10]");
+        assert_eq!(NodeSet::new().to_string(), "n[]");
+    }
+}

@@ -1,0 +1,299 @@
+//! Recorded telemetry traces and their resampling rules.
+//!
+//! The datasets in the study fall into two fidelity classes (Table 1):
+//! *trace* datasets (Frontier at 15 s, Marconi100/PM100 at 20 s) carry a
+//! time series per job and metric, while *summary* datasets (Fugaku,
+//! Lassen, Adastra) carry one scalar per job and metric. [`JobTelemetry`]
+//! models both; [`Trace::sample`] implements the paper's missing-data rule:
+//! "we treat such occurrence as missing data, using the last known value"
+//! (§3.2.2).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A uniformly-sampled time series for one metric of one job.
+///
+/// `t0` is the timestamp of `values[0]` in the *job's own* timeline — by
+/// convention relative to the job's recorded start, so a rescheduled job
+/// carries its profile with it (the trace describes what the application
+/// does, not when the system ran it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Offset of the first sample from job start.
+    pub t0: SimDuration,
+    /// Sampling interval (15 s on Frontier, 20 s on Marconi100).
+    pub dt: SimDuration,
+    /// Samples. `f32` halves memory for million-sample runs with ample
+    /// precision for power/utilization telemetry.
+    pub values: Vec<f32>,
+}
+
+impl Trace {
+    pub fn new(t0: SimDuration, dt: SimDuration, values: Vec<f32>) -> Self {
+        debug_assert!(dt.is_positive(), "trace dt must be positive");
+        Trace { t0, dt, values }
+    }
+
+    /// A constant trace: one sample covering the whole job (what summary
+    /// datasets degenerate to).
+    pub fn constant(value: f32) -> Self {
+        Trace {
+            t0: SimDuration::ZERO,
+            dt: SimDuration::seconds(1),
+            values: vec![value],
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Duration covered by recorded samples (from `t0` to the last sample).
+    pub fn covered(&self) -> SimDuration {
+        if self.values.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::seconds(self.t0.as_secs() + self.dt.as_secs() * (self.values.len() as i64 - 1))
+        }
+    }
+
+    /// Sample the trace at `offset` from job start, applying the paper's
+    /// missing-data rule: before the first sample, the first value holds;
+    /// after the last, the last known value holds. Empty traces sample 0.
+    pub fn sample(&self, offset: SimDuration) -> f32 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let rel = offset.as_secs() - self.t0.as_secs();
+        if rel <= 0 {
+            return self.values[0];
+        }
+        let idx = (rel / self.dt.as_secs()) as usize;
+        if idx >= self.values.len() {
+            *self.values.last().expect("non-empty checked above")
+        } else {
+            self.values[idx]
+        }
+    }
+
+    /// Mean of the recorded samples (0 for empty traces).
+    pub fn mean(&self) -> f32 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f32>() / self.values.len() as f32
+        }
+    }
+
+    /// Maximum recorded sample (0 for empty traces).
+    pub fn max(&self) -> f32 {
+        self.values.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Minimum recorded sample (0 for empty traces).
+    pub fn min(&self) -> f32 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f32::INFINITY, f32::min)
+        }
+    }
+
+    /// Population standard deviation of the samples.
+    pub fn std_dev(&self) -> f32 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f32>()
+            / self.values.len() as f32;
+        var.sqrt()
+    }
+}
+
+/// Flags for the capture-window edge cases of §3.2.2 footnote 1: jobs whose
+/// execution extends past the telemetry capture window have no ground truth
+/// there, and S-RAPS must flag them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CaptureFlags {
+    /// Job started before the telemetry capture window opened (Fig 3, Job 1).
+    pub started_before_capture: bool,
+    /// Job ended after the capture window closed (Fig 3, Jobs 6-8).
+    pub ended_after_capture: bool,
+}
+
+impl CaptureFlags {
+    pub fn any(&self) -> bool {
+        self.started_before_capture || self.ended_after_capture
+    }
+}
+
+/// Per-job telemetry: whichever metrics the source dataset provides.
+///
+/// All traces are in job-relative time. Power is per *node* in watts;
+/// utilizations in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobTelemetry {
+    /// CPU utilization in \[0,1\], if recorded.
+    pub cpu_util: Option<Trace>,
+    /// GPU utilization in \[0,1\], if recorded (GPU systems only).
+    pub gpu_util: Option<Trace>,
+    /// Memory utilization in \[0,1\], if recorded.
+    pub mem_util: Option<Trace>,
+    /// Per-node power in watts, if the dataset records power directly.
+    pub node_power_w: Option<Trace>,
+    /// Network transmit rate in MB/s (recorded in the Lassen LAST dataset).
+    pub net_tx_mbs: Option<Trace>,
+    /// Network receive rate in MB/s (recorded in the Lassen LAST dataset).
+    pub net_rx_mbs: Option<Trace>,
+    /// Capture-window flags for this job.
+    pub flags: CaptureFlags,
+}
+
+impl JobTelemetry {
+    /// Telemetry consisting of scalar summaries only — the Fugaku / Lassen /
+    /// Adastra fidelity class.
+    pub fn from_scalars(cpu_util: f32, gpu_util: Option<f32>, node_power_w: f32) -> Self {
+        JobTelemetry {
+            cpu_util: Some(Trace::constant(cpu_util)),
+            gpu_util: gpu_util.map(Trace::constant),
+            mem_util: None,
+            node_power_w: Some(Trace::constant(node_power_w)),
+            net_tx_mbs: None,
+            net_rx_mbs: None,
+            flags: CaptureFlags::default(),
+        }
+    }
+
+    /// Sample per-node power at a job-relative offset, if power telemetry
+    /// exists. The engine falls back to the utilization→power model when
+    /// this returns `None`.
+    pub fn power_at(&self, offset: SimDuration) -> Option<f32> {
+        self.node_power_w.as_ref().map(|t| t.sample(offset))
+    }
+
+    /// Sample CPU utilization at a job-relative offset (0 if not recorded).
+    pub fn cpu_util_at(&self, offset: SimDuration) -> f32 {
+        self.cpu_util.as_ref().map_or(0.0, |t| t.sample(offset))
+    }
+
+    /// Sample GPU utilization at a job-relative offset (0 if not recorded).
+    pub fn gpu_util_at(&self, offset: SimDuration) -> f32 {
+        self.gpu_util.as_ref().map_or(0.0, |t| t.sample(offset))
+    }
+}
+
+/// Compute capture flags for a job interval against a capture window.
+pub fn capture_flags(
+    job_start: SimTime,
+    job_end: SimTime,
+    capture_start: SimTime,
+    capture_end: SimTime,
+) -> CaptureFlags {
+    CaptureFlags {
+        started_before_capture: job_start < capture_start,
+        ended_after_capture: job_end > capture_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::new(
+            SimDuration::ZERO,
+            SimDuration::seconds(10),
+            vec![1.0, 2.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn sample_within_window_picks_interval_value() {
+        let t = trace();
+        assert_eq!(t.sample(SimDuration::seconds(0)), 1.0);
+        assert_eq!(t.sample(SimDuration::seconds(9)), 1.0);
+        assert_eq!(t.sample(SimDuration::seconds(10)), 2.0);
+        assert_eq!(t.sample(SimDuration::seconds(25)), 3.0);
+    }
+
+    #[test]
+    fn sample_uses_last_known_value_outside_window() {
+        let t = trace();
+        // Before first sample → first value; after last → last value.
+        assert_eq!(t.sample(SimDuration::seconds(-100)), 1.0);
+        assert_eq!(t.sample(SimDuration::seconds(10_000)), 3.0);
+    }
+
+    #[test]
+    fn sample_respects_t0_offset() {
+        let t = Trace::new(SimDuration::seconds(30), SimDuration::seconds(10), vec![5.0, 6.0]);
+        assert_eq!(t.sample(SimDuration::seconds(0)), 5.0); // before t0 → first
+        assert_eq!(t.sample(SimDuration::seconds(35)), 5.0);
+        assert_eq!(t.sample(SimDuration::seconds(45)), 6.0);
+    }
+
+    #[test]
+    fn empty_trace_samples_zero() {
+        let t = Trace::new(SimDuration::ZERO, SimDuration::seconds(1), vec![]);
+        assert_eq!(t.sample(SimDuration::seconds(5)), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.covered(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let t = trace();
+        assert!((t.mean() - 2.0).abs() < 1e-6);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), 1.0);
+        assert!(t.std_dev() > 0.0);
+        assert_eq!(Trace::constant(4.0).std_dev(), 0.0);
+    }
+
+    #[test]
+    fn covered_duration() {
+        assert_eq!(trace().covered(), SimDuration::seconds(20));
+    }
+
+    #[test]
+    fn capture_flags_detect_edges() {
+        let f = capture_flags(
+            SimTime::seconds(-10),
+            SimTime::seconds(50),
+            SimTime::ZERO,
+            SimTime::seconds(100),
+        );
+        assert!(f.started_before_capture && !f.ended_after_capture && f.any());
+        let f = capture_flags(
+            SimTime::seconds(10),
+            SimTime::seconds(150),
+            SimTime::ZERO,
+            SimTime::seconds(100),
+        );
+        assert!(!f.started_before_capture && f.ended_after_capture);
+        let f = capture_flags(
+            SimTime::seconds(10),
+            SimTime::seconds(90),
+            SimTime::ZERO,
+            SimTime::seconds(100),
+        );
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn scalar_telemetry_samples_constant() {
+        let tel = JobTelemetry::from_scalars(0.7, Some(0.9), 550.0);
+        assert_eq!(tel.cpu_util_at(SimDuration::seconds(12_345)), 0.7);
+        assert_eq!(tel.gpu_util_at(SimDuration::seconds(1)), 0.9);
+        assert_eq!(tel.power_at(SimDuration::seconds(99)), Some(550.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Simulation time.
+//!
+//! Time is represented as whole seconds since an arbitrary epoch (usually
+//! the start of a dataset's capture window). Whole seconds are sufficient:
+//! the datasets in the paper sample telemetry at 15 s or 20 s, and all
+//! scheduler decisions in S-RAPS happen on the engine's tick boundary.
+//! Integer seconds also keep simulations exactly reproducible — no float
+//! drift in the main loop.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulation time, in seconds since the simulation epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub i64);
+
+/// A span of simulation time, in seconds. May be negative for differences.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub i64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as "never" sentinel.
+    pub const MAX: SimTime = SimTime(i64::MAX);
+
+    pub fn seconds(s: i64) -> Self {
+        SimTime(s)
+    }
+
+    pub fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating addition that never overflows past `SimTime::MAX`.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn seconds(s: i64) -> Self {
+        SimDuration(s)
+    }
+
+    pub fn minutes(m: i64) -> Self {
+        SimDuration(m * 60)
+    }
+
+    pub fn hours(h: i64) -> Self {
+        SimDuration(h * 3600)
+    }
+
+    pub fn days(d: i64) -> Self {
+        SimDuration(d * 86_400)
+    }
+
+    pub fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    pub fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Clamp negative spans to zero (e.g. wait times from quantized clocks).
+    pub fn clamp_non_negative(self) -> SimDuration {
+        SimDuration(self.0.max(0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Render as `d+hh:mm:ss` for readable logs and figure axes.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0;
+        let sign = if total < 0 { "-" } else { "" };
+        let total = total.abs();
+        let days = total / 86_400;
+        let hours = (total % 86_400) / 3600;
+        let mins = (total % 3600) / 60;
+        let secs = total % 60;
+        write!(f, "{sign}{days}+{hours:02}:{mins:02}:{secs:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// Parse a human duration like `61000`, `1h`, `15d`, `30m`, `45s`.
+///
+/// This mirrors the `-t`/`-ff` CLI options of the paper's artifact, which
+/// accept both raw seconds and suffixed values.
+pub fn parse_duration(s: &str) -> Option<SimDuration> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (num, mult) = match s.as_bytes()[s.len() - 1] {
+        b'd' => (&s[..s.len() - 1], 86_400),
+        b'h' => (&s[..s.len() - 1], 3600),
+        b'm' => (&s[..s.len() - 1], 60),
+        b's' => (&s[..s.len() - 1], 1),
+        _ => (s, 1),
+    };
+    num.trim().parse::<i64>().ok().map(|n| SimDuration(n * mult))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::seconds(100);
+        let d = SimDuration::seconds(40);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::minutes(2).as_secs(), 120);
+        assert_eq!(SimDuration::hours(1).as_secs(), 3600);
+        assert_eq!(SimDuration::days(15).as_secs(), 15 * 86_400);
+    }
+
+    #[test]
+    fn display_formats_days_and_hours() {
+        let t = SimTime::seconds(86_400 + 3 * 3600 + 5 * 60 + 7);
+        assert_eq!(t.to_string(), "1+03:05:07");
+        assert_eq!(SimTime::seconds(-30).to_string(), "-0+00:00:30");
+    }
+
+    #[test]
+    fn parse_duration_suffixes() {
+        assert_eq!(parse_duration("61000"), Some(SimDuration::seconds(61_000)));
+        assert_eq!(parse_duration("1h"), Some(SimDuration::hours(1)));
+        assert_eq!(parse_duration("15d"), Some(SimDuration::days(15)));
+        assert_eq!(parse_duration("30m"), Some(SimDuration::minutes(30)));
+        assert_eq!(parse_duration("45s"), Some(SimDuration::seconds(45)));
+        assert_eq!(parse_duration(""), None);
+        assert_eq!(parse_duration("abc"), None);
+    }
+
+    #[test]
+    fn saturating_add_does_not_overflow() {
+        let t = SimTime::MAX;
+        assert_eq!(t.saturating_add(SimDuration::hours(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        assert_eq!(SimDuration(-5).clamp_non_negative(), SimDuration::ZERO);
+        assert_eq!(SimDuration(5).clamp_non_negative(), SimDuration(5));
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared helpers for the runnable examples (`cargo run -p sraps-examples
+//! --example <name>`). The examples themselves live next to this file:
+//!
+//! * `quickstart` — load a system, synthesize a workload, replay vs
+//!   reschedule, print a summary.
+//! * `whatif_policies` — the Fig 4 what-if study: four policies on a
+//!   saturated Marconi100 window.
+//! * `incentives` — the Fig 8 incentive study: collection run feeding
+//!   account-priority redeeming runs.
+//! * `ml_scheduling` — the Fig 10 pipeline: train, annotate, schedule.
+//! * `external_fastsim` — the §4.2.2 FastSim integration, both modes.
+
+use sraps_core::SimOutput;
+
+/// Render a compact one-line summary for a finished run.
+pub fn summary_line(out: &SimOutput) -> String {
+    format!(
+        "{:<22} jobs={:<6} util={:>5.1}% meanP={:>9.1} kW swing={:>8.1} kW wait={:>7.0}s speedup={:>8.0}x",
+        out.label,
+        out.stats.jobs_completed,
+        out.mean_utilization() * 100.0,
+        out.mean_power_kw(),
+        out.max_power_swing_kw(),
+        out.stats.avg_wait_secs(),
+        out.speedup(),
+    )
+}
+
+/// Downsample a series to at most `n` points for terminal sparklines.
+pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
+    if series.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let chunk = series.len().div_ceil(n);
+    series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Unicode sparkline for a series (terminal-friendly "plot").
+pub fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (min, max) = series.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
+    if series.is_empty() || !min.is_finite() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-12);
+    series
+        .iter()
+        .map(|&v| BARS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_bounds_length() {
+        let s: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&s, 10);
+        assert!(d.len() <= 10);
+        assert!(d[0] < d[d.len() - 1]);
+    }
+
+    #[test]
+    fn sparkline_length_matches() {
+        let s = vec![0.0, 0.5, 1.0];
+        let line = sparkline(&s);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn empty_series_safe() {
+        assert!(sparkline(&[]).is_empty());
+        assert!(downsample(&[], 5).is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Shape tests for the paper's experiments (scaled-down): these assert the
+//! *qualitative* claims of each figure — who wins, what smooths, where
+//! behaviour crosses over — on small versions of the benchmark scenarios,
+//! so regressions in any model break CI, not just the full bench run.
+
+use sraps_core::{Engine, SchedulerSelect, SimConfig, SimOutput};
+use sraps_data::scenario;
+use sraps_ml::{MlPipeline, PipelineConfig};
+use sraps_types::SimTime;
+
+fn run_scenario(s: &scenario::Scenario, policy: &str, backfill: &str) -> SimOutput {
+    let sim = SimConfig::new(s.config.clone(), policy, backfill)
+        .unwrap()
+        .with_window(s.sim_start, s.sim_end);
+    Engine::new(sim, &s.dataset).unwrap().run().unwrap()
+}
+
+/// Fig 4 claims: replay leaves utilization on the table; backfilled
+/// reschedules push it up; power follows.
+#[test]
+fn fig4_shape_backfill_raises_utilization() {
+    let s = scenario::fig4(7);
+    let replay = run_scenario(&s, "replay", "none");
+    let easy = run_scenario(&s, "fcfs", "easy");
+    let ffbf = run_scenario(&s, "priority", "firstfit");
+    assert!(
+        easy.mean_utilization() > replay.mean_utilization() + 0.05,
+        "easy {:.3} must clearly beat replay {:.3}",
+        easy.mean_utilization(),
+        replay.mean_utilization()
+    );
+    assert!(
+        ffbf.mean_utilization() > replay.mean_utilization(),
+        "backfilled priority must beat replay"
+    );
+    // Higher occupancy ⇒ more IT power drawn on average.
+    assert!(easy.mean_power_kw() > replay.mean_power_kw());
+}
+
+/// Fig 5 claims: with headroom, policy choice barely matters, and the
+/// simulator tracks the recorded power swings.
+#[test]
+fn fig5_shape_policies_overlap_at_low_load() {
+    let s = scenario::fig5(7);
+    let replay = run_scenario(&s, "replay", "none");
+    let fcfs = run_scenario(&s, "fcfs", "none");
+    let easy = run_scenario(&s, "fcfs", "easy");
+    let prio = run_scenario(&s, "priority", "firstfit");
+    // All rescheduled means within a few percent of each other.
+    for out in [&fcfs, &easy, &prio] {
+        let rel = (out.mean_power_kw() - fcfs.mean_power_kw()).abs() / fcfs.mean_power_kw();
+        assert!(rel < 0.05, "{} diverges {:.3} from fcfs", out.label, rel);
+    }
+    // Reschedule tracks replay's energy closely (same jobs, same profiles).
+    let rel = (fcfs.mean_power_kw() - replay.mean_power_kw()).abs() / replay.mean_power_kw();
+    assert!(rel < 0.1, "reschedule power diverges {rel:.3} from replay");
+}
+
+/// Fig 6 claims: rescheduling starts the giants earlier; the cooling model
+/// sees the swings.
+#[test]
+fn fig6_shape_giants_start_earlier_and_cooling_follows() {
+    let s = scenario::fig6_scaled(7, 0.06);
+    let giant_nodes = s
+        .dataset
+        .jobs
+        .iter()
+        .map(|j| j.nodes_requested)
+        .max()
+        .unwrap();
+    let with_cooling = |policy: &str, backfill: &str| {
+        let sim = SimConfig::new(s.config.clone(), policy, backfill)
+            .unwrap()
+            .with_window(s.sim_start, s.sim_end)
+            .with_cooling();
+        Engine::new(sim, &s.dataset).unwrap().run().unwrap()
+    };
+    let replay = with_cooling("replay", "none");
+    let resched = with_cooling("fcfs", "easy");
+    let nobf = with_cooling("fcfs", "none");
+    let first_giant_start = |out: &SimOutput| {
+        out.outcomes
+            .iter()
+            .filter(|o| o.nodes == giant_nodes)
+            .map(|o| o.start)
+            .min()
+    };
+    // The paper's claim: rescheduling places the giants earlier than the
+    // recorded history. FCFS-nobf drains straight to them; EASY may trail
+    // it slightly when backfills' over-requested walltimes pad the shadow
+    // time, so the check uses the earliest rescheduled start.
+    let resched_min = [first_giant_start(&resched), first_giant_start(&nobf)]
+        .into_iter()
+        .flatten()
+        .min();
+    if let (Some(r), Some(x)) = (first_giant_start(&replay), resched_min) {
+        assert!(x <= r, "reschedule must start giants no later than replay");
+    }
+    // PUE stays in the plausible facility band and responds to load.
+    for out in [&replay, &resched] {
+        let pue_min = out.cooling.iter().map(|c| c.pue).fold(f64::INFINITY, f64::min);
+        let pue_max = out.cooling.iter().map(|c| c.pue).fold(0.0, f64::max);
+        assert!(pue_min > 1.0 && pue_max < 1.5, "{}: PUE [{pue_min},{pue_max}]", out.label);
+        assert!(pue_max - pue_min > 0.001, "PUE must respond to load changes");
+    }
+}
+
+/// Fig 7 claims: the synthetic trace shows a morning dip then a spike.
+#[test]
+fn fig7_shape_dip_then_spike() {
+    let s = scenario::fig7(7, 0.04);
+    let out = run_scenario(&s, "fcfs", "easy");
+    // Compare mean power Monday night (day 8, 00:00-06:00) against Tuesday
+    // late morning (day 8, 08:00-14:00) — the burst lands Tuesday 08:00.
+    let day = 86_400;
+    let mean_in = |from: i64, to: i64| {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for (t, p) in out.times.iter().zip(&out.power) {
+            if (from..to).contains(&t.as_secs()) {
+                sum += p.total_kw;
+                n += 1;
+            }
+        }
+        sum / n.max(1) as f64
+    };
+    let lull = mean_in(8 * day, 8 * day + 6 * 3600);
+    let spike = mean_in(8 * day + 8 * 3600, 8 * day + 14 * 3600);
+    assert!(
+        spike > lull * 1.05,
+        "Tuesday spike {spike:.0} must exceed the overnight lull {lull:.0}"
+    );
+}
+
+/// Fig 10(a) claims: policies overlap under low load and diverge under
+/// high load, with ML cutting power spikes.
+#[test]
+fn fig10_shape_ml_diverges_only_under_load() {
+    let mut s = scenario::fig10(7, 768.0 / 158_976.0);
+    let split = SimTime::seconds(2 * 86_400);
+    let history: Vec<sraps_types::Job> = s
+        .dataset
+        .jobs
+        .iter()
+        .filter(|j| j.recorded_end <= split)
+        .cloned()
+        .collect();
+    let pipeline = MlPipeline::train(&history, PipelineConfig::default()).unwrap();
+    pipeline.annotate(&mut s.dataset.jobs);
+
+    let fcfs = run_scenario(&s, "fcfs", "firstfit");
+    let ml = run_scenario(&s, "ml", "firstfit");
+
+    // Low-load phase (day 1): policies should nearly coincide.
+    let day = 86_400;
+    let phase_mean = |out: &SimOutput, from: i64, to: i64| {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, p) in out.times.iter().zip(&out.power) {
+            if (from..to).contains(&t.as_secs()) {
+                sum += p.total_kw;
+                n += 1;
+            }
+        }
+        sum / n.max(1) as f64
+    };
+    let low_f = phase_mean(&fcfs, 0, day);
+    let low_m = phase_mean(&ml, 0, day);
+    assert!(
+        (low_f - low_m).abs() / low_f < 0.02,
+        "low load: fcfs {low_f:.0} vs ml {low_m:.0} must overlap"
+    );
+    // Both complete comparable work over the week.
+    let ratio = ml.stats.jobs_completed as f64 / fcfs.stats.jobs_completed as f64;
+    assert!(ratio > 0.9, "ml completed only {ratio:.2}× of fcfs jobs");
+}
+
+/// Fig 10(b) claim: ML achieves the best or tied wait/turnaround trade-off
+/// under pressure (it front-loads small jobs).
+#[test]
+fn fig10_shape_ml_wait_time_competitive() {
+    let mut s = scenario::fig10(11, 512.0 / 158_976.0);
+    let split = SimTime::seconds(2 * 86_400);
+    let history: Vec<sraps_types::Job> = s
+        .dataset
+        .jobs
+        .iter()
+        .filter(|j| j.recorded_end <= split)
+        .cloned()
+        .collect();
+    let pipeline = MlPipeline::train(&history, PipelineConfig::default()).unwrap();
+    pipeline.annotate(&mut s.dataset.jobs);
+
+    let ml = run_scenario(&s, "ml", "firstfit");
+    let ljf = run_scenario(&s, "ljf", "firstfit");
+    // LJF deliberately front-loads giants; ML must beat it on average wait.
+    assert!(
+        ml.stats.avg_wait_secs() < ljf.stats.avg_wait_secs(),
+        "ml wait {:.0}s must beat ljf {:.0}s",
+        ml.stats.avg_wait_secs(),
+        ljf.stats.avg_wait_secs()
+    );
+}
+
+/// §4.2.1 claim: ScheduleFlow integration works but recomputes heavily.
+#[test]
+fn scheduleflow_poc_shape() {
+    let cfg = sraps_systems::presets::adastra();
+    let mut spec = sraps_data::WorkloadSpec::for_system(&cfg, 0.25, 3);
+    spec.span = sraps_types::SimDuration::hours(1);
+    let ds = sraps_data::adastra::synthesize(&cfg, &spec);
+    let sim = SimConfig::new(cfg, "fcfs", "none")
+        .unwrap()
+        .with_scheduler(SchedulerSelect::ScheduleFlow);
+    let out = Engine::new(sim, &ds).unwrap().run().unwrap();
+    assert!(out.stats.jobs_completed > 0);
+    assert!(
+        out.sched_stats.recomputations as f64
+            > out.sched_stats.invocations as f64 * 0.9,
+        "ScheduleFlow must replan on ~every interaction"
+    );
+}

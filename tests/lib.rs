@@ -1,0 +1,21 @@
+//! Shared fixtures for the integration tests.
+
+use sraps_core::{Engine, SimConfig, SimOutput};
+use sraps_data::{Dataset, WorkloadSpec};
+use sraps_systems::SystemConfig;
+use sraps_types::SimDuration;
+
+/// A small but non-trivial Lassen workload for cross-crate tests.
+pub fn small_workload(load: f64, hours: i64, seed: u64) -> (SystemConfig, Dataset) {
+    let cfg = sraps_systems::presets::lassen();
+    let mut spec = WorkloadSpec::for_system(&cfg, load, seed);
+    spec.span = SimDuration::hours(hours);
+    let ds = sraps_data::lassen::synthesize(&cfg, &spec);
+    (cfg, ds)
+}
+
+/// Run one policy/backfill combination over a dataset.
+pub fn run(cfg: &SystemConfig, ds: &Dataset, policy: &str, backfill: &str) -> SimOutput {
+    let sim = SimConfig::new(cfg.clone(), policy, backfill).expect("valid names");
+    Engine::new(sim, ds).expect("engine").run().expect("run")
+}
