@@ -77,7 +77,13 @@ impl JobOutcome {
 mod tests {
     use super::*;
 
-    pub(crate) fn outcome(submit: i64, start: i64, end: i64, nodes: u32, energy: f64) -> JobOutcome {
+    pub(crate) fn outcome(
+        submit: i64,
+        start: i64,
+        end: i64,
+        nodes: u32,
+        energy: f64,
+    ) -> JobOutcome {
         JobOutcome {
             id: JobId(1),
             user: UserId(0),

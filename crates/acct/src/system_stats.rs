@@ -169,8 +169,14 @@ impl SystemStats {
             ("Average Turnaround Time", self.avg_turnaround_secs()),
             ("Avg Aggregate Node Hours", self.avg_node_hours()),
             ("Avg EDP^2", self.avg_ed2p()),
-            ("Inverse Total Jobs Completed", inv(self.jobs_completed as f64)),
-            ("Inverse Job Throughput", inv(self.job_throughput_per_hour())),
+            (
+                "Inverse Total Jobs Completed",
+                inv(self.jobs_completed as f64),
+            ),
+            (
+                "Inverse Job Throughput",
+                inv(self.job_throughput_per_hour()),
+            ),
             ("Average Runtime", self.avg_runtime_secs()),
             ("Inverse Avg CPU Util", inv(self.avg_cpu_util())),
             ("Inverse Avg GPU Util", inv(self.avg_gpu_util())),
@@ -201,10 +207,19 @@ impl SystemStats {
             "throughput [jobs/h]",
             format!("{:.2}", self.job_throughput_per_hour()),
         );
-        line("avg total power [kW]", format!("{:.1}", self.avg_total_power_kw));
+        line(
+            "avg total power [kW]",
+            format!("{:.1}", self.avg_total_power_kw),
+        );
         line("avg loss [kW]", format!("{:.1}", self.avg_loss_kw));
-        line("power efficiency", format!("{:.4}", self.power_efficiency()));
-        line("total energy [MWh]", format!("{:.2}", self.total_energy_mwh));
+        line(
+            "power efficiency",
+            format!("{:.4}", self.power_efficiency()),
+        );
+        line(
+            "total energy [MWh]",
+            format!("{:.2}", self.total_energy_mwh),
+        );
         line("carbon [kgCO2]", format!("{:.0}", self.carbon_kg()));
         line("avg utilization", format!("{:.3}", self.avg_utilization));
         line("avg wait [s]", format!("{:.0}", self.avg_wait_secs()));
@@ -223,7 +238,10 @@ impl SystemStats {
         );
         line("avg EDP [kWh·h]", format!("{:.2}", self.avg_edp()));
         line("avg ED2P [kWh·h²]", format!("{:.2}", self.avg_ed2p()));
-        line("AWRT [s]", format!("{:.0}", self.area_weighted_response_time()));
+        line(
+            "AWRT [s]",
+            format!("{:.0}", self.area_weighted_response_time()),
+        );
         line(
             "PWSRT [s/nh]",
             format!("{:.2}", self.priority_weighted_specific_response_time()),

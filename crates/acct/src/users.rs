@@ -143,7 +143,10 @@ mod tests {
             .chain((0..10).map(|i| outcome(2, 0, 1000, 2000 + i)))
             .collect();
         let u = Users::from_outcomes(&outs);
-        assert!((u.wait_spread(1) - 100.0).abs() < 1e-9, "1000s vs 10s waits");
+        assert!(
+            (u.wait_spread(1) - 100.0).abs() < 1e-9,
+            "1000s vs 10s waits"
+        );
     }
 
     #[test]

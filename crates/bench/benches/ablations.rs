@@ -16,7 +16,10 @@ use sraps_systems::presets;
 use sraps_types::{SimDuration, SimTime, Trace};
 
 fn main() {
-    header("ablations", "Design-choice ablations from §3.2 + extensions");
+    header(
+        "ablations",
+        "Design-choice ablations from §3.2 + extensions",
+    );
 
     ablate_prepopulation();
     ablate_exact_placement();
@@ -39,25 +42,19 @@ fn ablate_prepopulation() {
     let start = SimTime::seconds(5 * 3600);
     let end = start + SimDuration::hours(2);
 
-    let with = Engine::new(
-        SimConfig::replay(cfg.clone()).with_window(start, end),
-        &ds,
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let with = Engine::new(SimConfig::replay(cfg.clone()).with_window(start, end), &ds)
+        .unwrap()
+        .run()
+        .unwrap();
 
     // Without: drop every job already started before the window (what a
     // cold-started simulator sees).
     let mut cold = ds.clone();
     cold.jobs.retain(|j| j.recorded_start >= start);
-    let without = Engine::new(
-        SimConfig::replay(cfg).with_window(start, end),
-        &cold,
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let without = Engine::new(SimConfig::replay(cfg).with_window(start, end), &cold)
+        .unwrap()
+        .run()
+        .unwrap();
 
     let u_with = with.utilization[0];
     let u_without = without.utilization[0];

@@ -7,8 +7,7 @@
 //! * under high load the ML policy cuts power spikes by preferring small
 //!   jobs, and wins or ties the wait/turnaround/energy trade-off.
 
-use rayon::prelude::*;
-use sraps_bench::{check, downsample, header, results_dir, run_policy, sparkline, write_csvs};
+use sraps_bench::{check, downsample, header, results_dir, run_pairs, sparkline, write_csvs};
 use sraps_core::SimOutput;
 use sraps_data::scenario;
 use sraps_ml::{MlPipeline, PipelineConfig};
@@ -46,16 +45,18 @@ fn main() {
     pipeline.annotate(&mut s.dataset.jobs);
 
     let policies = ["sjf", "fcfs", "ljf", "priority", "ml"];
-    let outputs: Vec<SimOutput> = policies
-        .par_iter()
-        .map(|p| run_policy(&s, p, "firstfit", false))
-        .collect();
+    let pairs: Vec<(&str, &str)> = policies.iter().map(|&p| (p, "firstfit")).collect();
+    let outputs: Vec<SimOutput> = run_pairs(&s, &pairs, false);
 
     // --- Fig 10(a): power vs time. -----------------------------------
     println!("fig10a — power [kW] per policy:");
     for out in &outputs {
         let series: Vec<f64> = out.power.iter().map(|p| p.total_kw).collect();
-        println!("  {:<20} {}", out.label, sparkline(&downsample(&series, 84)));
+        println!(
+            "  {:<20} {}",
+            out.label,
+            sparkline(&downsample(&series, 84))
+        );
         write_csvs("fig10", out);
     }
 
@@ -81,9 +82,7 @@ fn main() {
 
     println!();
     check(
-        &format!(
-            "policies overlap under low load (fcfs {low_f:.0} kW vs ml {low_m:.0} kW, day 1)"
-        ),
+        &format!("policies overlap under low load (fcfs {low_f:.0} kW vs ml {low_m:.0} kW, day 1)"),
         (low_f - low_m).abs() / low_f < 0.02,
     );
     check(

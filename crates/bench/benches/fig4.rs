@@ -8,14 +8,16 @@
 //! * backfilled policies smooth the 21:00 power jump of fcfs-nobf;
 //! * avg power per job ≈ −2 % and job size ≈ −5 % under backfill.
 
-use rayon::prelude::*;
-use sraps_bench::{check, header, print_series_block, run_policy, write_csvs};
+use sraps_bench::{check, header, print_series_block, run_pairs, write_csvs};
 use sraps_core::SimOutput;
 use sraps_data::scenario;
 
 fn main() {
     let s = scenario::fig4(42);
-    header("fig4", "PM100 day-50 window: replay vs rescheduling policies");
+    header(
+        "fig4",
+        "PM100 day-50 window: replay vs rescheduling policies",
+    );
     println!(
         "workload: {} jobs on {} nodes, window {} → {}\n",
         s.dataset.len(),
@@ -30,10 +32,7 @@ fn main() {
         ("fcfs", "easy"),
         ("priority", "firstfit"),
     ];
-    let outputs: Vec<SimOutput> = runs
-        .par_iter()
-        .map(|(p, b)| run_policy(&s, p, b, false))
-        .collect();
+    let outputs: Vec<SimOutput> = run_pairs(&s, &runs, false);
     for out in &outputs {
         print_series_block(out, 72);
         write_csvs("fig4", out);
@@ -64,8 +63,7 @@ fn main() {
     );
     // Avg power per job under backfill vs nobf (paper: −2 %).
     let per_job = |o: &SimOutput| {
-        o.outcomes.iter().map(|x| x.avg_power_kw()).sum::<f64>()
-            / o.outcomes.len().max(1) as f64
+        o.outcomes.iter().map(|x| x.avg_power_kw()).sum::<f64>() / o.outcomes.len().max(1) as f64
     };
     let dp = (per_job(easy) - per_job(nobf)) / per_job(nobf) * 100.0;
     check(

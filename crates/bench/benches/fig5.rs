@@ -3,14 +3,16 @@
 //! with known job power profiles the simulator's power tracks the replay's
 //! up/down swings.
 
-use rayon::prelude::*;
-use sraps_bench::{check, header, print_series_block, run_policy, write_csvs};
+use sraps_bench::{check, header, print_series_block, run_pairs, write_csvs};
 use sraps_core::SimOutput;
 use sraps_data::scenario;
 
 fn main() {
     let s = scenario::fig5(42);
-    header("fig5", "Adastra 15 days: replay vs reschedule at moderate load");
+    header(
+        "fig5",
+        "Adastra 15 days: replay vs reschedule at moderate load",
+    );
     println!(
         "workload: {} jobs on {} nodes over 15 days\n",
         s.dataset.len(),
@@ -23,10 +25,7 @@ fn main() {
         ("fcfs", "easy"),
         ("priority", "firstfit"),
     ];
-    let outputs: Vec<SimOutput> = runs
-        .par_iter()
-        .map(|(p, b)| run_policy(&s, p, b, false))
-        .collect();
+    let outputs: Vec<SimOutput> = run_pairs(&s, &runs, false);
     for out in &outputs {
         print_series_block(out, 90);
         write_csvs("fig5", out);
@@ -39,13 +38,16 @@ fn main() {
     let max_rel = rescheduled
         .iter()
         .flat_map(|a| {
-            rescheduled.iter().map(move |b| {
-                (a.mean_power_kw() - b.mean_power_kw()).abs() / a.mean_power_kw()
-            })
+            rescheduled
+                .iter()
+                .map(move |b| (a.mean_power_kw() - b.mean_power_kw()).abs() / a.mean_power_kw())
         })
         .fold(0.0, f64::max);
     check(
-        &format!("rescheduled policies overlap (max mean-power spread {:.2}%)", max_rel * 100.0),
+        &format!(
+            "rescheduled policies overlap (max mean-power spread {:.2}%)",
+            max_rel * 100.0
+        ),
         max_rel < 0.05,
     );
     // Power tracking: correlation between replay and fcfs power series.

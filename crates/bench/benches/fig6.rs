@@ -9,8 +9,9 @@
 //! * backfill smooths the power (and return-temperature) jump after the
 //!   giants.
 
-use rayon::prelude::*;
-use sraps_bench::{check, downsample, header, print_series_block, run_policy, sparkline, write_csvs};
+use sraps_bench::{
+    check, downsample, header, print_series_block, run_pairs, sparkline, write_csvs,
+};
 use sraps_core::SimOutput;
 use sraps_data::scenario;
 use sraps_types::SimTime;
@@ -20,12 +21,20 @@ fn main() {
     // machine) at a tractable trace-generation cost; EXPERIMENTS.md records
     // the scaling rationale.
     let s = scenario::fig6_scaled(42, 0.5);
-    header("fig6", "Frontier day with 3 full-system runs (cooling model on)");
+    header(
+        "fig6",
+        "Frontier day with 3 full-system runs (cooling model on)",
+    );
     println!(
         "workload: {} jobs on {} nodes; giants of {} nodes\n",
         s.dataset.len(),
         s.config.total_nodes,
-        s.dataset.jobs.iter().map(|j| j.nodes_requested).max().unwrap()
+        s.dataset
+            .jobs
+            .iter()
+            .map(|j| j.nodes_requested)
+            .max()
+            .unwrap()
     );
 
     let runs = [
@@ -34,10 +43,7 @@ fn main() {
         ("fcfs", "easy"),
         ("priority", "firstfit"),
     ];
-    let outputs: Vec<SimOutput> = runs
-        .par_iter()
-        .map(|(p, b)| run_policy(&s, p, b, true))
-        .collect();
+    let outputs: Vec<SimOutput> = run_pairs(&s, &runs, true);
     for out in &outputs {
         print_series_block(out, 72);
         let pue: Vec<f64> = out.cooling.iter().map(|c| c.pue).collect();
@@ -61,7 +67,13 @@ fn main() {
     let nobf = &outputs[1];
     let easy = &outputs[2];
 
-    let giant = s.dataset.jobs.iter().map(|j| j.nodes_requested).max().unwrap();
+    let giant = s
+        .dataset
+        .jobs
+        .iter()
+        .map(|j| j.nodes_requested)
+        .max()
+        .unwrap();
     let first_giant = |o: &SimOutput| -> Option<SimTime> {
         o.outcomes
             .iter()
@@ -75,7 +87,10 @@ fn main() {
     for (out, st) in outputs.iter().zip(&starts) {
         match st {
             Some(t) => println!("  first giant start under {:<20} t={t}", out.label),
-            None => println!("  first giant start under {:<20} (not completed in window)", out.label),
+            None => println!(
+                "  first giant start under {:<20} (not completed in window)",
+                out.label
+            ),
         }
     }
     let resched_min = starts[1..].iter().flatten().min().copied();
@@ -103,7 +118,11 @@ fn main() {
         easy.max_power_swing_kw() <= nobf.max_power_swing_kw() * 1.05,
     );
     let pue_band = |o: &SimOutput| {
-        let lo = o.cooling.iter().map(|c| c.pue).fold(f64::INFINITY, f64::min);
+        let lo = o
+            .cooling
+            .iter()
+            .map(|c| c.pue)
+            .fold(f64::INFINITY, f64::min);
         let hi = o.cooling.iter().map(|c| c.pue).fold(0.0, f64::max);
         (lo, hi)
     };
@@ -114,10 +133,17 @@ fn main() {
     );
     let run_pue = replay.run_pue().unwrap_or(0.0);
     check(
-        &format!("run-level PUE near the facility's reported average ({run_pue:.3} vs Frontier ≈1.06)"),
+        &format!(
+            "run-level PUE near the facility's reported average ({run_pue:.3} vs Frontier ≈1.06)"
+        ),
         run_pue > 1.0 && run_pue < 1.25,
     );
-    let temp_peak = |o: &SimOutput| o.cooling.iter().map(|c| c.tower_return_c).fold(0.0, f64::max);
+    let temp_peak = |o: &SimOutput| {
+        o.cooling
+            .iter()
+            .map(|c| c.tower_return_c)
+            .fold(0.0, f64::max)
+    };
     check(
         &format!(
             "return water responds to the giants (replay peak {:.1} °C vs nobf {:.1} °C)",

@@ -13,7 +13,10 @@ use sraps_types::SimTime;
 
 fn main() {
     let s = scenario::fig7(42, 0.5);
-    header("fig7", "FastSim-scheduled synthetic Frontier trace, replayed in RAPS");
+    header(
+        "fig7",
+        "FastSim-scheduled synthetic Frontier trace, replayed in RAPS",
+    );
     println!(
         "workload: {} jobs over 15 days on {} nodes\n",
         s.dataset.len(),
@@ -105,7 +108,11 @@ fn main() {
         speedup > 100.0,
     );
     check(
-        &format!("all jobs scheduled by FastSim ({} of {})", starts.len(), s.dataset.len()),
+        &format!(
+            "all jobs scheduled by FastSim ({} of {})",
+            starts.len(),
+            s.dataset.len()
+        ),
         starts.len() == s.dataset.len(),
     );
 }

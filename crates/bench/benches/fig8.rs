@@ -8,14 +8,16 @@
 //! *not* rewarded and the low-power background is pulled forward — while
 //! acct_avg_power does the opposite.
 
-use rayon::prelude::*;
-use sraps_bench::{check, header, print_series_block, write_csvs};
-use sraps_core::{Engine, SchedulerSelect, SimConfig, SimOutput};
+use sraps_bench::{check, header, print_series_block, run_incentives, write_csvs};
+use sraps_core::{Engine, SimConfig, SimOutput};
 use sraps_data::scenario;
 
 fn main() {
     let s = scenario::fig8_scaled(42, 0.25);
-    header("fig8", "Incentive structures via account-based prioritization");
+    header(
+        "fig8",
+        "Incentive structures via account-based prioritization",
+    );
     println!(
         "workload: {} jobs on {} nodes (the Fig 6 day, saturated)\n",
         s.dataset.len(),
@@ -30,31 +32,26 @@ fn main() {
         .expect("engine")
         .run()
         .expect("collection run");
-    println!("collection: {} accounts tracked\n", collection.accounts.len());
+    println!(
+        "collection: {} accounts tracked\n",
+        collection.accounts.len()
+    );
     std::fs::write(
         sraps_bench::results_dir("fig8").join("accounts.json"),
         collection.accounts.to_json().expect("json"),
     )
     .expect("write accounts.json");
 
-    // Redeeming phase: four incentives, first-fit backfill (paper setup).
+    // Redeeming phase: four incentives, first-fit backfill (paper setup),
+    // fanned out by the sweep subsystem's experiment matrix.
     let policies = [
         "acct_avg_power",
         "acct_low_avg_power",
         "acct_edp",
         "acct_fugaku_pts",
     ];
-    let mut outputs: Vec<SimOutput> = policies
-        .par_iter()
-        .map(|policy| {
-            let sim = SimConfig::new(s.config.clone(), policy, "firstfit")
-                .expect("valid")
-                .with_window(s.sim_start, s.sim_end)
-                .with_scheduler(SchedulerSelect::Experimental)
-                .with_accounts_json(collection.accounts.clone());
-            Engine::new(sim, &s.dataset).expect("engine").run().expect("run")
-        })
-        .collect();
+    let mut outputs: Vec<SimOutput> =
+        run_incentives(&s, &policies, "firstfit", collection.accounts.clone());
     outputs.insert(0, collection);
 
     for out in &outputs {
@@ -74,12 +71,20 @@ fn main() {
         .collect();
     let hottest = busy
         .iter()
-        .max_by(|a, b| a.1.avg_node_power_kw.partial_cmp(&b.1.avg_node_power_kw).unwrap())
+        .max_by(|a, b| {
+            a.1.avg_node_power_kw
+                .partial_cmp(&b.1.avg_node_power_kw)
+                .unwrap()
+        })
         .map(|(id, _)| **id)
         .expect("busy accounts exist");
     let frugal = busy
         .iter()
-        .min_by(|a, b| a.1.avg_node_power_kw.partial_cmp(&b.1.avg_node_power_kw).unwrap())
+        .min_by(|a, b| {
+            a.1.avg_node_power_kw
+                .partial_cmp(&b.1.avg_node_power_kw)
+                .unwrap()
+        })
         .map(|(id, _)| **id)
         .expect("busy accounts exist");
     let mean_wait = |o: &SimOutput, acct: u32| {
@@ -111,7 +116,10 @@ fn main() {
         ),
         hot_under_pts >= hot_under_avg,
     );
-    let counts: Vec<u64> = outputs[1..].iter().map(|o| o.stats.jobs_completed).collect();
+    let counts: Vec<u64> = outputs[1..]
+        .iter()
+        .map(|o| o.stats.jobs_completed)
+        .collect();
     let (lo, hi) = (
         *counts.iter().min().expect("runs"),
         *counts.iter().max().expect("runs"),

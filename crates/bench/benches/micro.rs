@@ -8,8 +8,8 @@ use sraps_data::{adastra, packer, WorkloadSpec};
 use sraps_extsched::{ExtJob, FastSim};
 use sraps_ml::{MlPipeline, PipelineConfig};
 use sraps_sched::{
-    BackfillKind, BuiltinScheduler, JobQueue, PolicyKind, QueuedJob, ResourceManager,
-    SchedContext, SchedulerBackend,
+    BackfillKind, BuiltinScheduler, JobQueue, PolicyKind, QueuedJob, ResourceManager, SchedContext,
+    SchedulerBackend,
 };
 use sraps_systems::presets;
 use sraps_types::{AccountId, JobId, SimDuration, SimTime};
@@ -65,9 +65,17 @@ fn bench_scheduler(c: &mut Criterion) {
     for (name, policy, backfill) in [
         ("fcfs_none", PolicyKind::Fcfs, BackfillKind::None),
         ("fcfs_easy", PolicyKind::Fcfs, BackfillKind::Easy),
-        ("priority_firstfit", PolicyKind::Priority, BackfillKind::FirstFit),
+        (
+            "priority_firstfit",
+            PolicyKind::Priority,
+            BackfillKind::FirstFit,
+        ),
         ("sjf_easy", PolicyKind::Sjf, BackfillKind::Easy),
-        ("fcfs_conservative", PolicyKind::Fcfs, BackfillKind::Conservative),
+        (
+            "fcfs_conservative",
+            PolicyKind::Fcfs,
+            BackfillKind::Conservative,
+        ),
     ] {
         g.bench_function(format!("pass_1000q_{name}"), |b| {
             b.iter_batched(
@@ -141,9 +149,7 @@ fn bench_cooling(c: &mut Criterion) {
             let mut acc = 0.0;
             for i in 0..10_000 {
                 let load = 15_000.0 + 5_000.0 * ((i % 100) as f64 / 100.0);
-                acc += plant
-                    .step(SimDuration::seconds(15), load, load * 1.05)
-                    .pue;
+                acc += plant.step(SimDuration::seconds(15), load, load * 1.05).pue;
             }
             acc
         })

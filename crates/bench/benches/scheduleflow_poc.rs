@@ -11,7 +11,10 @@ use sraps_systems::presets;
 use sraps_types::SimDuration;
 
 fn main() {
-    header("scheduleflow_poc", "External event-based scheduler driven by S-RAPS (1 h cap)");
+    header(
+        "scheduleflow_poc",
+        "External event-based scheduler driven by S-RAPS (1 h cap)",
+    );
 
     // Synthetic jobs, 1-hour simulation cap — the artifact's
     // `python main.py -t 1h --scheduler scheduleflow`.
@@ -19,7 +22,11 @@ fn main() {
     let mut spec = WorkloadSpec::for_system(&cfg, 0.4, 42);
     spec.span = SimDuration::hours(1);
     let ds = sraps_data::adastra::synthesize(&cfg, &spec);
-    println!("workload: {} synthetic jobs on {} nodes\n", ds.len(), cfg.total_nodes);
+    println!(
+        "workload: {} synthetic jobs on {} nodes\n",
+        ds.len(),
+        cfg.total_nodes
+    );
 
     let run = |select: SchedulerSelect| {
         let sim = SimConfig::new(cfg.clone(), "fcfs", "none")
@@ -32,7 +39,10 @@ fn main() {
 
     println!(
         "{:<14} jobs={:<5} wall={:<12?} recomputations={}",
-        "builtin", builtin.stats.jobs_completed, builtin.wall_time, builtin.sched_stats.recomputations
+        "builtin",
+        builtin.stats.jobs_completed,
+        builtin.wall_time,
+        builtin.sched_stats.recomputations
     );
     println!(
         "{:<14} jobs={:<5} wall={:<12?} recomputations={}",

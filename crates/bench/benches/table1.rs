@@ -23,7 +23,9 @@ fn main() {
         "System", "Architecture", "Nodes", "Scheduler", "paper jobs", "synth jobs/d"
     );
 
-    let mut rows = String::from("system,architecture,nodes,scheduler,paper_jobs,synth_jobs_per_day,fidelity\n");
+    let mut rows = String::from(
+        "system,architecture,nodes,scheduler,paper_jobs,synth_jobs_per_day,fidelity\n",
+    );
     for &(name, paper_jobs) in PAPER_JOBS {
         let cfg = presets::system_by_name(name).expect("preset exists");
         // One synthetic day at the dataset's typical load, to report the

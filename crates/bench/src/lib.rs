@@ -6,13 +6,23 @@
 //! and (4) prints the qualitative checks the paper's text makes, each
 //! marked `[ok]`/`[??]` so a regression is visible in `cargo bench` output.
 
-use sraps_core::{Engine, SimConfig, SimOutput};
+use sraps_core::{Engine, SchedulerSelect, SimConfig, SimOutput};
 use sraps_data::scenario::Scenario;
+use sraps_exp::{ExperimentMatrix, SweepRunner};
 use std::path::PathBuf;
 
-/// Where CSV outputs land.
+/// Where CSV outputs land: `$SRAPS_RESULTS_DIR`, else
+/// `$CARGO_TARGET_DIR/bench_results`, else `target/bench_results`.
 pub fn results_dir(element: &str) -> PathBuf {
-    let dir = PathBuf::from("target").join("bench_results").join(element);
+    let base = std::env::var_os("SRAPS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::var_os("CARGO_TARGET_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("target"))
+                .join("bench_results")
+        });
+    let dir = base.join(element);
     std::fs::create_dir_all(&dir).expect("create bench_results dir");
     dir
 }
@@ -31,11 +41,42 @@ pub fn run_policy(s: &Scenario, policy: &str, backfill: &str, cooling: bool) -> 
         .expect("run completes")
 }
 
+/// Run (policy, backfill) pairs over a scenario in parallel through the
+/// sweep subsystem; outputs come back in pair order.
+pub fn run_pairs(s: &Scenario, pairs: &[(&str, &str)], cooling: bool) -> Vec<SimOutput> {
+    let mut matrix =
+        ExperimentMatrix::scenario(s.clone()).pairs(pairs.iter().map(|&(p, b)| (p, b)));
+    if cooling {
+        matrix = matrix.with_cooling();
+    }
+    let results = SweepRunner::auto().run(&matrix).expect("sweep runs");
+    results.cells.into_iter().map(|c| c.output).collect()
+}
+
+/// Run incentive (redeeming-phase) policies over a scenario through the
+/// experimental account scheduler, feeding it collection-phase accounts.
+pub fn run_incentives(
+    s: &Scenario,
+    policies: &[&str],
+    backfill: &str,
+    accounts: sraps_acct::Accounts,
+) -> Vec<SimOutput> {
+    let matrix = ExperimentMatrix::scenario(s.clone())
+        .pairs(policies.iter().map(|&p| (p, backfill)))
+        .scheduler(SchedulerSelect::Experimental)
+        .accounts_in(accounts);
+    let results = SweepRunner::auto().run(&matrix).expect("sweep runs");
+    results.cells.into_iter().map(|c| c.output).collect()
+}
+
 /// Write the standard CSV set for a run.
 pub fn write_csvs(element: &str, out: &SimOutput) {
     let dir = results_dir(element);
-    std::fs::write(dir.join(format!("{}-power.csv", out.label)), out.power_csv())
-        .expect("write power csv");
+    std::fs::write(
+        dir.join(format!("{}-power.csv", out.label)),
+        out.power_csv(),
+    )
+    .expect("write power csv");
     std::fs::write(dir.join(format!("{}-util.csv", out.label)), out.util_csv())
         .expect("write util csv");
     if !out.cooling.is_empty() {

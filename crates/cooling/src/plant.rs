@@ -66,8 +66,18 @@ impl CoolingPlant {
     /// * `it_heat_kw` — heat entering the loop this tick (IT power; the
     ///   rectifier losses heat air handled separately and are excluded);
     /// * `it_plus_losses_kw` — electrical input, for the PUE numerator.
-    pub fn step(&mut self, dt: SimDuration, it_heat_kw: f64, it_plus_losses_kw: f64) -> CoolingSample {
-        self.step_at_ambient(dt, it_heat_kw, it_plus_losses_kw, self.spec.ambient_wetbulb_c)
+    pub fn step(
+        &mut self,
+        dt: SimDuration,
+        it_heat_kw: f64,
+        it_plus_losses_kw: f64,
+    ) -> CoolingSample {
+        self.step_at_ambient(
+            dt,
+            it_heat_kw,
+            it_plus_losses_kw,
+            self.spec.ambient_wetbulb_c,
+        )
     }
 
     /// Advance the plant one tick under an explicit ambient wet-bulb

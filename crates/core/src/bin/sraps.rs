@@ -7,16 +7,22 @@
 //! sraps --system frontier --scheduler fastsim --load 0.8 --span 1d
 //! sraps --system marconi100 --scheduler experimental --policy acct_edp \
 //!       --backfill firstfit --accounts --accounts-json replay/accounts.json
+//! sraps sweep --system lassen --policies fcfs,sjf,priority \
+//!       --backfills none,easy --seeds 3 --jobs 4
 //! ```
 //!
 //! Without `--scenario`, a synthetic dataset shaped like the system's
 //! public dataset is generated (`--load`, `--span`, `--seed` control it).
 //! Outputs (power/util/queue/cooling CSVs, `job_history.csv`, `stats.out`,
 //! `accounts.json`) land in `-o DIR` (default `simulation_results/<id>`).
+//!
+//! `sraps sweep` runs *matrices* of simulations (systems × policies ×
+//! backfills × seeds × …) on a multi-threaded work-stealing executor and
+//! emits a baseline-relative comparison report — see [`sraps_exp`].
 
 use sraps_core::{Engine, SchedulerSelect, SimConfig, SimOutput};
 use sraps_data::{scenario, Dataset, WorkloadSpec};
-use sraps_systems::{presets, SystemConfig};
+use sraps_systems::SystemConfig;
 use sraps_types::{time::parse_duration, SimDuration, SimTime};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -66,6 +72,7 @@ impl Default for CliArgs {
 
 const USAGE: &str = "\
 usage: sraps (--system NAME | --scenario fig4|fig5|fig6|fig7|fig8|fig10) [options]
+       sraps sweep ...        run an experiment matrix (see `sraps sweep --help`)
 
 options:
   --system NAME          frontier | marconi100 | fugaku | lassen | adastra
@@ -110,8 +117,7 @@ fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
             }
             "-t" => {
                 let v = value(&mut i, "-t")?;
-                a.duration =
-                    Some(parse_duration(&v).ok_or_else(|| format!("bad -t value '{v}'"))?);
+                a.duration = Some(parse_duration(&v).ok_or_else(|| format!("bad -t value '{v}'"))?);
             }
             "--load" => {
                 a.load = value(&mut i, "--load")?
@@ -174,21 +180,12 @@ fn build_inputs(a: &CliArgs) -> Result<RunInputs, String> {
         return Ok((s.config, s.dataset, Some((s.sim_start, s.sim_end))));
     }
     let name = a.system.as_deref().expect("checked in parse_args");
-    let mut cfg =
-        presets::system_by_name(name).ok_or_else(|| format!("unknown system '{name}'"))?;
-    if a.scale < 1.0 {
-        cfg = cfg.scaled_to(((cfg.total_nodes as f64 * a.scale).round() as u32).max(64));
-    }
+    // Shared with the sweep subsystem so system lookup, the scale floor,
+    // and the dataloader dispatch cannot drift between interfaces.
+    let cfg = sraps_exp::cell::system_scaled(name, a.scale).map_err(|e| e.to_string())?;
     let mut spec = WorkloadSpec::for_system(&cfg, a.load, a.seed);
     spec.span = a.span;
-    let ds = match name {
-        "frontier" => sraps_data::frontier::synthesize(&cfg, &spec),
-        "marconi100" => sraps_data::marconi100::synthesize(&cfg, &spec),
-        "fugaku" => sraps_data::fugaku::synthesize(&cfg, &spec),
-        "lassen" => sraps_data::lassen::synthesize(&cfg, &spec),
-        "adastra" | "adastraMI250" => sraps_data::adastra::synthesize(&cfg, &spec),
-        other => return Err(format!("no dataloader for '{other}'")),
-    };
+    let ds = sraps_exp::cell::synthesize_by_name(name, &cfg, &spec).map_err(|e| e.to_string())?;
     Ok((cfg, ds, None))
 }
 
@@ -288,6 +285,21 @@ fn run(a: CliArgs) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `sraps sweep ...` — the experiment-matrix subcommand (sraps-exp).
+    if argv.first().map(String::as_str) == Some("sweep") {
+        return match sraps_exp::cli::sweep_command(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // Help is a success, on stdout (unlike usage-on-error).
+    if argv.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     match parse_args(&argv) {
         Ok(args) => match run(args) {
             Ok(()) => ExitCode::SUCCESS,

@@ -106,8 +106,8 @@ impl Engine {
                         Err(_) => continue,
                     },
                 };
-                let est_end = (job.recorded_start + job.estimate())
-                    .max(sim_start + sim.system.tick);
+                let est_end =
+                    (job.recorded_start + job.estimate()).max(sim_start + sim.system.tick);
                 active.push(Active {
                     id,
                     nodes,
@@ -185,7 +185,9 @@ impl Engine {
                                 (j.id, node_kw * j.nodes_requested as f64)
                             })
                             .collect();
-                        Box::new(sraps_sched::PowerCapScheduler::new(builtin, cap_kw, estimates))
+                        Box::new(sraps_sched::PowerCapScheduler::new(
+                            builtin, cap_kw, estimates,
+                        ))
                     }
                     None => Box::new(builtin),
                 }
@@ -651,10 +653,13 @@ mod tests {
     #[test]
     fn power_cap_clips_job_power() {
         let (cfg, ds) = small_adastra();
-        let uncapped = Engine::new(SimConfig::new(cfg.clone(), "fcfs", "firstfit").unwrap(), &ds)
-            .unwrap()
-            .run()
-            .unwrap();
+        let uncapped = Engine::new(
+            SimConfig::new(cfg.clone(), "fcfs", "firstfit").unwrap(),
+            &ds,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
         // Cap well below the uncapped peak *job* power (total − idle floor).
         let idle_kw = cfg.idle_it_power_kw();
         let peak_job_kw = uncapped
@@ -758,13 +763,10 @@ mod tests {
     #[test]
     fn conservative_backfill_runs_end_to_end() {
         let (cfg, ds) = small_adastra();
-        let out = Engine::new(
-            SimConfig::new(cfg, "fcfs", "conservative").unwrap(),
-            &ds,
-        )
-        .unwrap()
-        .run()
-        .unwrap();
+        let out = Engine::new(SimConfig::new(cfg, "fcfs", "conservative").unwrap(), &ds)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(out.stats.jobs_completed > 0);
         for o in &out.outcomes {
             assert!(o.start >= o.submit);

@@ -178,7 +178,11 @@ mod tests {
         SimOutput {
             label: "fcfs-easy".into(),
             scheduler_name: "default",
-            times: vec![SimTime::seconds(0), SimTime::seconds(60), SimTime::seconds(120)],
+            times: vec![
+                SimTime::seconds(0),
+                SimTime::seconds(60),
+                SimTime::seconds(120),
+            ],
             power: vec![
                 PowerSample {
                     it_power_kw: 100.0,

@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn identical_series_agree_perfectly() {
-        let s: Vec<f64> = (0..100).map(|i| 100.0 + (i as f64 * 0.3).sin() * 10.0).collect();
+        let s: Vec<f64> = (0..100)
+            .map(|i| 100.0 + (i as f64 * 0.3).sin() * 10.0)
+            .collect();
         let m = compare_series(&s, &s);
         assert!((m.correlation - 1.0).abs() < 1e-9);
         assert!(m.rmse_kw < 1e-9);
@@ -82,7 +84,9 @@ mod tests {
 
     #[test]
     fn scaled_series_keep_correlation_but_show_energy_error() {
-        let a: Vec<f64> = (0..100).map(|i| 100.0 + (i as f64 * 0.3).sin() * 10.0).collect();
+        let a: Vec<f64> = (0..100)
+            .map(|i| 100.0 + (i as f64 * 0.3).sin() * 10.0)
+            .collect();
         let b: Vec<f64> = a.iter().map(|v| v * 1.1).collect();
         let m = compare_series(&a, &b);
         assert!(m.correlation > 0.999);

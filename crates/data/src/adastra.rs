@@ -69,7 +69,11 @@ pub fn generate(cfg: &SystemConfig, spec: &WorkloadSpec) -> Vec<AdastraRecord> {
                 end_ts: p.end.as_secs(),
                 time_limit_secs: p.spec.walltime.as_secs(),
                 num_nodes: p.spec.nodes,
-                partition: if on_gpu { "mi250".into() } else { "genoa".into() },
+                partition: if on_gpu {
+                    "mi250".into()
+                } else {
+                    "genoa".into()
+                },
                 node_power_avg_w: node_w,
                 cpu_power_avg_w: cpu_w,
                 mem_power_avg_w: cfg.node_power.mem_w as f32,

@@ -113,8 +113,8 @@ mod tests {
         let d = Dataset::new(
             "t",
             vec![
-                job(1, 0, 0, 50, 1),    // ends before window
-                job(2, 40, 60, 120, 1), // overlaps
+                job(1, 0, 0, 50, 1),      // ends before window
+                job(2, 40, 60, 120, 1),   // overlaps
                 job(3, 300, 310, 400, 1), // submitted after window
             ],
         );
@@ -129,7 +129,11 @@ mod tests {
     fn peak_recorded_nodes_counts_overlap() {
         let d = Dataset::new(
             "t",
-            vec![job(1, 0, 0, 100, 3), job(2, 0, 50, 150, 4), job(3, 0, 120, 200, 5)],
+            vec![
+                job(1, 0, 0, 100, 3),
+                job(2, 0, 50, 150, 4),
+                job(3, 0, 120, 200, 5),
+            ],
         );
         // Overlap at t in [50,100): 3+4=7; at [120,150): 4+5=9.
         assert_eq!(d.peak_recorded_nodes(), 9);

@@ -90,7 +90,9 @@ mod tests {
     fn node_counts_within_bounds_and_mostly_small() {
         let mut r = rng();
         let max = 1000;
-        let counts: Vec<u32> = (0..5000).map(|_| job_node_count(&mut r, max, 0.02)).collect();
+        let counts: Vec<u32> = (0..5000)
+            .map(|_| job_node_count(&mut r, max, 0.02))
+            .collect();
         assert!(counts.iter().all(|&c| (1..=max).contains(&c)));
         let small = counts.iter().filter(|&&c| c <= 20).count();
         assert!(small as f64 / 5000.0 > 0.8, "small fraction {small}");

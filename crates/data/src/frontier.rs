@@ -146,10 +146,7 @@ pub fn load(cfg: &SystemConfig, records: &[FrontierRecord]) -> Dataset {
                 .user(r.user_id)
                 .account(r.account_id)
                 .submit(SimTime::seconds(r.submit_ts))
-                .window(
-                    SimTime::seconds(r.start_ts),
-                    SimTime::seconds(r.end_ts),
-                )
+                .window(SimTime::seconds(r.start_ts), SimTime::seconds(r.end_ts))
                 .walltime(SimDuration::seconds(r.time_limit_secs))
                 .nodes(r.num_nodes)
                 .placement(NodeSet::from_indices(r.assigned_nodes.clone()))
@@ -184,7 +181,10 @@ mod tests {
     #[test]
     fn priority_boosts_wide_jobs_and_penalizes_overuse() {
         assert!(frontier_priority(4096, 1) > frontier_priority(2, 1));
-        assert!(frontier_priority(64, 4) < frontier_priority(64, 1), "account 4 overused");
+        assert!(
+            frontier_priority(64, 4) < frontier_priority(64, 1),
+            "account 4 overused"
+        );
     }
 
     #[test]

@@ -100,11 +100,8 @@ pub fn load(cfg: &SystemConfig, records: &[FDataRecord]) -> Dataset {
             let idle = cfg.node_power.idle_node_w();
             let peak = cfg.node_power.peak_node_w();
             let util = ((r.node_power_avg_w as f64 - idle) / (peak - idle)).clamp(0.0, 1.0);
-            let tel = sraps_types::JobTelemetry::from_scalars(
-                util as f32,
-                None,
-                r.node_power_avg_w,
-            );
+            let tel =
+                sraps_types::JobTelemetry::from_scalars(util as f32, None, r.node_power_avg_w);
             JobBuilder::new(r.job_id)
                 .user(r.user_id)
                 .account(r.account_id)

@@ -155,8 +155,7 @@ mod tests {
         let ids: std::collections::HashSet<u64> = allocs.iter().map(|a| a.alloc_id).collect();
         assert!(steps.iter().all(|s| ids.contains(&s.alloc_id)));
         // Each allocation has at least one step.
-        let step_ids: std::collections::HashSet<u64> =
-            steps.iter().map(|s| s.alloc_id).collect();
+        let step_ids: std::collections::HashSet<u64> = steps.iter().map(|s| s.alloc_id).collect();
         assert_eq!(ids, step_ids);
     }
 

@@ -192,10 +192,7 @@ mod tests {
     fn fcfs_head_of_line_blocking_holds() {
         // Big job blocked; small job behind it must not jump (no backfill in
         // recorded history → replay utilization gap the paper shows).
-        let packed = pack_jobs(
-            vec![spec(0, 100, 6), spec(1, 1000, 8), spec(2, 10, 1)],
-            8,
-        );
+        let packed = pack_jobs(vec![spec(0, 100, 6), spec(1, 1000, 8), spec(2, 10, 1)], 8);
         assert_eq!(packed[1].start, SimTime::seconds(100));
         assert!(packed[2].start >= packed[1].start, "strict FCFS order");
         assert_feasible(&packed);

@@ -83,8 +83,8 @@ pub fn fig6_scaled(seed: u64, scale: f64) -> Scenario {
     } else {
         full.scaled_to(nodes)
     };
-    let giant = ((9216.0 * config.total_nodes as f64 / 9600.0).round() as u32)
-        .min(config.total_nodes);
+    let giant =
+        ((9216.0 * config.total_nodes as f64 / 9600.0).round() as u32).min(config.total_nodes);
     let mut spec = WorkloadSpec::for_system(&config, 0.85, seed);
     spec.span = SimDuration::hours(30);
     spec.median_runtime_secs = 2800.0;
@@ -125,8 +125,8 @@ pub fn fig8_scaled(seed: u64, scale: f64) -> Scenario {
     } else {
         full.scaled_to(nodes)
     };
-    let giant = ((9216.0 * config.total_nodes as f64 / 9600.0).round() as u32)
-        .min(config.total_nodes);
+    let giant =
+        ((9216.0 * config.total_nodes as f64 / 9600.0).round() as u32).min(config.total_nodes);
     let mut spec = WorkloadSpec::for_system(&config, 1.2, seed);
     spec.span = SimDuration::hours(30);
     spec.median_runtime_secs = 2400.0;
@@ -294,7 +294,11 @@ mod tests {
     fn fig5_has_headroom() {
         let s = fig5(1);
         // 15-day span, moderate load: jobs exist, machine not pinned.
-        assert!(s.dataset.len() > 500, "15 days of jobs: {}", s.dataset.len());
+        assert!(
+            s.dataset.len() > 500,
+            "15 days of jobs: {}",
+            s.dataset.len()
+        );
         assert!((s.sim_end - s.sim_start).as_secs() == 15 * 86_400);
     }
 

@@ -145,7 +145,11 @@ pub fn gen_trace_telemetry(
     let n = (duration.as_secs() / dt.as_secs()).max(1) as usize;
     // Application phases: compute bursts vs memory/i-o lulls.
     let base_cpu = rng.gen_range(0.35..0.95);
-    let base_gpu = if has_gpus { rng.gen_range(0.3..0.98) } else { 0.0 };
+    let base_gpu = if has_gpus {
+        rng.gen_range(0.3..0.98)
+    } else {
+        0.0
+    };
     let n_phases = (1 + n / 120).min(8);
     let phase_len = (n / n_phases).max(1);
 
@@ -193,7 +197,11 @@ pub fn gen_summary_telemetry(
     power_bias: f64,
 ) -> JobTelemetry {
     let cu = rng.gen_range(0.25..0.95);
-    let gu = if has_gpus { rng.gen_range(0.2..0.95) } else { 0.0 };
+    let gu = if has_gpus {
+        rng.gen_range(0.2..0.95)
+    } else {
+        0.0
+    };
     let watts = node_watts(power, cu, gu) * power_bias;
     JobTelemetry::from_scalars(cu as f32, has_gpus.then_some(gu as f32), watts as f32)
 }
@@ -201,7 +209,12 @@ pub fn gen_summary_telemetry(
 /// Synthesize a diurnal ambient wet-bulb trace: `base_c` at night rising by
 /// `amplitude_c` toward mid-afternoon, sampled at `dt` over `span`. Offsets
 /// are relative to trace start (pass to `SimConfig::with_weather`).
-pub fn gen_wetbulb_trace(span: SimDuration, dt: SimDuration, base_c: f64, amplitude_c: f64) -> Trace {
+pub fn gen_wetbulb_trace(
+    span: SimDuration,
+    dt: SimDuration,
+    base_c: f64,
+    amplitude_c: f64,
+) -> Trace {
     let n = (span.as_secs() / dt.as_secs()).max(1) as usize;
     let values = (0..n)
         .map(|i| {
@@ -321,8 +334,6 @@ mod tests {
         let mut r2 = SmallRng::seed_from_u64(7);
         let frugal = gen_summary_telemetry(&mut r1, &cfg.node_power, false, 0.8);
         let hot = gen_summary_telemetry(&mut r2, &cfg.node_power, false, 1.2);
-        assert!(
-            hot.node_power_w.unwrap().mean() > frugal.node_power_w.unwrap().mean()
-        );
+        assert!(hot.node_power_w.unwrap().mean() > frugal.node_power_w.unwrap().mean());
     }
 }

@@ -1,0 +1,235 @@
+//! Cells and workloads: the concrete units a sweep executes.
+//!
+//! [`WorkloadPlan`] describes *how to obtain* a dataset (synthesize by
+//! system/load/seed, or use a prebuilt one); [`MaterializedWorkload`] is
+//! the dataset in memory, shared by every cell that uses it;
+//! [`CellSpec`] is one simulation to run — it knows how to turn itself
+//! into a [`SimConfig`] against its workload.
+
+use crate::matrix::PrebuiltWorkload;
+use sraps_acct::Accounts;
+use sraps_core::{SchedulerSelect, SimConfig};
+use sraps_data::{Dataset, WorkloadSpec};
+use sraps_systems::{presets, SystemConfig};
+use sraps_types::{Result, SimDuration, SimTime, SrapsError};
+use std::sync::Arc;
+
+/// How to obtain one workload of the sweep.
+#[derive(Debug, Clone)]
+pub enum WorkloadPlan {
+    /// Synthesize a dataset shaped like the system's public dataset.
+    Synthetic {
+        label: String,
+        /// Label minus the seed component — the key seed aggregation
+        /// groups by (`lassen-l0.70` for `lassen-l0.70-s43`).
+        group: String,
+        system: String,
+        load: f64,
+        seed: u64,
+        span: SimDuration,
+        scale: f64,
+    },
+    /// Use a caller-provided dataset (boxed: it carries a full
+    /// `SystemConfig`, far larger than the synthetic parameters).
+    Prebuilt(Box<PrebuiltWorkload>),
+}
+
+impl WorkloadPlan {
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadPlan::Synthetic { label, .. } => label.clone(),
+            WorkloadPlan::Prebuilt(w) => w.label.clone(),
+        }
+    }
+
+    /// The seed-aggregation group this workload belongs to.
+    pub fn group(&self) -> String {
+        match self {
+            WorkloadPlan::Synthetic { group, .. } => group.clone(),
+            WorkloadPlan::Prebuilt(w) => w.label.clone(),
+        }
+    }
+
+    /// Build the dataset. Deterministic: same plan ⇒ identical workload.
+    pub fn materialize(&self) -> Result<MaterializedWorkload> {
+        match self {
+            WorkloadPlan::Prebuilt(w) => Ok(MaterializedWorkload {
+                label: w.label.clone(),
+                group: w.label.clone(),
+                seed: None,
+                config: w.config.clone(),
+                dataset: Arc::clone(&w.dataset),
+                window: w.window,
+            }),
+            WorkloadPlan::Synthetic {
+                label,
+                group,
+                system,
+                load,
+                seed,
+                span,
+                scale,
+            } => {
+                let cfg = system_scaled(system, *scale)?;
+                let mut spec = WorkloadSpec::for_system(&cfg, *load, *seed);
+                spec.span = *span;
+                let dataset = synthesize_by_name(system, &cfg, &spec)?;
+                Ok(MaterializedWorkload {
+                    label: label.clone(),
+                    group: group.clone(),
+                    seed: Some(*seed),
+                    config: cfg,
+                    dataset: Arc::new(dataset),
+                    window: None,
+                })
+            }
+        }
+    }
+}
+
+/// Look up a preset system by name, scaled down when `scale < 1`
+/// (64-node floor, as the artifact's `--scale`).
+pub fn system_scaled(name: &str, scale: f64) -> Result<SystemConfig> {
+    let mut cfg = presets::system_by_name(name)
+        .ok_or_else(|| SrapsError::Config(format!("unknown system '{name}'")))?;
+    if scale < 1.0 {
+        cfg = cfg.scaled_to(((cfg.total_nodes as f64 * scale).round() as u32).max(64));
+    }
+    Ok(cfg)
+}
+
+/// Dispatch to the per-system generator (the dataloaders of §3.2.2).
+pub fn synthesize_by_name(
+    system: &str,
+    cfg: &SystemConfig,
+    spec: &WorkloadSpec,
+) -> Result<Dataset> {
+    Ok(match system {
+        "frontier" => sraps_data::frontier::synthesize(cfg, spec),
+        "marconi100" => sraps_data::marconi100::synthesize(cfg, spec),
+        "fugaku" => sraps_data::fugaku::synthesize(cfg, spec),
+        "lassen" => sraps_data::lassen::synthesize(cfg, spec),
+        "adastra" | "adastraMI250" => sraps_data::adastra::synthesize(cfg, spec),
+        other => return Err(SrapsError::Config(format!("no dataloader for '{other}'"))),
+    })
+}
+
+/// A workload in memory. The dataset sits behind an [`Arc`] so worker
+/// threads share one copy.
+#[derive(Debug, Clone)]
+pub struct MaterializedWorkload {
+    pub label: String,
+    /// Seed-aggregation group (label minus the seed component).
+    pub group: String,
+    /// The workload seed, when synthetic.
+    pub seed: Option<u64>,
+    pub config: SystemConfig,
+    pub dataset: Arc<Dataset>,
+    pub window: Option<(SimTime, SimTime)>,
+}
+
+/// One simulation of the sweep: a schedule-axis point bound to a workload.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Position in matrix order; results are collected by this index, which
+    /// is what makes parallel output identical to serial.
+    pub index: usize,
+    /// Unique human-readable name (`fcfs-easy`, `lassen-s43/sjf-none`, …).
+    pub label: String,
+    /// Index into the matrix's workload list.
+    pub workload: usize,
+    pub policy: String,
+    pub backfill: String,
+    pub cooling: bool,
+    pub power_cap_kw: Option<f64>,
+    pub scheduler: SchedulerSelect,
+    /// Collection-phase accounts for the experimental scheduler.
+    pub accounts_in: Option<Accounts>,
+}
+
+impl CellSpec {
+    /// Materialize the cell's [`SimConfig`] against its workload.
+    pub fn build_sim(&self, workload: &MaterializedWorkload) -> Result<SimConfig> {
+        let mut sim = SimConfig::new(workload.config.clone(), &self.policy, &self.backfill)?;
+        if let Some((start, end)) = workload.window {
+            sim = sim.with_window(start, end);
+        }
+        if self.cooling {
+            sim = sim.with_cooling();
+        }
+        if let Some(cap) = self.power_cap_kw {
+            sim = sim.with_power_cap(cap);
+        }
+        sim = sim.with_scheduler(self.scheduler.clone());
+        if let Some(accounts) = &self.accounts_in {
+            sim = sim.with_accounts_json(accounts.clone());
+        }
+        sim.validate()?;
+        Ok(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_plan_materializes_deterministically() {
+        let plan = WorkloadPlan::Synthetic {
+            label: "lassen-s7".into(),
+            group: "lassen".into(),
+            system: "lassen".into(),
+            load: 0.5,
+            seed: 7,
+            span: SimDuration::hours(2),
+            scale: 1.0,
+        };
+        let a = plan.materialize().unwrap();
+        let b = plan.materialize().unwrap();
+        assert!(!a.dataset.is_empty());
+        assert_eq!(a.dataset.jobs, b.dataset.jobs);
+        assert_eq!(a.config.name, "lassen");
+    }
+
+    #[test]
+    fn cell_builds_a_valid_sim() {
+        let plan = WorkloadPlan::Synthetic {
+            label: "adastra".into(),
+            group: "adastra".into(),
+            system: "adastra".into(),
+            load: 0.4,
+            seed: 1,
+            span: SimDuration::hours(1),
+            scale: 1.0,
+        };
+        let w = plan.materialize().unwrap();
+        let cell = CellSpec {
+            index: 0,
+            label: "fcfs-easy".into(),
+            workload: 0,
+            policy: "fcfs".into(),
+            backfill: "easy".into(),
+            cooling: true,
+            power_cap_kw: None,
+            scheduler: SchedulerSelect::Default,
+            accounts_in: None,
+        };
+        let sim = cell.build_sim(&w).unwrap();
+        assert!(sim.cooling);
+        assert_eq!(sim.policy.name(), "fcfs");
+    }
+
+    #[test]
+    fn unknown_system_is_a_config_error() {
+        let plan = WorkloadPlan::Synthetic {
+            label: "x".into(),
+            group: "x".into(),
+            system: "summit".into(),
+            load: 0.5,
+            seed: 1,
+            span: SimDuration::hours(1),
+            scale: 1.0,
+        };
+        assert!(plan.materialize().is_err());
+    }
+}

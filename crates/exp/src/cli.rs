@@ -1,0 +1,426 @@
+//! The `sraps sweep` subcommand: a thin argv veneer over
+//! [`ExperimentMatrix`] + [`SweepRunner`] + [`Report`].
+//!
+//! ```text
+//! sraps sweep --system lassen --policies fcfs,sjf,priority \
+//!             --backfills none,easy --seeds 3 --jobs 4
+//! sraps sweep --scenario fig4 --pairs replay:none,fcfs:none,fcfs:easy,priority:firstfit
+//! sraps sweep --system frontier --scale 0.1 --loads 0.7,0.9,1.1 --cooling
+//! ```
+//!
+//! Prints the comparison table and writes `sweep.csv` + `sweep.json`
+//! (and optionally per-cell histories) into the output directory. The
+//! written files are bit-identical for any `--jobs` value.
+
+use crate::matrix::ExperimentMatrix;
+use crate::report::Report;
+use crate::runner::SweepRunner;
+use sraps_data::scenario;
+use sraps_types::time::parse_duration;
+use sraps_types::SimDuration;
+use std::path::PathBuf;
+
+pub const SWEEP_USAGE: &str = "\
+usage: sraps sweep (--system NAMES | --scenario NAMES) [options]
+
+workload axes:
+  --system NAMES         comma-separated: frontier|marconi100|fugaku|lassen|adastra
+  --scenario NAMES       comma-separated paper scenarios: fig4|fig5|fig6|fig7|fig8|fig10
+  --loads F,F            offered loads for synthetic workloads (default 0.8)
+  --seeds N              number of consecutive seeds (default 1)
+  --seed N               first seed (default 42)
+  --span DUR             synthetic workload span (default 1d; accepts 1h, 15d, 61000)
+  --scale F              scale large machines by F (systems, and the
+                         fig6/fig7/fig8/fig10 scenarios)
+
+schedule axes:
+  --policies P,P         cross-product policies (default fcfs)
+  --backfills B,B        cross-product backfills (default none)
+  --pairs P:B,P:B        explicit policy:backfill pairs (overrides the cross-product)
+
+run shape:
+  -c, --cooling          run the cooling model in every cell
+  --power-caps KW,KW     facility power-cap axis; 'none' = uncapped
+                         (e.g. --power-caps none,1200)
+
+execution & output:
+  --jobs N               worker threads (default: all cores)
+  --baseline P-B         baseline cell kind for deltas (default: first cell)
+  -o, --output DIR       report directory (default simulation_results/sweep)
+  --write-histories      also write per-cell power/util CSVs
+  -q, --quiet            suppress per-cell progress lines
+  -h, --help             this help
+";
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    pub systems: Vec<String>,
+    pub scenarios: Vec<String>,
+    pub policies: Vec<String>,
+    pub backfills: Vec<String>,
+    pub pairs: Option<Vec<(String, String)>>,
+    pub loads: Vec<f64>,
+    pub seed_count: u64,
+    pub seed_base: u64,
+    pub span: SimDuration,
+    pub scale: f64,
+    pub cooling: bool,
+    pub power_caps: Vec<Option<f64>>,
+    pub jobs: Option<usize>,
+    pub baseline: Option<String>,
+    pub out_dir: PathBuf,
+    pub write_histories: bool,
+    pub quiet: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            systems: Vec::new(),
+            scenarios: Vec::new(),
+            policies: vec!["fcfs".into()],
+            backfills: vec!["none".into()],
+            pairs: None,
+            loads: vec![0.8],
+            seed_count: 1,
+            seed_base: 42,
+            span: SimDuration::days(1),
+            scale: 1.0,
+            cooling: false,
+            power_caps: vec![None],
+            jobs: None,
+            baseline: None,
+            out_dir: PathBuf::from("simulation_results").join("sweep"),
+            write_histories: false,
+            quiet: false,
+        }
+    }
+}
+
+fn split_csv(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
+    let mut a = SweepArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--system" | "--systems" => a.systems = split_csv(&value(&mut i, "--system")?),
+            "--scenario" | "--scenarios" => a.scenarios = split_csv(&value(&mut i, "--scenario")?),
+            "--policies" => a.policies = split_csv(&value(&mut i, "--policies")?),
+            "--backfills" => a.backfills = split_csv(&value(&mut i, "--backfills")?),
+            "--pairs" => {
+                let mut pairs = Vec::new();
+                for part in split_csv(&value(&mut i, "--pairs")?) {
+                    let (p, b) = part
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad pair '{part}': want policy:backfill"))?;
+                    pairs.push((p.to_string(), b.to_string()));
+                }
+                if pairs.is_empty() {
+                    return Err("--pairs needs at least one policy:backfill".into());
+                }
+                a.pairs = Some(pairs);
+            }
+            "--loads" => {
+                a.loads = split_csv(&value(&mut i, "--loads")?)
+                    .iter()
+                    .map(|v| v.parse().map_err(|e| format!("bad load '{v}': {e}")))
+                    .collect::<Result<_, String>>()?;
+            }
+            "--seeds" => {
+                a.seed_count = value(&mut i, "--seeds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+                if a.seed_count == 0 {
+                    return Err("--seeds must be ≥ 1".into());
+                }
+            }
+            "--seed" => {
+                a.seed_base = value(&mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--span" => {
+                let v = value(&mut i, "--span")?;
+                a.span = parse_duration(&v).ok_or_else(|| format!("bad --span value '{v}'"))?;
+            }
+            "--scale" => {
+                a.scale = value(&mut i, "--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "-c" | "--cooling" => a.cooling = true,
+            "--power-caps" => {
+                a.power_caps = split_csv(&value(&mut i, "--power-caps")?)
+                    .iter()
+                    .map(|v| {
+                        if v == "none" {
+                            Ok(None)
+                        } else {
+                            v.parse()
+                                .map(Some)
+                                .map_err(|e| format!("bad power cap '{v}': {e}"))
+                        }
+                    })
+                    .collect::<Result<_, String>>()?;
+            }
+            "--jobs" => {
+                let v: usize = value(&mut i, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if v == 0 {
+                    return Err("--jobs must be ≥ 1".into());
+                }
+                a.jobs = Some(v);
+            }
+            "--baseline" => a.baseline = Some(value(&mut i, "--baseline")?),
+            "-o" | "--output" => a.out_dir = PathBuf::from(value(&mut i, "--output")?),
+            "--write-histories" => a.write_histories = true,
+            "-q" | "--quiet" => a.quiet = true,
+            "-h" | "--help" => return Err(SWEEP_USAGE.to_string()),
+            other => return Err(format!("unknown sweep argument '{other}'\n\n{SWEEP_USAGE}")),
+        }
+        i += 1;
+    }
+    if a.systems.is_empty() == a.scenarios.is_empty() {
+        return Err(format!(
+            "need exactly one of --system or --scenario\n\n{SWEEP_USAGE}"
+        ));
+    }
+    Ok(a)
+}
+
+/// Build the matrix a parsed argv describes.
+pub fn build_matrix(a: &SweepArgs) -> Result<ExperimentMatrix, String> {
+    let mut matrix = if a.systems.is_empty() {
+        // Synthetic-only axes must not be silently ignored: reject them
+        // whenever they would have changed a --system sweep's behaviour.
+        let defaults = SweepArgs::default();
+        for (supplied, flag) in [
+            (a.seed_count != defaults.seed_count, "--seeds"),
+            (a.loads != defaults.loads, "--loads"),
+            (a.span != defaults.span, "--span"),
+        ] {
+            if supplied {
+                return Err(format!(
+                    "{flag} applies to --system sweeps only; scenarios fix \
+                     their own workload (vary --seed instead)"
+                ));
+            }
+        }
+        let mut workloads = Vec::new();
+        for name in &a.scenarios {
+            // fig4/fig5 run full-size systems with no scale knob; mixing
+            // them into a scaled sweep would silently compare across
+            // scales, so reject rather than ignore.
+            if a.scale != 1.0 && matches!(name.as_str(), "fig4" | "fig5") {
+                return Err(format!(
+                    "--scale does not apply to scenario '{name}' (only \
+                     fig6/fig7/fig8/fig10 scale)"
+                ));
+            }
+            let s = match name.as_str() {
+                "fig4" => scenario::fig4(a.seed_base),
+                "fig5" => scenario::fig5(a.seed_base),
+                "fig6" => scenario::fig6_scaled(a.seed_base, a.scale),
+                "fig7" => scenario::fig7(a.seed_base, a.scale),
+                "fig8" => scenario::fig8_scaled(a.seed_base, a.scale),
+                "fig10" => scenario::fig10(a.seed_base, a.scale.min(4096.0 / 158_976.0)),
+                other => return Err(format!("unknown scenario '{other}'")),
+            };
+            workloads.push(s);
+        }
+        ExperimentMatrix::scenarios(workloads)
+    } else {
+        ExperimentMatrix::synthetic(a.systems.clone())
+            .loads(a.loads.clone())
+            .seed_count_from(a.seed_base, a.seed_count)
+            .span(a.span)
+            .scale(a.scale)
+    };
+    matrix = matrix
+        .policies(a.policies.clone())
+        .backfills(a.backfills.clone());
+    if let Some(pairs) = &a.pairs {
+        matrix = matrix.pairs(pairs.clone());
+    }
+    if a.cooling {
+        matrix = matrix.with_cooling();
+    }
+    matrix = matrix.power_caps_kw(a.power_caps.clone());
+    Ok(matrix)
+}
+
+/// Entry point called by the `sraps` binary for `sraps sweep ...`.
+pub fn sweep_command(argv: &[String]) -> Result<(), String> {
+    if argv.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{SWEEP_USAGE}");
+        return Ok(());
+    }
+    let a = parse_sweep_args(argv)?;
+    let matrix = build_matrix(&a)?;
+    let runner = match a.jobs {
+        Some(n) => SweepRunner::new(n),
+        None => SweepRunner::auto(),
+    }
+    .progress(!a.quiet);
+
+    println!(
+        "sweep: {} cells on {} threads",
+        matrix.cell_count(),
+        runner.jobs()
+    );
+    let results = runner.run(&matrix).map_err(|e| e.to_string())?;
+    let report = match &a.baseline {
+        Some(kind) => Report::with_baseline(&results, kind),
+        None => Report::from_results(&results),
+    };
+    if a.baseline.is_some() && !report.rows.iter().any(|r| r.is_baseline) {
+        let kinds: Vec<String> = results
+            .cells
+            .iter()
+            .map(|c| match c.spec.label.rsplit_once('/') {
+                Some((_, kind)) => kind.to_string(),
+                None => c.spec.label.clone(),
+            })
+            .collect();
+        return Err(format!(
+            "baseline '{}' matches no cell; cell kinds are: {}",
+            a.baseline.as_deref().unwrap_or_default(),
+            kinds.join(", ")
+        ));
+    }
+
+    println!();
+    print!("{}", report.render_table());
+    println!(
+        "\n{} cells in {:.2}s wall ({} threads)",
+        results.cells.len(),
+        results.wall.as_secs_f64(),
+        results.jobs
+    );
+
+    std::fs::create_dir_all(&a.out_dir).map_err(|e| e.to_string())?;
+    std::fs::write(a.out_dir.join("sweep.csv"), report.to_csv()).map_err(|e| e.to_string())?;
+    std::fs::write(a.out_dir.join("sweep.json"), report.to_json()).map_err(|e| e.to_string())?;
+    if a.write_histories {
+        for cell in &results.cells {
+            let stem = cell.spec.label.replace('/', "_");
+            std::fs::write(
+                a.out_dir.join(format!("{stem}-power.csv")),
+                cell.output.power_csv(),
+            )
+            .map_err(|e| e.to_string())?;
+            std::fs::write(
+                a.out_dir.join(format!("{stem}-util.csv")),
+                cell.output.util_csv(),
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    println!("report written to {}", a.out_dir.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SweepArgs, String> {
+        parse_sweep_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn acceptance_invocation_parses() {
+        let a = parse(&[
+            "--system",
+            "lassen",
+            "--policies",
+            "fcfs,sjf,priority",
+            "--backfills",
+            "none,easy",
+            "--seeds",
+            "3",
+            "--jobs",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(a.systems, vec!["lassen"]);
+        assert_eq!(a.policies, vec!["fcfs", "sjf", "priority"]);
+        assert_eq!(a.backfills, vec!["none", "easy"]);
+        assert_eq!(a.seed_count, 3);
+        assert_eq!(a.jobs, Some(4));
+        let m = build_matrix(&a).unwrap();
+        assert_eq!(m.cell_count(), 18);
+    }
+
+    #[test]
+    fn pairs_and_caps_parse() {
+        let a = parse(&[
+            "--scenario",
+            "fig4",
+            "--pairs",
+            "replay:none,fcfs:easy",
+            "--power-caps",
+            "none,1200",
+            "--baseline",
+            "replay-none",
+            "-q",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.pairs,
+            Some(vec![
+                ("replay".to_string(), "none".to_string()),
+                ("fcfs".to_string(), "easy".to_string())
+            ])
+        );
+        assert_eq!(a.power_caps, vec![None, Some(1200.0)]);
+        assert_eq!(a.baseline.as_deref(), Some("replay-none"));
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse(&[]).is_err(), "no workload");
+        assert!(parse(&["--system", "lassen", "--scenario", "fig4"]).is_err());
+        assert!(parse(&["--system", "lassen", "--jobs", "0"]).is_err());
+        assert!(parse(&["--system", "lassen", "--seeds", "0"]).is_err());
+        assert!(parse(&["--system", "lassen", "--pairs", "fcfs"]).is_err());
+        assert!(parse(&["--system", "lassen", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn scale_rejected_for_unscalable_scenarios() {
+        let a = parse(&["--scenario", "fig4", "--scale", "0.25"]).unwrap();
+        let err = build_matrix(&a).unwrap_err();
+        assert!(err.contains("--scale does not apply"), "{err}");
+        // Scalable scenarios accept it.
+        let a = parse(&["--scenario", "fig6", "--scale", "0.05"]).unwrap();
+        assert!(build_matrix(&a).is_ok());
+        // Synthetic-only axes stay rejected for scenarios.
+        let a = parse(&["--scenario", "fig6", "--loads", "0.5"]).unwrap();
+        assert!(build_matrix(&a).unwrap_err().contains("--loads"));
+    }
+
+    #[test]
+    fn scenario_matrix_builds() {
+        let a = parse(&["--scenario", "fig4", "--pairs", "replay:none,fcfs:easy"]).unwrap();
+        let m = build_matrix(&a).unwrap();
+        assert_eq!(m.cell_count(), 2);
+        let a = parse(&["--scenario", "fig99"]).unwrap();
+        assert!(build_matrix(&a).is_err());
+    }
+}

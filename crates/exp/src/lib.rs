@@ -1,0 +1,54 @@
+//! **sraps-exp** — the experiment-orchestration layer above
+//! [`sraps_core`].
+//!
+//! Every result in the source paper is a *fleet* of S-RAPS runs compared
+//! against each other: Fig 4 crosses policies × backfills on one recorded
+//! window, Fig 8 replays one day under five incentive policies, Fig 10
+//! pits ML scheduling against baselines, and Table 1 spans five systems.
+//! This crate is the subsystem that expresses and executes such fleets:
+//!
+//! * [`ExperimentMatrix`] — a declarative cross-product over axes
+//!   (systems × loads × seeds × policies × backfills × cooling ×
+//!   power caps), or explicit policy/backfill pairs, over synthetic
+//!   workloads or prebuilt [`sraps_data::scenario`] datasets;
+//! * [`SweepRunner`] — a work-stealing multi-threaded executor
+//!   (std `thread::scope` + a shared atomic cursor) whose collected
+//!   results are **bit-identical** regardless of `--jobs`: cells land in
+//!   matrix order and every metric is a pure function of the simulation;
+//! * [`Report`] — aggregation of cell outputs into comparison tables
+//!   (wait/utilization/power/energy deltas against a baseline cell,
+//!   seed-averaged summaries) with CSV and JSON export.
+//!
+//! The `sraps sweep` CLI subcommand ([`cli`]) is a thin veneer over these
+//! types; benches and integration tests drive them directly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sraps_exp::{ExperimentMatrix, Report, SweepRunner};
+//! use sraps_types::SimDuration;
+//!
+//! let matrix = ExperimentMatrix::synthetic(["lassen"])
+//!     .span(SimDuration::hours(2))
+//!     .loads([0.6])
+//!     .seed_count(1)
+//!     .policies(["fcfs", "sjf"])
+//!     .backfills(["easy"]);
+//! let results = SweepRunner::new(2).run(&matrix).unwrap();
+//! assert_eq!(results.cells.len(), 2);
+//! let report = Report::from_results(&results);
+//! assert_eq!(report.to_csv().lines().count(), 3); // header + 2 cells
+//! ```
+
+pub mod cell;
+pub mod cli;
+pub mod matrix;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
+pub use matrix::{ExperimentMatrix, PrebuiltWorkload};
+pub use metrics::CellMetrics;
+pub use report::{Report, ReportRow};
+pub use runner::{CellResult, SweepResults, SweepRunner};

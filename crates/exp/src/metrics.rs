@@ -1,0 +1,120 @@
+//! [`CellMetrics`]: the deterministic scalar summary of one cell.
+//!
+//! Everything here is a pure function of the simulation (never of wall
+//! clock, thread count, or execution order), which is what lets a sweep's
+//! aggregate report be bit-identical between `--jobs 1` and `--jobs N`.
+
+use serde::{Deserialize, Serialize};
+use sraps_core::SimOutput;
+
+/// Scalar summary of one finished cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellMetrics {
+    pub jobs_completed: u64,
+    /// Mean node-occupancy utilization over the window, in \[0,1\].
+    pub mean_utilization: f64,
+    /// Mean total facility power, kW.
+    pub mean_power_kw: f64,
+    /// Peak total facility power, kW.
+    pub peak_power_kw: f64,
+    /// Largest tick-to-tick power change, kW (the smoothing metric).
+    pub max_power_swing_kw: f64,
+    /// Total energy over the window, MWh.
+    pub energy_mwh: f64,
+    /// Mean job wait, seconds.
+    pub avg_wait_secs: f64,
+    /// 99th-percentile job wait, seconds (tail fairness).
+    pub p99_wait_secs: f64,
+    /// Mean job turnaround (submit → end), seconds.
+    pub avg_turnaround_secs: f64,
+    /// Energy-weighted PUE; `None` when the cooling model was off.
+    pub run_pue: Option<f64>,
+}
+
+impl CellMetrics {
+    pub fn from_output(out: &SimOutput) -> Self {
+        CellMetrics {
+            jobs_completed: out.stats.jobs_completed,
+            mean_utilization: out.mean_utilization(),
+            mean_power_kw: out.mean_power_kw(),
+            peak_power_kw: out.peak_power_kw(),
+            max_power_swing_kw: out.max_power_swing_kw(),
+            energy_mwh: out.stats.total_energy_mwh,
+            avg_wait_secs: out.stats.avg_wait_secs(),
+            p99_wait_secs: out.stats.wait_percentile_secs(0.99),
+            avg_turnaround_secs: out.stats.avg_turnaround_secs(),
+            run_pue: out.run_pue(),
+        }
+    }
+
+    /// Element-wise mean over a set of metrics (seed aggregation). `None`
+    /// PUEs poison the mean, mirroring "cooling was off somewhere".
+    pub fn mean(samples: &[&CellMetrics]) -> Option<CellMetrics> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let avg = |f: fn(&CellMetrics) -> f64| samples.iter().map(|m| f(m)).sum::<f64>() / n;
+        let pues: Vec<f64> = samples.iter().filter_map(|m| m.run_pue).collect();
+        Some(CellMetrics {
+            jobs_completed: (samples.iter().map(|m| m.jobs_completed).sum::<u64>() as f64 / n)
+                .round() as u64,
+            mean_utilization: avg(|m| m.mean_utilization),
+            mean_power_kw: avg(|m| m.mean_power_kw),
+            peak_power_kw: avg(|m| m.peak_power_kw),
+            max_power_swing_kw: avg(|m| m.max_power_swing_kw),
+            energy_mwh: avg(|m| m.energy_mwh),
+            avg_wait_secs: avg(|m| m.avg_wait_secs),
+            p99_wait_secs: avg(|m| m.p99_wait_secs),
+            avg_turnaround_secs: avg(|m| m.avg_turnaround_secs),
+            run_pue: (pues.len() == samples.len())
+                .then(|| pues.iter().sum::<f64>() / pues.len() as f64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(util: f64, pue: Option<f64>) -> CellMetrics {
+        CellMetrics {
+            jobs_completed: 10,
+            mean_utilization: util,
+            mean_power_kw: 100.0 * util,
+            peak_power_kw: 200.0,
+            max_power_swing_kw: 50.0,
+            energy_mwh: 2.4,
+            avg_wait_secs: 30.0,
+            p99_wait_secs: 300.0,
+            avg_turnaround_secs: 900.0,
+            run_pue: pue,
+        }
+    }
+
+    #[test]
+    fn mean_averages_elementwise() {
+        let (a, b) = (sample(0.4, Some(1.1)), sample(0.8, Some(1.3)));
+        let m = CellMetrics::mean(&[&a, &b]).unwrap();
+        assert!((m.mean_utilization - 0.6).abs() < 1e-12);
+        assert!((m.mean_power_kw - 60.0).abs() < 1e-12);
+        assert!((m.run_pue.unwrap() - 1.2).abs() < 1e-12);
+        assert_eq!(m.jobs_completed, 10);
+    }
+
+    #[test]
+    fn missing_pue_disables_the_mean_pue() {
+        let (a, b) = (sample(0.4, Some(1.1)), sample(0.8, None));
+        let m = CellMetrics::mean(&[&a, &b]).unwrap();
+        assert_eq!(m.run_pue, None);
+        assert!(CellMetrics::mean(&[]).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let a = sample(0.5, Some(1.06));
+        let text = serde_json::to_string_pretty(&a).unwrap();
+        let back: CellMetrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,344 @@
+//! [`SweepRunner`]: multi-threaded, work-stealing execution of an
+//! [`ExperimentMatrix`].
+//!
+//! Two properties drive the design:
+//!
+//! 1. **Determinism** — parallel output must be bit-identical to serial.
+//!    Workers pull cell indices from a shared atomic cursor (cheap dynamic
+//!    load balancing: a thread that lands a long replay cell doesn't stall
+//!    the others), but every result is written into its cell's slot and
+//!    the assembled `Vec` is in matrix order. Each cell's simulation is
+//!    deterministic given (config, dataset), and datasets are built once
+//!    per workload — so thread count and interleaving are unobservable.
+//! 2. **Saturation** — cells vary wildly in cost (replay vs backfill,
+//!    15-day vs 61 000 s windows), so static chunking would idle threads;
+//!    the cursor gives single-cell granularity.
+//!
+//! Workloads materialize first (also cursor-parallel across unique
+//! workloads), then cells run against the shared `Arc<Dataset>`s.
+
+use crate::cell::{CellSpec, MaterializedWorkload};
+use crate::matrix::ExperimentMatrix;
+use crate::metrics::CellMetrics;
+use sraps_core::{Engine, SimOutput};
+use sraps_types::{Result, SrapsError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished cell: its spec, its workload's label, the full simulation
+/// output, and the scalar metrics reports aggregate.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub spec: CellSpec,
+    pub workload_label: String,
+    /// Seed-aggregation group of the workload (label minus seed).
+    pub workload_group: String,
+    /// Workload seed, when synthetic.
+    pub seed: Option<u64>,
+    pub metrics: CellMetrics,
+    pub output: SimOutput,
+}
+
+/// Everything a sweep produced, cells in matrix order.
+#[derive(Debug)]
+pub struct SweepResults {
+    pub cells: Vec<CellResult>,
+    /// Materialized workload labels, for grouping in reports.
+    pub workload_labels: Vec<String>,
+    /// Wall-clock cost of the whole sweep (workloads + cells).
+    pub wall: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl SweepResults {
+    /// Cells grouped by workload, preserving matrix order inside groups.
+    pub fn by_workload(&self) -> Vec<(String, Vec<&CellResult>)> {
+        let mut groups: Vec<(String, Vec<&CellResult>)> = self
+            .workload_labels
+            .iter()
+            .map(|l| (l.clone(), Vec::new()))
+            .collect();
+        for cell in &self.cells {
+            groups[cell.spec.workload].1.push(cell);
+        }
+        groups.retain(|(_, cells)| !cells.is_empty());
+        groups
+    }
+
+    /// Find a cell by its unique label.
+    pub fn cell(&self, label: &str) -> Option<&CellResult> {
+        self.cells.iter().find(|c| c.spec.label == label)
+    }
+
+    /// The outputs alone, in matrix order (for figure-style consumers).
+    pub fn outputs(&self) -> Vec<&SimOutput> {
+        self.cells.iter().map(|c| &c.output).collect()
+    }
+}
+
+/// Work-stealing sweep executor.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    jobs: usize,
+    progress: bool,
+}
+
+impl SweepRunner {
+    /// Run with exactly `jobs` worker threads (`0` ⇒ 1).
+    pub fn new(jobs: usize) -> Self {
+        SweepRunner {
+            jobs: jobs.max(1),
+            progress: false,
+        }
+    }
+
+    /// Use every available core.
+    pub fn auto() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Print per-cell progress lines to stderr (CLI mode).
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Execute the matrix: expand, materialize workloads, run every cell.
+    ///
+    /// On cell failure the error of the *lowest-indexed* failing cell is
+    /// returned (already-running cells finish first), keeping even the
+    /// error path independent of thread count.
+    pub fn run(&self, matrix: &ExperimentMatrix) -> Result<SweepResults> {
+        let started = Instant::now();
+        let (plans, cells) = matrix.expand()?;
+
+        // Phase 1: datasets, cursor-parallel over unique workloads.
+        let workloads: Vec<MaterializedWorkload> = {
+            let results = run_indexed(self.jobs.min(plans.len().max(1)), plans.len(), |i| {
+                plans[i].materialize()
+            });
+            collect_ordered(results)?
+        };
+
+        // Phase 2: cells, cursor-parallel, collected by index.
+        let total = cells.len();
+        let counter = AtomicUsize::new(0);
+        let results = run_indexed(self.jobs.min(total.max(1)), total, |i| {
+            let cell = &cells[i];
+            let workload = &workloads[cell.workload];
+            let cell_started = Instant::now();
+            let sim = cell.build_sim(workload)?;
+            let output = Engine::new(sim, &workload.dataset)?.run()?;
+            if self.progress {
+                let done = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "  [{done:>3}/{total}] {:<40} {:>6} jobs  util {:>5.1}%  {:>8.2}s",
+                    cell.label,
+                    output.stats.jobs_completed,
+                    output.mean_utilization() * 100.0,
+                    cell_started.elapsed().as_secs_f64(),
+                );
+            }
+            Ok(CellResult {
+                spec: cell.clone(),
+                workload_label: workload.label.clone(),
+                workload_group: workload.group.clone(),
+                seed: workload.seed,
+                metrics: CellMetrics::from_output(&output),
+                output,
+            })
+        });
+        let cells = collect_ordered(results)?;
+
+        Ok(SweepResults {
+            cells,
+            workload_labels: workloads.iter().map(|w| w.label.clone()).collect(),
+            wall: started.elapsed(),
+            jobs: self.jobs,
+        })
+    }
+}
+
+/// Run `task(i)` for `i in 0..total` on `jobs` threads pulling indices
+/// from a shared cursor; slot results by index. After any task fails, no
+/// *new* indices are dispatched (in-flight tasks finish), so a failing
+/// matrix doesn't burn through its remaining cells.
+fn run_indexed<T, F>(jobs: usize, total: usize, task: F) -> Vec<Option<Result<T>>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let slots: Mutex<Vec<Option<Result<T>>>> = Mutex::new((0..total).map(|_| None).collect());
+    if total == 0 {
+        return slots.into_inner().unwrap();
+    }
+    let cursor = AtomicUsize::new(0);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let workers = jobs.clamp(1, total);
+    if workers == 1 {
+        // Serial fast path: no thread spawn overhead for tiny sweeps.
+        let mut out = slots.into_inner().unwrap();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let result = task(i);
+            let stop = result.is_err();
+            *slot = Some(result);
+            if stop {
+                break;
+            }
+        }
+        return out;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let result = task(i);
+                if result.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                slots.lock().unwrap()[i] = Some(result);
+            });
+        }
+    });
+    slots.into_inner().unwrap()
+}
+
+/// Unwrap slotted results in index order; first (lowest-index) error wins.
+fn collect_ordered<T>(slots: Vec<Option<Result<T>>>) -> Result<Vec<T>> {
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(SrapsError::Config(format!(
+                    "internal: sweep cell {i} was never executed"
+                )))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ExperimentMatrix;
+    use sraps_types::SimDuration;
+
+    fn small_matrix() -> ExperimentMatrix {
+        ExperimentMatrix::synthetic(["lassen"])
+            .span(SimDuration::hours(2))
+            .loads([0.5])
+            .seed_count(1)
+            .pairs([("fcfs", "none"), ("fcfs", "easy"), ("sjf", "easy")])
+    }
+
+    #[test]
+    fn runs_cells_in_matrix_order() {
+        let results = SweepRunner::new(2).run(&small_matrix()).unwrap();
+        assert_eq!(results.cells.len(), 3);
+        let labels: Vec<&str> = results
+            .cells
+            .iter()
+            .map(|c| c.spec.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["fcfs-none", "fcfs-easy", "sjf-easy"]);
+        for c in &results.cells {
+            assert!(
+                c.metrics.jobs_completed > 0,
+                "{} completed nothing",
+                c.spec.label
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let serial = SweepRunner::new(1).run(&small_matrix()).unwrap();
+        let parallel = SweepRunner::new(4).run(&small_matrix()).unwrap();
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(s.spec.label, p.spec.label);
+            assert_eq!(s.metrics, p.metrics, "cell {} diverged", s.spec.label);
+            assert_eq!(s.output.times, p.output.times);
+            assert_eq!(s.output.utilization, p.output.utilization);
+        }
+    }
+
+    #[test]
+    fn run_indexed_covers_every_slot() {
+        let out = run_indexed(8, 100, |i| Ok(i * i));
+        let vals = collect_ordered(out).unwrap();
+        assert_eq!(vals, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_is_spread_across_worker_threads() {
+        // Wall-clock speedup needs multiple hardware cores, but the
+        // executor property we can assert anywhere is that >1 OS thread
+        // actually executes tasks when jobs > 1 (work stealing, not a
+        // serial loop behind a flag). A short sleep keeps the first
+        // worker from draining the cursor before the others start.
+        let out = run_indexed(4, 16, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Ok((i, std::thread::current().id()))
+        });
+        let vals = collect_ordered(out).unwrap();
+        let distinct: std::collections::HashSet<_> = vals.iter().map(|(_, tid)| *tid).collect();
+        assert!(
+            distinct.len() > 1,
+            "expected multiple worker threads, saw {}",
+            distinct.len()
+        );
+        // And the serial fast path stays on the caller's thread.
+        let here = std::thread::current().id();
+        let out = run_indexed(1, 4, |i| Ok((i, std::thread::current().id())));
+        assert!(collect_ordered(out)
+            .unwrap()
+            .iter()
+            .all(|(_, tid)| *tid == here));
+    }
+
+    #[test]
+    fn first_error_is_deterministic() {
+        for jobs in [1, 4] {
+            let out = run_indexed(jobs, 10, |i| {
+                if i % 3 == 1 {
+                    Err(SrapsError::Config(format!("cell {i} boom")))
+                } else {
+                    Ok(i)
+                }
+            });
+            let err = collect_ordered(out).unwrap_err();
+            assert_eq!(err, SrapsError::Config("cell 1 boom".into()));
+        }
+    }
+
+    #[test]
+    fn by_workload_groups_cells() {
+        let m = ExperimentMatrix::synthetic(["lassen"])
+            .span(SimDuration::hours(1))
+            .loads([0.4])
+            .seed_count(2)
+            .pairs([("fcfs", "none")]);
+        let results = SweepRunner::new(2).run(&m).unwrap();
+        let groups = results.by_workload();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1.len(), 1);
+        assert!(results.cell("lassen-s42/fcfs-none").is_some());
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end smoke tests for `sraps sweep`: drive the real binary over a
+//! small policy×backfill grid and check the report artifacts.
+
+use std::path::Path;
+use std::process::Command;
+
+fn sraps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sraps"))
+}
+
+#[test]
+fn sweep_smoke_over_policy_backfill_grid() {
+    let dir = std::env::temp_dir().join(format!("sraps-sweep-smoke-{}", std::process::id()));
+    let out = sraps()
+        .args([
+            "sweep",
+            "--system",
+            "lassen",
+            "--policies",
+            "fcfs,sjf",
+            "--backfills",
+            "none,easy",
+            "--span",
+            "2h",
+            "--jobs",
+            "2",
+            "--quiet",
+            "-o",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "sweep failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("sweep: 4 cells"),
+        "cell count in banner: {stdout}"
+    );
+    assert!(stdout.contains("fcfs-none"), "table lists cells: {stdout}");
+    assert!(stdout.contains("*base"), "baseline marked: {stdout}");
+
+    let csv = std::fs::read_to_string(dir.join("sweep.csv")).expect("sweep.csv written");
+    assert!(csv.starts_with("kind,workload,cell"));
+    assert_eq!(csv.lines().count(), 1 + 4, "header + 4 cells: {csv}");
+    let json = std::fs::read_to_string(dir.join("sweep.json")).expect("sweep.json written");
+    assert!(json.contains("\"rows\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_is_bit_identical_across_jobs() {
+    let base = std::env::temp_dir().join(format!("sraps-sweep-jobs-{}", std::process::id()));
+    let run = |jobs: &str, sub: &str| -> (String, String) {
+        let dir = base.join(sub);
+        let out = sraps()
+            .args([
+                "sweep",
+                "--system",
+                "lassen",
+                "--policies",
+                "fcfs,sjf",
+                "--backfills",
+                "none,easy",
+                "--span",
+                "2h",
+                "--quiet",
+                "--jobs",
+                jobs,
+                "-o",
+            ])
+            .arg(&dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read_to_string(dir.join("sweep.csv")).unwrap(),
+            std::fs::read_to_string(dir.join("sweep.json")).unwrap(),
+        )
+    };
+    let (csv1, json1) = run("1", "serial");
+    let (csv4, json4) = run("4", "parallel");
+    assert_eq!(csv1, csv4, "CSV must be bit-identical for --jobs 1 vs 4");
+    assert_eq!(json1, json4, "JSON must be bit-identical for --jobs 1 vs 4");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sweep_help_and_errors() {
+    let out = sraps().args(["sweep", "--help"]).output().unwrap();
+    assert!(out.status.success(), "--help is a success");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("usage: sraps sweep"),
+        "usage on stdout: {text}"
+    );
+
+    let out = sraps()
+        .args(["sweep", "--system", "summit"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = sraps()
+        .args([
+            "sweep",
+            "--system",
+            "lassen",
+            "--policies",
+            "frobnicate",
+            "-q",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "unknown policy must fail");
+
+    // Synthetic-only axes are rejected for scenario sweeps, not ignored.
+    let out = sraps()
+        .args(["sweep", "--scenario", "fig4", "--seeds", "3", "-q"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--seeds with --scenario must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seeds"));
+
+    // A baseline kind that matches no cell is an error, not a silent
+    // report with empty delta columns.
+    let out = sraps()
+        .args([
+            "sweep",
+            "--system",
+            "lassen",
+            "--policies",
+            "fcfs",
+            "--span",
+            "1h",
+            "--baseline",
+            "typo-kind",
+            "-q",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "unknown baseline must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("matches no cell"));
+}
+
+#[test]
+fn classic_single_run_interface_still_works() {
+    let dir = std::env::temp_dir().join(format!("sraps-classic-{}", std::process::id()));
+    let out = sraps()
+        .args([
+            "--system",
+            "lassen",
+            "--policy",
+            "fcfs",
+            "--backfill",
+            "easy",
+            "--span",
+            "1h",
+            "-o",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "classic run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(Path::new(&dir.join("stats.out")).exists());
+    std::fs::remove_dir_all(&dir).ok();
+}

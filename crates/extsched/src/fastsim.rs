@@ -118,12 +118,7 @@ impl FastSim {
     /// the schedule. This is the sequential mode of §4.2.2.
     pub fn run_to_completion(mut jobs: Vec<ExtJob>) -> (Vec<ScheduledStart>, FastSimStats) {
         jobs.sort_by_key(|j| j.job.submit);
-        let total = jobs
-            .iter()
-            .map(|j| j.job.nodes)
-            .max()
-            .unwrap_or(1)
-            .max(1);
+        let total = jobs.iter().map(|j| j.job.nodes).max().unwrap_or(1).max(1);
         // Standalone machine size: caller usually wraps via with_nodes; use
         // the widest job if not told otherwise.
         let mut sim = FastSim::new(total);
@@ -222,9 +217,7 @@ impl FastSim {
             let fits = nodes <= self.free_nodes;
             let admit = match reservation {
                 None => fits,
-                Some((shadow, extra)) => {
-                    fits && (now + est <= shadow || nodes <= extra)
-                }
+                Some((shadow, extra)) => fits && (now + est <= shadow || nodes <= extra),
             };
             if admit {
                 // Backfills outliving the shadow time consume the
@@ -240,11 +233,8 @@ impl FastSim {
             }
             if reservation.is_none() {
                 // Head blocked: compute the EASY reservation from est_ends.
-                let mut ends: Vec<(SimTime, u32)> = self
-                    .running
-                    .iter()
-                    .map(|r| (r.est_end, r.nodes))
-                    .collect();
+                let mut ends: Vec<(SimTime, u32)> =
+                    self.running.iter().map(|r| (r.est_end, r.nodes)).collect();
                 ends.sort_unstable();
                 let mut avail = self.free_nodes;
                 for (end, n) in ends {
@@ -332,10 +322,8 @@ mod tests {
 
     #[test]
     fn sequential_mode_schedules_fcfs() {
-        let (starts, stats) = FastSim::run_trace(
-            8,
-            vec![ext(1, 0, 8, 100, 150), ext(2, 10, 8, 50, 80)],
-        );
+        let (starts, stats) =
+            FastSim::run_trace(8, vec![ext(1, 0, 8, 100, 150), ext(2, 10, 8, 50, 80)]);
         assert_eq!(starts.len(), 2);
         assert_eq!(starts[0].start, SimTime::seconds(0));
         assert_eq!(starts[1].start, SimTime::seconds(100), "waits for first");
@@ -393,10 +381,7 @@ mod tests {
         // events — the core of the speedup claim.
         let (_, stats) = FastSim::run_trace(
             4,
-            vec![
-                ext(1, 0, 2, 3600, 7200),
-                ext(2, 30_000_000, 2, 3600, 7200),
-            ],
+            vec![ext(1, 0, 2, 3600, 7200), ext(2, 30_000_000, 2, 3600, 7200)],
         );
         assert!(stats.events_processed < 10);
         assert!(stats.scheduling_passes < 10);
@@ -404,10 +389,7 @@ mod tests {
 
     #[test]
     fn impossible_job_is_dropped_not_deadlocked() {
-        let (starts, _) = FastSim::run_trace(
-            4,
-            vec![ext(1, 0, 100, 50, 60), ext(2, 1, 2, 50, 60)],
-        );
+        let (starts, _) = FastSim::run_trace(4, vec![ext(1, 0, 100, 50, 60), ext(2, 1, 2, 50, 60)]);
         assert_eq!(starts.len(), 1);
         assert_eq!(starts[0].job, JobId(2));
     }
@@ -415,10 +397,8 @@ mod tests {
     #[test]
     fn simultaneous_completion_and_arrival_ordered_correctly() {
         // Job 2 arrives exactly when job 1 ends: must start immediately.
-        let (starts, _) = FastSim::run_trace(
-            4,
-            vec![ext(1, 0, 4, 100, 100), ext(2, 100, 4, 10, 20)],
-        );
+        let (starts, _) =
+            FastSim::run_trace(4, vec![ext(1, 0, 4, 100, 100), ext(2, 100, 4, 10, 20)]);
         let s2 = starts.iter().find(|s| s.job == JobId(2)).unwrap();
         assert_eq!(s2.start, SimTime::seconds(100));
     }

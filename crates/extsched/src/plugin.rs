@@ -146,8 +146,8 @@ impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
         self.stats.recomputations = self.engine.recomputations();
         let ids: Vec<JobId> = placed.iter().map(|p| p.job).collect();
         queue.remove_placed(&ids);
-        self.last_running = &running_now
-            | &placed.iter().map(|p| p.job).collect::<HashSet<JobId>>();
+        self.last_running =
+            &running_now | &placed.iter().map(|p| p.job).collect::<HashSet<JobId>>();
         Ok(placed)
     }
 
@@ -272,7 +272,8 @@ mod tests {
             accounts: None,
         };
         for t in 0..5 {
-            a.schedule(SimTime::seconds(t), &mut q, &mut rm, &ctx).unwrap();
+            a.schedule(SimTime::seconds(t), &mut q, &mut rm, &ctx)
+                .unwrap();
         }
         assert_eq!(a.stats().recomputations, 5);
         assert_eq!(a.stats().invocations, 5);

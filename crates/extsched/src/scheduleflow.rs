@@ -59,11 +59,8 @@ impl ScheduleFlow {
     fn recompute_plan(&mut self) {
         self.recomputations += 1;
         // Capacity-change timeline: (time, +nodes released).
-        let releases: Vec<(SimTime, u32)> = self
-            .running
-            .iter()
-            .map(|r| (r.est_end, r.nodes))
-            .collect();
+        let releases: Vec<(SimTime, u32)> =
+            self.running.iter().map(|r| (r.est_end, r.nodes)).collect();
         let free_now = self.total_nodes - self.running.iter().map(|r| r.nodes).sum::<u32>();
         // Plan in queue (submission) order.
         self.queue.sort_by_key(|t| (t.job.job.submit, t.job.job.id));

@@ -121,12 +121,9 @@ impl FingerprintLibrary {
         }
         // The prefix of the matched shape has some mean; scale so the
         // predicted prefix reproduces the observed level.
-        let prefix_mean =
-            shape[..frac_bins].iter().sum::<f64>() / frac_bins as f64;
+        let prefix_mean = shape[..frac_bins].iter().sum::<f64>() / frac_bins as f64;
         let scale = level / prefix_mean.max(1e-9);
-        let dt = SimDuration::seconds(
-            (expected_duration.as_secs() / PROFILE_BINS as i64).max(1),
-        );
+        let dt = SimDuration::seconds((expected_duration.as_secs() / PROFILE_BINS as i64).max(1));
         Some(Trace::new(
             SimDuration::ZERO,
             dt,
@@ -174,7 +171,11 @@ mod tests {
 
     #[test]
     fn normalized_shape_has_unit_mean() {
-        let t = Trace::new(SimDuration::ZERO, SimDuration::seconds(10), vec![2.0, 4.0, 6.0]);
+        let t = Trace::new(
+            SimDuration::ZERO,
+            SimDuration::seconds(10),
+            vec![2.0, 4.0, 6.0],
+        );
         let s = normalized_shape(&t, SimDuration::seconds(30), 8).unwrap();
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         assert!((mean - 1.0).abs() < 1e-9);

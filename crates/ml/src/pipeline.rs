@@ -119,7 +119,10 @@ impl MlPipeline {
                     )
                 } else {
                     (
-                        member_idx.iter().map(|&i| scaled_static[i].clone()).collect(),
+                        member_idx
+                            .iter()
+                            .map(|&i| scaled_static[i].clone())
+                            .collect(),
                         member_idx.iter().map(|&i| target_rows[i][t]).collect(),
                     )
                 };
@@ -200,8 +203,16 @@ mod tests {
         (0..n as u64)
             .map(|i| {
                 let hot = i % 2 == 0;
-                let nodes = if hot { 64 + (i % 8) as u32 } else { 2 + (i % 3) as u32 };
-                let dur = if hot { 7200 + (i % 600) as i64 } else { 600 + (i % 120) as i64 };
+                let nodes = if hot {
+                    64 + (i % 8) as u32
+                } else {
+                    2 + (i % 3) as u32
+                };
+                let dur = if hot {
+                    7200 + (i % 600) as i64
+                } else {
+                    600 + (i % 120) as i64
+                };
                 let power = if hot { 1800.0 } else { 500.0 };
                 JobBuilder::new(i)
                     .user((i % 10) as u32)
@@ -240,7 +251,11 @@ mod tests {
         let p = MlPipeline::train(&jobs, config()).unwrap();
         assert_eq!(p.n_clusters(), 2);
         // Static features alone recover the behavioural cluster.
-        assert!(p.classifier_accuracy(&jobs) > 0.9, "{}", p.classifier_accuracy(&jobs));
+        assert!(
+            p.classifier_accuracy(&jobs) > 0.9,
+            "{}",
+            p.classifier_accuracy(&jobs)
+        );
         // Small jobs must out-score wide/hot jobs.
         let small = p.infer(&jobs[1]);
         let hot = p.infer(&jobs[0]);

@@ -107,7 +107,10 @@ impl DecisionTree {
             TreeKind::Regression => {
                 let n = idx.len() as f64;
                 let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n;
-                idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum::<f64>() / n
+                idx.iter()
+                    .map(|&i| (y[i] - mean) * (y[i] - mean))
+                    .sum::<f64>()
+                    / n
             }
             TreeKind::Classification => {
                 let mut counts: Vec<(i64, usize)> = Vec::new();
@@ -138,10 +141,7 @@ impl DecisionTree {
         rng: &mut SmallRng,
     ) -> usize {
         let parent_imp = Self::impurity(self.kind, y, idx);
-        if depth >= params.max_depth
-            || idx.len() < params.min_samples_split
-            || parent_imp < 1e-12
-        {
+        if depth >= params.max_depth || idx.len() < params.min_samples_split || parent_imp < 1e-12 {
             let v = Self::leaf_value(self.kind, y, idx);
             self.nodes.push(Node::Leaf { value: v });
             return self.nodes.len() - 1;
@@ -234,7 +234,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    at = if row[*feature] <= *threshold { *left } else { *right };
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -261,7 +265,10 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..200)
             .map(|_| vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)])
             .collect();
-        let y: Vec<f64> = x.iter().map(|v| if v[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let idx: Vec<usize> = (0..x.len()).collect();
         let tree = DecisionTree::fit(
             TreeKind::Classification,
@@ -283,7 +290,10 @@ mod tests {
     fn regresses_step_function() {
         let mut r = rng();
         let x: Vec<Vec<f64>> = (0..300).map(|_| vec![r.gen_range(0.0..1.0)]).collect();
-        let y: Vec<f64> = x.iter().map(|v| if v[0] > 0.3 { 10.0 } else { 2.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] > 0.3 { 10.0 } else { 2.0 })
+            .collect();
         let idx: Vec<usize> = (0..x.len()).collect();
         let tree = DecisionTree::fit(
             TreeKind::Regression,
@@ -335,8 +345,14 @@ mod tests {
         let x = vec![vec![1.0, 2.0]];
         let y = vec![5.0];
         let mut r = rng();
-        let tree =
-            DecisionTree::fit(TreeKind::Regression, &x, &y, &[0], &TreeParams::default(), &mut r);
+        let tree = DecisionTree::fit(
+            TreeKind::Regression,
+            &x,
+            &y,
+            &[0],
+            &TreeParams::default(),
+            &mut r,
+        );
         assert_eq!(tree.predict(&[0.0, 0.0]), 5.0);
     }
 }

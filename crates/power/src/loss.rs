@@ -65,7 +65,10 @@ mod tests {
         let at_peak = rectifier_loss_w(&s, 1_000_000.0, 0.6);
         let at_low = rectifier_loss_w(&s, 1_000_000.0, 0.1);
         assert!(at_peak > 0.0);
-        assert!(at_low > at_peak, "same power at worse efficiency loses more");
+        assert!(
+            at_low > at_peak,
+            "same power at worse efficiency loses more"
+        );
     }
 
     #[test]

@@ -107,7 +107,11 @@ mod tests {
             let busy = frac * cfg.total_nodes as f64 * cfg.node_power.peak_node_w();
             let idle = ((1.0 - frac) * cfg.total_nodes as f64) as u32;
             let s = model.sample(busy, idle);
-            assert!(s.efficiency() > 0.9 && s.efficiency() <= 1.0, "{}", s.efficiency());
+            assert!(
+                s.efficiency() > 0.9 && s.efficiency() <= 1.0,
+                "{}",
+                s.efficiency()
+            );
         }
     }
 

@@ -64,10 +64,8 @@ pub fn conservative_plan(
     running: &[RunningView],
 ) -> Vec<SimTime> {
     // Capacity-release timeline from running jobs' estimates.
-    let releases: Vec<(SimTime, u32)> = running
-        .iter()
-        .map(|r| (r.estimated_end, r.nodes))
-        .collect();
+    let releases: Vec<(SimTime, u32)> =
+        running.iter().map(|r| (r.estimated_end, r.nodes)).collect();
     // Reservations made so far: (start, est_end, nodes).
     let mut planned: Vec<(SimTime, SimTime, u32)> = Vec::new();
     let mut out = Vec::with_capacity(queue.len());
@@ -148,10 +146,8 @@ pub fn easy_reservation(
     running: &[RunningView],
 ) -> Option<Reservation> {
     debug_assert!(head_nodes > free_now, "reservation only for blocked heads");
-    let mut ends: Vec<(SimTime, u32)> = running
-        .iter()
-        .map(|r| (r.estimated_end, r.nodes))
-        .collect();
+    let mut ends: Vec<(SimTime, u32)> =
+        running.iter().map(|r| (r.estimated_end, r.nodes)).collect();
     ends.sort_unstable_by_key(|(t, _)| *t);
     let mut avail = free_now;
     for (end, nodes) in ends {
@@ -169,12 +165,7 @@ pub fn easy_reservation(
 /// Whether `candidate` may backfill under EASY: it must fit in the free
 /// nodes now, and either complete before the reservation or be narrow
 /// enough to use only the reservation's spare nodes.
-pub fn easy_admits(
-    candidate: &QueuedJob,
-    now: SimTime,
-    free_now: u32,
-    res: &Reservation,
-) -> bool {
+pub fn easy_admits(candidate: &QueuedJob, now: SimTime, free_now: u32, res: &Reservation) -> bool {
     if candidate.nodes > free_now {
         return false;
     }
@@ -212,8 +203,14 @@ mod tests {
     #[test]
     fn parse_accepts_artifact_spellings() {
         assert_eq!(BackfillKind::parse("no-backfill"), Some(BackfillKind::None));
-        assert_eq!(BackfillKind::parse("first-fit"), Some(BackfillKind::FirstFit));
-        assert_eq!(BackfillKind::parse("firstfit"), Some(BackfillKind::FirstFit));
+        assert_eq!(
+            BackfillKind::parse("first-fit"),
+            Some(BackfillKind::FirstFit)
+        );
+        assert_eq!(
+            BackfillKind::parse("firstfit"),
+            Some(BackfillKind::FirstFit)
+        );
         assert_eq!(BackfillKind::parse("easy"), Some(BackfillKind::Easy));
         assert_eq!(BackfillKind::parse("zeno"), None);
     }
@@ -221,12 +218,7 @@ mod tests {
     #[test]
     fn reservation_at_first_sufficient_completion() {
         // Head needs 10; 2 free now. Jobs of 4 and 6 end at t=100 and t=200.
-        let res = easy_reservation(
-            10,
-            2,
-            &[running(1, 4, 100), running(2, 6, 200)],
-        )
-        .unwrap();
+        let res = easy_reservation(10, 2, &[running(1, 4, 100), running(2, 6, 200)]).unwrap();
         // After t=100: 2+4=6 < 10. After t=200: 12 ≥ 10 → shadow at 200.
         assert_eq!(res.shadow_time, SimTime::seconds(200));
         assert_eq!(res.extra_nodes, 2);
@@ -234,13 +226,12 @@ mod tests {
 
     #[test]
     fn reservation_orders_by_end_time_not_input_order() {
-        let res = easy_reservation(
-            5,
-            1,
-            &[running(1, 8, 500), running(2, 4, 50)],
-        )
-        .unwrap();
-        assert_eq!(res.shadow_time, SimTime::seconds(50), "earlier end suffices");
+        let res = easy_reservation(5, 1, &[running(1, 8, 500), running(2, 4, 50)]).unwrap();
+        assert_eq!(
+            res.shadow_time,
+            SimTime::seconds(50),
+            "earlier end suffices"
+        );
         assert_eq!(res.extra_nodes, 0);
     }
 

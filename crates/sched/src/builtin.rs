@@ -330,7 +330,8 @@ mod tests {
     fn replay_falls_back_when_recorded_nodes_busy() {
         let mut s = BuiltinScheduler::new(PolicyKind::Replay, BackfillKind::None);
         let mut rm = ResourceManager::new(10);
-        rm.allocate_exact(&NodeSet::from_indices(vec![7, 8])).unwrap();
+        rm.allocate_exact(&NodeSet::from_indices(vec![7, 8]))
+            .unwrap();
         let mut q = JobQueue::new();
         let mut j = qj(1, 0, 2, 100);
         j.recorded_start = SimTime::seconds(0);

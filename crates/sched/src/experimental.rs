@@ -124,12 +124,9 @@ mod tests {
 
     #[test]
     fn fugaku_points_policy_prefers_frugal_account() {
-        let mut s = ExperimentalScheduler::new(
-            PolicyKind::AcctFugakuPts,
-            BackfillKind::None,
-            accounts(),
-        )
-        .unwrap();
+        let mut s =
+            ExperimentalScheduler::new(PolicyKind::AcctFugakuPts, BackfillKind::None, accounts())
+                .unwrap();
         // Only 4 nodes: exactly one of the two jobs can start.
         let mut rm = ResourceManager::new(4);
         let mut q = JobQueue::new();
@@ -150,8 +147,7 @@ mod tests {
             (PolicyKind::AcctAvgPower, JobId(10)),    // hot account first
             (PolicyKind::AcctLowAvgPower, JobId(11)), // frugal first
         ] {
-            let mut s =
-                ExperimentalScheduler::new(policy, BackfillKind::None, accounts()).unwrap();
+            let mut s = ExperimentalScheduler::new(policy, BackfillKind::None, accounts()).unwrap();
             let mut rm = ResourceManager::new(4);
             let mut q = JobQueue::new();
             q.push(qj(10, 2));

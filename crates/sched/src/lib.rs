@@ -24,8 +24,8 @@ pub mod scheduler;
 pub use backfill::BackfillKind;
 pub use builtin::BuiltinScheduler;
 pub use experimental::ExperimentalScheduler;
-pub use power_cap::PowerCapScheduler;
 pub use policy::PolicyKind;
+pub use power_cap::PowerCapScheduler;
 pub use queue::{JobQueue, QueuedJob};
 pub use resource_manager::ResourceManager;
 pub use scheduler::{Placement, RunningView, SchedContext, SchedulerBackend, SchedulerStats};

@@ -98,9 +98,7 @@ impl PolicyKind {
         match self {
             // Replay order is by recorded start; the replay scheduler also
             // gates placement on reaching that time.
-            PolicyKind::Replay => {
-                queue.sort_by_key_stable(|j| j.recorded_start.as_secs() as f64)
-            }
+            PolicyKind::Replay => queue.sort_by_key_stable(|j| j.recorded_start.as_secs() as f64),
             PolicyKind::Fcfs => queue.sort_by_key_stable(|j| j.submit.as_secs() as f64),
             PolicyKind::Sjf => queue.sort_by_key_stable(|j| j.estimate.as_secs_f64()),
             PolicyKind::Ljf => queue.sort_by_key_stable(|j| -(j.nodes as f64)),
@@ -109,21 +107,19 @@ impl PolicyKind {
                 let waited_h = (now - j.submit).clamp_non_negative().as_hours_f64();
                 -(j.priority + waited_h)
             }),
-            PolicyKind::AcctAvgPower => queue.sort_by_key_stable(|j: &QueuedJob| {
-                -acct_key(j.account, &|s| s.avg_node_power_kw)
-            }),
-            PolicyKind::AcctLowAvgPower => queue.sort_by_key_stable(|j: &QueuedJob| {
-                acct_key(j.account, &|s| s.avg_node_power_kw)
-            }),
+            PolicyKind::AcctAvgPower => queue
+                .sort_by_key_stable(|j: &QueuedJob| -acct_key(j.account, &|s| s.avg_node_power_kw)),
+            PolicyKind::AcctLowAvgPower => queue
+                .sort_by_key_stable(|j: &QueuedJob| acct_key(j.account, &|s| s.avg_node_power_kw)),
             PolicyKind::AcctEdp => {
                 queue.sort_by_key_stable(|j: &QueuedJob| acct_key(j.account, &|s| s.mean_edp()))
             }
             PolicyKind::AcctEd2p => {
                 queue.sort_by_key_stable(|j: &QueuedJob| acct_key(j.account, &|s| s.mean_ed2p()))
             }
-            PolicyKind::AcctFugakuPts => queue.sort_by_key_stable(|j: &QueuedJob| {
-                -acct_key(j.account, &|s| s.fugaku_points)
-            }),
+            PolicyKind::AcctFugakuPts => {
+                queue.sort_by_key_stable(|j: &QueuedJob| -acct_key(j.account, &|s| s.fugaku_points))
+            }
             // Higher score = smaller predicted system impact = first.
             PolicyKind::Ml => queue.sort_by_key_stable(|j| -j.ml_score.unwrap_or(0.0)),
         }

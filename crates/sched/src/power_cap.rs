@@ -70,7 +70,9 @@ impl SchedulerBackend for PowerCapScheduler {
         // the real manager too (placements are mutually disjoint).
         let mut shadow_rm = rm.clone();
         let mut shadow_q = queue.clone();
-        let proposed = self.inner.schedule(now, &mut shadow_q, &mut shadow_rm, ctx)?;
+        let proposed = self
+            .inner
+            .schedule(now, &mut shadow_q, &mut shadow_rm, ctx)?;
 
         let mut admitted = Vec::with_capacity(proposed.len());
         for p in proposed {

@@ -187,9 +187,7 @@ mod tests {
     #[test]
     fn exact_allocation_out_of_range() {
         let mut rm = ResourceManager::new(4);
-        assert!(rm
-            .allocate_exact(&NodeSet::from_indices(vec![99]))
-            .is_err());
+        assert!(rm.allocate_exact(&NodeSet::from_indices(vec![99])).is_err());
     }
 
     #[test]
@@ -215,7 +213,10 @@ mod tests {
         let mut rm = ResourceManager::new(10);
         rm.mark_down(&NodeSet::from_indices(vec![8, 9]));
         rm.allocate(4).unwrap();
-        assert!((rm.utilization() - 0.5).abs() < 1e-12, "4 busy of 8 in service");
+        assert!(
+            (rm.utilization() - 0.5).abs() < 1e-12,
+            "4 busy of 8 in service"
+        );
     }
 
     #[test]

@@ -211,7 +211,10 @@ impl SystemConfig {
             return Err(Config(format!("{}: peak power not above idle", self.name)));
         }
         if !(0.0..=1.0).contains(&self.cooling.hx_effectiveness) {
-            return Err(Config(format!("{}: hx effectiveness out of range", self.name)));
+            return Err(Config(format!(
+                "{}: hx effectiveness out of range",
+                self.name
+            )));
         }
         if !self.tick.is_positive() || !self.trace_dt.is_positive() {
             return Err(Config(format!("{}: non-positive tick", self.name)));
@@ -222,7 +225,7 @@ impl SystemConfig {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::presets;
 
     #[test]

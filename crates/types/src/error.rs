@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn display_includes_kind_and_message() {
         let e = SrapsError::Allocation("17 nodes requested, 3 free".into());
-        assert_eq!(e.to_string(), "allocation error: 17 nodes requested, 3 free");
+        assert_eq!(
+            e.to_string(),
+            "allocation error: 17 nodes requested, 3 free"
+        );
         let e = SrapsError::Config("end before start".into());
         assert!(e.to_string().starts_with("configuration error"));
     }

@@ -200,8 +200,7 @@ impl JobBuilder {
     /// or reject malformed records before building.
     pub fn build(self) -> Job {
         debug_assert!(
-            self.job.submit <= self.job.recorded_start
-                || self.job.recorded_start == SimTime::ZERO,
+            self.job.submit <= self.job.recorded_start || self.job.recorded_start == SimTime::ZERO,
             "job {}: submit after recorded start",
             self.job.id
         );

@@ -57,7 +57,9 @@ impl Trace {
         if self.values.is_empty() {
             SimDuration::ZERO
         } else {
-            SimDuration::seconds(self.t0.as_secs() + self.dt.as_secs() * (self.values.len() as i64 - 1))
+            SimDuration::seconds(
+                self.t0.as_secs() + self.dt.as_secs() * (self.values.len() as i64 - 1),
+            )
         }
     }
 
@@ -109,12 +111,8 @@ impl Trace {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f32>()
-            / self.values.len() as f32;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / self.values.len() as f32;
         var.sqrt()
     }
 }
@@ -235,7 +233,11 @@ mod tests {
 
     #[test]
     fn sample_respects_t0_offset() {
-        let t = Trace::new(SimDuration::seconds(30), SimDuration::seconds(10), vec![5.0, 6.0]);
+        let t = Trace::new(
+            SimDuration::seconds(30),
+            SimDuration::seconds(10),
+            vec![5.0, 6.0],
+        );
         assert_eq!(t.sample(SimDuration::seconds(0)), 5.0); // before t0 → first
         assert_eq!(t.sample(SimDuration::seconds(35)), 5.0);
         assert_eq!(t.sample(SimDuration::seconds(45)), 6.0);

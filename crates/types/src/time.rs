@@ -192,7 +192,10 @@ pub fn parse_duration(s: &str) -> Option<SimDuration> {
         b's' => (&s[..s.len() - 1], 1),
         _ => (s, 1),
     };
-    num.trim().parse::<i64>().ok().map(|n| SimDuration(n * mult))
+    num.trim()
+        .parse::<i64>()
+        .ok()
+        .map(|n| SimDuration(n * mult))
 }
 
 #[cfg(test)]

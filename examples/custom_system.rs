@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             j.telemetry = t.clone();
         }
     }
-    println!("trace: {} jobs via SWF round-trip (+ telemetry re-attach)", dataset.len());
+    println!(
+        "trace: {} jobs via SWF round-trip (+ telemetry re-attach)",
+        dataset.len()
+    );
 
     // 3. What-if: a healthy run vs a degraded afternoon with two rack
     //    outages, a hot day, and a facility power cap.
@@ -86,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", summary_line(&healthy));
     println!("{}", summary_line(&degraded));
     let peak_temp = |o: &sraps_core::SimOutput| {
-        o.cooling.iter().map(|c| c.tower_return_c).fold(0.0, f64::max)
+        o.cooling
+            .iter()
+            .map(|c| c.tower_return_c)
+            .fold(0.0, f64::max)
     };
     println!(
         "\npeak tower return: healthy {:.1} °C vs degraded {:.1} °C",

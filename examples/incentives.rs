@@ -15,14 +15,22 @@ use sraps_types::AccountId;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A scaled Frontier day with the three full-system runs (Fig 6/8 day).
     let s = scenario::fig6_scaled(42, 0.08);
-    println!("scenario {}: {} jobs on {} nodes", s.label, s.dataset.len(), s.config.total_nodes);
+    println!(
+        "scenario {}: {} jobs on {} nodes",
+        s.label,
+        s.dataset.len(),
+        s.config.total_nodes
+    );
 
     // Collection phase: replay with --accounts.
     let sim = SimConfig::replay(s.config.clone())
         .with_window(s.sim_start, s.sim_end)
         .with_accounts();
     let collection = Engine::new(sim, &s.dataset)?.run()?;
-    println!("\ncollection (replay): {} accounts tracked", collection.accounts.len());
+    println!(
+        "\ncollection (replay): {} accounts tracked",
+        collection.accounts.len()
+    );
 
     // Persist and reload accounts.json, exactly like the artifact flow.
     let dir = std::env::temp_dir().join("sraps-incentives");
@@ -67,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\npower [kW]:");
     for out in &outputs {
         let series: Vec<f64> = out.power.iter().map(|p| p.total_kw).collect();
-        println!("  {:<26} {}", out.label, sparkline(&downsample(&series, 56)));
+        println!(
+            "  {:<26} {}",
+            out.label,
+            sparkline(&downsample(&series, 56))
+        );
     }
 
     println!(

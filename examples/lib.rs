@@ -41,9 +41,11 @@ pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
 /// Unicode sparkline for a series (terminal-friendly "plot").
 pub fn sparkline(series: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let (min, max) = series.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (min, max) = series
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     if series.is_empty() || !min.is_finite() {
         return String::new();
     }

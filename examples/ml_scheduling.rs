@@ -16,7 +16,12 @@ use sraps_ml::{MlPipeline, PipelineConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scaled Fugaku with a low-load phase then an overloaded phase.
     let mut s = scenario::fig10(42, 1024.0 / 158_976.0);
-    println!("scenario {}: {} jobs on {} nodes", s.label, s.dataset.len(), s.config.total_nodes);
+    println!(
+        "scenario {}: {} jobs on {} nodes",
+        s.label,
+        s.dataset.len(),
+        s.config.total_nodes
+    );
 
     // Train on the first two days (history), evaluate on the rest.
     let split = sraps_types::SimTime::seconds(2 * 86_400);
@@ -46,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let sim = SimConfig::new(s.config.clone(), policy, "firstfit")
                 .expect("valid")
                 .with_window(s.sim_start, s.sim_end);
-            Engine::new(sim, &s.dataset).expect("builds").run().expect("runs")
+            Engine::new(sim, &s.dataset)
+                .expect("builds")
+                .run()
+                .expect("runs")
         })
         .collect();
 

@@ -14,7 +14,10 @@ use sraps_types::SimDuration;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick a system (Table 1 presets or SystemConfigBuilder for yours).
     let system = presets::adastra();
-    println!("system: {} ({} nodes, {})", system.name, system.total_nodes, system.architecture);
+    println!(
+        "system: {} ({} nodes, {})",
+        system.name, system.total_nodes, system.architecture
+    );
 
     // 2. Synthesize a dataset shaped like the system's public dataset.
     let mut spec = WorkloadSpec::for_system(&system, 0.7, 42);
@@ -35,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\npower over time [kW]:");
     for out in [&replay, &resched] {
         let series: Vec<f64> = out.power.iter().map(|p| p.total_kw).collect();
-        println!("  {:<12} {}", out.label, sparkline(&downsample(&series, 72)));
+        println!(
+            "  {:<12} {}",
+            out.label,
+            sparkline(&downsample(&series, 72))
+        );
     }
     println!("\nutilization over time:");
     for out in [&replay, &resched] {

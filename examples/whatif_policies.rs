@@ -1,16 +1,17 @@
 //! What-if policy study (the Fig 4 experiment): replay a saturated
 //! Marconi100 window, then reschedule it under three policies, and compare
-//! power, utilization, and smoothing. Runs the four simulations in
-//! parallel with Rayon.
+//! power, utilization, and smoothing. The four simulations run in
+//! parallel on the sweep subsystem's work-stealing executor, and the
+//! comparison table comes from its baseline-relative report.
 //!
 //! ```sh
 //! cargo run --release -p sraps-examples --example whatif_policies
 //! ```
 
-use rayon::prelude::*;
-use sraps_core::{Engine, SimConfig, SimOutput};
+use sraps_core::SimOutput;
 use sraps_data::scenario;
 use sraps_examples::{downsample, sparkline, summary_line};
+use sraps_exp::{ExperimentMatrix, Report, SweepRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = scenario::fig4(42);
@@ -22,24 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.sim_end
     );
 
-    let runs = [
+    let matrix = ExperimentMatrix::scenario(s).pairs([
         ("replay", "none"),
         ("fcfs", "none"),
         ("fcfs", "easy"),
         ("priority", "firstfit"),
-    ];
-    let outputs: Vec<SimOutput> = runs
-        .par_iter()
-        .map(|(policy, backfill)| {
-            let sim = SimConfig::new(s.config.clone(), policy, backfill)
-                .expect("valid names")
-                .with_window(s.sim_start, s.sim_end);
-            Engine::new(sim, &s.dataset)
-                .expect("engine builds")
-                .run()
-                .expect("run completes")
-        })
-        .collect();
+    ]);
+    let results = SweepRunner::auto().run(&matrix)?;
+    let outputs: Vec<&SimOutput> = results.outputs();
 
     println!();
     for out in &outputs {
@@ -49,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\npower [kW]:");
     for out in &outputs {
         let series: Vec<f64> = out.power.iter().map(|p| p.total_kw).collect();
-        println!("  {:<18} {}", out.label, sparkline(&downsample(&series, 64)));
+        println!(
+            "  {:<18} {}",
+            out.label,
+            sparkline(&downsample(&series, 64))
+        );
     }
     println!("\nutilization:");
     for out in &outputs {
@@ -61,9 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The paper's Fig 4 observations, as numbers.
-    let replay = &outputs[0];
-    let nobf = &outputs[1];
-    let easy = &outputs[2];
+    let replay = outputs[0];
+    let nobf = outputs[1];
+    let easy = outputs[2];
     println!("\nfindings:");
     println!(
         "  replay utilization {:.1}% vs fcfs-easy {:.1}% (backfill fills the machine)",
@@ -74,6 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  max power swing: fcfs-nobf {:.0} kW vs fcfs-easy {:.0} kW (backfill smooths)",
         nobf.max_power_swing_kw(),
         easy.max_power_swing_kw()
+    );
+
+    // The same comparison as a baseline-relative report (replay = baseline).
+    println!("\nreport (deltas vs replay):\n");
+    print!(
+        "{}",
+        Report::with_baseline(&results, "replay-none").render_table()
     );
     Ok(())
 }

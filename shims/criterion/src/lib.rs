@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset `crates/bench/benches/micro.rs` uses —
+//! `Criterion::{bench_function, benchmark_group}`, group `sample_size`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by plain
+//! `Instant` timing with min/mean/max reporting. No statistics engine,
+//! no HTML reports; good enough to spot order-of-magnitude regressions
+//! from `cargo bench` output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim times setup and routine
+/// separately regardless, so the variants behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Samples {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    n: usize,
+}
+
+fn run_samples(mut one_iteration: impl FnMut() -> Duration, target: usize) -> Samples {
+    // One untimed warmup, then `target` timed samples.
+    let _ = one_iteration();
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    for _ in 0..target {
+        let d = one_iteration();
+        total += d;
+        min = min.min(d);
+        max = max.max(d);
+    }
+    Samples {
+        min,
+        mean: total / target as u32,
+        max,
+        n: target,
+    }
+}
+
+fn report(id: &str, s: Samples) {
+    println!(
+        "{id:<44} time: [{} {} {}]  ({} samples)",
+        fmt_duration(s.min),
+        fmt_duration(s.mean),
+        fmt_duration(s.max),
+        s.n
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Per-benchmark driver passed to the closure of `bench_function`.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Samples>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.result = Some(run_samples(
+            || {
+                let t = Instant::now();
+                black_box(routine());
+                t.elapsed()
+            },
+            self.sample_size,
+        ));
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        self.result = Some(run_samples(
+            || {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                t.elapsed()
+            },
+            self.sample_size,
+        ));
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        if let Some(s) = b.result {
+            report(id.as_ref(), s);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        if let Some(s) = b.result {
+            report(&format!("{}/{}", self.name, id.as_ref()), s);
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// `criterion_group!(name, target, ...)` — defines `fn name()` running
+/// every target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn api_surface_runs() {
+        let mut c = Criterion { sample_size: 3 };
+        target(&mut c);
+    }
+}

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of `rand` the simulator actually uses:
+//!
+//! * [`rngs::SmallRng`] — here a xoshiro256++ generator (the same family
+//!   real `rand` 0.8 uses on 64-bit targets), seeded via SplitMix64;
+//! * [`Rng::gen_range`] over integer and float ranges, [`Rng::gen_bool`];
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! The generated *stream* differs from upstream `rand`, which is fine:
+//! nothing in the workspace depends on rand's exact values, only on
+//! determinism (same seed ⇒ same stream) and distribution quality.
+
+/// Core source of randomness: a 64-bit word stream.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Seed from a single `u64` (the only constructor the workspace uses).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types with a uniform sampler (`rand::distributions::uniform
+/// ::SampleUniform` stand-in). Keeping `SampleRange` generic over a single
+/// blanket impl (like upstream) is what lets unsuffixed float literals in
+/// `gen_range(0.0..1.0)` resolve through fallback to `f64`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty inclusive range in gen_range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = bounded_u128(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = bounded_u128(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `[0, span)` by widening multiply (Lemire reduction,
+/// without the rejection step — bias is < 2⁻⁶⁴, irrelevant for synthesis).
+fn bounded_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        (rng.next_u64() as u128 * span) >> 64
+    } else {
+        // Spans wider than 2^64 never occur in practice; fall back to mod.
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        wide % span
+    }
+}
+
+macro_rules! impl_float_uniform {
+    ($($t:ty => $mant:expr),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                // Uniform in [0,1) from the top mantissa bits.
+                let unit = (rng.next_u64() >> (64 - $mant)) as $t
+                    / (1u64 << $mant) as $t;
+                let v = lo + unit * (hi - lo);
+                // Guard against end-rounding when the span is tiny.
+                if v >= hi { lo } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let unit = (rng.next_u64() >> (64 - $mant)) as $t
+                    / ((1u64 << $mant) - 1) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32 => 24, f64 => 53);
+
+/// The user-facing generator trait (`rand::Rng` subset).
+pub trait Rng: RngCore {
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0,1]: {p}");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic small-state generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as upstream rand does.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// `rand::seq::SliceRandom` subset: in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly pick a reference, `None` on empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0..1000u64)).collect();
+        let mut d = SmallRng::seed_from_u64(42);
+        let other: Vec<u64> = (0..16).map(|_| d.gen_range(0..1000u64)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen_range(3u32..=9);
+            assert!((3..=9).contains(&u));
+            let g = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(g > 0.0 && g < 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((27_000..33_000).contains(&hits), "hits {hits}");
+        assert!((0..1000).all(|_| !r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle staying sorted is ~impossible"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` / `into_par_iter()` return ordinary sequential iterators,
+//! so every adaptor chain (`.map(...).collect()`) compiles and behaves
+//! identically — minus the parallelism. The workspace's real parallel
+//! execution lives in `sraps-exp`'s `SweepRunner` (std `thread::scope`
+//! work stealing), which does not go through this shim.
+//!
+//! Sequential fallback is also what keeps results reproducible: rayon's
+//! nondeterministic reduction order never enters the picture.
+
+pub mod prelude {
+    /// `rayon::iter::IntoParallelIterator` stand-in: any `IntoIterator`
+    /// "parallelizes" into its own sequential iterator.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// `rayon::iter::IntoParallelRefIterator` stand-in for slices (and,
+    /// via deref/unsize coercion, `Vec<T>` and `[T; N]`).
+    pub trait IntoParallelRefIterator<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// Mutable variant, for completeness.
+    pub trait IntoParallelRefMutIterator<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> IntoParallelRefMutIterator<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn array_vec_and_range_chains_compile() {
+        let arr = [("a", 1), ("b", 2)];
+        let labels: Vec<&str> = arr.par_iter().map(|(s, _)| *s).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+
+        let v = Vec::from([1u32, 2, 3]);
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+
+        let squares: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+}

@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the slice of serde the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs/enums (no `#[serde(...)]` attributes,
+//! no generics) and value-level serialization consumed by the local
+//! `serde_json` shim.
+//!
+//! Instead of serde's visitor architecture, both traits go through one
+//! JSON-shaped [`Value`] tree. That is dramatically simpler and exactly as
+//! expressive as the workspace needs (the only serialized artifacts are
+//! `accounts.json` and sweep reports).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data model shared by serialization and deserialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on an object value, `Null` when missing.
+    pub fn get(&self, name: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == name))
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Helper the derive macro uses: typed field extraction from an object.
+/// Missing fields read as `Null`, so `Option` fields tolerate omission the
+/// way serde's `default` does for them.
+pub fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, Error> {
+    T::deserialize(obj.get(name)).map_err(|e| Error(format!("field `{name}`: {}", e.0)))
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match *v {
+                    Value::I64(n) => n as i128,
+                    Value::U64(n) => n as i128,
+                    Value::F64(n) if n.fract() == 0.0 => n as i128,
+                    ref other => return Err(Error(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match *v {
+                    Value::I64(n) => n as i128,
+                    Value::U64(n) => n as i128,
+                    Value::F64(n) if n.fract() == 0.0 => n as i128,
+                    ref other => return Err(Error(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::F64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    ref other => Err(Error(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+/// Types usable as JSON object keys (serde stringifies map keys).
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+macro_rules! impl_mapkey_num {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| Error(format!(
+                    "bad {} map key {key:?}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_mapkey_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error(format!("expected object, got {v:?}")))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        // Sort for deterministic output, matching the BTreeMap contract.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize, S> Deserialize for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error(format!("expected object, got {v:?}")))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array()
+                    .ok_or_else(|| Error(format!("expected array tuple, got {v:?}")))?;
+                let mut it = a.iter();
+                Ok(($({
+                    let _ = $n; // positional
+                    $t::deserialize(it.next().unwrap_or(&Value::Null))?
+                },)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_and_maps_roundtrip() {
+        let mut m: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+        m.insert(7, vec![1.5, 2.5]);
+        m.insert(2, vec![]);
+        let v = m.serialize();
+        let back: BTreeMap<u32, Vec<f64>> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(m, back);
+
+        let o: Option<u64> = None;
+        assert_eq!(o.serialize(), Value::Null);
+        let some: Option<u64> = Deserialize::deserialize(&Value::U64(3)).unwrap();
+        assert_eq!(some, Some(3));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        let x: f64 = Deserialize::deserialize(&Value::I64(4)).unwrap();
+        assert_eq!(x, 4.0);
+        let n: u32 = Deserialize::deserialize(&Value::F64(9.0)).unwrap();
+        assert_eq!(n, 9);
+        assert!(<u32 as Deserialize>::deserialize(&Value::F64(9.5)).is_err());
+        assert!(<u32 as Deserialize>::deserialize(&Value::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the local `serde` shim's `Value` model. Supported shapes — exactly what
+//! this workspace declares:
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * tuple structs with one field (newtypes) → the inner value;
+//! * tuple structs with n > 1 fields → JSON arrays;
+//! * unit structs → `null`;
+//! * enums with unit variants → the variant name as a string;
+//! * enums with struct or newtype variants → externally tagged objects
+//!   (`{"Variant": ...}`), serde's default representation.
+//!
+//! Generics, lifetimes, and `#[serde(...)]` attributes are rejected with a
+//! compile error — none appear in the workspace.
+//!
+//! The implementation parses the item's token stream directly (the
+//! environment has no syn/quote) and emits code via string formatting.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: (variant name, variant shape) pairs.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+    /// Tuple variant with N fields (N == 1 is a newtype variant).
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]` group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token slice on top-level commas (angle-bracket aware).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Extract the field identifier from one `attrs vis ident : type` chunk.
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let i = skip_attrs_and_vis(chunk, 0);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    split_top_level_commas(&tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| field_name(chunk).ok_or_else(|| "could not parse struct field".to_string()))
+        .collect()
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Result<Vec<(String, VariantShape)>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    for chunk in split_top_level_commas(&tokens) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let i = skip_attrs_and_vis(&chunk, 0);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("could not parse enum variant".into()),
+        };
+        let shape = match chunk.get(i + 1) {
+            None => VariantShape::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Struct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantShape::Tuple(split_top_level_commas(&inner).len())
+            }
+            other => return Err(format!("unexpected token after variant {name}: {other:?}")),
+        };
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!(
+            "derive target must be a struct or enum, got `{kind}`"
+        ));
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generics (type {name})"
+            ));
+        }
+    }
+    let shape = match tokens.get(i) {
+        None | Some(TokenTree::Punct(_)) if kind == "struct" => {
+            // `struct Name;` — unit struct (the `;` may already be consumed
+            // by the token slice end).
+            Shape::UnitStruct
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "enum" {
+                Shape::Enum(parse_variants(g)?)
+            } else {
+                Shape::Struct(parse_named_fields(g)?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let n = split_top_level_commas(&inner).len();
+            if n == 0 {
+                Shape::UnitStruct
+            } else {
+                Shape::TupleStruct(n)
+            }
+        }
+        other => return Err(format!("unsupported item body: {other:?}")),
+    };
+    Ok(Item { name, shape })
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), \
+                         ::serde::Serialize::serialize(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(obj)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"
+                    ),
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push(({f:?}.to_string(), \
+                                     ::serde::Serialize::serialize({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Object(inner))])\n}},\n"
+                        )
+                    }
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::serialize(x0))]),\n"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, {f:?})?,\n"))
+                .collect();
+            format!(
+                "if v.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected object for struct {name}, got {{v:?}}\")));\n}}\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(\
+                         a.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected array for tuple struct {name}\")))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => return ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, s)| match s {
+                    VariantShape::Unit => None,
+                    VariantShape::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(inner, {f:?})?,\n"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n"
+                        ))
+                    }
+                    VariantShape::Tuple(1) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize(\
+                                     a.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let a = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array variant payload\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n}},\n",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 other => return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other:?}} of {name}\"))),\n}}\n}}\n\
+                 let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected variant of {name}, got {{v:?}}\")))?;\n\
+                 #[allow(unused_variables)]\n\
+                 let (tag, inner) = obj.first().ok_or_else(|| ::serde::Error::custom(\
+                 \"empty variant object\"))?;\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other:?}} of {name}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}

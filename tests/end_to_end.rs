@@ -219,7 +219,10 @@ fn cooling_model_couples_to_scheduling() {
     assert_eq!(a.cooling.len(), a.power.len());
     // Peak return temperature must follow peak power ordering.
     let peak_t = |o: &sraps_core::SimOutput| {
-        o.cooling.iter().map(|c| c.tower_return_c).fold(0.0, f64::max)
+        o.cooling
+            .iter()
+            .map(|c| c.tower_return_c)
+            .fold(0.0, f64::max)
     };
     let (pa, pb) = (a.peak_power_kw(), b.peak_power_kw());
     let (ta, tb) = (peak_t(&a), peak_t(&b));
@@ -253,9 +256,15 @@ fn infeasible_exact_trace_degrades_gracefully() {
         })
         .collect();
     let ds = sraps_data::Dataset::new("adastra", jobs);
-    let out = Engine::new(SimConfig::replay(cfg), &ds).unwrap().run().unwrap();
+    let out = Engine::new(SimConfig::replay(cfg), &ds)
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(out.stats.jobs_completed, 2);
-    assert_eq!(out.sched_stats.placement_fallbacks, 1, "second job deviates");
+    assert_eq!(
+        out.sched_stats.placement_fallbacks, 1,
+        "second job deviates"
+    );
     // Both ran concurrently on disjoint nodes: peak demand 8.
     assert!(ds.peak_recorded_nodes() == 8);
 }
@@ -272,11 +281,14 @@ fn zero_job_window_produces_idle_history() {
     let (cfg, ds) = small_workload(0.3, 2, 47);
     // A window long after every job ended.
     let far = ds.capture_end + sraps_types::SimDuration::hours(5);
-    let sim = SimConfig::replay(cfg.clone())
-        .with_window(far, far + sraps_types::SimDuration::hours(1));
+    let sim =
+        SimConfig::replay(cfg.clone()).with_window(far, far + sraps_types::SimDuration::hours(1));
     let out = Engine::new(sim, &ds).unwrap().run().unwrap();
     assert_eq!(out.stats.jobs_completed, 0);
-    assert!(out.power.iter().all(|p| (p.it_power_kw - cfg.idle_it_power_kw()).abs() < 1.0));
+    assert!(out
+        .power
+        .iter()
+        .all(|p| (p.it_power_kw - cfg.idle_it_power_kw()).abs() < 1.0));
     assert!(out.utilization.iter().all(|&u| u == 0.0));
 }
 
@@ -287,7 +299,9 @@ fn accounts_aggregate_across_simulations() {
     let (cfg, ds) = small_workload(0.5, 8, 53);
     let mid = SimTime::seconds(4 * 3600);
     let run_window = |s: SimTime, e: SimTime| {
-        let sim = SimConfig::replay(cfg.clone()).with_window(s, e).with_accounts();
+        let sim = SimConfig::replay(cfg.clone())
+            .with_window(s, e)
+            .with_accounts();
         Engine::new(sim, &ds).unwrap().run().unwrap()
     };
     let first = run_window(ds.capture_start, mid);
@@ -351,7 +365,13 @@ fn priority_aging_rescues_starving_giants() {
     // stream of narrow fills; the aging factor must not make them wait
     // longer, and typically completes at least as many of them.
     let s = scenario::fig8_scaled(3, 0.04);
-    let giant = s.dataset.jobs.iter().map(|j| j.nodes_requested).max().unwrap();
+    let giant = s
+        .dataset
+        .jobs
+        .iter()
+        .map(|j| j.nodes_requested)
+        .max()
+        .unwrap();
     let run_policy = |policy: &str| {
         let sim = SimConfig::new(s.config.clone(), policy, "firstfit")
             .unwrap()
@@ -360,9 +380,8 @@ fn priority_aging_rescues_starving_giants() {
     };
     let plain = run_policy("priority");
     let aged = run_policy("priority_aging");
-    let giants_done = |o: &sraps_core::SimOutput| {
-        o.outcomes.iter().filter(|x| x.nodes == giant).count()
-    };
+    let giants_done =
+        |o: &sraps_core::SimOutput| o.outcomes.iter().filter(|x| x.nodes == giant).count();
     assert!(
         giants_done(&aged) >= giants_done(&plain),
         "aging must not starve wide jobs harder ({} vs {})",

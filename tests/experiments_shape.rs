@@ -98,10 +98,21 @@ fn fig6_shape_giants_start_earlier_and_cooling_follows() {
     }
     // PUE stays in the plausible facility band and responds to load.
     for out in [&replay, &resched] {
-        let pue_min = out.cooling.iter().map(|c| c.pue).fold(f64::INFINITY, f64::min);
+        let pue_min = out
+            .cooling
+            .iter()
+            .map(|c| c.pue)
+            .fold(f64::INFINITY, f64::min);
         let pue_max = out.cooling.iter().map(|c| c.pue).fold(0.0, f64::max);
-        assert!(pue_min > 1.0 && pue_max < 1.5, "{}: PUE [{pue_min},{pue_max}]", out.label);
-        assert!(pue_max - pue_min > 0.001, "PUE must respond to load changes");
+        assert!(
+            pue_min > 1.0 && pue_max < 1.5,
+            "{}: PUE [{pue_min},{pue_max}]",
+            out.label
+        );
+        assert!(
+            pue_max - pue_min > 0.001,
+            "PUE must respond to load changes"
+        );
     }
 }
 
@@ -215,8 +226,7 @@ fn scheduleflow_poc_shape() {
     let out = Engine::new(sim, &ds).unwrap().run().unwrap();
     assert!(out.stats.jobs_completed > 0);
     assert!(
-        out.sched_stats.recomputations as f64
-            > out.sched_stats.invocations as f64 * 0.9,
+        out.sched_stats.recomputations as f64 > out.sched_stats.invocations as f64 * 0.9,
         "ScheduleFlow must replan on ~every interaction"
     );
 }

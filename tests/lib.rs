@@ -1,9 +1,16 @@
 //! Shared fixtures for the integration tests.
+//!
+//! Since the sweep subsystem landed, single runs are expressed as
+//! one-cell experiment matrices: every integration test therefore also
+//! exercises `sraps_exp`'s expansion → materialization → execution path,
+//! and multi-run tests can fan out through [`sweep_pairs`].
 
-use sraps_core::{Engine, SimConfig, SimOutput};
+use sraps_core::SimOutput;
 use sraps_data::{Dataset, WorkloadSpec};
+use sraps_exp::{ExperimentMatrix, PrebuiltWorkload, SweepRunner};
 use sraps_systems::SystemConfig;
 use sraps_types::SimDuration;
+use std::sync::Arc;
 
 /// A small but non-trivial Lassen workload for cross-crate tests.
 pub fn small_workload(load: f64, hours: i64, seed: u64) -> (SystemConfig, Dataset) {
@@ -14,8 +21,33 @@ pub fn small_workload(load: f64, hours: i64, seed: u64) -> (SystemConfig, Datase
     (cfg, ds)
 }
 
-/// Run one policy/backfill combination over a dataset.
+/// Wrap a (config, dataset) pair as a sweep workload.
+pub fn workload_of(cfg: &SystemConfig, ds: &Dataset) -> PrebuiltWorkload {
+    PrebuiltWorkload {
+        label: cfg.name.clone(),
+        config: cfg.clone(),
+        dataset: Arc::new(ds.clone()),
+        window: None,
+    }
+}
+
+/// Run (policy, backfill) pairs over a dataset through the sweep
+/// subsystem; outputs in pair order.
+pub fn sweep_pairs(cfg: &SystemConfig, ds: &Dataset, pairs: &[(&str, &str)]) -> Vec<SimOutput> {
+    let matrix =
+        ExperimentMatrix::scenario(workload_of(cfg, ds)).pairs(pairs.iter().map(|&(p, b)| (p, b)));
+    SweepRunner::auto()
+        .run(&matrix)
+        .expect("sweep runs")
+        .cells
+        .into_iter()
+        .map(|c| c.output)
+        .collect()
+}
+
+/// Run one policy/backfill combination over a dataset (a one-cell matrix).
 pub fn run(cfg: &SystemConfig, ds: &Dataset, policy: &str, backfill: &str) -> SimOutput {
-    let sim = SimConfig::new(cfg.clone(), policy, backfill).expect("valid names");
-    Engine::new(sim, ds).expect("engine").run().expect("run")
+    sweep_pairs(cfg, ds, &[(policy, backfill)])
+        .pop()
+        .expect("one cell")
 }

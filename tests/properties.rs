@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use sraps_data::packer::{pack_jobs, JobSpec};
 use sraps_sched::backfill::{easy_admits, easy_reservation};
 use sraps_sched::{
-    BackfillKind, BuiltinScheduler, JobQueue, PolicyKind, QueuedJob, ResourceManager,
-    RunningView, SchedContext, SchedulerBackend,
+    BackfillKind, BuiltinScheduler, JobQueue, PolicyKind, QueuedJob, ResourceManager, RunningView,
+    SchedContext, SchedulerBackend,
 };
 use sraps_types::{AccountId, Bitset, JobId, NodeSet, SimDuration, SimTime};
 
