@@ -15,6 +15,11 @@ pub const CARBON_KG_PER_KWH: f64 = 0.4;
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SystemStats {
     pub jobs_completed: u64,
+    /// Jobs still running when the window closed: they produced no
+    /// outcome, so wait/energy aggregates under-count them. Non-zero
+    /// means the window truncated the workload (§3.2.2's dismissal edge,
+    /// at the *end* of the window).
+    pub jobs_censored: u64,
     /// Simulated span the stats cover.
     pub span: SimDuration,
     /// Mean facility power over the run, kW (total including losses).
@@ -202,6 +207,7 @@ impl SystemStats {
             out.push('\n');
         };
         line("jobs completed", self.jobs_completed.to_string());
+        line("jobs censored", self.jobs_censored.to_string());
         line("span [h]", format!("{:.2}", self.span.as_hours_f64()));
         line(
             "throughput [jobs/h]",
@@ -379,6 +385,7 @@ mod tests {
         s.set_facility(SimDuration::hours(1), 500.0, 25.0, 0.5, 0.8);
         let text = s.render();
         assert!(text.contains("jobs completed: 1"));
+        assert!(text.contains("jobs censored: 0"));
         assert!(text.contains("avg total power [kW]: 500.0"));
         assert!(text.contains("carbon"));
     }

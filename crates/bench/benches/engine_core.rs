@@ -1,0 +1,211 @@
+//! Engine-core benchmark: the tick loop vs the hybrid event/tick core on
+//! fig4/fig6-scale scenarios, plus a harness that writes
+//! `BENCH_engine.json` — the repo's perf-trajectory baseline for the
+//! engine. Re-run after engine changes and commit the refreshed JSON:
+//!
+//! ```sh
+//! cargo bench -p sraps-bench --bench engine_core
+//! ```
+//!
+//! `SRAPS_BENCH_SMOKE=1` runs one iteration per cell (CI smoke);
+//! `SRAPS_BENCH_ENGINE_OUT` overrides the JSON path (default
+//! `BENCH_engine.json` at the workspace root).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use sraps_core::{Engine, EngineMode, SimConfig, SimOutput};
+use sraps_data::{adastra, marconi100, Dataset, WorkloadSpec};
+use sraps_systems::{presets, SystemConfig};
+use sraps_types::SimDuration;
+use std::time::Instant;
+
+/// One engine-bench scenario: a workload plus the policy/backfill it runs.
+struct Case {
+    name: &'static str,
+    cfg: SystemConfig,
+    ds: Dataset,
+    policy: &'static str,
+    backfill: &'static str,
+    load: f64,
+    span_hours: i64,
+    median_runtime_h: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn case(
+    name: &'static str,
+    system: &str,
+    load: f64,
+    span_hours: i64,
+    median_runtime_h: f64,
+    seed: u64,
+    policy: &'static str,
+    backfill: &'static str,
+) -> Case {
+    let cfg = match system {
+        "marconi100" => presets::marconi100(),
+        _ => presets::adastra(),
+    };
+    let mut spec = WorkloadSpec::for_system(&cfg, load, seed);
+    spec.span = SimDuration::hours(span_hours);
+    spec.median_runtime_secs = median_runtime_h * 3600.0;
+    spec.calibrate_rate(cfg.total_nodes, load);
+    let ds = match system {
+        "marconi100" => marconi100::synthesize(&cfg, &spec),
+        _ => adastra::synthesize(&cfg, &spec),
+    };
+    Case {
+        name,
+        cfg,
+        ds,
+        policy,
+        backfill,
+        load,
+        span_hours,
+        median_runtime_h,
+    }
+}
+
+/// The scenario set: the headline low-utilization multi-day window with
+/// multi-hour jobs (long idle spans → the event core's home turf), the
+/// same window replayed, a saturated day (the queue never drains → worst
+/// case, must not regress), and a trace-telemetry day (per-tick sampling
+/// path, fig4's dataset class).
+fn cases() -> Vec<Case> {
+    vec![
+        case("lowutil_7d", "adastra", 0.3, 168, 6.0, 7, "fcfs", "easy"),
+        case(
+            "lowutil_replay_7d",
+            "adastra",
+            0.3,
+            168,
+            6.0,
+            7,
+            "replay",
+            "none",
+        ),
+        case(
+            "saturated_1d",
+            "adastra",
+            1.1,
+            24,
+            0.6667,
+            7,
+            "fcfs",
+            "easy",
+        ),
+        case("trace_1d", "marconi100", 0.5, 24, 0.6667, 7, "fcfs", "easy"),
+    ]
+}
+
+fn run_cell(c: &Case, mode: EngineMode) -> SimOutput {
+    let sim = SimConfig::new(c.cfg.clone(), c.policy, c.backfill)
+        .unwrap()
+        .with_engine(mode);
+    Engine::new(sim, &c.ds).unwrap().run().unwrap()
+}
+
+/// Median wall-time of `n` engine builds + runs, in milliseconds.
+fn median_ms(c: &Case, mode: EngineMode, n: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            criterion::black_box(run_cell(c, mode));
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[derive(Serialize)]
+struct ScenarioResult {
+    name: String,
+    system: String,
+    load: f64,
+    span_hours: i64,
+    median_runtime_h: f64,
+    policy: String,
+    backfill: String,
+    tick_secs: i64,
+    samples: usize,
+    tick_median_ms: f64,
+    event_median_ms: f64,
+    /// tick / event: >1 means the event core is faster.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    scenarios: Vec<ScenarioResult>,
+}
+
+fn smoke() -> bool {
+    std::env::var_os("SRAPS_BENCH_SMOKE").is_some()
+}
+
+/// The perf-trajectory harness: median cell wall-time per engine mode,
+/// written as `BENCH_engine.json`.
+fn bench_engine_core(c: &mut Criterion) {
+    let samples = if smoke() { 1 } else { 7 };
+    let mut results = Vec::new();
+    let mut g = c.benchmark_group("engine_core");
+    g.sample_size(samples.max(2));
+    for case in cases() {
+        // Criterion lines for the terminal report…
+        g.bench_function(format!("{}_tick", case.name), |b| {
+            b.iter(|| run_cell(&case, EngineMode::Tick))
+        });
+        g.bench_function(format!("{}_event", case.name), |b| {
+            b.iter(|| run_cell(&case, EngineMode::Event))
+        });
+        // …and a medians pass for the JSON baseline (criterion's shim
+        // reports min/mean/max but does not expose samples).
+        let tick_ms = median_ms(&case, EngineMode::Tick, samples);
+        let event_ms = median_ms(&case, EngineMode::Event, samples);
+        // Parity guard: a benchmark of two cores that drifted apart
+        // would be measuring two different simulations.
+        let t = run_cell(&case, EngineMode::Tick);
+        let e = run_cell(&case, EngineMode::Event);
+        assert_eq!(t.outcomes, e.outcomes, "{}: cores drifted", case.name);
+        assert_eq!(t.power, e.power, "{}: cores drifted", case.name);
+        results.push(ScenarioResult {
+            name: case.name.to_string(),
+            system: case.cfg.name.clone(),
+            load: case.load,
+            span_hours: case.span_hours,
+            median_runtime_h: case.median_runtime_h,
+            policy: case.policy.to_string(),
+            backfill: case.backfill.to_string(),
+            tick_secs: case.cfg.tick.as_secs(),
+            samples,
+            tick_median_ms: tick_ms,
+            event_median_ms: event_ms,
+            speedup: tick_ms / event_ms.max(1e-9),
+        });
+    }
+    g.finish();
+
+    let report = BenchReport {
+        bench: "engine_core".to_string(),
+        scenarios: results,
+    };
+    for s in &report.scenarios {
+        println!(
+            "engine_core/{:<14} tick {:>9.2} ms  event {:>9.2} ms  speedup {:>5.2}x",
+            s.name, s.tick_median_ms, s.event_median_ms, s.speedup
+        );
+    }
+    // Default to the workspace root so the committed baseline refreshes
+    // in place regardless of cargo's bench working directory.
+    let path = std::env::var("SRAPS_BENCH_ENGINE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_engine.json");
+    println!("engine_core: baseline written to {path}");
+}
+
+criterion_group!(engine_core, bench_engine_core);
+criterion_main!(engine_core);

@@ -20,7 +20,7 @@
 //! backfills × seeds × …) on a multi-threaded work-stealing executor and
 //! emits a baseline-relative comparison report — see [`sraps_exp`].
 
-use sraps_core::{Engine, SchedulerSelect, SimConfig, SimOutput};
+use sraps_core::{Engine, EngineMode, SchedulerSelect, SimConfig, SimOutput};
 use sraps_data::{scenario, Dataset, WorkloadSpec};
 use sraps_systems::SystemConfig;
 use sraps_types::{time::parse_duration, SimDuration, SimTime};
@@ -34,6 +34,7 @@ struct CliArgs {
     policy: String,
     backfill: String,
     scheduler: String,
+    engine: EngineMode,
     fast_forward: Option<SimDuration>,
     duration: Option<SimDuration>,
     load: f64,
@@ -55,6 +56,7 @@ impl Default for CliArgs {
             policy: "replay".into(),
             backfill: "none".into(),
             scheduler: "default".into(),
+            engine: EngineMode::default(),
             fast_forward: None,
             duration: None,
             load: 0.8,
@@ -80,6 +82,8 @@ options:
   --policy P             replay|fcfs|sjf|ljf|priority|ml|acct_* (default replay)
   --backfill B           none|firstfit|easy|conservative (default none)
   --scheduler S          default|experimental|scheduleflow|fastsim
+  --engine E             event|tick main-loop core (default event; both are
+                         bit-identical, tick is the paper's fixed-tick loop)
   -ff SECS               fast-forward: simulation window start
   -t DUR                 simulation duration (accepts 61000, 1h, 15d, …)
   --load F               synthetic offered load (default 0.8)
@@ -110,6 +114,11 @@ fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
             "--policy" => a.policy = value(&mut i, "--policy")?,
             "--backfill" => a.backfill = value(&mut i, "--backfill")?,
             "--scheduler" => a.scheduler = value(&mut i, "--scheduler")?,
+            "--engine" => {
+                let v = value(&mut i, "--engine")?;
+                a.engine =
+                    EngineMode::parse(&v).ok_or_else(|| format!("bad --engine value '{v}'"))?;
+            }
             "-ff" => {
                 let v = value(&mut i, "-ff")?;
                 a.fast_forward =
@@ -224,6 +233,7 @@ fn run(a: CliArgs) -> Result<(), String> {
         "fastsim" => sim.scheduler = SchedulerSelect::FastSim,
         other => return Err(format!("unknown scheduler '{other}'")),
     }
+    sim = sim.with_engine(a.engine);
     // Window: explicit -ff/-t beats the scenario's documented window.
     let start = a
         .fast_forward
@@ -346,6 +356,15 @@ mod tests {
         assert_eq!(a.fast_forward, Some(SimDuration::seconds(4_381_000)));
         assert_eq!(a.duration, Some(SimDuration::seconds(61_000)));
         assert_eq!(a.out_dir, Some(PathBuf::from("out")));
+    }
+
+    #[test]
+    fn engine_flag_parses() {
+        let a = parse(&["--system", "adastra", "--engine", "tick"]).unwrap();
+        assert_eq!(a.engine, EngineMode::Tick);
+        let a = parse(&["--system", "adastra"]).unwrap();
+        assert_eq!(a.engine, EngineMode::Event);
+        assert!(parse(&["--system", "adastra", "--engine", "warp"]).is_err());
     }
 
     #[test]

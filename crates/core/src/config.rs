@@ -51,6 +51,41 @@ impl Outage {
     }
 }
 
+/// Which main-loop core drives the run (`--engine`).
+///
+/// Both cores produce bit-identical histories and outcomes; the event
+/// core skips the idle spans of the §3.2.3 loop (ticks where nothing
+/// schedulable can change) and batch-advances the physics across them,
+/// which is what makes multi-day low-utilization sweeps cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The paper's fixed-tick loop: steps 1–4 at every telemetry tick.
+    Tick,
+    /// Hybrid event/tick core: steps 1–3 only at event times (next
+    /// submission, earliest completion, outage edge), step 4 batched
+    /// across the span in between.
+    #[default]
+    Event,
+}
+
+impl EngineMode {
+    /// Parse the `--engine` CLI value.
+    pub fn parse(s: &str) -> Option<EngineMode> {
+        match s {
+            "tick" => Some(EngineMode::Tick),
+            "event" => Some(EngineMode::Event),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineMode::Tick => "tick",
+            EngineMode::Event => "event",
+        }
+    }
+}
+
 /// Which scheduler drives the run (`--scheduler`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchedulerSelect {
@@ -72,6 +107,8 @@ pub struct SimConfig {
     pub policy: PolicyKind,
     pub backfill: BackfillKind,
     pub scheduler: SchedulerSelect,
+    /// Main-loop core (`--engine`); default is the hybrid event/tick core.
+    pub engine: EngineMode,
     /// Simulation window start (`-ff` fast-forward), in dataset time.
     pub sim_start: Option<SimTime>,
     /// Simulation window end (`-t` duration from start).
@@ -109,6 +146,7 @@ impl SimConfig {
             policy,
             backfill,
             scheduler: SchedulerSelect::Default,
+            engine: EngineMode::default(),
             sim_start: None,
             sim_end: None,
             cooling: false,
@@ -150,6 +188,12 @@ impl SimConfig {
 
     pub fn with_scheduler(mut self, scheduler: SchedulerSelect) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Select the main-loop core (tick vs hybrid event/tick).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -232,6 +276,18 @@ impl SimConfig {
 mod tests {
     use super::*;
     use sraps_systems::presets;
+
+    #[test]
+    fn engine_mode_parses_and_defaults_to_event() {
+        assert_eq!(EngineMode::parse("tick"), Some(EngineMode::Tick));
+        assert_eq!(EngineMode::parse("event"), Some(EngineMode::Event));
+        assert_eq!(EngineMode::parse("warp"), None);
+        let c = SimConfig::replay(presets::adastra());
+        assert_eq!(c.engine, EngineMode::Event);
+        let c = c.with_engine(EngineMode::Tick);
+        assert_eq!(c.engine, EngineMode::Tick);
+        assert_eq!(c.engine.name(), "tick");
+    }
 
     #[test]
     fn new_parses_artifact_names() {

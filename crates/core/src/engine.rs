@@ -1,7 +1,26 @@
 //! The S-RAPS simulation engine (§3.2.3): the four-step forward-time loop
 //! driving scheduler, power model, and cooling model.
+//!
+//! Two main-loop cores share every step ([`crate::config::EngineMode`]):
+//!
+//! * **tick** — the paper's loop: steps 1–4 at every telemetry tick;
+//! * **event** — the hybrid event/tick core: steps 1–3 (complete /
+//!   enqueue / schedule) run only at *event times* — the next pending
+//!   submission, the earliest completion in the heap, the next outage
+//!   edge — and step 4's physics is batch-advanced across the idle span
+//!   in between. Histories stay tick-resolution and bit-identical to the
+//!   tick core; only the work of discovering that nothing schedulable
+//!   changed is skipped.
+//!
+//! With an empty queue the skip is always sound. With a non-empty queue
+//! it depends on the scheduler ([`SchedSkip`]): time-invariant built-in
+//! policies with none/first-fit/EASY backfill (and replay) change their
+//! decisions only at events, so a call that placed nothing skips ahead;
+//! aging priorities, conservative backfill (reservations mature on
+//! estimated ends), power caps, and external backends are offered the
+//! queue every tick.
 
-use crate::config::{SchedulerSelect, SimConfig};
+use crate::config::{EngineMode, SchedulerSelect, SimConfig};
 use crate::output::SimOutput;
 use sraps_acct::{Accounts, JobOutcome, SystemStats};
 use sraps_cooling::CoolingPlant;
@@ -12,13 +31,36 @@ use sraps_sched::{
     BuiltinScheduler, ExperimentalScheduler, JobQueue, QueuedJob, ResourceManager, RunningView,
     SchedContext, SchedulerBackend,
 };
-use sraps_types::{Job, JobId, NodeSet, Result, SimDuration, SimTime, SrapsError};
-use std::collections::HashMap;
+use sraps_types::{Job, JobId, NodeSet, Result, SimDuration, SimTime, SrapsError, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// How a job's telemetry drives the physics step.
+#[derive(Debug, Clone, Copy)]
+enum Profile {
+    /// Every trace has at most one sample (the summary-dataset fidelity
+    /// class: Fugaku / Lassen / Adastra): the job draws the same power at
+    /// every offset, so it is sampled *once* at activation and its
+    /// outcome integrates in closed form — the per-tick work shrinks to
+    /// one cached add into the busy-power sum.
+    Constant {
+        node_w: f64,
+        cpu: f64,
+        gpu: f64,
+        /// Cached `node_w × nodes` contribution to the busy-power sum.
+        busy_w: f64,
+    },
+    /// Time-varying traces (Frontier / Marconi100): sampled every tick.
+    Traced,
+}
 
 /// A job currently on the machine.
 #[derive(Debug, Clone)]
 struct Active {
     id: JobId,
+    /// Index into [`Engine::jobs`] — the cached job handle, so the hot
+    /// physics loop indexes a slice instead of hashing a `JobId`.
+    job: usize,
     nodes: NodeSet,
     start: SimTime,
     /// When the job will actually complete (trace ground truth).
@@ -28,12 +70,100 @@ struct Active {
     /// Telemetry offset at `start` — non-zero for jobs prepopulated
     /// mid-execution (they resume their profile, not restart it).
     telemetry_offset: SimDuration,
-    // Accumulators for the job outcome.
+    profile: Profile,
+    // Accumulators for the job outcome (traced profiles only; constant
+    // profiles integrate analytically at completion).
     energy_kwh: f64,
     node_power_sum_kw: f64,
     cpu_util_sum: f64,
     gpu_util_sum: f64,
     ticks: u64,
+}
+
+impl Active {
+    fn new(
+        id: JobId,
+        job: usize,
+        nodes: NodeSet,
+        start: SimTime,
+        actual_end: SimTime,
+        est_end: SimTime,
+        telemetry_offset: SimDuration,
+    ) -> Active {
+        Active {
+            id,
+            job,
+            nodes,
+            start,
+            actual_end,
+            est_end,
+            telemetry_offset,
+            profile: Profile::Traced,
+            energy_kwh: 0.0,
+            node_power_sum_kw: 0.0,
+            cpu_util_sum: 0.0,
+            gpu_util_sum: 0.0,
+            ticks: 0,
+        }
+    }
+}
+
+/// A trace with at most one sample reads the same value at every offset —
+/// the summary-dataset case whose sampling the physics batcher hoists out
+/// of the per-tick loop.
+fn is_constant(t: &Option<Trace>) -> bool {
+    t.as_ref().is_none_or(|t| t.len() <= 1)
+}
+
+/// When may the event core skip scheduling ticks while the queue is
+/// *non-empty*? (An empty queue always skips to the event horizon.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SchedSkip {
+    /// The scheduler's decisions may change with time alone (aging
+    /// priorities, conservative reservations maturing on estimated ends,
+    /// external/experimental backends with internal clocks, power caps):
+    /// the queue must be offered every tick.
+    EveryTick,
+    /// Time-invariant built-in policy with none/first-fit/EASY backfill:
+    /// a call that places nothing will keep placing nothing until the
+    /// next completion/submission/outage event — EASY admission only
+    /// hardens as `now` advances against a reservation built from static
+    /// estimated ends. (A call that *did* place jobs can shift the
+    /// reservation, so placements force a one-tick step.)
+    OnEvents,
+    /// Replay: queued jobs start exactly at their recorded start (or
+    /// wait for capacity, which only completions release), so the
+    /// horizon extends to the earliest future recorded start.
+    Replay,
+}
+
+impl SchedSkip {
+    fn classify(sim: &SimConfig) -> SchedSkip {
+        use sraps_sched::{BackfillKind, PolicyKind};
+        if sim.scheduler != SchedulerSelect::Default || sim.power_cap_kw.is_some() {
+            return SchedSkip::EveryTick;
+        }
+        if sim.policy == PolicyKind::Replay {
+            return SchedSkip::Replay;
+        }
+        let static_policy = matches!(
+            sim.policy,
+            PolicyKind::Fcfs
+                | PolicyKind::Sjf
+                | PolicyKind::Ljf
+                | PolicyKind::Priority
+                | PolicyKind::Ml
+        );
+        let event_bound_backfill = matches!(
+            sim.backfill,
+            BackfillKind::None | BackfillKind::FirstFit | BackfillKind::Easy
+        );
+        if static_policy && event_bound_backfill {
+            SchedSkip::OnEvents
+        } else {
+            SchedSkip::EveryTick
+        }
+    }
 }
 
 /// The simulation engine. Create with [`Engine::new`], run with
@@ -43,12 +173,24 @@ pub struct Engine {
     scheduler: Box<dyn SchedulerBackend>,
     rm: ResourceManager,
     queue: JobQueue,
-    /// All in-window jobs by id.
-    jobs: HashMap<JobId, Job>,
-    /// Not-yet-submitted job ids, ascending by submit time.
-    pending: Vec<JobId>,
+    /// All in-window jobs; [`Active::job`] and `pending` index into this.
+    jobs: Vec<Job>,
+    /// `JobId` → index in `jobs`; touched once per placement, never in
+    /// the per-tick loops.
+    job_index: HashMap<JobId, usize>,
+    /// Not-yet-submitted jobs (indices into `jobs`), ascending by submit.
+    pending: Vec<usize>,
     next_pending: usize,
     active: Vec<Active>,
+    /// Position of each active job in `active`, so a completion popped
+    /// from the heap removes in O(1) after the O(log n) pop.
+    active_pos: HashMap<JobId, usize>,
+    /// Min-heap of (actual_end, id): the completion side of the event
+    /// horizon, replacing the O(active) scan per tick.
+    completions: BinaryHeap<Reverse<(SimTime, JobId)>>,
+    /// Scheduler-facing view of `active`, maintained in lockstep so
+    /// schedule calls stop rebuilding it.
+    running: Vec<RunningView>,
     power_model: PowerModel,
     cooling: Option<CoolingPlant>,
     accounts: Accounts,
@@ -64,6 +206,12 @@ pub struct Engine {
     util_hist: Vec<f64>,
     queue_hist: Vec<usize>,
     queue_demand_hist: Vec<u64>,
+    /// Scratch: per-tick aggregate busy power within one physics span.
+    span_busy: Vec<f64>,
+    /// How many actives carry a traced (per-tick sampled) profile.
+    traced_active: usize,
+    /// Non-empty-queue skip eligibility, classified once from the config.
+    skip: SchedSkip,
 }
 
 impl Engine {
@@ -89,12 +237,14 @@ impl Engine {
         let scheduler = Self::build_scheduler(&sim, &in_window)?;
 
         let mut rm = ResourceManager::new(sim.system.total_nodes);
-        let mut active = Vec::new();
-        let mut jobs = HashMap::with_capacity(in_window.len());
-        let mut pending: Vec<JobId> = Vec::with_capacity(in_window.len());
+        let mut prepopulated = Vec::new();
+        let mut jobs: Vec<Job> = Vec::with_capacity(in_window.len());
+        let mut job_index = HashMap::with_capacity(in_window.len());
+        let mut pending: Vec<usize> = Vec::with_capacity(in_window.len());
 
         for job in in_window {
             let id = job.id;
+            let idx = jobs.len();
             if job.recorded_start < sim_start && job.recorded_end > sim_start {
                 // Prepopulation: the job was mid-run when the window opens.
                 let nodes = match &job.recorded_nodes {
@@ -108,25 +258,22 @@ impl Engine {
                 };
                 let est_end =
                     (job.recorded_start + job.estimate()).max(sim_start + sim.system.tick);
-                active.push(Active {
+                prepopulated.push(Active::new(
                     id,
+                    idx,
                     nodes,
-                    start: sim_start,
-                    actual_end: job.recorded_end,
+                    sim_start,
+                    job.recorded_end,
                     est_end,
-                    telemetry_offset: sim_start - job.recorded_start,
-                    energy_kwh: 0.0,
-                    node_power_sum_kw: 0.0,
-                    cpu_util_sum: 0.0,
-                    gpu_util_sum: 0.0,
-                    ticks: 0,
-                });
+                    sim_start - job.recorded_start,
+                ));
             } else {
-                pending.push(id);
+                pending.push(idx);
             }
-            jobs.insert(id, job);
+            job_index.insert(id, idx);
+            jobs.push(job);
         }
-        pending.sort_by_key(|id| (jobs[id].submit, *id));
+        pending.sort_by_key(|&i| (jobs[i].submit, jobs[i].id));
 
         let power_model = PowerModel::new(&sim.system);
         let cooling = sim.cooling.then(|| CoolingPlant::new(&sim.system.cooling));
@@ -136,14 +283,18 @@ impl Engine {
             .unwrap_or_else(|| Accounts::new(sim.reference_power_kw()));
 
         let outage_active = vec![false; sim.outages.len()];
-        Ok(Engine {
+        let mut engine = Engine {
             scheduler,
             rm,
             queue: JobQueue::new(),
             jobs,
+            job_index,
             pending,
             next_pending: 0,
-            active,
+            active: Vec::new(),
+            active_pos: HashMap::new(),
+            completions: BinaryHeap::new(),
+            running: Vec::new(),
             power_model,
             cooling,
             accounts,
@@ -157,8 +308,28 @@ impl Engine {
             util_hist: Vec::new(),
             queue_hist: Vec::new(),
             queue_demand_hist: Vec::new(),
+            span_busy: Vec::new(),
+            traced_active: 0,
+            skip: SchedSkip::classify(&sim),
             sim,
-        })
+        };
+        // Histories have a known final length: one sample per tick.
+        let total_ticks = {
+            let dt = engine.sim.system.tick.as_secs();
+            (((sim_end - sim_start).as_secs() + dt - 1) / dt) as usize
+        };
+        engine.times.reserve_exact(total_ticks);
+        engine.power_hist.reserve_exact(total_ticks);
+        engine.util_hist.reserve_exact(total_ticks);
+        engine.queue_hist.reserve_exact(total_ticks);
+        engine.queue_demand_hist.reserve_exact(total_ticks);
+        if engine.cooling.is_some() {
+            engine.cooling_hist.reserve_exact(total_ticks);
+        }
+        for a in prepopulated {
+            engine.activate(a);
+        }
+        Ok(engine)
     }
 
     fn build_scheduler(sim: &SimConfig, jobs: &[Job]) -> Result<Box<dyn SchedulerBackend>> {
@@ -212,6 +383,37 @@ impl Engine {
         })
     }
 
+    /// Register a job as running: active list, scheduler view, position
+    /// map, and completion heap stay in lockstep. Constant-telemetry
+    /// jobs are sampled here, once, instead of once per tick.
+    fn activate(&mut self, mut a: Active) {
+        let tel = &self.jobs[a.job].telemetry;
+        if is_constant(&tel.node_power_w)
+            && is_constant(&tel.cpu_util)
+            && is_constant(&tel.gpu_util)
+        {
+            let spec = &self.sim.system.node_power;
+            let node_w = node_power_from_telemetry(spec, tel, a.telemetry_offset);
+            a.profile = Profile::Constant {
+                node_w,
+                cpu: tel.cpu_util_at(a.telemetry_offset) as f64,
+                gpu: tel.gpu_util_at(a.telemetry_offset) as f64,
+                busy_w: node_w * a.nodes.len() as f64,
+            };
+        } else {
+            a.profile = Profile::Traced;
+            self.traced_active += 1;
+        }
+        self.completions.push(Reverse((a.actual_end, a.id)));
+        self.active_pos.insert(a.id, self.active.len());
+        self.running.push(RunningView {
+            id: a.id,
+            nodes: a.nodes.len() as u32,
+            estimated_end: a.est_end,
+        });
+        self.active.push(a);
+    }
+
     /// Apply/lift outage windows (part of step 1's state update).
     fn apply_outages(&mut self, now: SimTime) {
         for (i, o) in self.sim.outages.iter().enumerate() {
@@ -227,25 +429,36 @@ impl Engine {
     }
 
     /// Step 1 — preparation: clear completed jobs, free their resources.
+    /// Completions pop off the heap in (end, id) order: O(log n) per
+    /// completed job, O(1) when nothing completes this tick.
     fn complete_jobs(&mut self, now: SimTime) {
-        let mut i = 0;
-        while i < self.active.len() {
-            if self.active[i].actual_end <= now {
-                let a = self.active.swap_remove(i);
-                self.rm.release(&a.nodes);
-                let job = &self.jobs[&a.id];
-                let outcome = Self::finish(job, &a);
-                if self.sim.track_accounts {
-                    self.accounts.record(&outcome);
-                }
-                self.outcomes.push(outcome);
-            } else {
-                i += 1;
+        while let Some(&Reverse((end, id))) = self.completions.peek() {
+            if end > now {
+                break;
             }
+            self.completions.pop();
+            let i = self
+                .active_pos
+                .remove(&id)
+                .expect("every heap entry has an active job");
+            let a = self.active.swap_remove(i);
+            self.running.swap_remove(i);
+            if i < self.active.len() {
+                self.active_pos.insert(self.active[i].id, i);
+            }
+            if let Profile::Traced = a.profile {
+                self.traced_active -= 1;
+            }
+            self.rm.release(&a.nodes);
+            let outcome = Self::finish(&self.jobs[a.job], &a, self.sim.system.tick);
+            if self.sim.track_accounts {
+                self.accounts.record(&outcome);
+            }
+            self.outcomes.push(outcome);
         }
     }
 
-    fn finish(job: &Job, a: &Active) -> JobOutcome {
+    fn finish(job: &Job, a: &Active, dt: SimDuration) -> JobOutcome {
         let ticks = a.ticks.max(1) as f64;
         let (avg_kw, energy, cpu, gpu) = if a.ticks == 0 {
             // Sub-tick job: integrate analytically from the trace mean.
@@ -260,6 +473,18 @@ impl Engine {
                 mean_w / 1000.0 * a.nodes.len() as f64 * hours,
                 job.telemetry.cpu_util_at(SimDuration::ZERO) as f64,
                 job.telemetry.gpu_util_at(SimDuration::ZERO) as f64,
+            )
+        } else if let Profile::Constant {
+            node_w, cpu, gpu, ..
+        } = a.profile
+        {
+            // Constant draw: the per-tick sums are a closed form.
+            let kw = node_w / 1000.0;
+            (
+                kw,
+                kw * a.nodes.len() as f64 * dt.as_hours_f64() * ticks,
+                cpu,
+                gpu,
             )
         } else {
             (
@@ -290,8 +515,8 @@ impl Engine {
     fn enqueue_eligible(&mut self, now: SimTime) {
         let replaying = self.sim.policy == sraps_sched::PolicyKind::Replay;
         while self.next_pending < self.pending.len() {
-            let id = self.pending[self.next_pending];
-            let job = &self.jobs[&id];
+            let idx = self.pending[self.next_pending];
+            let job = &self.jobs[idx];
             if job.submit > now {
                 break;
             }
@@ -300,23 +525,18 @@ impl Engine {
                 // would occupy its recorded nodes a full tick late and
                 // collide with the next tenant; account it directly on the
                 // recorded timeline instead.
-                let ghost = Active {
-                    id,
-                    nodes: job
-                        .recorded_nodes
+                let ghost = Active::new(
+                    job.id,
+                    idx,
+                    job.recorded_nodes
                         .clone()
                         .unwrap_or_else(|| NodeSet::contiguous(0, job.nodes_requested)),
-                    start: job.recorded_start,
-                    actual_end: job.recorded_end,
-                    est_end: job.recorded_end,
-                    telemetry_offset: SimDuration::ZERO,
-                    energy_kwh: 0.0,
-                    node_power_sum_kw: 0.0,
-                    cpu_util_sum: 0.0,
-                    gpu_util_sum: 0.0,
-                    ticks: 0,
-                };
-                let outcome = Self::finish(job, &ghost);
+                    job.recorded_start,
+                    job.recorded_end,
+                    job.recorded_end,
+                    SimDuration::ZERO,
+                );
+                let outcome = Self::finish(job, &ghost, self.sim.system.tick);
                 if self.sim.track_accounts {
                     self.accounts.record(&outcome);
                 }
@@ -325,7 +545,7 @@ impl Engine {
                 continue;
             }
             self.queue.push(QueuedJob {
-                id,
+                id: job.id,
                 account: job.account,
                 submit: job.submit,
                 nodes: job.nodes_requested,
@@ -339,30 +559,24 @@ impl Engine {
         }
     }
 
-    /// Step 3 — schedule: let the backend place jobs.
-    fn schedule(&mut self, now: SimTime) -> Result<()> {
+    /// Step 3 — schedule: let the backend place jobs. Returns how many
+    /// jobs were placed (the event core's skip condition).
+    fn schedule(&mut self, now: SimTime) -> Result<usize> {
         if self.queue.is_empty() {
-            return Ok(());
+            return Ok(0);
         }
-        let running: Vec<RunningView> = self
-            .active
-            .iter()
-            .map(|a| RunningView {
-                id: a.id,
-                nodes: a.nodes.len() as u32,
-                estimated_end: a.est_end,
-            })
-            .collect();
         let ctx = SchedContext {
-            running: &running,
+            running: &self.running,
             accounts: self.sim.track_accounts.then_some(&self.accounts),
         };
         let placements = self
             .scheduler
             .schedule(now, &mut self.queue, &mut self.rm, &ctx)?;
+        let placed = placements.len();
         let replaying = self.sim.policy == sraps_sched::PolicyKind::Replay;
         for p in placements {
-            let job = &self.jobs[&p.job];
+            let idx = self.job_index[&p.job];
+            let job = &self.jobs[idx];
             // Replay anchors to the recorded timeline: placement may land
             // up to one tick late (quantization), but the job still ends at
             // its recorded end and samples telemetry on the recorded
@@ -373,44 +587,44 @@ impl Engine {
             } else {
                 (now + job.duration(), SimDuration::ZERO)
             };
-            self.active.push(Active {
-                id: p.job,
-                nodes: p.nodes,
-                start: now,
-                actual_end,
-                est_end: now + job.estimate(),
-                telemetry_offset: offset,
-                energy_kwh: 0.0,
-                node_power_sum_kw: 0.0,
-                cpu_util_sum: 0.0,
-                gpu_util_sum: 0.0,
-                ticks: 0,
-            });
+            let est_end = now + job.estimate();
+            self.activate(Active::new(
+                p.job, idx, p.nodes, now, actual_end, est_end, offset,
+            ));
         }
-        Ok(())
+        Ok(placed)
     }
 
-    /// Step 4 — tick: advance the physical models and record histories.
-    fn tick(&mut self, now: SimTime) {
+    /// Step 4 for the tick core — the paper's loop, one tick at a time:
+    /// sample every active job's telemetry at this instant, sum busy
+    /// power in active order, advance power/cooling, record histories.
+    /// This is the reference implementation the parity suite validates
+    /// the batched core against; [`Engine::advance_physics`] produces
+    /// bit-identical output because constant traces sample to the same
+    /// value at every offset and all accumulation orders match.
+    fn tick_physics(&mut self, now: SimTime) {
         let dt = self.sim.system.tick;
         let dt_hours = dt.as_hours_f64();
         let spec = &self.sim.system.node_power;
 
-        let mut busy_power_w = 0.0;
+        let mut busy = 0.0;
+        let jobs = &self.jobs;
         for a in &mut self.active {
+            let tel = &jobs[a.job].telemetry;
             let offset = (now - a.start) + a.telemetry_offset;
-            let job = &self.jobs[&a.id];
-            let node_w = node_power_from_telemetry(spec, &job.telemetry, offset);
+            let node_w = node_power_from_telemetry(spec, tel, offset);
             let n = a.nodes.len() as f64;
-            busy_power_w += node_w * n;
-            a.energy_kwh += node_w / 1000.0 * n * dt_hours;
-            a.node_power_sum_kw += node_w / 1000.0;
-            a.cpu_util_sum += job.telemetry.cpu_util_at(offset) as f64;
-            a.gpu_util_sum += job.telemetry.gpu_util_at(offset) as f64;
+            busy += node_w * n;
+            if let Profile::Traced = a.profile {
+                a.energy_kwh += node_w / 1000.0 * n * dt_hours;
+                a.node_power_sum_kw += node_w / 1000.0;
+                a.cpu_util_sum += tel.cpu_util_at(offset) as f64;
+                a.gpu_util_sum += tel.gpu_util_at(offset) as f64;
+            }
             a.ticks += 1;
         }
 
-        let sample = self.power_model.sample(busy_power_w, self.rm.free_count());
+        let sample = self.power_model.sample(busy, self.rm.free_count());
         if let Some(plant) = &mut self.cooling {
             let reading = match &self.sim.wetbulb_trace {
                 Some(trace) => {
@@ -421,32 +635,222 @@ impl Engine {
             };
             self.cooling_hist.push(reading);
         }
-        self.times.push(now);
         self.power_hist.push(sample);
         self.util_hist.push(self.rm.utilization());
         self.queue_hist.push(self.queue.len());
+        self.queue_demand_hist.push(self.queue.demand_nodes());
+    }
+
+    /// Step 4 for the event core — physics batched across a span:
+    /// advance the physical models and record histories for `ticks`
+    /// consecutive tick instants starting at `from`.
+    ///
+    /// Between events the active set, occupancy, and queue are all
+    /// constant. Constant-profile jobs (summary datasets) are already
+    /// folded into `const_busy_w`, so the common idle span costs O(1)
+    /// per tick: replicate one power sample and the constant history
+    /// values. Traced jobs sample per tick, with the job loop *outside*
+    /// the tick loop (one job deref per job per span, trace-local cache
+    /// walks). Every floating-point operation happens with the same
+    /// inputs and in the same order as the one-tick-at-a-time loop,
+    /// keeping histories bit-identical across engine cores.
+    fn advance_physics(&mut self, from: SimTime, ticks: usize) {
+        let dt = self.sim.system.tick;
+        let dt_secs = dt.as_secs();
+        let dt_hours = dt.as_hours_f64();
+        let spec = &self.sim.system.node_power;
+
+        let free = self.rm.free_count();
+        let util = self.rm.utilization();
+        let qlen = self.queue.len();
+        let qdemand = self.queue.demand_nodes();
+        // (`times` is filled once at the end of the run: the tick grid
+        // is fully determined by the window, not by the simulation.)
+        // Constant-over-the-span series fill via resize (memset-grade).
+        self.util_hist.resize(self.util_hist.len() + ticks, util);
+        self.queue_hist.resize(self.queue_hist.len() + ticks, qlen);
         self.queue_demand_hist
-            .push(self.queue.jobs().iter().map(|j| j.nodes as u64).sum());
+            .resize(self.queue_demand_hist.len() + ticks, qdemand);
+
+        if self.traced_active == 0 {
+            // Only constant-profile jobs on the machine: every tick of
+            // the span sees the same busy sum (summed in active order,
+            // exactly as the one-tick loop would), so one (pure) power
+            // sample serves the whole span.
+            let mut busy = 0.0;
+            for a in &mut self.active {
+                if let Profile::Constant { busy_w, .. } = a.profile {
+                    busy += busy_w;
+                }
+                a.ticks += ticks as u64;
+            }
+            let sample = self.power_model.sample(busy, free);
+            self.power_hist
+                .resize(self.power_hist.len() + ticks, sample);
+            if let Some(plant) = &mut self.cooling {
+                // The plant integrates state; it still steps per tick.
+                for k in 0..ticks {
+                    let now = from + SimDuration::seconds(dt_secs * k as i64);
+                    let reading = match &self.sim.wetbulb_trace {
+                        Some(trace) => {
+                            let ambient = trace.sample(now - self.sim_start) as f64;
+                            plant.step_at_ambient(dt, sample.it_power_kw, sample.total_kw, ambient)
+                        }
+                        None => plant.step(dt, sample.it_power_kw, sample.total_kw),
+                    };
+                    self.cooling_hist.push(reading);
+                }
+            }
+            return;
+        }
+
+        // Traced jobs present: accumulate per-tick draws job-by-job (one
+        // job deref per span, trace-local cache walks), in active order
+        // so the per-tick sums match the one-tick loop exactly.
+        let mut span_busy = std::mem::take(&mut self.span_busy);
+        span_busy.clear();
+        span_busy.resize(ticks, 0.0);
+        let jobs = &self.jobs;
+        for a in &mut self.active {
+            match a.profile {
+                Profile::Constant { busy_w, .. } => {
+                    for b in span_busy.iter_mut() {
+                        *b += busy_w;
+                    }
+                }
+                Profile::Traced => {
+                    let tel = &jobs[a.job].telemetry;
+                    let n = a.nodes.len() as f64;
+                    let base = (from - a.start) + a.telemetry_offset;
+                    for (k, b) in span_busy.iter_mut().enumerate() {
+                        let offset = base + SimDuration::seconds(dt_secs * k as i64);
+                        let node_w = node_power_from_telemetry(spec, tel, offset);
+                        *b += node_w * n;
+                        a.energy_kwh += node_w / 1000.0 * n * dt_hours;
+                        a.node_power_sum_kw += node_w / 1000.0;
+                        a.cpu_util_sum += tel.cpu_util_at(offset) as f64;
+                        a.gpu_util_sum += tel.gpu_util_at(offset) as f64;
+                    }
+                }
+            }
+            a.ticks += ticks as u64;
+        }
+
+        for (k, &busy) in span_busy.iter().enumerate() {
+            let sample = self.power_model.sample(busy, free);
+            if let Some(plant) = &mut self.cooling {
+                let now = from + SimDuration::seconds(dt_secs * k as i64);
+                let reading = match &self.sim.wetbulb_trace {
+                    Some(trace) => {
+                        let ambient = trace.sample(now - self.sim_start) as f64;
+                        plant.step_at_ambient(dt, sample.it_power_kw, sample.total_kw, ambient)
+                    }
+                    None => plant.step(dt, sample.it_power_kw, sample.total_kw),
+                };
+                self.cooling_hist.push(reading);
+            }
+            self.power_hist.push(sample);
+        }
+        self.span_busy = span_busy;
+    }
+
+    /// The event horizon: earliest future instant at which steps 1–3 can
+    /// do anything — the next pending submission, the earliest completion
+    /// in the heap, or the next outage edge; `sim_end` bounds it. With a
+    /// non-empty queue, `run` additionally bounds it by the earliest
+    /// future recorded start (replay) and only skips when the scheduler
+    /// is event-bound ([`SchedSkip`]).
+    fn next_event_time(&self, now: SimTime) -> SimTime {
+        let mut e = self.sim_end;
+        if let Some(&idx) = self.pending.get(self.next_pending) {
+            e = e.min(self.jobs[idx].submit);
+        }
+        if let Some(&Reverse((end, _))) = self.completions.peek() {
+            e = e.min(end);
+        }
+        for (i, o) in self.sim.outages.iter().enumerate() {
+            if self.outage_active[i] {
+                e = e.min(o.until);
+            } else if o.from > now {
+                e = e.min(o.from);
+            }
+            // Inactive with from ≤ now: the window already passed (it
+            // would have been applied by this tick's apply_outages).
+        }
+        e
     }
 
     /// Run to the end of the window and assemble the output.
     pub fn run(mut self) -> Result<SimOutput> {
         let wall_start = std::time::Instant::now();
         let dt = self.sim.system.tick;
+        let dt_secs = dt.as_secs();
+        let event_mode = self.sim.engine == EngineMode::Event;
+        // The loop visits tick instants sim_start + k·dt strictly before
+        // sim_end; track the remaining count instead of re-dividing.
+        let mut remaining = ((self.sim_end - self.sim_start).as_secs() + dt_secs - 1) / dt_secs;
         let mut now = self.sim_start;
-        while now < self.sim_end {
+        while remaining > 0 {
             self.complete_jobs(now);
             self.apply_outages(now);
             self.enqueue_eligible(now);
-            self.schedule(now)?;
-            self.tick(now);
-            now += dt;
+            let placed = self.schedule(now)?;
+            // Skip to the event horizon when steps 1–3 are provably
+            // no-ops until then: always with an empty queue, and with a
+            // non-empty one when the scheduler is event-bound and this
+            // call placed nothing (placements can shift backfill
+            // reservations, so they force a one-tick step).
+            let can_skip = event_mode
+                && (self.queue.is_empty() || (placed == 0 && self.skip != SchedSkip::EveryTick));
+            if !event_mode {
+                self.tick_physics(now);
+                now += dt;
+                remaining -= 1;
+                continue;
+            }
+            let span = if can_skip {
+                let mut horizon = self.next_event_time(now);
+                if !self.queue.is_empty() && self.skip == SchedSkip::Replay {
+                    // Queued replay jobs start at their recorded start;
+                    // earlier ones are stuck on capacity, which only the
+                    // completions already in the horizon can release.
+                    // Full scan: the replay path never sorts the queue
+                    // (it stays in submission order, and recorded starts
+                    // are not monotone in submit time).
+                    if let Some(rs) = self
+                        .queue
+                        .jobs()
+                        .iter()
+                        .map(|j| j.recorded_start)
+                        .filter(|&rs| rs > now)
+                        .min()
+                    {
+                        horizon = horizon.min(rs);
+                    }
+                }
+                let raw = (horizon - now).as_secs();
+                ((raw + dt_secs - 1) / dt_secs).clamp(1, remaining)
+            } else {
+                1
+            };
+            self.advance_physics(now, span as usize);
+            now += SimDuration::seconds(dt_secs * span);
+            remaining -= span;
         }
         // Final sweep so jobs ending exactly at the boundary complete.
         self.complete_jobs(now);
+        // The tick grid the histories were sampled on.
+        let total_ticks = self.power_hist.len();
+        self.times.extend(
+            (0..total_ticks as i64).map(|k| self.sim_start + SimDuration::seconds(dt_secs * k)),
+        );
+        // Jobs still on the machine were cut off by the window: surface
+        // them instead of letting them vanish without an outcome.
+        let jobs_censored = self.active.len() as u64;
 
         let span = self.sim_end - self.sim_start;
         let mut stats = SystemStats::from_outcomes(&self.outcomes, self.sim.system.total_nodes);
+        stats.jobs_censored = jobs_censored;
         let n = self.power_hist.len().max(1) as f64;
         let avg_total = self.power_hist.iter().map(|p| p.total_kw).sum::<f64>() / n;
         let avg_loss = self.power_hist.iter().map(|p| p.loss_kw).sum::<f64>() / n;
@@ -569,6 +973,65 @@ mod tests {
         for (x, y) in a.power.iter().zip(&b.power) {
             assert_eq!(x.total_kw, y.total_kw);
         }
+    }
+
+    #[test]
+    fn tick_and_event_engines_agree_on_a_small_run() {
+        let (cfg, ds) = small_adastra();
+        let run = |mode: EngineMode| {
+            let sim = SimConfig::new(cfg.clone(), "fcfs", "easy")
+                .unwrap()
+                .with_engine(mode);
+            Engine::new(sim, &ds).unwrap().run().unwrap()
+        };
+        let tick = run(EngineMode::Tick);
+        let event = run(EngineMode::Event);
+        assert_eq!(tick.times, event.times);
+        assert_eq!(tick.utilization, event.utilization);
+        assert_eq!(tick.queue_depth, event.queue_depth);
+        assert_eq!(tick.outcomes, event.outcomes);
+        for (x, y) in tick.power.iter().zip(&event.power) {
+            assert_eq!(x.total_kw, y.total_kw);
+        }
+    }
+
+    #[test]
+    fn event_engine_skips_idle_spans_but_keeps_tick_histories() {
+        // A sparse workload with long gaps: the event core must still
+        // emit one history sample per telemetry tick.
+        let cfg = presets::adastra();
+        let mut spec = WorkloadSpec::for_system(&cfg, 0.05, 9);
+        spec.span = SimDuration::hours(12);
+        let ds = adastra::synthesize(&cfg, &spec);
+        let sim = SimConfig::new(cfg.clone(), "fcfs", "none").unwrap();
+        let out = Engine::new(sim, &ds).unwrap().run().unwrap();
+        let expected = ((ds.capture_end - ds.capture_start).as_secs() + cfg.tick.as_secs() - 1)
+            / cfg.tick.as_secs();
+        assert_eq!(out.times.len(), expected as usize);
+        for w in out.times.windows(2) {
+            assert_eq!((w[1] - w[0]).as_secs(), cfg.tick.as_secs());
+        }
+    }
+
+    #[test]
+    fn censored_jobs_are_counted_not_dropped() {
+        // Cut the window mid-workload: anything still running at the end
+        // must be reported as censored.
+        let (cfg, ds) = small_adastra();
+        let end = ds.capture_start + SimDuration::hours(1);
+        let sim = SimConfig::replay(cfg).with_window(ds.capture_start, end);
+        let out = Engine::new(sim, &ds).unwrap().run().unwrap();
+        assert!(
+            out.stats.jobs_censored > 0,
+            "a 1h cut of a 4h workload must censor something"
+        );
+        // Censored jobs never produce outcomes.
+        let in_window = ds
+            .jobs
+            .iter()
+            .filter(|j| j.recorded_start < end && j.recorded_end > ds.capture_start)
+            .count() as u64;
+        assert!(out.stats.jobs_completed + out.stats.jobs_censored <= in_window);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!    ([`sraps_power`]) → losses → cooling ([`sraps_cooling`]), and all
 //!    histories/statistics are recorded.
 //!
+//! Two main-loop cores drive the steps ([`EngineMode`]): the default
+//! hybrid **event** core skips idle spans (steps 1–3 only at event
+//! times, physics batched in between) and the **tick** core runs the
+//! paper's fixed-tick loop; their outputs are bit-identical.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -37,7 +42,7 @@ pub mod engine;
 pub mod output;
 pub mod validate;
 
-pub use config::{Outage, SchedulerSelect, SimConfig};
+pub use config::{EngineMode, Outage, SchedulerSelect, SimConfig};
 pub use engine::Engine;
 pub use output::SimOutput;
 pub use validate::{compare_power, compare_series, compare_utilization, SeriesAgreement};

@@ -1,0 +1,193 @@
+//! Tick-vs-event engine parity: the event core's entire claim is that it
+//! produces **bit-identical** output to the paper's fixed-tick loop while
+//! skipping the idle spans. This suite pins that claim across the policy ×
+//! backfill grid and with every physics subsystem enabled at once.
+
+use sraps_core::{Engine, EngineMode, Outage, SchedulerSelect, SimConfig, SimOutput};
+use sraps_data::{adastra, lassen, marconi100, Dataset, WorkloadSpec};
+use sraps_systems::{presets, SystemConfig};
+use sraps_types::{NodeSet, SimDuration, SimTime};
+
+/// Exact equality on every series and aggregate a run produces.
+fn assert_identical(tick: &SimOutput, event: &SimOutput, what: &str) {
+    assert_eq!(tick.times, event.times, "{what}: times differ");
+    assert_eq!(tick.power, event.power, "{what}: power history differs");
+    assert_eq!(
+        tick.utilization, event.utilization,
+        "{what}: utilization differs"
+    );
+    assert_eq!(
+        tick.queue_depth, event.queue_depth,
+        "{what}: queue depth differs"
+    );
+    assert_eq!(
+        tick.queue_demand_nodes, event.queue_demand_nodes,
+        "{what}: queue demand differs"
+    );
+    assert_eq!(tick.cooling, event.cooling, "{what}: cooling differs");
+    assert_eq!(tick.outcomes, event.outcomes, "{what}: outcomes differ");
+    assert_eq!(tick.stats, event.stats, "{what}: stats differ");
+    // Scheduler *decisions* must match exactly. Invocation/recomputation
+    // counts intentionally differ: skipping no-op scheduler calls is the
+    // event core's point, so only the placement-derived counters compare.
+    assert_eq!(
+        tick.sched_stats.placements, event.sched_stats.placements,
+        "{what}: placements differ"
+    );
+    assert_eq!(
+        tick.sched_stats.backfilled, event.sched_stats.backfilled,
+        "{what}: backfill decisions differ"
+    );
+    assert_eq!(
+        tick.sched_stats.placement_fallbacks, event.sched_stats.placement_fallbacks,
+        "{what}: replay fallbacks differ"
+    );
+    assert!(
+        tick.sched_stats.invocations >= event.sched_stats.invocations,
+        "{what}: the event core can only make fewer scheduler calls"
+    );
+    assert_eq!(tick.label, event.label);
+}
+
+fn run(sim: SimConfig, ds: &Dataset, mode: EngineMode) -> SimOutput {
+    Engine::new(sim.with_engine(mode), ds)
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+fn run_both(sim: &SimConfig, ds: &Dataset, what: &str) {
+    let tick = run(sim.clone(), ds, EngineMode::Tick);
+    let event = run(sim.clone(), ds, EngineMode::Event);
+    assert_identical(&tick, &event, what);
+}
+
+fn workload(cfg: &SystemConfig, load: f64, hours: i64, seed: u64) -> Dataset {
+    let mut spec = WorkloadSpec::for_system(cfg, load, seed);
+    spec.span = SimDuration::hours(hours);
+    match cfg.name.as_str() {
+        "marconi100" => marconi100::synthesize(cfg, &spec),
+        "lassen" => lassen::synthesize(cfg, &spec),
+        _ => adastra::synthesize(cfg, &spec),
+    }
+}
+
+#[test]
+fn parity_across_policy_backfill_grid() {
+    // Summary-telemetry system (constant traces → hoisted physics path).
+    let cfg = presets::adastra();
+    let ds = workload(&cfg, 0.7, 6, 11);
+    for policy in ["replay", "fcfs", "sjf"] {
+        for backfill in ["none", "easy", "conservative"] {
+            let sim = SimConfig::new(cfg.clone(), policy, backfill).unwrap();
+            run_both(&sim, &ds, &format!("adastra {policy}-{backfill}"));
+        }
+    }
+}
+
+#[test]
+fn parity_on_trace_telemetry_dataset() {
+    // Marconi100 synthesizes per-job traces (non-constant telemetry →
+    // the per-tick sampling path of the physics batcher).
+    let cfg = presets::marconi100();
+    let ds = workload(&cfg, 0.6, 4, 3);
+    for (policy, backfill) in [
+        ("replay", "none"),
+        ("fcfs", "easy"),
+        ("sjf", "conservative"),
+    ] {
+        let sim = SimConfig::new(cfg.clone(), policy, backfill).unwrap();
+        run_both(&sim, &ds, &format!("marconi100 {policy}-{backfill}"));
+    }
+}
+
+#[test]
+fn parity_at_low_utilization_where_spans_are_long() {
+    // The sparse case is where the event core actually skips: long idle
+    // gaps between submissions.
+    let cfg = presets::lassen();
+    let ds = workload(&cfg, 0.1, 12, 7);
+    for (policy, backfill) in [("replay", "none"), ("fcfs", "easy")] {
+        let sim = SimConfig::new(cfg.clone(), policy, backfill).unwrap();
+        run_both(&sim, &ds, &format!("sparse lassen {policy}-{backfill}"));
+    }
+}
+
+#[test]
+fn parity_with_outages_cooling_and_power_cap() {
+    // Everything on at once: outage edges cut spans, cooling integrates
+    // stateful per-tick physics, and the power-cap scheduler wraps the
+    // builtin one.
+    let cfg = presets::adastra();
+    let ds = workload(&cfg, 0.5, 6, 19);
+    let outages = vec![
+        Outage {
+            nodes: NodeSet::contiguous(0, cfg.total_nodes / 4),
+            from: SimTime::seconds(3_600),
+            until: SimTime::seconds(2 * 3_600),
+        },
+        Outage {
+            // An edge deliberately off the tick grid.
+            nodes: NodeSet::contiguous(cfg.total_nodes / 2, 8),
+            from: SimTime::seconds(4 * 3_600 + 7),
+            until: SimTime::seconds(5 * 3_600 + 131),
+        },
+    ];
+    let sim = SimConfig::new(cfg.clone(), "fcfs", "easy")
+        .unwrap()
+        .with_cooling()
+        .with_power_cap(cfg.peak_it_power_kw() * 0.4)
+        .with_outages(outages);
+    run_both(&sim, &ds, "adastra fcfs-easy +outages +cooling +cap");
+}
+
+#[test]
+fn parity_with_accounts_and_windowed_prepopulation() {
+    let cfg = presets::marconi100();
+    let ds = workload(&cfg, 0.8, 8, 5);
+    // Window starts mid-dataset so both cores prepopulate.
+    let start = SimTime::seconds(3 * 3600);
+    let sim = SimConfig::new(cfg, "fcfs", "firstfit")
+        .unwrap()
+        .with_accounts()
+        .with_window(start, start + SimDuration::hours(3));
+    let tick = run(sim.clone(), &ds, EngineMode::Tick);
+    let event = run(sim, &ds, EngineMode::Event);
+    assert_identical(&tick, &event, "windowed marconi100 +accounts");
+    assert_eq!(
+        tick.accounts.to_json().unwrap(),
+        event.accounts.to_json().unwrap(),
+        "account ledgers must serialize identically"
+    );
+}
+
+#[test]
+fn parity_with_external_scheduler_backends() {
+    let cfg = presets::adastra();
+    let ds = workload(&cfg, 0.4, 2, 23);
+    for select in [SchedulerSelect::FastSim, SchedulerSelect::ScheduleFlow] {
+        let sim = SimConfig::new(cfg.clone(), "fcfs", "none")
+            .unwrap()
+            .with_scheduler(select.clone());
+        run_both(&sim, &ds, &format!("adastra external {select:?}"));
+    }
+}
+
+#[test]
+fn event_engine_is_not_slower_on_a_sparse_window() {
+    // Not a benchmark (CI noise), just a sanity bound: on a very sparse
+    // multi-day window the event core must visit far fewer loop
+    // iterations, which shows up as a comfortably smaller wall time.
+    let cfg = presets::adastra();
+    let ds = workload(&cfg, 0.05, 48, 13);
+    let sim = SimConfig::new(cfg, "fcfs", "easy").unwrap();
+    let tick = run(sim.clone(), &ds, EngineMode::Tick);
+    let event = run(sim, &ds, EngineMode::Event);
+    assert_identical(&tick, &event, "sparse 2-day adastra");
+    assert!(
+        event.wall_time <= tick.wall_time * 2,
+        "event core should never be dramatically slower: {:?} vs {:?}",
+        event.wall_time,
+        tick.wall_time
+    );
+}

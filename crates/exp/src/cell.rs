@@ -8,7 +8,7 @@
 
 use crate::matrix::PrebuiltWorkload;
 use sraps_acct::Accounts;
-use sraps_core::{SchedulerSelect, SimConfig};
+use sraps_core::{EngineMode, SchedulerSelect, SimConfig};
 use sraps_data::{Dataset, WorkloadSpec};
 use sraps_systems::{presets, SystemConfig};
 use sraps_types::{Result, SimDuration, SimTime, SrapsError};
@@ -143,6 +143,8 @@ pub struct CellSpec {
     pub cooling: bool,
     pub power_cap_kw: Option<f64>,
     pub scheduler: SchedulerSelect,
+    /// Main-loop core for every run of the cell (tick vs event).
+    pub engine: EngineMode,
     /// Collection-phase accounts for the experimental scheduler.
     pub accounts_in: Option<Accounts>,
 }
@@ -160,7 +162,9 @@ impl CellSpec {
         if let Some(cap) = self.power_cap_kw {
             sim = sim.with_power_cap(cap);
         }
-        sim = sim.with_scheduler(self.scheduler.clone());
+        sim = sim
+            .with_scheduler(self.scheduler.clone())
+            .with_engine(self.engine);
         if let Some(accounts) = &self.accounts_in {
             sim = sim.with_accounts_json(accounts.clone());
         }
@@ -212,6 +216,7 @@ mod tests {
             cooling: true,
             power_cap_kw: None,
             scheduler: SchedulerSelect::Default,
+            engine: EngineMode::default(),
             accounts_in: None,
         };
         let sim = cell.build_sim(&w).unwrap();

@@ -15,6 +15,7 @@
 use crate::matrix::ExperimentMatrix;
 use crate::report::Report;
 use crate::runner::SweepRunner;
+use sraps_core::EngineMode;
 use sraps_data::scenario;
 use sraps_types::time::parse_duration;
 use sraps_types::SimDuration;
@@ -42,6 +43,8 @@ run shape:
   -c, --cooling          run the cooling model in every cell
   --power-caps KW,KW     facility power-cap axis; 'none' = uncapped
                          (e.g. --power-caps none,1200)
+  --engine E             event|tick main-loop core for every cell
+                         (default event; both produce identical output)
 
 execution & output:
   --jobs N               worker threads (default: all cores)
@@ -66,6 +69,7 @@ pub struct SweepArgs {
     pub scale: f64,
     pub cooling: bool,
     pub power_caps: Vec<Option<f64>>,
+    pub engine: EngineMode,
     pub jobs: Option<usize>,
     pub baseline: Option<String>,
     pub out_dir: PathBuf,
@@ -88,6 +92,7 @@ impl Default for SweepArgs {
             scale: 1.0,
             cooling: false,
             power_caps: vec![None],
+            engine: EngineMode::default(),
             jobs: None,
             baseline: None,
             out_dir: PathBuf::from("simulation_results").join("sweep"),
@@ -176,6 +181,11 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
                     })
                     .collect::<Result<_, String>>()?;
             }
+            "--engine" => {
+                let v = value(&mut i, "--engine")?;
+                a.engine =
+                    EngineMode::parse(&v).ok_or_else(|| format!("bad --engine value '{v}'"))?;
+            }
             "--jobs" => {
                 let v: usize = value(&mut i, "--jobs")?
                     .parse()
@@ -259,7 +269,7 @@ pub fn build_matrix(a: &SweepArgs) -> Result<ExperimentMatrix, String> {
     if a.cooling {
         matrix = matrix.with_cooling();
     }
-    matrix = matrix.power_caps_kw(a.power_caps.clone());
+    matrix = matrix.power_caps_kw(a.power_caps.clone()).engine(a.engine);
     Ok(matrix)
 }
 
@@ -390,6 +400,18 @@ mod tests {
         assert_eq!(a.power_caps, vec![None, Some(1200.0)]);
         assert_eq!(a.baseline.as_deref(), Some("replay-none"));
         assert!(a.quiet);
+    }
+
+    #[test]
+    fn engine_flag_parses_and_reaches_the_matrix() {
+        let a = parse(&["--system", "lassen", "--engine", "tick"]).unwrap();
+        assert_eq!(a.engine, EngineMode::Tick);
+        build_matrix(&a).unwrap();
+        assert_eq!(
+            parse(&["--system", "lassen"]).unwrap().engine,
+            EngineMode::Event
+        );
+        assert!(parse(&["--system", "lassen", "--engine", "warp"]).is_err());
     }
 
     #[test]

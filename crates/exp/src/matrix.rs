@@ -10,7 +10,7 @@
 
 use crate::cell::{CellSpec, WorkloadPlan};
 use sraps_acct::Accounts;
-use sraps_core::SchedulerSelect;
+use sraps_core::{EngineMode, SchedulerSelect};
 use sraps_data::scenario::Scenario;
 use sraps_data::Dataset;
 use sraps_sched::{BackfillKind, PolicyKind};
@@ -69,6 +69,8 @@ pub struct ExperimentMatrix {
     cooling: Vec<bool>,
     power_caps_kw: Vec<Option<f64>>,
     scheduler: SchedulerSelect,
+    /// Main-loop core for every cell (default: the hybrid event core).
+    engine: EngineMode,
     accounts_in: Option<Accounts>,
 }
 
@@ -94,6 +96,7 @@ impl ExperimentMatrix {
             cooling: vec![false],
             power_caps_kw: vec![None],
             scheduler: SchedulerSelect::Default,
+            engine: EngineMode::default(),
             accounts_in: None,
         }
     }
@@ -112,6 +115,7 @@ impl ExperimentMatrix {
             cooling: vec![false],
             power_caps_kw: vec![None],
             scheduler: SchedulerSelect::Default,
+            engine: EngineMode::default(),
             accounts_in: None,
         }
     }
@@ -220,6 +224,13 @@ impl ExperimentMatrix {
     /// Scheduler backend for every cell (default: builtin).
     pub fn scheduler(mut self, scheduler: SchedulerSelect) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Main-loop core for every cell (default: the hybrid event core;
+    /// `EngineMode::Tick` restores the paper's fixed-tick loop).
+    pub fn engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -332,6 +343,7 @@ impl ExperimentMatrix {
                             cooling,
                             power_cap_kw: cap,
                             scheduler: self.scheduler.clone(),
+                            engine: self.engine,
                             accounts_in: self.accounts_in.clone(),
                         });
                     }

@@ -11,6 +11,10 @@ use sraps_core::SimOutput;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellMetrics {
     pub jobs_completed: u64,
+    /// Jobs still running when the window closed (no outcome recorded);
+    /// non-zero flags a truncated window whose wait/energy aggregates
+    /// under-count the workload.
+    pub jobs_censored: u64,
     /// Mean node-occupancy utilization over the window, in \[0,1\].
     pub mean_utilization: f64,
     /// Mean total facility power, kW.
@@ -35,6 +39,7 @@ impl CellMetrics {
     pub fn from_output(out: &SimOutput) -> Self {
         CellMetrics {
             jobs_completed: out.stats.jobs_completed,
+            jobs_censored: out.stats.jobs_censored,
             mean_utilization: out.mean_utilization(),
             mean_power_kw: out.mean_power_kw(),
             peak_power_kw: out.peak_power_kw(),
@@ -59,6 +64,8 @@ impl CellMetrics {
         Some(CellMetrics {
             jobs_completed: (samples.iter().map(|m| m.jobs_completed).sum::<u64>() as f64 / n)
                 .round() as u64,
+            jobs_censored: (samples.iter().map(|m| m.jobs_censored).sum::<u64>() as f64 / n).round()
+                as u64,
             mean_utilization: avg(|m| m.mean_utilization),
             mean_power_kw: avg(|m| m.mean_power_kw),
             peak_power_kw: avg(|m| m.peak_power_kw),
@@ -80,6 +87,7 @@ mod tests {
     fn sample(util: f64, pue: Option<f64>) -> CellMetrics {
         CellMetrics {
             jobs_completed: 10,
+            jobs_censored: 1,
             mean_utilization: util,
             mean_power_kw: 100.0 * util,
             peak_power_kw: 200.0,

@@ -229,19 +229,20 @@ impl Report {
     /// CSV: one row per cell; summary rows carry `kind=summary`.
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
-            "kind,workload,cell,seeds,jobs_completed,mean_utilization,mean_power_kw,\
-             peak_power_kw,max_power_swing_kw,energy_mwh,avg_wait_secs,p99_wait_secs,\
-             avg_turnaround_secs,run_pue,d_wait_pct,d_util_pp,d_power_pct,d_energy_pct,\
-             is_baseline\n",
+            "kind,workload,cell,seeds,jobs_completed,jobs_censored,mean_utilization,\
+             mean_power_kw,peak_power_kw,max_power_swing_kw,energy_mwh,avg_wait_secs,\
+             p99_wait_secs,avg_turnaround_secs,run_pue,d_wait_pct,d_util_pp,d_power_pct,\
+             d_energy_pct,is_baseline\n",
         );
         let opt = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_default();
         for row in &self.rows {
             let m = &row.metrics;
             s.push_str(&format!(
-                "cell,{},{},1,{},{:.6},{:.3},{:.3},{:.3},{:.6},{:.3},{:.3},{:.3},{},{},{},{},{},{}\n",
+                "cell,{},{},1,{},{},{:.6},{:.3},{:.3},{:.3},{:.6},{:.3},{:.3},{:.3},{},{},{},{},{},{}\n",
                 row.workload,
                 row.cell,
                 m.jobs_completed,
+                m.jobs_censored,
                 m.mean_utilization,
                 m.mean_power_kw,
                 m.peak_power_kw,
@@ -261,11 +262,12 @@ impl Report {
         for row in &self.summary {
             let m = &row.metrics;
             s.push_str(&format!(
-                "summary,{},{},{},{},{:.6},{:.3},{:.3},{:.3},{:.6},{:.3},{:.3},{:.3},{},,,,,\n",
+                "summary,{},{},{},{},{},{:.6},{:.3},{:.3},{:.3},{:.6},{:.3},{:.3},{:.3},{},,,,,\n",
                 row.group,
                 row.cell_kind,
                 row.seeds,
                 m.jobs_completed,
+                m.jobs_censored,
                 m.mean_utilization,
                 m.mean_power_kw,
                 m.peak_power_kw,

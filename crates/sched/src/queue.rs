@@ -26,9 +26,16 @@ pub struct QueuedJob {
 }
 
 /// FIFO-by-submission queue that policies reorder in place each tick.
+///
+/// The queue maintains its aggregate node demand incrementally (every
+/// mutation goes through [`JobQueue::push`] / [`JobQueue::remove_placed`]),
+/// so the engine's per-tick `queue_demand` history is O(1) instead of
+/// re-summing the queue.
 #[derive(Debug, Clone, Default)]
 pub struct JobQueue {
     jobs: Vec<QueuedJob>,
+    /// Σ `nodes` over queued jobs, kept in sync by push/remove.
+    demand_nodes: u64,
 }
 
 impl JobQueue {
@@ -37,6 +44,7 @@ impl JobQueue {
     }
 
     pub fn push(&mut self, job: QueuedJob) {
+        self.demand_nodes += job.nodes as u64;
         self.jobs.push(job);
     }
 
@@ -52,8 +60,9 @@ impl JobQueue {
         &self.jobs
     }
 
-    pub fn jobs_mut(&mut self) -> &mut Vec<QueuedJob> {
-        &mut self.jobs
+    /// Aggregate node demand of all queued jobs.
+    pub fn demand_nodes(&self) -> u64 {
+        self.demand_nodes
     }
 
     /// Remove the queued entries whose ids are in `placed` (called by the
@@ -62,7 +71,14 @@ impl JobQueue {
         if placed.is_empty() {
             return;
         }
-        self.jobs.retain(|j| !placed.contains(&j.id));
+        let demand = &mut self.demand_nodes;
+        self.jobs.retain(|j| {
+            let keep = !placed.contains(&j.id);
+            if !keep {
+                *demand -= j.nodes as u64;
+            }
+            keep
+        });
     }
 
     /// Stable sort by a policy key, breaking ties by submit time then id so
@@ -105,6 +121,22 @@ mod tests {
         q.remove_placed(&[JobId(2)]);
         assert_eq!(q.len(), 2);
         assert!(q.jobs().iter().all(|j| j.id != JobId(2)));
+    }
+
+    #[test]
+    fn demand_nodes_tracks_mutations() {
+        let mut q = JobQueue::new();
+        assert_eq!(q.demand_nodes(), 0);
+        q.push(qj(1, 0, 4, 10, 0.0));
+        q.push(qj(2, 1, 16, 10, 0.0));
+        q.push(qj(3, 2, 1, 10, 0.0));
+        assert_eq!(q.demand_nodes(), 21);
+        q.remove_placed(&[JobId(2), JobId(3)]);
+        assert_eq!(q.demand_nodes(), 4);
+        q.sort_by_key_stable(|j| j.priority);
+        assert_eq!(q.demand_nodes(), 4, "sorting must not change demand");
+        q.remove_placed(&[JobId(1)]);
+        assert_eq!(q.demand_nodes(), 0);
     }
 
     #[test]
