@@ -1,0 +1,184 @@
+//! Sweep-cache benchmark: cold (simulate + write-back) vs warm (all
+//! cache hits) vs uncached sweeps over a policy×backfill grid, plus a
+//! harness that writes `BENCH_sweep_cache.json` — the repo's
+//! perf-trajectory baseline for the content-addressed cell cache.
+//! Re-run after cache/runner changes and commit the refreshed JSON:
+//!
+//! ```sh
+//! cargo bench -p sraps-bench --bench sweep_cache
+//! ```
+//!
+//! `SRAPS_BENCH_SMOKE=1` runs one sample per case (CI smoke);
+//! `SRAPS_BENCH_SWEEP_CACHE_OUT` overrides the JSON path (default
+//! `BENCH_sweep_cache.json` at the workspace root).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use sraps_exp::{ExperimentMatrix, Report, SweepRunner};
+use sraps_types::SimDuration;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    matrix: ExperimentMatrix,
+    cells: usize,
+}
+
+/// The benched grids: a single-workload policy grid (the interactive
+/// iterate-on-one-axis loop) and a multi-seed grid (the batch shape
+/// where cache reuse compounds across seeds kept fixed between edits).
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "policy_grid_1seed",
+            matrix: ExperimentMatrix::synthetic(["lassen"])
+                .span(SimDuration::hours(6))
+                .loads([0.7])
+                .seed_count(1)
+                .policies(["fcfs", "sjf", "priority"])
+                .backfills(["none", "easy"]),
+            cells: 6,
+        },
+        Case {
+            name: "seed_grid_3seeds",
+            matrix: ExperimentMatrix::synthetic(["adastra"])
+                .span(SimDuration::hours(4))
+                .loads([0.6])
+                .seed_count(3)
+                .pairs([("fcfs", "easy"), ("sjf", "easy")]),
+            cells: 6,
+        },
+    ]
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sraps-bench-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Median wall-time of `n` runs of `f`, in milliseconds.
+fn median_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[derive(Serialize)]
+struct CaseResult {
+    name: String,
+    cells: usize,
+    jobs: usize,
+    samples: usize,
+    uncached_median_ms: f64,
+    cold_median_ms: f64,
+    warm_median_ms: f64,
+    /// uncached / warm: what a fully memoized re-run saves.
+    warm_speedup: f64,
+    /// cold / uncached: the write-back overhead a cold cached run pays.
+    cold_overhead: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    cases: Vec<CaseResult>,
+}
+
+fn smoke() -> bool {
+    std::env::var_os("SRAPS_BENCH_SMOKE").is_some()
+}
+
+fn bench_sweep_cache(c: &mut Criterion) {
+    let samples = if smoke() { 1 } else { 5 };
+    let jobs = 2;
+    let mut results = Vec::new();
+    let mut g = c.benchmark_group("sweep_cache");
+    g.sample_size(samples.max(2));
+    for case in cases() {
+        let runner = SweepRunner::new(jobs).metrics_only(true);
+
+        // Criterion lines for the terminal report (warm path only —
+        // cold runs mutate the cache, which criterion's iteration model
+        // cannot reset between samples)…
+        let warm_dir = fresh_dir(case.name);
+        let warm_runner = runner.clone().cache_dir(&warm_dir);
+        let seeded = warm_runner.run(&case.matrix).expect("seed run");
+        assert_eq!(seeded.cache_misses(), case.cells);
+        g.bench_function(format!("{}_warm", case.name), |b| {
+            b.iter(|| criterion::black_box(warm_runner.run(&case.matrix).unwrap()))
+        });
+
+        // …and a medians pass for the JSON baseline.
+        let uncached_ms = median_ms(samples, || {
+            criterion::black_box(runner.run(&case.matrix).unwrap());
+        });
+        let cold_ms = median_ms(samples, || {
+            let dir = fresh_dir("cold");
+            let r = runner.clone().cache_dir(&dir).run(&case.matrix).unwrap();
+            assert_eq!(r.cache_hits(), 0, "cold run must not hit");
+            criterion::black_box(&r);
+            std::fs::remove_dir_all(&dir).ok();
+        });
+        let warm_ms = median_ms(samples, || {
+            let r = warm_runner.run(&case.matrix).unwrap();
+            assert_eq!(r.cache_hits(), case.cells, "warm run must be all hits");
+            criterion::black_box(&r);
+        });
+
+        // Correctness guard: the cached report matches the uncached one
+        // byte for byte — a bench of a cache that drifted would be
+        // measuring a different experiment.
+        let uncached = runner.run(&case.matrix).unwrap();
+        let warm = warm_runner.run(&case.matrix).unwrap();
+        assert_eq!(
+            Report::from_results(&uncached).to_csv(),
+            Report::from_results(&warm).to_csv(),
+            "{}: cached report drifted",
+            case.name
+        );
+        std::fs::remove_dir_all(&warm_dir).ok();
+
+        results.push(CaseResult {
+            name: case.name.to_string(),
+            cells: case.cells,
+            jobs,
+            samples,
+            uncached_median_ms: uncached_ms,
+            cold_median_ms: cold_ms,
+            warm_median_ms: warm_ms,
+            warm_speedup: uncached_ms / warm_ms.max(1e-9),
+            cold_overhead: cold_ms / uncached_ms.max(1e-9),
+        });
+    }
+    g.finish();
+
+    let report = BenchReport {
+        bench: "sweep_cache".to_string(),
+        cases: results,
+    };
+    for r in &report.cases {
+        println!(
+            "sweep_cache/{:<18} uncached {:>8.2} ms  cold {:>8.2} ms  warm {:>7.2} ms  warm speedup {:>6.1}x",
+            r.name, r.uncached_median_ms, r.cold_median_ms, r.warm_median_ms, r.warm_speedup
+        );
+    }
+    // Default to the workspace root so the committed baseline refreshes
+    // in place regardless of cargo's bench working directory.
+    let path = std::env::var("SRAPS_BENCH_SWEEP_CACHE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep_cache.json").to_string()
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_sweep_cache.json");
+    println!("sweep_cache: baseline written to {path}");
+}
+
+criterion_group!(sweep_cache, bench_sweep_cache);
+criterion_main!(sweep_cache);

@@ -50,7 +50,11 @@ pub fn run_pairs(s: &Scenario, pairs: &[(&str, &str)], cooling: bool) -> Vec<Sim
         matrix = matrix.with_cooling();
     }
     let results = SweepRunner::auto().run(&matrix).expect("sweep runs");
-    results.cells.into_iter().map(|c| c.output).collect()
+    results
+        .cells
+        .into_iter()
+        .map(|c| c.output.expect("full-retention uncached sweep"))
+        .collect()
 }
 
 /// Run incentive (redeeming-phase) policies over a scenario through the
@@ -66,7 +70,11 @@ pub fn run_incentives(
         .scheduler(SchedulerSelect::Experimental)
         .accounts_in(accounts);
     let results = SweepRunner::auto().run(&matrix).expect("sweep runs");
-    results.cells.into_iter().map(|c| c.output).collect()
+    results
+        .cells
+        .into_iter()
+        .map(|c| c.output.expect("full-retention uncached sweep"))
+        .collect()
 }
 
 /// Write the standard CSV set for a run.

@@ -18,7 +18,11 @@
 //!
 //! `sraps sweep` runs *matrices* of simulations (systems × policies ×
 //! backfills × seeds × …) on a multi-threaded work-stealing executor and
-//! emits a baseline-relative comparison report — see [`sraps_exp`].
+//! emits a baseline-relative comparison report — see [`sraps_exp`]. With
+//! `--cache` (or `SRAPS_CACHE_DIR` set) finished cells are memoized on
+//! disk under content-addressed keys, so re-running an overlapping matrix
+//! only simulates the cells that changed; `--metrics-only` bounds sweep
+//! memory for very large matrices.
 
 use sraps_core::{Engine, EngineMode, SchedulerSelect, SimConfig, SimOutput};
 use sraps_data::{scenario, Dataset, WorkloadSpec};
@@ -74,7 +78,8 @@ impl Default for CliArgs {
 
 const USAGE: &str = "\
 usage: sraps (--system NAME | --scenario fig4|fig5|fig6|fig7|fig8|fig10) [options]
-       sraps sweep ...        run an experiment matrix (see `sraps sweep --help`)
+       sraps sweep ...        run an experiment matrix, optionally cached and
+                              metrics-only (see `sraps sweep --help`)
 
 options:
   --system NAME          frontier | marconi100 | fugaku | lassen | adastra

@@ -100,6 +100,19 @@ pub enum SchedulerSelect {
     FastSim,
 }
 
+impl SchedulerSelect {
+    /// Stable CLI name — also the form cache fingerprints hash, so the
+    /// strings must never be reused across variants.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerSelect::Default => "default",
+            SchedulerSelect::Experimental => "experimental",
+            SchedulerSelect::ScheduleFlow => "scheduleflow",
+            SchedulerSelect::FastSim => "fastsim",
+        }
+    }
+}
+
 /// Full configuration for one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {

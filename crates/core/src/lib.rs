@@ -39,10 +39,12 @@
 
 pub mod config;
 pub mod engine;
+pub mod fingerprint;
 pub mod output;
 pub mod validate;
 
 pub use config::{EngineMode, Outage, SchedulerSelect, SimConfig};
 pub use engine::Engine;
+pub use fingerprint::{Fingerprint, Fingerprinter, ENGINE_SCHEMA_VERSION};
 pub use output::SimOutput;
 pub use validate::{compare_power, compare_series, compare_utilization, SeriesAgreement};

@@ -8,7 +8,7 @@
 
 use crate::matrix::PrebuiltWorkload;
 use sraps_acct::Accounts;
-use sraps_core::{EngineMode, SchedulerSelect, SimConfig};
+use sraps_core::{EngineMode, Fingerprint, Fingerprinter, SchedulerSelect, SimConfig};
 use sraps_data::{Dataset, WorkloadSpec};
 use sraps_systems::{presets, SystemConfig};
 use sraps_types::{Result, SimDuration, SimTime, SrapsError};
@@ -48,6 +48,62 @@ impl WorkloadPlan {
             WorkloadPlan::Synthetic { group, .. } => group.clone(),
             WorkloadPlan::Prebuilt(w) => w.label.clone(),
         }
+    }
+
+    /// The workload seed, when synthetic — identical to what
+    /// [`WorkloadPlan::materialize`] records, so cache hits can fill in
+    /// workload metadata without building the dataset.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            WorkloadPlan::Synthetic { seed, .. } => Some(*seed),
+            WorkloadPlan::Prebuilt(_) => None,
+        }
+    }
+
+    /// Canonical content fingerprint of the workload this plan produces.
+    ///
+    /// Covers every field the simulation can observe — synthetic plans
+    /// hash their generator parameters plus the resolved (scaled) system
+    /// config; prebuilt plans hash the system config, the full dataset
+    /// (every job, telemetry included), and the documented window. Labels
+    /// and groups are cosmetic and deliberately excluded, so renaming a
+    /// study does not orphan its cache entries.
+    pub fn fingerprint(&self) -> Result<Fingerprint> {
+        let mut fp = Fingerprinter::new();
+        match self {
+            WorkloadPlan::Synthetic {
+                system,
+                load,
+                seed,
+                span,
+                scale,
+                ..
+            } => {
+                fp.write_str("synthetic");
+                fp.write_str(system);
+                fp.write_f64(*load);
+                fp.write_u64(*seed);
+                fp.write_i64(span.as_secs());
+                fp.write_f64(*scale);
+                // The generators derive the dataset from the (scaled)
+                // system config too — preset drift must miss the cache.
+                fp.write_debug(&system_scaled(system, *scale)?);
+            }
+            WorkloadPlan::Prebuilt(w) => {
+                fp.write_str("prebuilt");
+                fp.write_debug(&w.config);
+                fp.write_debug(w.dataset.as_ref());
+                match w.window {
+                    Some((s, e)) => {
+                        fp.write_u8(1);
+                        fp.write_i64(s.as_secs());
+                        fp.write_i64(e.as_secs());
+                    }
+                    None => fp.write_u8(0),
+                }
+            }
+        }
+        Ok(fp.finish())
     }
 
     /// Build the dataset. Deterministic: same plan ⇒ identical workload.
@@ -150,6 +206,36 @@ pub struct CellSpec {
 }
 
 impl CellSpec {
+    /// Content-addressed cache key of this cell over `workload_fp` (its
+    /// workload plan's [`WorkloadPlan::fingerprint`]).
+    ///
+    /// Hashes every sim-relevant schedule-axis field in fixed order; the
+    /// positional fields (`index`, `workload`) and the display `label`
+    /// are excluded, so the same simulation is shared across matrices
+    /// that arrange or name it differently. `engine` *is* included: the
+    /// cores are bit-identical today (the parity suite pins it), but a
+    /// cache must never bet correctness on a property a future change
+    /// could relax.
+    pub fn fingerprint(&self, workload_fp: Fingerprint) -> Fingerprint {
+        let mut fp = Fingerprinter::new();
+        fp.write_fingerprint(workload_fp);
+        fp.write_str(&self.policy);
+        fp.write_str(&self.backfill);
+        fp.write_bool(self.cooling);
+        fp.write_opt_f64(self.power_cap_kw);
+        fp.write_str(self.scheduler.name());
+        fp.write_str(self.engine.name());
+        match &self.accounts_in {
+            // `Accounts` holds a BTreeMap — Debug order is deterministic.
+            Some(accounts) => {
+                fp.write_u8(1);
+                fp.write_debug(accounts);
+            }
+            None => fp.write_u8(0),
+        }
+        fp.finish()
+    }
+
     /// Materialize the cell's [`SimConfig`] against its workload.
     pub fn build_sim(&self, workload: &MaterializedWorkload) -> Result<SimConfig> {
         let mut sim = SimConfig::new(workload.config.clone(), &self.policy, &self.backfill)?;

@@ -15,9 +15,15 @@
 //!   (std `thread::scope` + a shared atomic cursor) whose collected
 //!   results are **bit-identical** regardless of `--jobs`: cells land in
 //!   matrix order and every metric is a pure function of the simulation;
+//! * [`CellCache`] — a content-addressed on-disk memo of finished cells:
+//!   every cell is a pure function of (workload plan, cell spec), so its
+//!   metrics are stored under a canonical fingerprint
+//!   ([`sraps_core::fingerprint`]) and re-running a matrix after editing
+//!   one axis only simulates the cells that axis touched;
 //! * [`Report`] — aggregation of cell outputs into comparison tables
 //!   (wait/utilization/power/energy deltas against a baseline cell,
-//!   seed-averaged summaries) with CSV and JSON export.
+//!   seed-averaged summaries) with CSV and JSON export — byte-identical
+//!   whether the cells were simulated, cached, or metrics-only.
 //!
 //! The `sraps sweep` CLI subcommand ([`cli`]) is a thin veneer over these
 //! types; benches and integration tests drive them directly.
@@ -40,6 +46,7 @@
 //! assert_eq!(report.to_csv().lines().count(), 3); // header + 2 cells
 //! ```
 
+pub mod cache;
 pub mod cell;
 pub mod cli;
 pub mod matrix;
@@ -47,6 +54,7 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 
+pub use cache::{CellCache, CACHE_SCHEMA_VERSION};
 pub use cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
 pub use matrix::{ExperimentMatrix, PrebuiltWorkload};
 pub use metrics::CellMetrics;

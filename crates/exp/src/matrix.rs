@@ -352,6 +352,9 @@ impl ExperimentMatrix {
         }
         // Labels key reports, `SweepResults::cell`, and history file
         // names — a collision would silently merge or overwrite cells.
+        // (Cache keys hash the underlying axis values instead of the
+        // label, so this check also guarantees one cache entry per cell
+        // within a run.)
         let mut seen = std::collections::HashSet::new();
         for cell in &cells {
             if !seen.insert(&cell.label) {
@@ -503,6 +506,23 @@ mod tests {
         let (_, cells) = m.expand().unwrap();
         assert_eq!(cells[0].label, "fcfs-easy+cap1200.2");
         assert_eq!(cells[1].label, "fcfs-easy+cap1200.4");
+    }
+
+    #[test]
+    fn expanded_cells_have_distinct_cache_keys() {
+        // Every schedule-axis combination must fingerprint differently
+        // over the same workload — aliasing keys would silently serve one
+        // cell's metrics as another's.
+        let m = ExperimentMatrix::synthetic(["lassen"])
+            .policies(["fcfs", "sjf"])
+            .backfills(["none", "easy"])
+            .cooling([false, true])
+            .power_caps_kw([None, Some(1200.0)]);
+        let (plans, cells) = m.expand().unwrap();
+        let wfp = plans[0].fingerprint().unwrap();
+        let keys: std::collections::HashSet<String> =
+            cells.iter().map(|c| c.fingerprint(wfp).hex()).collect();
+        assert_eq!(keys.len(), cells.len(), "cache keys collided");
     }
 
     #[test]

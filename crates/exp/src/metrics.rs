@@ -125,4 +125,30 @@ mod tests {
         let back: CellMetrics = serde_json::from_str(&text).unwrap();
         assert_eq!(a, back);
     }
+
+    #[test]
+    fn json_roundtrip_is_bit_exact_for_awkward_floats() {
+        // The sweep cache serves metrics from JSON; warm-run reports are
+        // byte-identical to cold runs only if every f64 survives the
+        // write/parse cycle bit-for-bit (shortest-roundtrip formatting).
+        // The PUE sits one ULP above 1.06, so its shortest-roundtrip
+        // form needs every digit.
+        let mut m = sample(0.1 + 0.2, Some(f64::from_bits(1.06f64.to_bits() + 1)));
+        m.mean_power_kw = 1.0 / 3.0;
+        m.energy_mwh = f64::MIN_POSITIVE; // subnormal-adjacent extreme
+        m.avg_wait_secs = 9_007_199_254_740_993.0; // > 2^53
+        m.p99_wait_secs = 1e-308;
+        let back: CellMetrics =
+            serde_json::from_str(&serde_json::to_string_pretty(&m).unwrap()).unwrap();
+        for (a, b) in [
+            (m.mean_utilization, back.mean_utilization),
+            (m.mean_power_kw, back.mean_power_kw),
+            (m.energy_mwh, back.energy_mwh),
+            (m.avg_wait_secs, back.avg_wait_secs),
+            (m.p99_wait_secs, back.p99_wait_secs),
+            (m.run_pue.unwrap(), back.run_pue.unwrap()),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} drifted to {b}");
+        }
+    }
 }

@@ -1,7 +1,8 @@
 //! [`SweepRunner`]: multi-threaded, work-stealing execution of an
-//! [`ExperimentMatrix`].
+//! [`ExperimentMatrix`], with optional content-addressed caching and a
+//! bounded-memory metrics-only mode.
 //!
-//! Two properties drive the design:
+//! Three properties drive the design:
 //!
 //! 1. **Determinism** — parallel output must be bit-identical to serial.
 //!    Workers pull cell indices from a shared atomic cursor (cheap dynamic
@@ -10,24 +11,61 @@
 //!    the assembled `Vec` is in matrix order. Each cell's simulation is
 //!    deterministic given (config, dataset), and datasets are built once
 //!    per workload — so thread count and interleaving are unobservable.
+//!    Caching preserves this: cached metrics roundtrip bit-exactly, so a
+//!    warm run's reports are byte-identical to the cold run's.
 //! 2. **Saturation** — cells vary wildly in cost (replay vs backfill,
 //!    15-day vs 61 000 s windows), so static chunking would idle threads;
 //!    the cursor gives single-cell granularity.
+//! 3. **Bounded memory** — a full [`SimOutput`] holds tick-resolution
+//!    histories; 100k-cell matrices cannot retain them all.
+//!    [`SweepRunner::metrics_only`] folds each output into
+//!    [`CellMetrics`] and drops it, making [`SweepResults`] O(cells ×
+//!    metrics); [`SweepRunner::spill_histories`] optionally parks the
+//!    power/util histories in the cache directory on the way down.
 //!
 //! Workloads materialize first (also cursor-parallel across unique
-//! workloads), then cells run against the shared `Arc<Dataset>`s.
+//! workloads), then cells run against the shared `Arc<Dataset>`s,
+//! consulting the [`CellCache`] before simulating when one is configured.
 
-use crate::cell::{CellSpec, MaterializedWorkload};
+use crate::cache::CellCache;
+use crate::cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
 use crate::matrix::ExperimentMatrix;
 use crate::metrics::CellMetrics;
-use sraps_core::{Engine, SimOutput};
+use sraps_core::{Engine, Fingerprint, SimOutput};
 use sraps_types::{Result, SrapsError};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// One finished cell: its spec, its workload's label, the full simulation
-/// output, and the scalar metrics reports aggregate.
+/// A workload materialized at most once, on demand. In a cached sweep
+/// the dataset is only built when some cell actually misses — a fully
+/// warm re-run of a 100k-cell matrix synthesizes nothing at all.
+struct LazyWorkload<'a> {
+    plan: &'a WorkloadPlan,
+    slot: OnceLock<Result<MaterializedWorkload>>,
+}
+
+impl<'a> LazyWorkload<'a> {
+    fn new(plan: &'a WorkloadPlan) -> Self {
+        LazyWorkload {
+            plan,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Materialize (once; concurrent callers block on the first).
+    fn get(&self) -> Result<&MaterializedWorkload> {
+        self.slot
+            .get_or_init(|| self.plan.materialize())
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+}
+
+/// One finished cell: its spec, its workload's label, the scalar metrics
+/// reports aggregate, and — in full-retention cold runs — the simulation
+/// output.
 #[derive(Debug, Clone)]
 pub struct CellResult {
     pub spec: CellSpec,
@@ -37,7 +75,14 @@ pub struct CellResult {
     /// Workload seed, when synthetic.
     pub seed: Option<u64>,
     pub metrics: CellMetrics,
-    pub output: SimOutput,
+    /// Full simulation output. `None` on cache hits (the cache stores
+    /// metrics, not histories) and in metrics-only mode.
+    pub output: Option<SimOutput>,
+    /// Content-addressed key, when caching was enabled.
+    pub cache_key: Option<String>,
+    /// True when the metrics were deserialized from the cache instead of
+    /// simulated.
+    pub from_cache: bool,
 }
 
 /// Everything a sweep produced, cells in matrix order.
@@ -50,6 +95,8 @@ pub struct SweepResults {
     pub wall: Duration,
     /// Worker threads used.
     pub jobs: usize,
+    /// Cache directory consulted, when caching was enabled.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl SweepResults {
@@ -72,9 +119,24 @@ impl SweepResults {
         self.cells.iter().find(|c| c.spec.label == label)
     }
 
-    /// The outputs alone, in matrix order (for figure-style consumers).
+    /// The retained outputs, in matrix order. In a full-retention
+    /// uncached sweep this is every cell (what figure-style consumers
+    /// run); cache hits and metrics-only cells are skipped.
     pub fn outputs(&self) -> Vec<&SimOutput> {
-        self.cells.iter().map(|c| &c.output).collect()
+        self.cells
+            .iter()
+            .filter_map(|c| c.output.as_ref())
+            .collect()
+    }
+
+    /// Cells whose metrics came from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cells.iter().filter(|c| c.from_cache).count()
+    }
+
+    /// Cells that were simulated (and, when caching, written back).
+    pub fn cache_misses(&self) -> usize {
+        self.cells.len() - self.cache_hits()
     }
 }
 
@@ -83,6 +145,9 @@ impl SweepResults {
 pub struct SweepRunner {
     jobs: usize,
     progress: bool,
+    cache_dir: Option<PathBuf>,
+    metrics_only: bool,
+    spill_histories: bool,
 }
 
 impl SweepRunner {
@@ -91,6 +156,9 @@ impl SweepRunner {
         SweepRunner {
             jobs: jobs.max(1),
             progress: false,
+            cache_dir: None,
+            metrics_only: false,
+            spill_histories: false,
         }
     }
 
@@ -109,11 +177,38 @@ impl SweepRunner {
         self
     }
 
+    /// Memoize cells under `dir`: hits skip simulation, misses simulate
+    /// and write back atomically. Cached cells return no [`SimOutput`],
+    /// so enable this for metrics/report consumers, not figure replays.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Drop each [`SimOutput`] after folding it into [`CellMetrics`]:
+    /// sweep memory becomes O(cells × metrics) instead of O(cells ×
+    /// history length). Reports are unchanged (they are pure functions
+    /// of the metrics).
+    pub fn metrics_only(mut self, on: bool) -> Self {
+        self.metrics_only = on;
+        self
+    }
+
+    /// Spill each simulated cell's power/util history CSVs into the
+    /// cache directory (requires [`SweepRunner::cache_dir`]), and require
+    /// them on hits — how `--write-histories` survives metrics-only and
+    /// cached sweeps.
+    pub fn spill_histories(mut self, on: bool) -> Self {
+        self.spill_histories = on;
+        self
+    }
+
     pub fn jobs(&self) -> usize {
         self.jobs
     }
 
-    /// Execute the matrix: expand, materialize workloads, run every cell.
+    /// Execute the matrix: expand, materialize workloads, run every cell
+    /// (consulting the cache first when one is configured).
     ///
     /// On cell failure the error of the *lowest-indexed* failing cell is
     /// returned (already-running cells finish first), keeping even the
@@ -121,11 +216,28 @@ impl SweepRunner {
     pub fn run(&self, matrix: &ExperimentMatrix) -> Result<SweepResults> {
         let started = Instant::now();
         let (plans, cells) = matrix.expand()?;
+        if self.spill_histories && self.cache_dir.is_none() {
+            return Err(SrapsError::Config(
+                "spill_histories needs a cache directory (SweepRunner::cache_dir)".into(),
+            ));
+        }
+        let cache = match &self.cache_dir {
+            Some(dir) => Some(CellCache::open(dir)?),
+            None => None,
+        };
 
-        // Phase 1: datasets, cursor-parallel over unique workloads.
-        let workloads: Vec<MaterializedWorkload> = {
-            let results = run_indexed(self.jobs.min(plans.len().max(1)), plans.len(), |i| {
-                plans[i].materialize()
+        // Phase 1, cursor-parallel over unique workloads. Uncached:
+        // materialize every dataset up front (cells saturate phase 2
+        // immediately). Cached: compute only the plan fingerprints —
+        // synthetic plans fingerprint without building their dataset, so
+        // a fully warm sweep synthesizes nothing; datasets materialize
+        // lazily when a cell actually misses.
+        let workloads: Vec<LazyWorkload> = plans.iter().map(LazyWorkload::new).collect();
+        let fingerprints: Vec<Option<Fingerprint>> = {
+            let phase1_jobs = self.jobs.min(plans.len().max(1));
+            let results = run_indexed(phase1_jobs, plans.len(), |i| match &cache {
+                Some(_) => plans[i].fingerprint().map(Some),
+                None => workloads[i].get().map(|_| None),
             });
             collect_ordered(results)?
         };
@@ -137,34 +249,70 @@ impl SweepRunner {
             let cell = &cells[i];
             let workload = &workloads[cell.workload];
             let cell_started = Instant::now();
+
+            let key = fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
+            let done = |metrics: CellMetrics, output: Option<SimOutput>, cached: bool| {
+                if self.progress {
+                    let done = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "  [{done:>3}/{total}] {:<40} {:>6} jobs  util {:>5.1}%  {}",
+                        cell.label,
+                        metrics.jobs_completed,
+                        metrics.mean_utilization * 100.0,
+                        if cached {
+                            "  cached".to_string()
+                        } else {
+                            format!("{:>8.2}s", cell_started.elapsed().as_secs_f64())
+                        },
+                    );
+                }
+                CellResult {
+                    spec: cell.clone(),
+                    // Plan-derived metadata is identical to what
+                    // materialization would record, so hit and miss
+                    // paths produce the same result rows.
+                    workload_label: workload.plan.label(),
+                    workload_group: workload.plan.group(),
+                    seed: workload.plan.seed(),
+                    metrics,
+                    output,
+                    cache_key: key.clone(),
+                    from_cache: cached,
+                }
+            };
+
+            if let (Some(cache), Some(key)) = (&cache, &key) {
+                if let Some(hit) = cache.load(key, self.spill_histories) {
+                    return Ok(done(hit.metrics, None, true));
+                }
+            }
+
+            let workload = workload.get()?;
             let sim = cell.build_sim(workload)?;
             let output = Engine::new(sim, &workload.dataset)?.run()?;
-            if self.progress {
-                let done = counter.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "  [{done:>3}/{total}] {:<40} {:>6} jobs  util {:>5.1}%  {:>8.2}s",
-                    cell.label,
-                    output.stats.jobs_completed,
-                    output.mean_utilization() * 100.0,
-                    cell_started.elapsed().as_secs_f64(),
-                );
+            let metrics = CellMetrics::from_output(&output);
+            if let (Some(cache), Some(key)) = (&cache, &key) {
+                let histories = self
+                    .spill_histories
+                    .then(|| (output.power_csv(), output.util_csv()));
+                cache.store(
+                    key,
+                    &cell.label,
+                    &metrics,
+                    histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
+                )?;
             }
-            Ok(CellResult {
-                spec: cell.clone(),
-                workload_label: workload.label.clone(),
-                workload_group: workload.group.clone(),
-                seed: workload.seed,
-                metrics: CellMetrics::from_output(&output),
-                output,
-            })
+            let output = (!self.metrics_only).then_some(output);
+            Ok(done(metrics, output, false))
         });
         let cells = collect_ordered(results)?;
 
         Ok(SweepResults {
             cells,
-            workload_labels: workloads.iter().map(|w| w.label.clone()).collect(),
+            workload_labels: plans.iter().map(|p| p.label()).collect(),
             wall: started.elapsed(),
             jobs: self.jobs,
+            cache_dir: self.cache_dir.clone(),
         })
     }
 }
@@ -238,6 +386,7 @@ fn collect_ordered<T>(slots: Vec<Option<Result<T>>>) -> Result<Vec<T>> {
 mod tests {
     use super::*;
     use crate::matrix::ExperimentMatrix;
+    use crate::report::Report;
     use sraps_types::SimDuration;
 
     fn small_matrix() -> ExperimentMatrix {
@@ -246,6 +395,12 @@ mod tests {
             .loads([0.5])
             .seed_count(1)
             .pairs([("fcfs", "none"), ("fcfs", "easy"), ("sjf", "easy")])
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sraps-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -264,7 +419,12 @@ mod tests {
                 "{} completed nothing",
                 c.spec.label
             );
+            assert!(c.output.is_some(), "full retention is the default");
+            assert!(!c.from_cache);
+            assert!(c.cache_key.is_none(), "no cache configured");
         }
+        assert_eq!(results.cache_hits(), 0);
+        assert_eq!(results.cache_misses(), 3);
     }
 
     #[test]
@@ -274,9 +434,122 @@ mod tests {
         for (s, p) in serial.cells.iter().zip(&parallel.cells) {
             assert_eq!(s.spec.label, p.spec.label);
             assert_eq!(s.metrics, p.metrics, "cell {} diverged", s.spec.label);
-            assert_eq!(s.output.times, p.output.times);
-            assert_eq!(s.output.utilization, p.output.utilization);
+            let (so, po) = (s.output.as_ref().unwrap(), p.output.as_ref().unwrap());
+            assert_eq!(so.times, po.times);
+            assert_eq!(so.utilization, po.utilization);
         }
+    }
+
+    #[test]
+    fn warm_cache_skips_every_simulation_and_reports_identically() {
+        let dir = temp_dir("warm");
+        let runner = SweepRunner::new(2).cache_dir(&dir);
+        let cold = runner.run(&small_matrix()).unwrap();
+        assert_eq!(cold.cache_hits(), 0);
+        assert_eq!(cold.cache_misses(), 3);
+        assert!(cold.cells.iter().all(|c| c.cache_key.is_some()));
+
+        let warm = runner.run(&small_matrix()).unwrap();
+        assert_eq!(warm.cache_hits(), 3, "identical matrix ⇒ 100% hits");
+        assert_eq!(warm.cache_misses(), 0);
+        for (c, w) in cold.cells.iter().zip(&warm.cells) {
+            assert_eq!(c.metrics, w.metrics, "cached metrics must be bit-exact");
+            assert_eq!(c.cache_key, w.cache_key);
+            assert!(w.output.is_none(), "hits carry no SimOutput");
+        }
+        // Reports are byte-identical between the cold and warm runs.
+        let (rc, rw) = (Report::from_results(&cold), Report::from_results(&warm));
+        assert_eq!(rc.to_csv(), rw.to_csv());
+        assert_eq!(rc.to_json(), rw.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cold_parallel_equals_warm_serial_with_cache() {
+        let dir = temp_dir("jobs-mix");
+        let cold = SweepRunner::new(4)
+            .cache_dir(&dir)
+            .run(&small_matrix())
+            .unwrap();
+        let warm = SweepRunner::new(1)
+            .cache_dir(&dir)
+            .run(&small_matrix())
+            .unwrap();
+        assert_eq!(warm.cache_hits(), 3);
+        assert_eq!(
+            Report::from_results(&cold).to_csv(),
+            Report::from_results(&warm).to_csv(),
+            "mixing --jobs with caching must stay deterministic"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_entry_is_recomputed_and_rewritten() {
+        let dir = temp_dir("truncate");
+        let runner = SweepRunner::new(2).cache_dir(&dir);
+        let cold = runner.run(&small_matrix()).unwrap();
+        let key = cold.cells[1].cache_key.clone().unwrap();
+        let path = dir.join(format!("{key}.json"));
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 3]).unwrap();
+
+        let rerun = runner.run(&small_matrix()).unwrap();
+        assert_eq!(rerun.cache_hits(), 2, "only the truncated entry misses");
+        assert_eq!(rerun.cache_misses(), 1);
+        assert!(rerun.cells[1].output.is_some(), "the miss re-simulated");
+        assert_eq!(rerun.cells[1].metrics, cold.cells[1].metrics);
+        // …and the entry was rewritten: a third run is all hits.
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            full,
+            "rewritten entry matches the original bytes"
+        );
+        assert_eq!(runner.run(&small_matrix()).unwrap().cache_hits(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_only_retains_no_outputs_and_reports_identically() {
+        let full = SweepRunner::new(2).run(&small_matrix()).unwrap();
+        let lean = SweepRunner::new(2)
+            .metrics_only(true)
+            .run(&small_matrix())
+            .unwrap();
+        assert!(lean.cells.iter().all(|c| c.output.is_none()));
+        assert!(lean.outputs().is_empty());
+        for (f, l) in full.cells.iter().zip(&lean.cells) {
+            assert_eq!(f.metrics, l.metrics);
+        }
+        let (rf, rl) = (Report::from_results(&full), Report::from_results(&lean));
+        assert_eq!(rf.to_csv(), rl.to_csv());
+        assert_eq!(rf.to_json(), rl.to_json());
+        assert_eq!(rf.render_table(), rl.render_table());
+    }
+
+    #[test]
+    fn spilled_histories_survive_cache_hits() {
+        let dir = temp_dir("spill");
+        let runner = SweepRunner::new(2)
+            .cache_dir(&dir)
+            .metrics_only(true)
+            .spill_histories(true);
+        let cold = runner.run(&small_matrix()).unwrap();
+        let cache = CellCache::open(&dir).unwrap();
+        for cell in &cold.cells {
+            let (power, util) = cache.history_paths(cell.cache_key.as_ref().unwrap());
+            let power = std::fs::read_to_string(power).unwrap();
+            assert!(power.starts_with("t_secs,it_kw"), "spilled power CSV");
+            assert!(util.is_file(), "spilled util CSV");
+        }
+        let warm = runner.run(&small_matrix()).unwrap();
+        assert_eq!(warm.cache_hits(), 3, "hits satisfied from spill");
+        // Spill without a cache dir is a configuration error.
+        assert!(SweepRunner::new(1)
+            .spill_histories(true)
+            .run(&small_matrix())
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

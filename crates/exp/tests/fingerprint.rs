@@ -1,0 +1,209 @@
+//! Fingerprint-stability suite: the cache key must change whenever any
+//! sim-relevant axis changes, collide for identical specs, and stay
+//! stable across processes and releases (golden-key fixtures — if one of
+//! those fails, the canonical serialization drifted and every on-disk
+//! cache silently went stale: bump `ENGINE_SCHEMA_VERSION` and repin).
+
+use proptest::prelude::*;
+use sraps_core::{EngineMode, SchedulerSelect};
+use sraps_exp::{CellSpec, WorkloadPlan};
+use sraps_types::SimDuration;
+
+const SYSTEMS: &[&str] = &["frontier", "marconi100", "fugaku", "lassen", "adastra"];
+const POLICIES: &[&str] = &["fcfs", "sjf", "priority"];
+const BACKFILLS: &[&str] = &["none", "firstfit", "easy"];
+
+fn plan(system: &str, load: f64, seed: u64, span_hours: i64, scale: f64) -> WorkloadPlan {
+    WorkloadPlan::Synthetic {
+        label: "probe".into(),
+        group: "probe".into(),
+        system: system.into(),
+        load,
+        seed,
+        span: SimDuration::hours(span_hours),
+        scale,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cell(
+    policy: &str,
+    backfill: &str,
+    cooling: bool,
+    power_cap_kw: Option<f64>,
+    engine: EngineMode,
+) -> CellSpec {
+    CellSpec {
+        index: 0,
+        label: "probe-cell".into(),
+        workload: 0,
+        policy: policy.into(),
+        backfill: backfill.into(),
+        cooling,
+        power_cap_kw,
+        scheduler: SchedulerSelect::Default,
+        engine,
+        accounts_in: None,
+    }
+}
+
+/// The full sim-relevant axis tuple one generated case covers.
+type Axes = (
+    (usize, f64, u64),    // system index, load, seed
+    (i64, f64),           // span hours, scale
+    (usize, usize, bool), // policy index, backfill index, cooling
+    (f64, bool),          // power cap value, cap present
+    bool,                 // engine: true ⇒ event, false ⇒ tick
+);
+
+fn key_of(a: &Axes) -> String {
+    let ((sys, load, seed), (span, scale), (pol, bf, cooling), (cap, capped), event) = *a;
+    let plan = plan(SYSTEMS[sys], load, seed, span, scale);
+    let spec = cell(
+        POLICIES[pol],
+        BACKFILLS[bf],
+        cooling,
+        capped.then_some(cap),
+        if event {
+            EngineMode::Event
+        } else {
+            EngineMode::Tick
+        },
+    );
+    spec.fingerprint(plan.fingerprint().expect("known system"))
+        .hex()
+}
+
+fn axes_strategy() -> impl Strategy<Value = Axes> {
+    (
+        (0usize..SYSTEMS.len(), 0.1f64..1.5, 0u64..1000),
+        (1i64..72, 0.25f64..1.0),
+        (
+            0usize..POLICIES.len(),
+            0usize..BACKFILLS.len(),
+            any::<bool>(),
+        ),
+        (100.0f64..5000.0, any::<bool>()),
+        any::<bool>(),
+    )
+}
+
+proptest! {
+    /// Identical specs collide; both halves of the cache contract in one
+    /// property: key equality ⇔ axis-tuple equality.
+    #[test]
+    fn keys_equal_iff_axes_equal(a in axes_strategy(), b in axes_strategy()) {
+        let (ka, kb) = (key_of(&a), key_of(&b));
+        // Normalize: an absent power cap makes its value unobservable.
+        let canon = |mut x: Axes| { if !x.3.1 { x.3.0 = 0.0; } x };
+        if canon(a) == canon(b) {
+            prop_assert_eq!(ka, kb, "identical specs must share a key");
+        } else {
+            prop_assert!(ka != kb, "distinct specs {a:?} vs {b:?} collided");
+        }
+    }
+
+    /// Any single-axis mutation changes the key.
+    #[test]
+    fn single_axis_mutations_change_the_key(
+        a in axes_strategy(),
+        load_bump in 0.01f64..0.2,
+        seed_bump in 1u64..50,
+        span_bump in 1i64..24,
+        scale_drop in 0.01f64..0.2,
+        cap_bump in 1.0f64..100.0,
+    ) {
+        let base = key_of(&a);
+        let mut m = a; m.0.0 = (m.0.0 + 1) % SYSTEMS.len();
+        prop_assert!(key_of(&m) != base, "system mutation kept the key");
+        let mut m = a; m.0.1 += load_bump;
+        prop_assert!(key_of(&m) != base, "load mutation kept the key");
+        let mut m = a; m.0.2 += seed_bump;
+        prop_assert!(key_of(&m) != base, "seed mutation kept the key");
+        let mut m = a; m.1.0 += span_bump;
+        prop_assert!(key_of(&m) != base, "span mutation kept the key");
+        let mut m = a; m.1.1 -= scale_drop;
+        prop_assume!(m.1.1 > 0.0);
+        prop_assert!(key_of(&m) != base, "scale mutation kept the key");
+        let mut m = a; m.2.0 = (m.2.0 + 1) % POLICIES.len();
+        prop_assert!(key_of(&m) != base, "policy mutation kept the key");
+        let mut m = a; m.2.1 = (m.2.1 + 1) % BACKFILLS.len();
+        prop_assert!(key_of(&m) != base, "backfill mutation kept the key");
+        let mut m = a; m.2.2 = !m.2.2;
+        prop_assert!(key_of(&m) != base, "cooling mutation kept the key");
+        let mut m = a; m.3.1 = !m.3.1;
+        prop_assert!(key_of(&m) != base, "cap presence mutation kept the key");
+        if a.3.1 {
+            let mut m = a; m.3.0 += cap_bump;
+            prop_assert!(key_of(&m) != base, "cap value mutation kept the key");
+        }
+        let mut m = a; m.4 = !m.4;
+        prop_assert!(key_of(&m) != base, "engine mutation kept the key");
+    }
+
+    /// Recomputing in the same process is deterministic (the on-disk
+    /// contract beyond that — stability across *processes* — is pinned by
+    /// the golden keys below).
+    #[test]
+    fn keys_are_deterministic(a in axes_strategy()) {
+        prop_assert_eq!(key_of(&a), key_of(&a));
+    }
+}
+
+/// Golden keys: fixed specs hashed today. These encode the cross-process
+/// stability promise — a failure means the canonical serialization (or a
+/// preset system, whose config is folded into synthetic fingerprints)
+/// changed, and `ENGINE_SCHEMA_VERSION` must be bumped before repinning.
+#[test]
+fn golden_keys_pin_the_schema() {
+    let wfp = plan("lassen", 0.7, 42, 24, 1.0)
+        .fingerprint()
+        .expect("lassen is a preset");
+    let base = cell("fcfs", "easy", true, Some(1500.0), EngineMode::Event);
+    assert_eq!(
+        base.fingerprint(wfp).hex(),
+        "f50a14f2436c7fdb13757541bffc487e",
+        "cell fingerprint schema drifted"
+    );
+    assert_eq!(
+        wfp.hex(),
+        "02e7b8c81624a5998352bd0d14cdd48f",
+        "workload fingerprint schema drifted"
+    );
+}
+
+/// The scheduler axis is hashed too: the same policy through a different
+/// backend is a different simulation.
+#[test]
+fn scheduler_axis_changes_the_key() {
+    let wfp = plan("lassen", 0.7, 42, 24, 1.0).fingerprint().unwrap();
+    let a = cell("fcfs", "easy", false, None, EngineMode::Event);
+    let mut b = a.clone();
+    b.scheduler = SchedulerSelect::FastSim;
+    assert_ne!(a.fingerprint(wfp), b.fingerprint(wfp));
+}
+
+/// Labels and positions are cosmetic: renaming or reordering a study
+/// must not orphan its cache entries.
+#[test]
+fn cosmetic_fields_do_not_affect_the_key() {
+    let wfp = plan("lassen", 0.7, 42, 24, 1.0).fingerprint().unwrap();
+    let a = cell("fcfs", "easy", false, None, EngineMode::Event);
+    let mut b = a.clone();
+    b.label = "renamed/other-label".into();
+    b.index = 99;
+    b.workload = 7;
+    assert_eq!(a.fingerprint(wfp), b.fingerprint(wfp));
+
+    let p = plan("lassen", 0.7, 42, 24, 1.0);
+    let q = WorkloadPlan::Synthetic {
+        label: "renamed".into(),
+        group: "other-group".into(),
+        system: "lassen".into(),
+        load: 0.7,
+        seed: 42,
+        span: SimDuration::hours(24),
+        scale: 1.0,
+    };
+    assert_eq!(p.fingerprint().unwrap(), q.fingerprint().unwrap());
+}

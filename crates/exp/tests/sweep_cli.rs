@@ -93,6 +93,205 @@ fn sweep_is_bit_identical_across_jobs() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// Shared small grid used by the cache tests below.
+fn grid_args(jobs: &str) -> Vec<String> {
+    [
+        "sweep",
+        "--system",
+        "lassen",
+        "--policies",
+        "fcfs,sjf",
+        "--backfills",
+        "none,easy",
+        "--span",
+        "2h",
+        "--quiet",
+        "--jobs",
+        jobs,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn cold_parallel_vs_warm_serial_cache_is_deterministic() {
+    // The satellite scenario: a cold --jobs 4 run fills the cache, a warm
+    // --jobs 1 run serves every cell from it, and the reports match byte
+    // for byte (caching must not interact with the executor).
+    let base = std::env::temp_dir().join(format!("sraps-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache = base.join("cache");
+    let run = |jobs: &str, sub: &str| -> (String, String, String) {
+        let dir = base.join(sub);
+        let mut args = grid_args(jobs);
+        args.extend([
+            "--cache-dir".into(),
+            cache.display().to_string(),
+            "-o".into(),
+        ]);
+        let out = sraps().args(&args).arg(&dir).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            std::fs::read_to_string(dir.join("sweep.csv")).unwrap(),
+            std::fs::read_to_string(dir.join("sweep.json")).unwrap(),
+        )
+    };
+
+    let (cold_stdout, cold_csv, cold_json) = run("4", "cold");
+    assert!(
+        cold_stdout.contains("cache: 0 hits, 4 misses"),
+        "cold run misses everything: {cold_stdout}"
+    );
+    let (warm_stdout, warm_csv, warm_json) = run("1", "warm");
+    assert!(
+        warm_stdout.contains("cache: 4 hits, 0 misses"),
+        "warm run must be 100% hits: {warm_stdout}"
+    );
+    assert_eq!(cold_csv, warm_csv, "cold/warm sweep.csv must be identical");
+    assert_eq!(cold_json, warm_json);
+
+    // Truncate one entry: the runner recomputes and rewrites it.
+    let entry = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "json"))
+        .expect("cache has entries");
+    let full = std::fs::read_to_string(&entry).unwrap();
+    std::fs::write(&entry, &full[..full.len() / 2]).unwrap();
+    let (healed_stdout, healed_csv, _) = run("2", "healed");
+    assert!(
+        healed_stdout.contains("cache: 3 hits, 1 misses"),
+        "only the truncated entry recomputes: {healed_stdout}"
+    );
+    assert_eq!(healed_csv, cold_csv);
+    assert_eq!(
+        std::fs::read_to_string(&entry).unwrap(),
+        full,
+        "the truncated entry was rewritten"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn metrics_only_reports_match_full_retention_byte_for_byte() {
+    let base = std::env::temp_dir().join(format!("sraps-cli-lean-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let run = |extra: &[&str], sub: &str| -> (String, String) {
+        let dir = base.join(sub);
+        let mut args = grid_args("2");
+        args.extend(extra.iter().map(|s| s.to_string()));
+        args.push("-o".into());
+        let out = sraps().args(&args).arg(&dir).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read_to_string(dir.join("sweep.csv")).unwrap(),
+            std::fs::read_to_string(dir.join("sweep.json")).unwrap(),
+        )
+    };
+    let (full_csv, full_json) = run(&["--no-cache"], "full");
+    let (lean_csv, lean_json) = run(&["--metrics-only", "--no-cache"], "lean");
+    assert_eq!(full_csv, lean_csv);
+    assert_eq!(full_json, lean_json);
+    // --metrics-only --write-histories without a cache cannot work and
+    // says so.
+    let out = sraps()
+        .args(grid_args("1"))
+        .args(["--metrics-only", "--write-histories", "--no-cache", "-o"])
+        .arg(base.join("bad"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs --cache"));
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn cache_env_var_enables_and_no_cache_overrides() {
+    let base = std::env::temp_dir().join(format!("sraps-cli-env-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache = base.join("envcache");
+    // SRAPS_CACHE_DIR alone turns caching on…
+    let out = sraps()
+        .args(grid_args("2"))
+        .arg("-o")
+        .arg(base.join("a"))
+        .env("SRAPS_CACHE_DIR", &cache)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache: 0 hits, 4 misses"), "{stdout}");
+    assert!(cache.is_dir(), "cache created at $SRAPS_CACHE_DIR");
+    // …and --no-cache wins over the environment.
+    let out = sraps()
+        .args(grid_args("2"))
+        .args(["--no-cache", "-o"])
+        .arg(base.join("b"))
+        .env("SRAPS_CACHE_DIR", &cache)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).contains("cache:"),
+        "--no-cache suppresses caching entirely"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn cached_write_histories_exports_from_the_spill() {
+    let base = std::env::temp_dir().join(format!("sraps-cli-hist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache = base.join("cache");
+    let run = |sub: &str| {
+        let dir = base.join(sub);
+        let mut args = grid_args("2");
+        args.extend([
+            "--cache-dir".into(),
+            cache.display().to_string(),
+            "--metrics-only".into(),
+            "--write-histories".into(),
+            "-o".into(),
+        ]);
+        let out = sraps().args(&args).arg(&dir).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        dir
+    };
+    let cold = run("cold");
+    let warm = run("warm");
+    for dir in [&cold, &warm] {
+        for stem in ["fcfs-none", "fcfs-easy", "sjf-none", "sjf-easy"] {
+            let power = std::fs::read_to_string(dir.join(format!("{stem}-power.csv")))
+                .unwrap_or_else(|_| panic!("{stem}-power.csv in {}", dir.display()));
+            assert!(power.starts_with("t_secs,it_kw"));
+        }
+    }
+    // Cold (simulated+spilled) and warm (copied from spill) histories agree.
+    for stem in ["fcfs-none", "sjf-easy"] {
+        let name = format!("{stem}-power.csv");
+        assert_eq!(
+            std::fs::read_to_string(cold.join(&name)).unwrap(),
+            std::fs::read_to_string(warm.join(&name)).unwrap()
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
 #[test]
 fn sweep_help_and_errors() {
     let out = sraps().args(["sweep", "--help"]).output().unwrap();

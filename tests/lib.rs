@@ -41,7 +41,7 @@ pub fn sweep_pairs(cfg: &SystemConfig, ds: &Dataset, pairs: &[(&str, &str)]) -> 
         .expect("sweep runs")
         .cells
         .into_iter()
-        .map(|c| c.output)
+        .map(|c| c.output.expect("full-retention uncached sweep"))
         .collect()
 }
 

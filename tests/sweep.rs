@@ -42,21 +42,21 @@ fn parallel_output_is_bit_identical_to_serial() {
     for (s, p) in serial.cells.iter().zip(&parallel.cells) {
         assert_eq!(s.spec.label, p.spec.label);
         assert_eq!(s.metrics, p.metrics);
-        assert_eq!(s.output.times, p.output.times);
-        assert_eq!(s.output.utilization, p.output.utilization);
-        assert_eq!(
-            s.output.power.len(),
-            p.output.power.len(),
-            "history lengths must match"
+        let (so, po) = (
+            s.output.as_ref().expect("full retention"),
+            p.output.as_ref().expect("full retention"),
         );
-        for (a, b) in s.output.power.iter().zip(&p.output.power) {
+        assert_eq!(so.times, po.times);
+        assert_eq!(so.utilization, po.utilization);
+        assert_eq!(so.power.len(), po.power.len(), "history lengths must match");
+        for (a, b) in so.power.iter().zip(&po.power) {
             assert_eq!(
                 a.total_kw.to_bits(),
                 b.total_kw.to_bits(),
                 "power bits differ"
             );
         }
-        assert_eq!(s.output.outcomes.len(), p.output.outcomes.len());
+        assert_eq!(so.outcomes.len(), po.outcomes.len());
     }
     // Report-level: the exported artifacts are byte-identical.
     let rs = Report::from_results(&serial);
@@ -132,6 +132,50 @@ fn incentive_sweep_runs_through_experimental_scheduler() {
             cell.spec.label
         );
     }
+}
+
+#[test]
+fn cache_warms_across_runs_and_matrix_overlaps() {
+    // Prebuilt workloads take the content-hash path (full dataset +
+    // config streamed through the fingerprinter), and overlapping
+    // matrices share cells: a superset matrix only simulates the new
+    // ones.
+    let dir = std::env::temp_dir().join(format!("sraps-itest-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (cfg, ds) = small_workload(0.6, 3, 31);
+    let base = ExperimentMatrix::scenario(workload_of(&cfg, &ds))
+        .pairs([("fcfs", "easy"), ("sjf", "none")]);
+    let runner = SweepRunner::new(2).cache_dir(&dir);
+
+    let cold = runner.run(&base).unwrap();
+    assert_eq!((cold.cache_hits(), cold.cache_misses()), (0, 2));
+
+    let warm = runner.run(&base).unwrap();
+    assert_eq!((warm.cache_hits(), warm.cache_misses()), (2, 0));
+    for (c, w) in cold.cells.iter().zip(&warm.cells) {
+        assert_eq!(c.metrics, w.metrics);
+        assert!(w.output.is_none(), "hits retain no SimOutput");
+    }
+    assert_eq!(
+        Report::from_results(&cold).to_csv(),
+        Report::from_results(&warm).to_csv()
+    );
+
+    // Growing the matrix by one pair only simulates the new cell.
+    let grown = ExperimentMatrix::scenario(workload_of(&cfg, &ds)).pairs([
+        ("fcfs", "easy"),
+        ("sjf", "none"),
+        ("fcfs", "none"),
+    ]);
+    let overlap = runner.run(&grown).unwrap();
+    assert_eq!((overlap.cache_hits(), overlap.cache_misses()), (2, 1));
+    // A different workload misses everything: the key is content-bound.
+    let (cfg2, ds2) = small_workload(0.6, 3, 32);
+    let other = ExperimentMatrix::scenario(workload_of(&cfg2, &ds2))
+        .pairs([("fcfs", "easy"), ("sjf", "none")]);
+    let miss = runner.run(&other).unwrap();
+    assert_eq!(miss.cache_hits(), 0, "different seed ⇒ different dataset");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
