@@ -29,6 +29,9 @@ struct Case {
     load: f64,
     span_hours: i64,
     median_runtime_h: f64,
+    /// Power cap as a fraction of peak IT power, if the scenario runs
+    /// under the power-cap scheduler.
+    power_cap_frac: Option<f64>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -63,14 +66,19 @@ fn case(
         load,
         span_hours,
         median_runtime_h,
+        power_cap_frac: None,
     }
 }
 
 /// The scenario set: the headline low-utilization multi-day window with
 /// multi-hour jobs (long idle spans → the event core's home turf), the
 /// same window replayed, a saturated day (the queue never drains → worst
-/// case, must not regress), and a trace-telemetry day (per-tick sampling
-/// path, fig4's dataset class).
+/// case, must not regress), a trace-telemetry day (segment-walk physics,
+/// fig4's dataset class), and the PR 4 hard cases: a saturated day under
+/// conservative backfill (skips ride the reservation hint), a
+/// power-capped day (skips ride the wrapper's inherited hint), and a
+/// saturated trace-telemetry day (event-bound skipping under a
+/// never-draining queue *and* the segment-walk physics at once).
 fn cases() -> Vec<Case> {
     vec![
         case("lowutil_7d", "adastra", 0.3, 168, 6.0, 7, "fcfs", "easy"),
@@ -95,13 +103,53 @@ fn cases() -> Vec<Case> {
             "easy",
         ),
         case("trace_1d", "marconi100", 0.5, 24, 0.6667, 7, "fcfs", "easy"),
+        // The three PR 4 hard cases use multi-hour jobs (the realistic
+        // saturated-day shape — completions minutes apart): with sub-hour
+        // jobs the event grid is as dense as the tick grid and there is
+        // nothing for *any* core to skip.
+        case(
+            "conservative_sat_1d",
+            "adastra",
+            1.1,
+            24,
+            8.0,
+            7,
+            "fcfs",
+            "conservative",
+        ),
+        Case {
+            power_cap_frac: Some(0.6),
+            ..case(
+                "powercap_1d",
+                "adastra",
+                0.9,
+                24,
+                6.0,
+                7,
+                "fcfs",
+                "firstfit",
+            )
+        },
+        case(
+            "trace_sat_1d",
+            "marconi100",
+            1.1,
+            24,
+            8.0,
+            7,
+            "fcfs",
+            "easy",
+        ),
     ]
 }
 
 fn run_cell(c: &Case, mode: EngineMode) -> SimOutput {
-    let sim = SimConfig::new(c.cfg.clone(), c.policy, c.backfill)
+    let mut sim = SimConfig::new(c.cfg.clone(), c.policy, c.backfill)
         .unwrap()
         .with_engine(mode);
+    if let Some(frac) = c.power_cap_frac {
+        sim = sim.with_power_cap(c.cfg.peak_it_power_kw() * frac);
+    }
     Engine::new(sim, &c.ds).unwrap().run().unwrap()
 }
 
@@ -127,6 +175,7 @@ struct ScenarioResult {
     median_runtime_h: f64,
     policy: String,
     backfill: String,
+    power_cap_frac: Option<f64>,
     tick_secs: i64,
     samples: usize,
     tick_median_ms: f64,
@@ -178,6 +227,7 @@ fn bench_engine_core(c: &mut Criterion) {
             median_runtime_h: case.median_runtime_h,
             policy: case.policy.to_string(),
             backfill: case.backfill.to_string(),
+            power_cap_frac: case.power_cap_frac,
             tick_secs: case.cfg.tick.as_secs(),
             samples,
             tick_median_ms: tick_ms,

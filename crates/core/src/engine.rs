@@ -13,12 +13,17 @@
 //!   changed is skipped.
 //!
 //! With an empty queue the skip is always sound. With a non-empty queue
-//! it depends on the scheduler ([`SchedSkip`]): time-invariant built-in
-//! policies with none/first-fit/EASY backfill (and replay) change their
-//! decisions only at events, so a call that placed nothing skips ahead;
-//! aging priorities, conservative backfill (reservations mature on
-//! estimated ends), power caps, and external backends are offered the
-//! queue every tick.
+//! it depends on the scheduler ([`SchedSkip`]): built-in policies with
+//! none/first-fit/EASY backfill change their decisions only at events, so
+//! a call that placed nothing skips ahead. Every other backend is asked
+//! for its next internal deadline
+//! ([`SchedulerBackend::next_decision_time`]) — conservative backfill
+//! exposes its earliest future reservation, replay (also under a power
+//! cap) the earliest future recorded start, external engines their next
+//! internal event — and the skip horizon is bounded by that deadline.
+//! Only backends that cannot bound their next decision (a conservative
+//! plan whose matured reservation failed to allocate, an external engine
+//! without an event hint) still force one-tick stepping.
 
 use crate::config::{EngineMode, SchedulerSelect, SimConfig};
 use crate::output::SimOutput;
@@ -26,12 +31,14 @@ use sraps_acct::{Accounts, JobOutcome, SystemStats};
 use sraps_cooling::CoolingPlant;
 use sraps_data::Dataset;
 use sraps_extsched::{ExternalAdapter, FastSim, ScheduleFlow};
-use sraps_power::{node_power_from_telemetry, PowerModel};
+use sraps_power::{node_power_from_telemetry, node_power_w, PowerModel};
 use sraps_sched::{
     BuiltinScheduler, ExperimentalScheduler, JobQueue, QueuedJob, ResourceManager, RunningView,
     SchedContext, SchedulerBackend,
 };
-use sraps_types::{Job, JobId, NodeSet, Result, SimDuration, SimTime, SrapsError, Trace};
+use sraps_types::{
+    Job, JobId, NodeSet, Result, SimDuration, SimTime, SrapsError, Trace, TraceSegments,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -115,53 +122,146 @@ fn is_constant(t: &Option<Trace>) -> bool {
     t.as_ref().is_none_or(|t| t.len() <= 1)
 }
 
+/// One maximal homogeneous run of a metric within a physics span: either
+/// a constant hold or a straight slice of consecutive samples.
+#[derive(Clone, Copy)]
+enum MetricRun<'a> {
+    /// The same value at every tick of the run.
+    Hold(f32),
+    /// Tick `k + j` of the run reads `samples[j]` (trace cadence equals
+    /// the engine tick — the Marconi100/Frontier hot path).
+    Stream(&'a [f32]),
+}
+
+impl MetricRun<'_> {
+    #[inline]
+    fn at(self, j: usize) -> f32 {
+        match self {
+            MetricRun::Hold(v) => v,
+            MetricRun::Stream(s) => s[j],
+        }
+    }
+}
+
+/// Cursor over one metric's piecewise-constant value stream within a
+/// physics span: traces are constant between samples, so the span walk
+/// reads each metric once per *run* instead of re-sampling (divide,
+/// clamp, branch) at every tick. Values are exactly [`Trace::sample`]'s
+/// at each tick offset.
+enum MetricCursor<'a> {
+    /// One value across the whole span: metric missing, single-sample
+    /// trace, or the span lies entirely in one sample's hold region.
+    Constant(f32),
+    /// `trace.dt == step` (trace cadence matches the tick): the sample
+    /// index at tick `k` is `clamp(i0 + k, 0, len-1)` — a leading hold
+    /// (before the trace), a streamed middle, a trailing hold (last
+    /// value). This is the trace-dataset hot path (Marconi100/Frontier
+    /// sample at exactly the engine tick).
+    Aligned { values: &'a [f32], i0: i64 },
+    /// Arbitrary cadence/alignment: the generic segment iterator.
+    General {
+        it: TraceSegments<'a>,
+        end: usize,
+        value: f32,
+    },
+}
+
+impl<'a> MetricCursor<'a> {
+    fn new(trace: Option<&'a Trace>, start: SimDuration, step: SimDuration, count: usize) -> Self {
+        let Some(t) = trace.filter(|t| !t.is_empty()) else {
+            return MetricCursor::Constant(0.0);
+        };
+        let n = t.values.len();
+        if n == 1 {
+            return MetricCursor::Constant(t.values[0]);
+        }
+        if t.dt == step {
+            // idx(k) = floor((start - t0 + k·dt)/dt) = i0 + k, clamped —
+            // identical to `sample` (trunc == floor for the positive
+            // branch; non-positive clamps to the first value).
+            let i0 = (start.as_secs() - t.t0.as_secs()).div_euclid(t.dt.as_secs());
+            if i0 >= (n - 1) as i64 {
+                return MetricCursor::Constant(t.values[n - 1]);
+            }
+            if count == 0 || i0 + (count as i64 - 1) <= 0 {
+                return MetricCursor::Constant(t.values[0]);
+            }
+            return MetricCursor::Aligned {
+                values: &t.values,
+                i0,
+            };
+        }
+        let mut it = t.segments(start, step, count);
+        let (end, value) = it.next().map_or((count, 0.0), |s| (s.ticks.end, s.value));
+        MetricCursor::General { it, end, value }
+    }
+
+    /// The maximal homogeneous run starting at tick `k` (ends capped at
+    /// `count`); `k` must be non-decreasing across calls.
+    #[inline]
+    fn run_at(&mut self, k: usize, count: usize) -> (MetricRun<'a>, usize) {
+        match self {
+            MetricCursor::Constant(v) => (MetricRun::Hold(*v), count),
+            MetricCursor::Aligned { values, i0 } => {
+                let i = *i0 + k as i64;
+                let last = values.len() - 1;
+                if i <= 0 {
+                    // The first value holds until the index turns 1.
+                    (MetricRun::Hold(values[0]), ((1 - *i0) as usize).min(count))
+                } else if i as usize >= last {
+                    (MetricRun::Hold(values[last]), count)
+                } else {
+                    // Stream consecutive samples until the last sample's
+                    // hold region begins.
+                    let i = i as usize;
+                    (MetricRun::Stream(&values[i..]), (k + (last - i)).min(count))
+                }
+            }
+            MetricCursor::General { it, end, value } => {
+                while k >= *end {
+                    let s = it.next().expect("segments cover every tick");
+                    *end = s.ticks.end;
+                    *value = s.value;
+                }
+                (MetricRun::Hold(*value), *end)
+            }
+        }
+    }
+}
+
 /// When may the event core skip scheduling ticks while the queue is
 /// *non-empty*? (An empty queue always skips to the event horizon.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SchedSkip {
-    /// The scheduler's decisions may change with time alone (aging
-    /// priorities, conservative reservations maturing on estimated ends,
-    /// external/experimental backends with internal clocks, power caps):
-    /// the queue must be offered every tick.
-    EveryTick,
-    /// Time-invariant built-in policy with none/first-fit/EASY backfill:
+    /// Built-in policy (every ordering key is time-invariant between
+    /// events — aging is uniform-rate) with none/first-fit/EASY backfill:
     /// a call that places nothing will keep placing nothing until the
     /// next completion/submission/outage event — EASY admission only
     /// hardens as `now` advances against a reservation built from static
     /// estimated ends. (A call that *did* place jobs can shift the
     /// reservation, so placements force a one-tick step.)
     OnEvents,
-    /// Replay: queued jobs start exactly at their recorded start (or
-    /// wait for capacity, which only completions release), so the
-    /// horizon extends to the earliest future recorded start.
-    Replay,
+    /// Everything else — replay (queued jobs mature at recorded starts),
+    /// conservative backfill (reservations mature on estimated ends),
+    /// power-cap wrappers, experimental and external backends: ask the
+    /// backend for its next internal deadline
+    /// ([`SchedulerBackend::next_decision_time`]) after each no-op call
+    /// and bound the skip horizon by it.
+    Hinted,
 }
 
 impl SchedSkip {
     fn classify(sim: &SimConfig) -> SchedSkip {
         use sraps_sched::{BackfillKind, PolicyKind};
-        if sim.scheduler != SchedulerSelect::Default || sim.power_cap_kw.is_some() {
-            return SchedSkip::EveryTick;
+        if sim.scheduler != SchedulerSelect::Default
+            || sim.power_cap_kw.is_some()
+            || sim.policy == PolicyKind::Replay
+        {
+            return SchedSkip::Hinted;
         }
-        if sim.policy == PolicyKind::Replay {
-            return SchedSkip::Replay;
-        }
-        let static_policy = matches!(
-            sim.policy,
-            PolicyKind::Fcfs
-                | PolicyKind::Sjf
-                | PolicyKind::Ljf
-                | PolicyKind::Priority
-                | PolicyKind::Ml
-        );
-        let event_bound_backfill = matches!(
-            sim.backfill,
-            BackfillKind::None | BackfillKind::FirstFit | BackfillKind::Easy
-        );
-        if static_policy && event_bound_backfill {
-            SchedSkip::OnEvents
-        } else {
-            SchedSkip::EveryTick
+        match sim.backfill {
+            BackfillKind::None | BackfillKind::FirstFit | BackfillKind::Easy => SchedSkip::OnEvents,
+            BackfillKind::Conservative => SchedSkip::Hinted,
         }
     }
 }
@@ -199,6 +299,13 @@ pub struct Engine {
     sim_end: SimTime,
     /// Which configured outages are currently applied.
     outage_active: Vec<bool>,
+    /// Every outage edge (`from` and `until`), pre-sorted ascending, so
+    /// the event-horizon check is a cursor lookup instead of a scan.
+    outage_edges: Vec<SimTime>,
+    /// First entry of `outage_edges` strictly after the last horizon
+    /// query; `now` is monotone in the run loop, so the cursor only
+    /// advances — O(1) amortized.
+    outage_cursor: usize,
     // Histories.
     times: Vec<SimTime>,
     power_hist: Vec<sraps_power::PowerSample>,
@@ -283,6 +390,9 @@ impl Engine {
             .unwrap_or_else(|| Accounts::new(sim.reference_power_kw()));
 
         let outage_active = vec![false; sim.outages.len()];
+        let mut outage_edges: Vec<SimTime> =
+            sim.outages.iter().flat_map(|o| [o.from, o.until]).collect();
+        outage_edges.sort_unstable();
         let mut engine = Engine {
             scheduler,
             rm,
@@ -302,6 +412,8 @@ impl Engine {
             sim_start,
             sim_end,
             outage_active,
+            outage_edges,
+            outage_cursor: 0,
             times: Vec::new(),
             power_hist: Vec::new(),
             cooling_hist: Vec::new(),
@@ -649,11 +761,12 @@ impl Engine {
     /// constant. Constant-profile jobs (summary datasets) are already
     /// folded into `const_busy_w`, so the common idle span costs O(1)
     /// per tick: replicate one power sample and the constant history
-    /// values. Traced jobs sample per tick, with the job loop *outside*
-    /// the tick loop (one job deref per job per span, trace-local cache
-    /// walks). Every floating-point operation happens with the same
-    /// inputs and in the same order as the one-tick-at-a-time loop,
-    /// keeping histories bit-identical across engine cores.
+    /// values. Traced jobs walk their overlapping trace *segments* once
+    /// per span (job loop outside the tick loop): each segment's metrics
+    /// are sampled once and its per-tick increments applied across the
+    /// segment's tick range. Every floating-point operation happens with
+    /// the same inputs and in the same order as the one-tick-at-a-time
+    /// loop, keeping histories bit-identical across engine cores.
     fn advance_physics(&mut self, from: SimTime, ticks: usize) {
         let dt = self.sim.system.tick;
         let dt_secs = dt.as_secs();
@@ -704,9 +817,14 @@ impl Engine {
             return;
         }
 
-        // Traced jobs present: accumulate per-tick draws job-by-job (one
-        // job deref per span, trace-local cache walks), in active order
-        // so the per-tick sums match the one-tick loop exactly.
+        // Traced jobs present: walk each job's overlapping trace segments
+        // once per span (traces are piecewise-constant between samples),
+        // job-by-job in active order so the per-tick sums match the
+        // one-tick loop exactly. Per segment the three metrics are read
+        // once and the per-tick increments hoisted; the increments are
+        // then applied per tick (repeated addition, not a closed form) so
+        // every accumulator sees the same value sequence as the one-tick
+        // loop — bit-identical histories *and* outcomes.
         let mut span_busy = std::mem::take(&mut self.span_busy);
         span_busy.clear();
         span_busy.resize(ticks, 0.0);
@@ -722,14 +840,86 @@ impl Engine {
                     let tel = &jobs[a.job].telemetry;
                     let n = a.nodes.len() as f64;
                     let base = (from - a.start) + a.telemetry_offset;
-                    for (k, b) in span_busy.iter_mut().enumerate() {
-                        let offset = base + SimDuration::seconds(dt_secs * k as i64);
-                        let node_w = node_power_from_telemetry(spec, tel, offset);
-                        *b += node_w * n;
-                        a.energy_kwh += node_w / 1000.0 * n * dt_hours;
-                        a.node_power_sum_kw += node_w / 1000.0;
-                        a.cpu_util_sum += tel.cpu_util_at(offset) as f64;
-                        a.gpu_util_sum += tel.gpu_util_at(offset) as f64;
+                    if ticks <= 3 {
+                        // Short span (events a tick or two apart): the
+                        // reference per-tick sampling is cheaper than
+                        // setting up segment cursors it would barely use.
+                        for (k, b) in span_busy.iter_mut().enumerate() {
+                            let offset = base + SimDuration::seconds(dt_secs * k as i64);
+                            let node_w = node_power_from_telemetry(spec, tel, offset);
+                            *b += node_w * n;
+                            a.energy_kwh += node_w / 1000.0 * n * dt_hours;
+                            a.node_power_sum_kw += node_w / 1000.0;
+                            a.cpu_util_sum += tel.cpu_util_at(offset) as f64;
+                            a.gpu_util_sum += tel.gpu_util_at(offset) as f64;
+                        }
+                        a.ticks += ticks as u64;
+                        continue;
+                    }
+                    // Joint walk over the (up to) three recorded metrics;
+                    // a missing metric is one constant-0 run, exactly
+                    // like the `*_at` accessors report 0.
+                    let has_power = tel.node_power_w.is_some();
+                    let mut power = MetricCursor::new(tel.node_power_w.as_ref(), base, dt, ticks);
+                    let mut cpu = MetricCursor::new(tel.cpu_util.as_ref(), base, dt, ticks);
+                    let mut gpu = MetricCursor::new(tel.gpu_util.as_ref(), base, dt, ticks);
+                    let mut k = 0;
+                    while k < ticks {
+                        let (prun, pe) = power.run_at(k, ticks);
+                        let (crun, ce) = cpu.run_at(k, ticks);
+                        let (grun, ge) = gpu.run_at(k, ticks);
+                        let end = pe.min(ce).min(ge);
+                        if let (MetricRun::Hold(pw), MetricRun::Hold(cu), MetricRun::Hold(gu)) =
+                            (prun, crun, grun)
+                        {
+                            // Constant across the run: hoist the per-tick
+                            // increments once and apply them `end − k`
+                            // times (repeated addition, not a closed
+                            // form, so accumulators stay bit-identical
+                            // to the one-tick loop).
+                            let node_w = if has_power {
+                                pw as f64
+                            } else {
+                                node_power_w(spec, cu as f64, gu as f64)
+                            };
+                            let busy_add = node_w * n;
+                            let energy_add = node_w / 1000.0 * n * dt_hours;
+                            let kw_add = node_w / 1000.0;
+                            let cpu_add = cu as f64;
+                            let gpu_add = gu as f64;
+                            for b in &mut span_busy[k..end] {
+                                *b += busy_add;
+                            }
+                            for _ in k..end {
+                                a.energy_kwh += energy_add;
+                                a.node_power_sum_kw += kw_add;
+                                a.cpu_util_sum += cpu_add;
+                                a.gpu_util_sum += gpu_add;
+                            }
+                        } else {
+                            // At least one metric streams sample-per-tick:
+                            // walk the slices directly — same arithmetic,
+                            // same order as the one-tick loop, minus its
+                            // per-tick sampling (divide/clamp/branch).
+                            for (j, b) in span_busy[k..end].iter_mut().enumerate() {
+                                let cu = crun.at(j) as f64;
+                                let gu = grun.at(j) as f64;
+                                // `node_power_from_telemetry`'s rule:
+                                // recorded power wins, else the
+                                // utilization→power model.
+                                let node_w = if has_power {
+                                    prun.at(j) as f64
+                                } else {
+                                    node_power_w(spec, cu, gu)
+                                };
+                                *b += node_w * n;
+                                a.energy_kwh += node_w / 1000.0 * n * dt_hours;
+                                a.node_power_sum_kw += node_w / 1000.0;
+                                a.cpu_util_sum += cu;
+                                a.gpu_util_sum += gu;
+                            }
+                        }
+                        k = end;
                     }
                 }
             }
@@ -757,10 +947,16 @@ impl Engine {
     /// The event horizon: earliest future instant at which steps 1–3 can
     /// do anything — the next pending submission, the earliest completion
     /// in the heap, or the next outage edge; `sim_end` bounds it. With a
-    /// non-empty queue, `run` additionally bounds it by the earliest
-    /// future recorded start (replay) and only skips when the scheduler
-    /// is event-bound ([`SchedSkip`]).
-    fn next_event_time(&self, now: SimTime) -> SimTime {
+    /// non-empty queue, `run` additionally bounds it by the scheduler's
+    /// internal deadline and only skips when the scheduler is event-bound
+    /// or hint-bounded ([`SchedSkip`]).
+    ///
+    /// Outage edges are pre-sorted at construction; since `now` is
+    /// monotone across calls, a cursor over that list replaces the
+    /// per-call scan of every configured outage (outage state only
+    /// toggles at edges, so the next state change is exactly the first
+    /// edge strictly after `now`).
+    fn next_event_time(&mut self, now: SimTime) -> SimTime {
         let mut e = self.sim_end;
         if let Some(&idx) = self.pending.get(self.next_pending) {
             e = e.min(self.jobs[idx].submit);
@@ -768,14 +964,13 @@ impl Engine {
         if let Some(&Reverse((end, _))) = self.completions.peek() {
             e = e.min(end);
         }
-        for (i, o) in self.sim.outages.iter().enumerate() {
-            if self.outage_active[i] {
-                e = e.min(o.until);
-            } else if o.from > now {
-                e = e.min(o.from);
-            }
-            // Inactive with from ≤ now: the window already passed (it
-            // would have been applied by this tick's apply_outages).
+        while self.outage_cursor < self.outage_edges.len()
+            && self.outage_edges[self.outage_cursor] <= now
+        {
+            self.outage_cursor += 1;
+        }
+        if let Some(&edge) = self.outage_edges.get(self.outage_cursor) {
+            e = e.min(edge);
         }
         e
     }
@@ -795,38 +990,41 @@ impl Engine {
             self.apply_outages(now);
             self.enqueue_eligible(now);
             let placed = self.schedule(now)?;
-            // Skip to the event horizon when steps 1–3 are provably
-            // no-ops until then: always with an empty queue, and with a
-            // non-empty one when the scheduler is event-bound and this
-            // call placed nothing (placements can shift backfill
-            // reservations, so they force a one-tick step).
-            let can_skip = event_mode
-                && (self.queue.is_empty() || (placed == 0 && self.skip != SchedSkip::EveryTick));
             if !event_mode {
                 self.tick_physics(now);
                 now += dt;
                 remaining -= 1;
                 continue;
             }
+            // Skip to the event horizon when steps 1–3 are provably
+            // no-ops until then: always with an empty queue, and with a
+            // non-empty one when this call placed nothing (placements can
+            // shift backfill reservations, so they force a one-tick step)
+            // and the scheduler is event-bound — outright (OnEvents) or
+            // up to an internal deadline it reports, which then bounds
+            // the horizon (Hinted).
+            let mut deadline: Option<SimTime> = None;
+            let can_skip = if self.queue.is_empty() {
+                true
+            } else if placed > 0 {
+                false
+            } else {
+                match self.skip {
+                    SchedSkip::OnEvents => true,
+                    SchedSkip::Hinted => match self.scheduler.next_decision_time(now) {
+                        None => true,
+                        Some(t) if t > now => {
+                            deadline = Some(t);
+                            true
+                        }
+                        Some(_) => false,
+                    },
+                }
+            };
             let span = if can_skip {
                 let mut horizon = self.next_event_time(now);
-                if !self.queue.is_empty() && self.skip == SchedSkip::Replay {
-                    // Queued replay jobs start at their recorded start;
-                    // earlier ones are stuck on capacity, which only the
-                    // completions already in the horizon can release.
-                    // Full scan: the replay path never sorts the queue
-                    // (it stays in submission order, and recorded starts
-                    // are not monotone in submit time).
-                    if let Some(rs) = self
-                        .queue
-                        .jobs()
-                        .iter()
-                        .map(|j| j.recorded_start)
-                        .filter(|&rs| rs > now)
-                        .min()
-                    {
-                        horizon = horizon.min(rs);
-                    }
+                if let Some(t) = deadline {
+                    horizon = horizon.min(t);
                 }
                 let raw = (horizon - now).as_secs();
                 ((raw + dt_secs - 1) / dt_secs).clamp(1, remaining)

@@ -34,7 +34,12 @@ use std::fmt;
 /// output for identical inputs (engine semantics, physics models,
 /// dataloaders, preset systems, metrics definitions). Folded into every
 /// fingerprint, so a bump orphans — rather than corrupts — old entries.
-pub const ENGINE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: uniform-aging priority key became time-invariant (identical
+/// mathematical order, but f64 rounding ties can resolve differently)
+/// and power-capped runs now report effected placements instead of
+/// shadow proposals in their scheduler statistics.
+pub const ENGINE_SCHEMA_VERSION: u32 = 2;
 
 /// A finished 128-bit fingerprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -222,6 +227,6 @@ mod tests {
         // deliberately (it is what invalidates every on-disk cache).
         let mut fp = Fingerprinter::new();
         fp.write_str("golden");
-        assert_eq!(fp.finish().hex(), "57c0ef729b6c88d584f874303ff1fdc3");
+        assert_eq!(fp.finish().hex(), "7a0ac5c03f4b2cb2d11e2c8562bc6210");
     }
 }

@@ -3,10 +3,11 @@
 //! skipping the idle spans. This suite pins that claim across the policy ×
 //! backfill grid and with every physics subsystem enabled at once.
 
+use proptest::prelude::*;
 use sraps_core::{Engine, EngineMode, Outage, SchedulerSelect, SimConfig, SimOutput};
 use sraps_data::{adastra, lassen, marconi100, Dataset, WorkloadSpec};
 use sraps_systems::{presets, SystemConfig};
-use sraps_types::{NodeSet, SimDuration, SimTime};
+use sraps_types::{NodeSet, SimDuration, SimTime, Trace};
 
 /// Exact equality on every series and aggregate a run produces.
 fn assert_identical(tick: &SimOutput, event: &SimOutput, what: &str) {
@@ -170,6 +171,115 @@ fn parity_with_external_scheduler_backends() {
             .unwrap()
             .with_scheduler(select.clone());
         run_both(&sim, &ds, &format!("adastra external {select:?}"));
+    }
+}
+
+#[test]
+fn parity_on_saturated_day_with_conservative_backfill() {
+    // The queue never drains, so every skip the event core takes rides on
+    // the conservative plan's next-reservation hint — the PR 4 headroom
+    // case. Saturation also keeps reservations maturing mid-span.
+    let cfg = presets::adastra();
+    let ds = workload(&cfg, 1.2, 8, 29);
+    for policy in ["fcfs", "sjf"] {
+        let sim = SimConfig::new(cfg.clone(), policy, "conservative").unwrap();
+        run_both(
+            &sim,
+            &ds,
+            &format!("saturated adastra {policy}-conservative"),
+        );
+    }
+}
+
+#[test]
+fn parity_with_aging_policy() {
+    // Uniform-rate aging must be event-bound: pairwise order never
+    // changes between queue mutations (the key avoids `now` entirely).
+    let cfg = presets::adastra();
+    let ds = workload(&cfg, 0.9, 8, 31);
+    for backfill in ["none", "firstfit", "easy", "conservative"] {
+        let sim = SimConfig::new(cfg.clone(), "priority_aging", backfill).unwrap();
+        run_both(&sim, &ds, &format!("adastra priority_aging-{backfill}"));
+    }
+}
+
+#[test]
+fn parity_under_binding_power_cap() {
+    // A cap tight enough to defer placements continuously: the wrapper's
+    // hint logic (inherit the inner deadline, pin when EASY deferrals
+    // hold shadow nodes) has to agree with per-tick scheduling exactly.
+    let cfg = presets::adastra();
+    let ds = workload(&cfg, 1.0, 8, 37);
+    let cap = cfg.peak_it_power_kw() * 0.35;
+    for backfill in ["none", "firstfit", "easy", "conservative"] {
+        let sim = SimConfig::new(cfg.clone(), "fcfs", backfill)
+            .unwrap()
+            .with_power_cap(cap);
+        run_both(&sim, &ds, &format!("capped adastra fcfs-{backfill}"));
+    }
+}
+
+#[test]
+fn parity_replay_under_power_cap() {
+    // Replay wrapped by the cap: the recorded-start hint now flows
+    // through the wrapper instead of the engine's old replay special
+    // case.
+    let cfg = presets::adastra();
+    let ds = workload(&cfg, 0.7, 6, 41);
+    let sim = SimConfig::replay(cfg.clone()).with_power_cap(cfg.peak_it_power_kw() * 0.5);
+    run_both(&sim, &ds, "capped adastra replay");
+}
+
+#[test]
+fn parity_on_traced_saturated_day() {
+    // Trace-telemetry (per-segment physics walk) under a never-draining
+    // queue: both remaining hard paths at once.
+    let cfg = presets::marconi100();
+    let ds = workload(&cfg, 1.1, 6, 43);
+    for (policy, backfill) in [("fcfs", "easy"), ("fcfs", "conservative")] {
+        let sim = SimConfig::new(cfg.clone(), policy, backfill).unwrap();
+        run_both(
+            &sim,
+            &ds,
+            &format!("saturated marconi100 {policy}-{backfill}"),
+        );
+    }
+}
+
+proptest! {
+    /// The segment iterator must reproduce per-tick `Trace::sample`
+    /// exactly — it is the physics span's replacement for those calls.
+    #[test]
+    fn segments_reproduce_per_tick_samples(
+        t0 in -60i64..120,
+        dt in 1i64..45,
+        values in prop::collection::vec(0.0f32..1500.0, 0..40),
+        start in -90i64..600,
+        step in 1i64..75,
+        count in 0usize..300,
+    ) {
+        let trace = Trace::new(
+            SimDuration::seconds(t0),
+            SimDuration::seconds(dt),
+            values,
+        );
+        let start = SimDuration::seconds(start);
+        let step_d = SimDuration::seconds(step);
+        let mut covered = 0usize;
+        for seg in trace.segments(start, step_d, count) {
+            prop_assert_eq!(seg.ticks.start, covered, "gap before segment");
+            prop_assert!(seg.ticks.end > seg.ticks.start, "empty segment");
+            for k in seg.ticks.clone() {
+                let offset = start + SimDuration::seconds(step * k as i64);
+                prop_assert_eq!(
+                    seg.value,
+                    trace.sample(offset),
+                    "tick {} of {:?}", k, seg.ticks
+                );
+            }
+            covered = seg.ticks.end;
+        }
+        prop_assert_eq!(covered, count, "segments must cover the span");
     }
 }
 

@@ -162,12 +162,12 @@ fn golden_keys_pin_the_schema() {
     let base = cell("fcfs", "easy", true, Some(1500.0), EngineMode::Event);
     assert_eq!(
         base.fingerprint(wfp).hex(),
-        "f50a14f2436c7fdb13757541bffc487e",
+        "cd9e9031f62e7c152db85da6217c2ba9",
         "cell fingerprint schema drifted"
     );
     assert_eq!(
         wfp.hex(),
-        "02e7b8c81624a5998352bd0d14cdd48f",
+        "566218acbd3465d8755efdb8b3c7d00c",
         "workload fingerprint schema drifted"
     );
 }

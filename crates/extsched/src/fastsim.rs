@@ -144,16 +144,24 @@ impl FastSim {
         while self.step_next_event() {}
     }
 
+    /// Earliest pending internal event — the next arrival in the heap or
+    /// the next internal completion — if any remain.
+    fn next_event(&self) -> Option<SimTime> {
+        let next_arrival = self.arrivals.peek().map(|e| e.0);
+        let next_end = self.running.iter().map(|r| r.end).min();
+        match (next_arrival, next_end) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(e)) => Some(e),
+            (Some(a), Some(e)) => Some(a.min(e)),
+        }
+    }
+
     /// Advance to the next internal event (arrival or completion); returns
     /// false when no events remain.
     fn step_next_event(&mut self) -> bool {
-        let next_arrival = self.arrivals.peek().map(|e| e.0);
-        let next_end = self.running.iter().map(|r| r.end).min();
-        let t = match (next_arrival, next_end) {
-            (None, None) => return false,
-            (Some(a), None) => a,
-            (None, Some(e)) => e,
-            (Some(a), Some(e)) => a.min(e),
+        let Some(t) = self.next_event() else {
+            return false;
         };
         self.advance_to(t);
         true
@@ -163,12 +171,8 @@ impl FastSim {
     fn advance_to(&mut self, t: SimTime) {
         loop {
             let next_arrival = self.arrivals.peek().map(|e| e.0);
-            let next_end = self.running.iter().map(|r| r.end).min();
-            let next = match (next_arrival, next_end) {
-                (None, None) => break,
-                (Some(a), None) => a,
-                (None, Some(e)) => e,
-                (Some(a), Some(e)) => a.min(e),
+            let Some(next) = self.next_event() else {
+                break;
             };
             if next > t {
                 break;
@@ -293,6 +297,13 @@ impl ExternalScheduler for FastSim {
         self.running.iter().map(|r| r.id).collect()
     }
 
+    /// FastSim is internally event-driven: between its own arrivals and
+    /// completions no schedule pass runs, so the running set is frozen.
+    /// (`advance_to(now)` has already consumed everything ≤ `now`.)
+    fn next_internal_event(&self, _now: SimTime) -> Option<SimTime> {
+        Some(self.next_event().unwrap_or(SimTime::MAX))
+    }
+
     fn recomputations(&self) -> u64 {
         self.stats.scheduling_passes
     }
@@ -385,6 +396,30 @@ mod tests {
         );
         assert!(stats.events_processed < 10);
         assert!(stats.scheduling_passes < 10);
+    }
+
+    #[test]
+    fn next_internal_event_tracks_ends_and_arrivals() {
+        let mut sim = FastSim::new(8);
+        assert_eq!(
+            sim.next_internal_event(SimTime::ZERO),
+            Some(SimTime::MAX),
+            "idle emulator has no internal deadline"
+        );
+        sim.on_event(SchedEvent::JobSubmitted(ext(1, 0, 4, 100, 120)));
+        sim.on_event(SchedEvent::JobSubmitted(ext(2, 150, 4, 100, 120)));
+        sim.running_at(SimTime::seconds(10));
+        // Job 1 ends internally at 100; job 2 arrives at 150.
+        assert_eq!(
+            sim.next_internal_event(SimTime::seconds(10)),
+            Some(SimTime::seconds(100))
+        );
+        sim.running_at(SimTime::seconds(120));
+        assert_eq!(
+            sim.next_internal_event(SimTime::seconds(120)),
+            Some(SimTime::seconds(150)),
+            "pending arrival is the next deadline"
+        );
     }
 
     #[test]

@@ -42,6 +42,21 @@ pub trait ExternalScheduler {
     /// be running (§4.2.2's plugin-mode request/response).
     fn running_at(&mut self, t: SimTime) -> Vec<JobId>;
 
+    /// The engine's next *internal* deadline strictly after `now`: the
+    /// earliest pending arrival, internal completion, or matured plan
+    /// reservation at which [`ExternalScheduler::running_at`] could answer
+    /// differently without the host forwarding a new event first.
+    ///
+    /// * `Some(SimTime::MAX)` — no internal deadline pending: the running
+    ///   set is frozen until the host delivers an event.
+    /// * `Some(t)` — frozen before `t`.
+    /// * `None` (the default) — unknown: the host must drive the engine
+    ///   every tick, which is always sound.
+    fn next_internal_event(&self, now: SimTime) -> Option<SimTime> {
+        let _ = now;
+        None
+    }
+
     /// How many full plan recomputations the engine has performed.
     fn recomputations(&self) -> u64;
 }
@@ -129,7 +144,7 @@ impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
                 continue; // unknown or already finished; nothing to place
             };
             match rm.allocate(entry.nodes) {
-                Ok(nodes) => placed.push(Placement { job: id, nodes }),
+                Ok(nodes) => placed.push(Placement::new(id, nodes)),
                 Err(e) if self.strict => {
                     // The paper's ScheduleFlow note: "scheduleflow may
                     // schedule even if nodes are unavailable, which we
@@ -149,6 +164,20 @@ impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
         self.last_running =
             &running_now | &placed.iter().map(|p| p.job).collect::<HashSet<JobId>>();
         Ok(placed)
+    }
+
+    /// Translate the engine's internal-event hint into the backend
+    /// contract: the adapter itself is a pure function of the engine's
+    /// running set and host state, so placements can only change at host
+    /// events or the engine's own internal deadlines.
+    fn next_decision_time(&self, now: SimTime) -> Option<SimTime> {
+        match self.engine.next_internal_event(now) {
+            // Unknown → the always-sound "drive me every tick".
+            None => Some(now),
+            // No internal deadline → fully event-bound.
+            Some(SimTime::MAX) => None,
+            Some(t) => Some(t),
+        }
     }
 
     fn stats(&self) -> SchedulerStats {
@@ -260,6 +289,17 @@ mod tests {
         let placed = a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx).unwrap();
         assert_eq!(placed.len(), 1);
         assert_eq!(q.len(), 1, "unplaceable job stays queued");
+    }
+
+    #[test]
+    fn unknown_internal_events_pin_to_every_tick() {
+        // EagerEngine keeps the trait default (`None` = unknown): the
+        // adapter must translate that into "call me every tick".
+        let a = adapter(false);
+        assert_eq!(
+            a.next_decision_time(SimTime::seconds(42)),
+            Some(SimTime::seconds(42))
+        );
     }
 
     #[test]

@@ -156,6 +156,25 @@ impl ExternalScheduler for ScheduleFlow {
         self.running.iter().map(|r| r.id).collect::<Vec<_>>()
     }
 
+    /// The reservation plan's feasibility tests depend only on bookings
+    /// and estimate-derived releases, not on the clock, so between host
+    /// events the running set can change only when a queued job's planned
+    /// start matures or an internal booking reaches its end.
+    fn next_internal_event(&self, now: SimTime) -> Option<SimTime> {
+        let mut next = SimTime::MAX;
+        for r in &self.running {
+            if r.end > now {
+                next = next.min(r.end);
+            }
+        }
+        for t in &self.queue {
+            if t.planned_start > now && t.planned_start != SimTime::MAX {
+                next = next.min(t.planned_start);
+            }
+        }
+        Some(next)
+    }
+
     fn recomputations(&self) -> u64 {
         self.recomputations
     }
@@ -227,6 +246,30 @@ mod tests {
         assert_eq!(at0.len(), 2);
         let used: u32 = 8; // both 4-node jobs
         assert!(used <= 8);
+    }
+
+    #[test]
+    fn next_internal_event_covers_plans_and_internal_ends() {
+        let mut sf = ScheduleFlow::new(8);
+        sf.on_event(SchedEvent::JobSubmitted(ext(1, 0, 8, 100, 120)));
+        sf.on_event(SchedEvent::JobSubmitted(ext(2, 0, 8, 100, 120)));
+        let at0 = sf.running_at(SimTime::seconds(0));
+        assert_eq!(at0, vec![JobId(1)]);
+        // Job 1 ends internally at 100; job 2's reservation matures at
+        // its est end (120). The internal completion comes first.
+        assert_eq!(
+            sf.next_internal_event(SimTime::seconds(0)),
+            Some(SimTime::seconds(100))
+        );
+        let mut idle = ScheduleFlow::new(8);
+        assert_eq!(idle.next_internal_event(SimTime::ZERO), Some(SimTime::MAX));
+        idle.on_event(SchedEvent::JobSubmitted(ext(9, 0, 99, 10, 10)));
+        idle.running_at(SimTime::ZERO);
+        assert_eq!(
+            idle.next_internal_event(SimTime::ZERO),
+            Some(SimTime::MAX),
+            "impossible jobs (MAX plan) are not deadlines"
+        );
     }
 
     #[test]

@@ -122,6 +122,23 @@ pub fn conservative_plan(
     out
 }
 
+/// The earliest *future* reservation in a conservative plan: the next
+/// instant at which the plan can start a job with time alone (no
+/// completion/submission event needed, because reservations mature on
+/// running jobs' estimated ends). `None` when no queued job holds a
+/// finite future reservation — the plan is then fully event-bound.
+///
+/// This is the scheduler's `next_decision_time` hint for the engine's
+/// event core: with a frozen running set and queue, the plan's feasibility
+/// tests do not depend on `now`, so no placement can fire strictly before
+/// the earliest planned start.
+pub fn next_planned_start(plan: &[SimTime], now: SimTime) -> Option<SimTime> {
+    plan.iter()
+        .copied()
+        .filter(|&s| s > now && s != SimTime::MAX)
+        .min()
+}
+
 /// The head job's reservation: when it can start at the latest-known
 /// estimates, and how many nodes remain unused at that moment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -322,6 +339,21 @@ mod tests {
             "long job would delay the head, must wait: {:?}",
             plan[2]
         );
+    }
+
+    #[test]
+    fn next_planned_start_skips_past_and_impossible() {
+        let now = SimTime::seconds(100);
+        let plan = vec![
+            SimTime::seconds(50),  // already matured (placement attempted)
+            SimTime::seconds(100), // == now: not a *future* deadline
+            SimTime::seconds(400),
+            SimTime::seconds(250),
+            SimTime::MAX, // can never run
+        ];
+        assert_eq!(next_planned_start(&plan, now), Some(SimTime::seconds(250)));
+        assert_eq!(next_planned_start(&[SimTime::MAX], now), None);
+        assert_eq!(next_planned_start(&[], now), None);
     }
 
     #[test]

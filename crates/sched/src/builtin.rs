@@ -1,10 +1,12 @@
 //! The built-in scheduler: policy ordering + backfill + placement.
 
-use crate::backfill::{conservative_plan, easy_admits, easy_reservation, BackfillKind};
+use crate::backfill::{
+    conservative_plan, easy_admits, easy_reservation, next_planned_start, BackfillKind,
+};
 use crate::policy::PolicyKind;
 use crate::queue::JobQueue;
 use crate::resource_manager::ResourceManager;
-use crate::scheduler::{Placement, SchedContext, SchedulerBackend, SchedulerStats};
+use crate::scheduler::{Placement, PlacementPath, SchedContext, SchedulerBackend, SchedulerStats};
 use sraps_types::{Result, SimTime};
 
 /// The default scheduler (`--scheduler default`): one of the built-in
@@ -14,6 +16,17 @@ pub struct BuiltinScheduler {
     policy: PolicyKind,
     backfill: BackfillKind,
     stats: SchedulerStats,
+    /// [`SchedulerBackend::next_decision_time`] answer, refreshed by every
+    /// `schedule` call (the engine consults it right after one):
+    /// * none/first-fit/EASY — `None`: every built-in policy orders by a
+    ///   time-invariant key, EASY admission only hardens as `now`
+    ///   advances, so decisions change only at events;
+    /// * replay — earliest future recorded start still in the queue;
+    /// * conservative — earliest future planned reservation, or "pin to
+    ///   every tick" when a matured reservation could not actually be
+    ///   allocated (estimates overran: the plan's phantom free nodes
+    ///   shift with `now`, so no sound bound exists).
+    decision_hint: Option<SimTime>,
 }
 
 impl BuiltinScheduler {
@@ -22,6 +35,7 @@ impl BuiltinScheduler {
             policy,
             backfill,
             stats: SchedulerStats::default(),
+            decision_hint: None,
         }
     }
 
@@ -43,32 +57,42 @@ impl BuiltinScheduler {
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
     ) -> Vec<Placement> {
+        // Queued replay jobs start exactly at their recorded start (or
+        // wait for capacity, which only completions — events — release),
+        // so the earliest *future* recorded start bounds the next
+        // time-driven decision change. Jobs already due are either placed
+        // below or stuck on capacity, never a time deadline.
+        self.decision_hint = queue
+            .jobs()
+            .iter()
+            .map(|j| j.recorded_start)
+            .filter(|&rs| rs > now)
+            .min();
         let mut placed = Vec::new();
         for job in queue.jobs() {
             if job.recorded_start > now {
                 continue;
             }
-            let nodes = match &job.recorded_nodes {
-                Some(set) if rm.allocate_exact(set).is_ok() => set.clone(),
+            let (nodes, path) = match &job.recorded_nodes {
+                Some(set) if rm.allocate_exact(set).is_ok() => {
+                    (set.clone(), PlacementPath::Ordered)
+                }
                 Some(_) => {
                     // Recorded nodes busy (capture-window edge) → fall back
                     // to count-based placement and flag the deviation.
                     match rm.allocate(job.nodes) {
-                        Ok(set) => {
-                            self.stats.placement_fallbacks += 1;
-                            set
-                        }
+                        Ok(set) => (set, PlacementPath::RecordedFallback),
                         Err(_) => continue, // machine full; retry next tick
                     }
                 }
                 // Summary datasets publish no node lists; count-based
                 // placement is the expected path, not a fallback.
                 None => match rm.allocate(job.nodes) {
-                    Ok(set) => set,
+                    Ok(set) => (set, PlacementPath::Ordered),
                     Err(_) => continue,
                 },
             };
-            placed.push(Placement { job: job.id, nodes });
+            placed.push(Placement::via(job.id, nodes, path));
         }
         placed
     }
@@ -88,6 +112,11 @@ impl BuiltinScheduler {
         if self.backfill == BackfillKind::Conservative {
             return self.schedule_conservative(now, queue, rm, ctx);
         }
+        // Every built-in policy key is time-invariant between events
+        // (aging is uniform-rate, so pairwise order never changes), and
+        // none/first-fit/EASY admission can only *harden* as `now`
+        // advances against a fixed reservation: no internal deadline.
+        self.decision_hint = None;
 
         let mut placed = Vec::new();
         let mut reservation = None;
@@ -98,7 +127,7 @@ impl BuiltinScheduler {
                 // Queue-order phase: place until the head blocks.
                 if rm.can_allocate(job.nodes) {
                     if let Ok(nodes) = rm.allocate(job.nodes) {
-                        placed.push(Placement { job: job.id, nodes });
+                        placed.push(Placement::new(job.id, nodes));
                         continue;
                     }
                 }
@@ -138,8 +167,7 @@ impl BuiltinScheduler {
                     res.extra_nodes = res.extra_nodes.saturating_sub(job.nodes);
                 }
                 if let Ok(nodes) = rm.allocate(job.nodes) {
-                    placed.push(Placement { job: job.id, nodes });
-                    self.stats.backfilled += 1;
+                    placed.push(Placement::via(job.id, nodes, PlacementPath::Backfilled));
                 }
             }
         }
@@ -163,18 +191,32 @@ impl BuiltinScheduler {
             ctx.running,
         );
         let mut placed = Vec::new();
+        let mut unallocatable_due = false;
         for (job, &start) in queue.jobs().iter().zip(&plan) {
             if start > now {
                 continue;
             }
             if let Ok(nodes) = rm.allocate(job.nodes) {
                 // Everything after the head position counts as backfilled.
-                if !placed.is_empty() {
-                    self.stats.backfilled += 1;
-                }
-                placed.push(Placement { job: job.id, nodes });
+                let path = if placed.is_empty() {
+                    PlacementPath::Ordered
+                } else {
+                    PlacementPath::Backfilled
+                };
+                placed.push(Placement::via(job.id, nodes, path));
+            } else {
+                // The plan thought this reservation matured (estimated
+                // ends counted as releases) but the nodes are still busy:
+                // the phantom capacity now slides with `now`, re-planning
+                // each tick, so later jobs' reservations are unstable.
+                unallocatable_due = true;
             }
         }
+        self.decision_hint = if unallocatable_due {
+            Some(now) // pin: no sound time bound until the plan settles
+        } else {
+            next_planned_start(&plan, now)
+        };
         placed
     }
 }
@@ -197,10 +239,14 @@ impl SchedulerBackend for BuiltinScheduler {
         } else {
             self.schedule_ordered(now, queue, rm, ctx)
         };
-        self.stats.placements += placed.len() as u64;
+        self.stats.record_placements(&placed);
         let ids: Vec<_> = placed.iter().map(|p| p.job).collect();
         queue.remove_placed(&ids);
         Ok(placed)
+    }
+
+    fn next_decision_time(&self, _now: SimTime) -> Option<SimTime> {
+        self.decision_hint
     }
 
     fn stats(&self) -> SchedulerStats {
@@ -357,6 +403,95 @@ mod tests {
         assert_eq!(s.stats().placements, 2);
         // SJF: shorter job (2) placed first.
         assert_eq!(placed[0].job, JobId(2));
+    }
+
+    #[test]
+    fn event_bound_backfills_report_no_deadline() {
+        for backfill in [
+            BackfillKind::None,
+            BackfillKind::FirstFit,
+            BackfillKind::Easy,
+        ] {
+            let mut s = BuiltinScheduler::new(PolicyKind::Fcfs, backfill);
+            let mut rm = ResourceManager::new(4);
+            let mut q = JobQueue::new();
+            q.push(qj(1, 0, 8, 100)); // wider than free → blocked
+            schedule(&mut s, 10, &mut q, &mut rm, &[]);
+            assert_eq!(
+                s.next_decision_time(SimTime::seconds(10)),
+                None,
+                "{backfill:?} must be event-bound"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_hint_is_earliest_future_recorded_start() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Replay, BackfillKind::None);
+        let mut rm = ResourceManager::new(10);
+        let mut q = JobQueue::new();
+        let mut a = qj(1, 0, 2, 100);
+        a.recorded_start = SimTime::seconds(500);
+        let mut b = qj(2, 0, 2, 100);
+        b.recorded_start = SimTime::seconds(300);
+        q.push(a);
+        q.push(b);
+        schedule(&mut s, 10, &mut q, &mut rm, &[]);
+        assert_eq!(
+            s.next_decision_time(SimTime::seconds(10)),
+            Some(SimTime::seconds(300))
+        );
+        // Once every queued job is due (stuck on capacity only), the
+        // backend is event-bound: completions release capacity.
+        rm.allocate(10).unwrap();
+        schedule(&mut s, 600, &mut q, &mut rm, &[]);
+        assert_eq!(s.next_decision_time(SimTime::seconds(600)), None);
+    }
+
+    #[test]
+    fn conservative_hint_is_earliest_future_reservation() {
+        let mut s = BuiltinScheduler::new(PolicyKind::Fcfs, BackfillKind::Conservative);
+        let mut rm = ResourceManager::new(8);
+        let busy = rm.allocate(8).unwrap();
+        let running = [RunningView {
+            id: JobId(100),
+            nodes: 8,
+            estimated_end: SimTime::seconds(1000),
+        }];
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 8, 100)); // reserved at the running job's est end
+        let placed = schedule(&mut s, 10, &mut q, &mut rm, &running);
+        assert!(placed.is_empty());
+        assert_eq!(
+            s.next_decision_time(SimTime::seconds(10)),
+            Some(SimTime::seconds(1000)),
+            "reservation matures at the estimated end"
+        );
+        rm.release(&busy);
+    }
+
+    #[test]
+    fn conservative_pins_when_matured_reservation_cannot_allocate() {
+        // The running job overran its estimate: the plan's release at
+        // t=50 is phantom, the queued job's reservation matures but the
+        // allocation fails — the scheduler must demand per-tick calls.
+        let mut s = BuiltinScheduler::new(PolicyKind::Fcfs, BackfillKind::Conservative);
+        let mut rm = ResourceManager::new(8);
+        let _busy = rm.allocate(8).unwrap();
+        let running = [RunningView {
+            id: JobId(100),
+            nodes: 8,
+            estimated_end: SimTime::seconds(50), // already passed
+        }];
+        let mut q = JobQueue::new();
+        q.push(qj(1, 0, 8, 100));
+        let placed = schedule(&mut s, 100, &mut q, &mut rm, &running);
+        assert!(placed.is_empty(), "nodes are actually still busy");
+        assert_eq!(
+            s.next_decision_time(SimTime::seconds(100)),
+            Some(SimTime::seconds(100)),
+            "phantom capacity ⇒ pin to every tick"
+        );
     }
 
     #[test]

@@ -65,6 +65,13 @@ impl SchedulerBackend for ExperimentalScheduler {
         self.inner.schedule(now, queue, rm, &pinned)
     }
 
+    /// Account keys come from a *pinned* collection-phase snapshot, so the
+    /// ordering is time-invariant and the inner scheduler's deadline (if
+    /// any) is the whole story.
+    fn next_decision_time(&self, now: SimTime) -> Option<SimTime> {
+        self.inner.next_decision_time(now)
+    }
+
     fn stats(&self) -> SchedulerStats {
         self.inner.stats()
     }

@@ -28,4 +28,6 @@ pub use policy::PolicyKind;
 pub use power_cap::PowerCapScheduler;
 pub use queue::{JobQueue, QueuedJob};
 pub use resource_manager::ResourceManager;
-pub use scheduler::{Placement, RunningView, SchedContext, SchedulerBackend, SchedulerStats};
+pub use scheduler::{
+    Placement, PlacementPath, RunningView, SchedContext, SchedulerBackend, SchedulerStats,
+};

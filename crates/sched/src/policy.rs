@@ -87,8 +87,13 @@ impl PolicyKind {
     }
 
     /// Reorder the queue in place: ascending key = schedule first. `now`
-    /// feeds wait-time-sensitive policies (aging).
+    /// is available for wait-time-sensitive policies; note that uniform
+    /// aging deliberately avoids it (see [`PolicyKind::PriorityAging`]'s
+    /// key) so every built-in ordering is time-invariant between queue
+    /// mutations — the property the engine's event core relies on to
+    /// skip no-op scheduler calls.
     pub fn order(self, queue: &mut JobQueue, ctx: &SchedContext<'_>, now: sraps_types::SimTime) {
+        let _ = now;
         let acct_key = |account: AccountId, f: &dyn Fn(&sraps_acct::AccountStats) -> f64| -> f64 {
             ctx.accounts
                 .and_then(|a| a.get(account))
@@ -103,10 +108,17 @@ impl PolicyKind {
             PolicyKind::Sjf => queue.sort_by_key_stable(|j| j.estimate.as_secs_f64()),
             PolicyKind::Ljf => queue.sort_by_key_stable(|j| -(j.nodes as f64)),
             PolicyKind::Priority => queue.sort_by_key_stable(|j| -j.priority),
-            PolicyKind::PriorityAging => queue.sort_by_key_stable(|j| {
-                let waited_h = (now - j.submit).clamp_non_negative().as_hours_f64();
-                -(j.priority + waited_h)
-            }),
+            // Slurm-style uniform aging: effective priority = site
+            // priority + hours waited. Every queued job ages at the same
+            // rate, so ordering by `priority + (now − submit)/3600`
+            // descending is the same order as `submit/3600 − priority`
+            // ascending — without `now` in the key. Keeping `now` out
+            // makes the order provably constant between events (no f64
+            // rounding collapse as waits grow), which lets the event core
+            // treat aging as event-bound.
+            PolicyKind::PriorityAging => {
+                queue.sort_by_key_stable(|j| j.submit.as_secs_f64() / 3600.0 - j.priority)
+            }
             PolicyKind::AcctAvgPower => queue
                 .sort_by_key_stable(|j: &QueuedJob| -acct_key(j.account, &|s| s.avg_node_power_kw)),
             PolicyKind::AcctLowAvgPower => queue

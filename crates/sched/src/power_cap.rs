@@ -26,6 +26,15 @@ pub struct PowerCapScheduler {
     estimates_kw: HashMap<JobId, f64>,
     /// Placements deferred because of the cap (for reporting).
     deferred: u64,
+    /// Whether the most recent `schedule` call deferred anything — the
+    /// wrapper's contribution to [`SchedulerBackend::next_decision_time`].
+    deferred_last_call: bool,
+    /// The wrapper's own counters: placements that *took effect*. The
+    /// inner scheduler's counters describe shadow proposals, which the
+    /// cap may re-defer call after call — counting those would inflate
+    /// `placements`/`backfilled` with every re-proposal (and make them
+    /// depend on how often the engine polls the scheduler).
+    stats: SchedulerStats,
 }
 
 impl PowerCapScheduler {
@@ -35,6 +44,8 @@ impl PowerCapScheduler {
             cap_kw,
             estimates_kw,
             deferred: 0,
+            deferred_last_call: false,
+            stats: SchedulerStats::default(),
         }
     }
 
@@ -60,6 +71,7 @@ impl SchedulerBackend for PowerCapScheduler {
         rm: &mut ResourceManager,
         ctx: &SchedContext<'_>,
     ) -> Result<Vec<Placement>> {
+        self.stats.invocations += 1;
         // Budget left after the jobs already running.
         let running_kw: f64 = ctx.running.iter().map(|r| self.estimate(r.id)).sum();
         let mut budget = self.cap_kw - running_kw;
@@ -75,6 +87,7 @@ impl SchedulerBackend for PowerCapScheduler {
             .schedule(now, &mut shadow_q, &mut shadow_rm, ctx)?;
 
         let mut admitted = Vec::with_capacity(proposed.len());
+        self.deferred_last_call = false;
         for p in proposed {
             let est = self.estimate(p.job);
             if est <= budget {
@@ -83,15 +96,55 @@ impl SchedulerBackend for PowerCapScheduler {
                 admitted.push(p);
             } else {
                 self.deferred += 1;
+                self.deferred_last_call = true;
             }
         }
+        self.stats.record_placements(&admitted);
         let ids: Vec<JobId> = admitted.iter().map(|p| p.job).collect();
         queue.remove_placed(&ids);
         Ok(admitted)
     }
 
+    /// The budget moves only with the running set (placements and
+    /// completions — events), and admission is a deterministic greedy
+    /// filter over the inner policy's proposal, so the wrapper usually
+    /// inherits the inner deadline. The exception is a *deferred*
+    /// proposal under a time-variant backfill rule:
+    ///
+    /// * EASY — the deferred proposal holds shadow nodes, and admission
+    ///   hardens with time; when it ages out of the reservation window
+    ///   its shadow nodes free up and a different (possibly cheaper) job
+    ///   can be proposed and admitted with no event in between;
+    /// * conservative — a deferred proposal keeps re-planning a shadow
+    ///   reservation anchored at `now`, so its sliding window shifts
+    ///   every later job's reservation between events.
+    ///
+    /// Deferral + EASY/conservative therefore pins the engine to per-tick
+    /// calls. None/first-fit proposals are exact functions of queue and
+    /// occupancy (no time term), and replay proposals change only at
+    /// recorded starts — those keep the inner hint even while deferring.
+    fn next_decision_time(&self, now: SimTime) -> Option<SimTime> {
+        use crate::backfill::BackfillKind;
+        use crate::policy::PolicyKind;
+        if self.deferred_last_call
+            && self.inner.policy() != PolicyKind::Replay
+            && matches!(
+                self.inner.backfill(),
+                BackfillKind::Easy | BackfillKind::Conservative
+            )
+        {
+            return Some(now);
+        }
+        self.inner.next_decision_time(now)
+    }
+
     fn stats(&self) -> SchedulerStats {
-        self.inner.stats()
+        SchedulerStats {
+            // Plan recomputations remain meaningful inner telemetry (they
+            // happen per shadow call, like any per-invocation overhead).
+            recomputations: self.inner.stats().recomputations,
+            ..self.stats
+        }
     }
 }
 

@@ -7,11 +7,42 @@ use serde::{Deserialize, Serialize};
 use sraps_acct::Accounts;
 use sraps_types::{JobId, NodeSet, Result, SimTime};
 
+/// How a placement came about — carried on the [`Placement`] itself so
+/// wrappers that admit only a subset of a proposal (the power-cap
+/// scheduler) can attribute statistics to the placements that actually
+/// took effect instead of to every shadow proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPath {
+    /// Queue/policy order, or replay on its recorded nodes.
+    #[default]
+    Ordered,
+    /// A backfill rule moved it ahead of queue order.
+    Backfilled,
+    /// Replay fell back from busy recorded nodes to count-based placement
+    /// (capture-window edge).
+    RecordedFallback,
+}
+
 /// A placement decision: start `job` now on `nodes`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     pub job: JobId,
     pub nodes: NodeSet,
+    pub path: PlacementPath,
+}
+
+impl Placement {
+    pub fn new(job: JobId, nodes: NodeSet) -> Placement {
+        Placement {
+            job,
+            nodes,
+            path: PlacementPath::Ordered,
+        }
+    }
+
+    pub fn via(job: JobId, nodes: NodeSet, path: PlacementPath) -> Placement {
+        Placement { job, nodes, path }
+    }
 }
 
 /// The scheduler's view of one running job — what a real batch system
@@ -52,6 +83,21 @@ pub struct SchedulerStats {
     pub backfilled: u64,
 }
 
+impl SchedulerStats {
+    /// Fold a batch of *effected* placements into the placement-derived
+    /// counters, attributing by [`PlacementPath`].
+    pub fn record_placements(&mut self, placed: &[Placement]) {
+        self.placements += placed.len() as u64;
+        for p in placed {
+            match p.path {
+                PlacementPath::Ordered => {}
+                PlacementPath::Backfilled => self.backfilled += 1,
+                PlacementPath::RecordedFallback => self.placement_fallbacks += 1,
+            }
+        }
+    }
+}
+
 /// Any scheduler S-RAPS can drive: the built-in one, the experimental
 /// account-priority one, or adapters around external simulators (§4.2).
 ///
@@ -72,6 +118,28 @@ pub trait SchedulerBackend {
         rm: &mut ResourceManager,
         ctx: &SchedContext<'_>,
     ) -> Result<Vec<Placement>>;
+
+    /// The earliest future instant at which this backend's scheduling
+    /// answer could change *without* an engine-visible event (completion,
+    /// submission, outage edge) happening first — an internal deadline
+    /// such as a conservative reservation maturing, a replay job reaching
+    /// its recorded start, or an external engine's internal completion.
+    ///
+    /// The engine's event core consults this immediately after a
+    /// [`SchedulerBackend::schedule`] call that placed nothing, so
+    /// implementations may answer from state cached by that call:
+    ///
+    /// * `None` — fully event-bound: no internal deadline exists; the
+    ///   engine may skip straight to its event horizon.
+    /// * `Some(t)` with `t > now` — decisions are frozen before `t`; the
+    ///   engine may skip to `min(horizon, t)`.
+    /// * `Some(t)` with `t <= now` — the backend cannot bound its next
+    ///   decision change; the engine must offer the queue every tick.
+    ///
+    /// The default, `Some(now)`, is the always-sound "call me every tick".
+    fn next_decision_time(&self, now: SimTime) -> Option<SimTime> {
+        Some(now)
+    }
 
     /// Cumulative counters.
     fn stats(&self) -> SchedulerStats;

@@ -21,5 +21,5 @@ pub use bitset::Bitset;
 pub use error::{Result, SrapsError};
 pub use job::{AccountId, Job, JobId, JobState, UserId};
 pub use node::{NodeId, NodeSet};
-pub use telemetry::{CaptureFlags, JobTelemetry, Trace};
+pub use telemetry::{CaptureFlags, JobTelemetry, Trace, TraceSegment, TraceSegments};
 pub use time::{SimDuration, SimTime};

@@ -82,6 +82,25 @@ impl Trace {
         }
     }
 
+    /// Walk the trace as piecewise-constant segments over a tick grid:
+    /// `count` ticks at offsets `start + k·step` (`k = 0..count`) from job
+    /// start. Yields maximal runs of consecutive ticks that [`Trace::sample`]
+    /// maps to the same stored sample — including the before-`t0` /
+    /// after-last regions of the missing-data rule — in ascending tick
+    /// order, covering every tick exactly once.
+    ///
+    /// This is the engine's segment-wise physics walk: per *segment* work
+    /// replaces per-tick `sample()` calls, while the yielded values are
+    /// exactly what `sample()` would have returned at each tick.
+    pub fn segments(
+        &self,
+        start: SimDuration,
+        step: SimDuration,
+        count: usize,
+    ) -> TraceSegments<'_> {
+        TraceSegments::new(self, start, step, count)
+    }
+
     /// Mean of the recorded samples (0 for empty traces).
     pub fn mean(&self) -> f32 {
         if self.values.is_empty() {
@@ -114,6 +133,91 @@ impl Trace {
         let var =
             self.values.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / self.values.len() as f32;
         var.sqrt()
+    }
+}
+
+/// One maximal run of consecutive ticks sampling to the same value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSegment {
+    /// Tick indices `k` (offsets `start + k·step`) covered by this run.
+    pub ticks: std::ops::Range<usize>,
+    /// The value [`Trace::sample`] returns at every tick in the run.
+    pub value: f32,
+}
+
+/// Iterator produced by [`Trace::segments`]. An *empty* trace yields one
+/// all-zero segment, mirroring [`Trace::sample`]'s 0-for-empty rule.
+#[derive(Debug, Clone)]
+pub struct TraceSegments<'a> {
+    /// `None` once constructed from an empty trace: one constant-0 run.
+    trace: Option<&'a Trace>,
+    start_secs: i64,
+    step_secs: i64,
+    count: usize,
+    /// Next tick index to cover.
+    k: usize,
+}
+
+impl<'a> TraceSegments<'a> {
+    fn new(trace: &'a Trace, start: SimDuration, step: SimDuration, count: usize) -> Self {
+        debug_assert!(step.is_positive(), "segment step must be positive");
+        TraceSegments {
+            trace: (!trace.is_empty()).then_some(trace),
+            start_secs: start.as_secs(),
+            step_secs: step.as_secs(),
+            count,
+            k: 0,
+        }
+    }
+}
+
+impl Iterator for TraceSegments<'_> {
+    type Item = TraceSegment;
+
+    fn next(&mut self) -> Option<TraceSegment> {
+        if self.k >= self.count {
+            return None;
+        }
+        let k = self.k;
+        let Some(t) = self.trace else {
+            self.k = self.count;
+            return Some(TraceSegment {
+                ticks: k..self.count,
+                value: 0.0,
+            });
+        };
+        let dt = t.dt.as_secs();
+        let t0 = t.t0.as_secs();
+        let n = t.values.len();
+        let offset = self.start_secs + self.step_secs * k as i64;
+        let rel = offset - t0;
+        // Region boundaries mirror `sample()`: offsets before `t0 + dt`
+        // (missing leading data *and* interval 0) read `values[0]`;
+        // interval `i ≥ 1` covers `[t0 + i·dt, t0 + (i+1)·dt)`; the last
+        // interval extends forever (last known value holds).
+        let (value, region_end) = if rel < dt {
+            (t.values[0], (n > 1).then(|| t0 + dt))
+        } else {
+            let idx = ((rel / dt) as usize).min(n - 1);
+            (
+                t.values[idx],
+                (idx < n - 1).then(|| t0 + (idx as i64 + 1) * dt),
+            )
+        };
+        let k_end = match region_end {
+            None => self.count,
+            Some(end) => {
+                // First tick at or past the region end; `end > offset`
+                // guarantees progress (`k_end ≥ k + 1`).
+                let d = end - self.start_secs;
+                (((d + self.step_secs - 1) / self.step_secs) as usize).min(self.count)
+            }
+        };
+        self.k = k_end;
+        Some(TraceSegment {
+            ticks: k..k_end,
+            value,
+        })
     }
 }
 
@@ -264,6 +368,91 @@ mod tests {
     #[test]
     fn covered_duration() {
         assert_eq!(trace().covered(), SimDuration::seconds(20));
+    }
+
+    /// Reference check: segments must reproduce per-tick `sample`.
+    fn assert_segments_match_sample(t: &Trace, start: i64, step: i64, count: usize) {
+        let start = SimDuration::seconds(start);
+        let step = SimDuration::seconds(step);
+        let mut covered = 0;
+        for seg in t.segments(start, step, count) {
+            assert_eq!(seg.ticks.start, covered, "segments must be contiguous");
+            assert!(
+                seg.ticks.end > seg.ticks.start,
+                "segments must be non-empty"
+            );
+            for k in seg.ticks.clone() {
+                let offset = start + SimDuration::seconds(step.as_secs() * k as i64);
+                assert_eq!(
+                    seg.value,
+                    t.sample(offset),
+                    "tick {k} (offset {offset}) in segment {:?}",
+                    seg.ticks
+                );
+            }
+            covered = seg.ticks.end;
+        }
+        assert_eq!(covered, count, "segments must cover every tick");
+    }
+
+    #[test]
+    fn segments_match_sample_on_aligned_grid() {
+        // step == dt, aligned: one segment per stored value, plus the
+        // held-last-value tail.
+        let t = trace(); // dt=10, values [1,2,3]
+        assert_segments_match_sample(&t, 0, 10, 6);
+        let segs: Vec<_> = t
+            .segments(SimDuration::ZERO, SimDuration::seconds(10), 6)
+            .collect();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[2].ticks, 2..6, "last value held to span end");
+        assert_eq!(segs[2].value, 3.0);
+    }
+
+    #[test]
+    fn segments_match_sample_on_misaligned_and_oversampled_grids() {
+        let t = Trace::new(
+            SimDuration::seconds(30),
+            SimDuration::seconds(10),
+            vec![5.0, 6.0, 7.0],
+        );
+        // Ticks finer than dt (oversampling), starting before t0.
+        assert_segments_match_sample(&t, 0, 3, 40);
+        // Ticks coarser than dt (skipping samples).
+        assert_segments_match_sample(&t, 0, 25, 10);
+        // Misaligned start, negative offsets.
+        assert_segments_match_sample(&t, -17, 7, 30);
+    }
+
+    #[test]
+    fn segments_handle_degenerate_traces() {
+        let constant = Trace::constant(4.5);
+        let segs: Vec<_> = constant
+            .segments(SimDuration::ZERO, SimDuration::seconds(60), 100)
+            .collect();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].ticks, 0..100);
+        assert_eq!(segs[0].value, 4.5);
+
+        let empty = Trace::new(SimDuration::ZERO, SimDuration::seconds(1), vec![]);
+        let segs: Vec<_> = empty
+            .segments(SimDuration::ZERO, SimDuration::seconds(60), 5)
+            .collect();
+        assert_eq!(
+            segs,
+            vec![TraceSegment {
+                ticks: 0..5,
+                value: 0.0
+            }]
+        );
+
+        // Zero ticks → no segments.
+        assert_eq!(
+            trace()
+                .segments(SimDuration::ZERO, SimDuration::seconds(1), 0)
+                .count(),
+            0
+        );
     }
 
     #[test]
