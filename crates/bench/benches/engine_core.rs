@@ -140,6 +140,56 @@ fn cases() -> Vec<Case> {
             "fcfs",
             "easy",
         ),
+        // The PR 5 scheduler-hot-path scenarios: saturated windows with
+        // *short* jobs, so completions land on nearly every tick and the
+        // event grid is as dense as the tick grid — nothing to skip, and
+        // wall time is dominated by the scheduler invocation itself
+        // (queue ordering, reservation/plan computation, allocation).
+        // These pin the free-capacity-timeline + incremental-order +
+        // scratch-reuse work.
+        case(
+            "sched_hot_fcfs_12h",
+            "adastra",
+            1.3,
+            12,
+            0.25,
+            7,
+            "fcfs",
+            "none",
+        ),
+        case(
+            "sched_hot_easy_12h",
+            "adastra",
+            1.3,
+            12,
+            0.25,
+            7,
+            "fcfs",
+            "easy",
+        ),
+        case(
+            "sched_hot_cons_12h",
+            "adastra",
+            1.3,
+            12,
+            0.25,
+            7,
+            "fcfs",
+            "conservative",
+        ),
+        Case {
+            power_cap_frac: Some(0.55),
+            ..case(
+                "sched_hot_cap_12h",
+                "adastra",
+                1.2,
+                12,
+                0.25,
+                7,
+                "fcfs",
+                "firstfit",
+            )
+        },
     ]
 }
 

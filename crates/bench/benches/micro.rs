@@ -86,8 +86,10 @@ fn bench_scheduler(c: &mut Criterion) {
                         running: &[],
                         accounts: None,
                     };
-                    s.schedule(SimTime::seconds(5_000), &mut q, &mut rm, &ctx)
-                        .unwrap()
+                    let mut placed = Vec::new();
+                    s.schedule(SimTime::seconds(5_000), &mut q, &mut rm, &ctx, &mut placed)
+                        .unwrap();
+                    placed
                 },
                 BatchSize::SmallInput,
             )

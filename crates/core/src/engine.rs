@@ -315,6 +315,8 @@ pub struct Engine {
     queue_demand_hist: Vec<u64>,
     /// Scratch: per-tick aggregate busy power within one physics span.
     span_busy: Vec<f64>,
+    /// Scratch: the scheduler's placement buffer, reused across calls.
+    placements: Vec<sraps_sched::Placement>,
     /// How many actives carry a traced (per-tick sampled) profile.
     traced_active: usize,
     /// Non-empty-queue skip eligibility, classified once from the config.
@@ -421,6 +423,7 @@ impl Engine {
             queue_hist: Vec::new(),
             queue_demand_hist: Vec::new(),
             span_busy: Vec::new(),
+            placements: Vec::new(),
             traced_active: 0,
             skip: SchedSkip::classify(&sim),
             sim,
@@ -496,9 +499,12 @@ impl Engine {
     }
 
     /// Register a job as running: active list, scheduler view, position
-    /// map, and completion heap stay in lockstep. Constant-telemetry
-    /// jobs are sampled here, once, instead of once per tick.
+    /// map, completion heap, and the scheduler's capacity timeline stay
+    /// in lockstep. Constant-telemetry jobs are sampled here, once,
+    /// instead of once per tick.
     fn activate(&mut self, mut a: Active) {
+        self.scheduler
+            .on_job_started(a.est_end, a.nodes.len() as u32);
         let tel = &self.jobs[a.job].telemetry;
         if is_constant(&tel.node_power_w)
             && is_constant(&tel.cpu_util)
@@ -561,6 +567,8 @@ impl Engine {
             if let Profile::Traced = a.profile {
                 self.traced_active -= 1;
             }
+            self.scheduler
+                .on_job_completed(a.est_end, a.nodes.len() as u32);
             self.rm.release(&a.nodes);
             let outcome = Self::finish(&self.jobs[a.job], &a, self.sim.system.tick);
             if self.sim.track_accounts {
@@ -681,12 +689,15 @@ impl Engine {
             running: &self.running,
             accounts: self.sim.track_accounts.then_some(&self.accounts),
         };
-        let placements = self
-            .scheduler
-            .schedule(now, &mut self.queue, &mut self.rm, &ctx)?;
+        // The placement buffer is owned by the engine and reused across
+        // calls, so a scheduler invocation allocates no list of its own.
+        let mut placements = std::mem::take(&mut self.placements);
+        placements.clear();
+        self.scheduler
+            .schedule(now, &mut self.queue, &mut self.rm, &ctx, &mut placements)?;
         let placed = placements.len();
         let replaying = self.sim.policy == sraps_sched::PolicyKind::Replay;
-        for p in placements {
+        for p in placements.drain(..) {
             let idx = self.job_index[&p.job];
             let job = &self.jobs[idx];
             // Replay anchors to the recorded timeline: placement may land
@@ -704,6 +715,7 @@ impl Engine {
                 p.job, idx, p.nodes, now, actual_end, est_end, offset,
             ));
         }
+        self.placements = placements;
         Ok(placed)
     }
 

@@ -114,7 +114,8 @@ impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
         ctx: &SchedContext<'_>,
-    ) -> Result<Vec<Placement>> {
+        out: &mut Vec<Placement>,
+    ) -> Result<()> {
         self.stats.invocations += 1;
 
         // 1. Forward newly-queued jobs as submission events.
@@ -135,7 +136,6 @@ impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
 
         // 3. Ask for the state at `now` and interpret it.
         let desired = self.engine.running_at(now);
-        let mut placed = Vec::new();
         for id in desired {
             if running_now.contains(&id) {
                 continue; // already running in S-RAPS
@@ -144,7 +144,7 @@ impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
                 continue; // unknown or already finished; nothing to place
             };
             match rm.allocate(entry.nodes) {
-                Ok(nodes) => placed.push(Placement::new(id, nodes)),
+                Ok(nodes) => out.push(Placement::new(id, nodes)),
                 Err(e) if self.strict => {
                     // The paper's ScheduleFlow note: "scheduleflow may
                     // schedule even if nodes are unavailable, which we
@@ -157,13 +157,12 @@ impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
                 Err(_) => continue,
             }
         }
-        self.stats.placements += placed.len() as u64;
+        self.stats.placements += out.len() as u64;
         self.stats.recomputations = self.engine.recomputations();
-        let ids: Vec<JobId> = placed.iter().map(|p| p.job).collect();
+        let ids: Vec<JobId> = out.iter().map(|p| p.job).collect();
         queue.remove_placed(&ids);
-        self.last_running =
-            &running_now | &placed.iter().map(|p| p.job).collect::<HashSet<JobId>>();
-        Ok(placed)
+        self.last_running = &running_now | &out.iter().map(|p| p.job).collect::<HashSet<JobId>>();
+        Ok(())
     }
 
     /// Translate the engine's internal-event hint into the backend
@@ -253,7 +252,9 @@ mod tests {
             running: &[],
             accounts: None,
         };
-        let placed = a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx).unwrap();
+        let mut placed = Vec::new();
+        a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx, &mut placed)
+            .unwrap();
         assert_eq!(placed.len(), 2);
         assert!(q.is_empty());
         // Engine saw each submission exactly once.
@@ -271,7 +272,7 @@ mod tests {
             running: &[],
             accounts: None,
         };
-        let err = a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx);
+        let err = a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx, &mut Vec::new());
         assert!(matches!(err, Err(SrapsError::ExternalScheduler(_))));
     }
 
@@ -286,7 +287,9 @@ mod tests {
             running: &[],
             accounts: None,
         };
-        let placed = a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx).unwrap();
+        let mut placed = Vec::new();
+        a.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx, &mut placed)
+            .unwrap();
         assert_eq!(placed.len(), 1);
         assert_eq!(q.len(), 1, "unplaceable job stays queued");
     }
@@ -312,7 +315,7 @@ mod tests {
             accounts: None,
         };
         for t in 0..5 {
-            a.schedule(SimTime::seconds(t), &mut q, &mut rm, &ctx)
+            a.schedule(SimTime::seconds(t), &mut q, &mut rm, &ctx, &mut Vec::new())
                 .unwrap();
         }
         assert_eq!(a.stats().recomputations, 5);

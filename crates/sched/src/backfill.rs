@@ -56,6 +56,12 @@ impl BackfillKind {
 /// than the machine can ever free). A job may be *placed now* exactly when
 /// its planned start is ≤ `now` — by construction that cannot delay any
 /// earlier job's reservation.
+///
+/// This is the from-scratch reference implementation (kept for the
+/// equivalence property tests); the scheduler hot path runs
+/// [`CapacityTimeline::plan_conservative`](crate::timeline::CapacityTimeline::plan_conservative),
+/// which produces the identical plan from the incrementally-maintained
+/// availability profile.
 pub fn conservative_plan(
     queue: &[QueuedJob],
     now: SimTime,
@@ -154,9 +160,15 @@ pub struct Reservation {
 /// `head_nodes`, given `free_now` free nodes and the running jobs' node
 /// counts and estimated ends.
 ///
-/// Walks running jobs in order of estimated completion, accumulating freed
-/// nodes until the head fits. Returns `None` when the head can never fit
-/// (more nodes than the machine will ever free — a config error upstream).
+/// Walks the distinct estimated ends in ascending order, accumulating
+/// freed nodes until the head fits; all estimates maturing at the same
+/// instant release together, so `extra_nodes` is well-defined under ties.
+/// Returns `None` when the head can never fit (more nodes than the
+/// machine will ever free — a config error upstream).
+///
+/// This is the from-scratch reference for
+/// [`CapacityTimeline::easy_reservation`](crate::timeline::CapacityTimeline::easy_reservation),
+/// which answers the same query without the per-call collect + sort.
 pub fn easy_reservation(
     head_nodes: u32,
     free_now: u32,
@@ -167,8 +179,13 @@ pub fn easy_reservation(
         running.iter().map(|r| (r.estimated_end, r.nodes)).collect();
     ends.sort_unstable_by_key(|(t, _)| *t);
     let mut avail = free_now;
-    for (end, nodes) in ends {
-        avail += nodes;
+    let mut i = 0;
+    while i < ends.len() {
+        let end = ends[i].0;
+        while i < ends.len() && ends[i].0 == end {
+            avail += ends[i].1;
+            i += 1;
+        }
         if avail >= head_nodes {
             return Some(Reservation {
                 shadow_time: end,
@@ -255,6 +272,15 @@ mod tests {
     #[test]
     fn impossible_reservation_is_none() {
         assert_eq!(easy_reservation(100, 1, &[running(1, 4, 10)]), None);
+    }
+
+    #[test]
+    fn tied_ends_release_together() {
+        // Two jobs end at the same instant; the crossing happens inside
+        // the tie group, so the whole group's nodes back the reservation.
+        let res = easy_reservation(5, 0, &[running(1, 3, 100), running(2, 4, 100)]).unwrap();
+        assert_eq!(res.shadow_time, SimTime::seconds(100));
+        assert_eq!(res.extra_nodes, 2, "both tied releases count");
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! The built-in scheduler: policy ordering + backfill + placement.
+//!
+//! This is the simulation's hot path on saturated machines, so every
+//! per-call rebuild is replaced with incrementally-maintained state:
+//! policy order lives in the queue ([`JobQueue::ensure_order_by`]),
+//! capacity-release information lives in a [`CapacityTimeline`] fed by
+//! the engine's start/complete notifications, and the conservative
+//! planner's working buffers persist across calls ([`PlanScratch`]). A
+//! scheduler call that places nothing performs no allocation at all.
 
-use crate::backfill::{
-    conservative_plan, easy_admits, easy_reservation, next_planned_start, BackfillKind,
-};
+use crate::backfill::{easy_admits, next_planned_start, BackfillKind};
 use crate::policy::PolicyKind;
 use crate::queue::JobQueue;
 use crate::resource_manager::ResourceManager;
 use crate::scheduler::{Placement, PlacementPath, SchedContext, SchedulerBackend, SchedulerStats};
-use sraps_types::{Result, SimTime};
+use crate::timeline::{CapacityTimeline, PlanScratch};
+use sraps_types::{JobId, Result, SimTime};
 
 /// The default scheduler (`--scheduler default`): one of the built-in
 /// policies combined with a backfill strategy.
@@ -27,6 +34,16 @@ pub struct BuiltinScheduler {
     ///   allocated (estimates overran: the plan's phantom free nodes
     ///   shift with `now`, so no sound bound exists).
     decision_hint: Option<SimTime>,
+    /// Free-capacity timeline over the running jobs' estimated ends, kept
+    /// in lockstep with the engine via the start/complete notifications.
+    timeline: CapacityTimeline,
+    /// Completions seen so far: versions the account-policy sort keys
+    /// (account statistics only move when a job completes).
+    completion_epoch: u64,
+    /// Conservative-plan working buffers, reused across calls.
+    plan: PlanScratch,
+    /// Scratch for the ids handed to [`JobQueue::remove_placed`].
+    placed_ids: Vec<JobId>,
 }
 
 impl BuiltinScheduler {
@@ -36,6 +53,10 @@ impl BuiltinScheduler {
             backfill,
             stats: SchedulerStats::default(),
             decision_hint: None,
+            timeline: CapacityTimeline::new(),
+            completion_epoch: 0,
+            plan: PlanScratch::new(),
+            placed_ids: Vec::new(),
         }
     }
 
@@ -47,6 +68,18 @@ impl BuiltinScheduler {
         self.backfill
     }
 
+    /// Establish this scheduler's policy order on `queue` (incremental:
+    /// a no-op when nothing was pushed and no key changed). The power-cap
+    /// wrapper calls this on the *real* queue before mirroring it, so the
+    /// shadow copy arrives pre-ordered and the inner pass re-sorts
+    /// nothing.
+    pub fn order_queue(&self, queue: &mut JobQueue, ctx: &SchedContext<'_>) {
+        if self.policy != PolicyKind::Replay {
+            self.policy
+                .order_incremental(queue, ctx, self.completion_epoch);
+        }
+    }
+
     /// Replay placement: jobs start exactly at their recorded start, on
     /// their recorded nodes when those are free (always true for
     /// self-consistent traces); otherwise fall back to first-fit and count
@@ -56,7 +89,8 @@ impl BuiltinScheduler {
         now: SimTime,
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
-    ) -> Vec<Placement> {
+        out: &mut Vec<Placement>,
+    ) {
         // Queued replay jobs start exactly at their recorded start (or
         // wait for capacity, which only completions — events — release),
         // so the earliest *future* recorded start bounds the next
@@ -68,7 +102,6 @@ impl BuiltinScheduler {
             .map(|j| j.recorded_start)
             .filter(|&rs| rs > now)
             .min();
-        let mut placed = Vec::new();
         for job in queue.jobs() {
             if job.recorded_start > now {
                 continue;
@@ -92,9 +125,8 @@ impl BuiltinScheduler {
                     Err(_) => continue,
                 },
             };
-            placed.push(Placement::via(job.id, nodes, path));
+            out.push(Placement::via(job.id, nodes, path));
         }
-        placed
     }
 
     /// Scheduled placement: policy order, then walk the queue placing jobs
@@ -105,12 +137,14 @@ impl BuiltinScheduler {
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
         ctx: &SchedContext<'_>,
-    ) -> Vec<Placement> {
-        self.policy.order(queue, ctx, now);
+        out: &mut Vec<Placement>,
+    ) {
+        self.policy
+            .order_incremental(queue, ctx, self.completion_epoch);
         self.stats.recomputations += 1;
 
         if self.backfill == BackfillKind::Conservative {
-            return self.schedule_conservative(now, queue, rm, ctx);
+            return self.schedule_conservative(now, queue, rm, out);
         }
         // Every built-in policy key is time-invariant between events
         // (aging is uniform-rate, so pairwise order never changes), and
@@ -118,7 +152,6 @@ impl BuiltinScheduler {
         // advances against a fixed reservation: no internal deadline.
         self.decision_hint = None;
 
-        let mut placed = Vec::new();
         let mut reservation = None;
         // Nodes virtually consumed by jobs placed in this pass are already
         // reflected in `rm`, so free_count is always current.
@@ -127,7 +160,7 @@ impl BuiltinScheduler {
                 // Queue-order phase: place until the head blocks.
                 if rm.can_allocate(job.nodes) {
                     if let Ok(nodes) = rm.allocate(job.nodes) {
-                        placed.push(Placement::new(job.id, nodes));
+                        out.push(Placement::new(job.id, nodes));
                         continue;
                     }
                 }
@@ -143,7 +176,7 @@ impl BuiltinScheduler {
                         continue;
                     }
                     BackfillKind::Easy => {
-                        match easy_reservation(job.nodes, rm.free_count(), ctx.running) {
+                        match self.timeline.easy_reservation(job.nodes, rm.free_count()) {
                             Some(res) => {
                                 reservation = Some(res);
                                 continue;
@@ -156,7 +189,15 @@ impl BuiltinScheduler {
                     BackfillKind::Conservative => unreachable!("handled above"),
                 }
             }
-            // Backfill phase.
+            // Backfill phase. With zero free nodes no candidate can be
+            // admitted (`easy_admits` rejects on width first) and
+            // admission is the only thing that mutates reservation or
+            // occupancy state — the rest of the walk is a provable no-op.
+            // On a saturated machine this truncates the O(queue) scan to
+            // the handful of jobs that fit before capacity ran out.
+            if rm.free_count() == 0 {
+                break;
+            }
             let res = reservation.as_mut().expect("set when head blocked");
             if easy_admits(job, now, rm.free_count(), res) {
                 // A job that outlives the shadow time was admitted on the
@@ -167,11 +208,10 @@ impl BuiltinScheduler {
                     res.extra_nodes = res.extra_nodes.saturating_sub(job.nodes);
                 }
                 if let Ok(nodes) = rm.allocate(job.nodes) {
-                    placed.push(Placement::via(job.id, nodes, PlacementPath::Backfilled));
+                    out.push(Placement::via(job.id, nodes, PlacementPath::Backfilled));
                 }
             }
         }
-        placed
     }
 
     /// Conservative backfill: plan a reservation for *every* queued job in
@@ -181,29 +221,31 @@ impl BuiltinScheduler {
         now: SimTime,
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
-        ctx: &SchedContext<'_>,
-    ) -> Vec<Placement> {
-        let plan = conservative_plan(
+        out: &mut Vec<Placement>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.plan);
+        self.timeline.plan_conservative(
             queue.jobs(),
             now,
             rm.free_count(),
             rm.total_nodes(),
-            ctx.running,
+            &mut scratch,
         );
-        let mut placed = Vec::new();
         let mut unallocatable_due = false;
-        for (job, &start) in queue.jobs().iter().zip(&plan) {
+        let mut placed_any = false;
+        for (job, &start) in queue.jobs().iter().zip(scratch.plan()) {
             if start > now {
                 continue;
             }
             if let Ok(nodes) = rm.allocate(job.nodes) {
                 // Everything after the head position counts as backfilled.
-                let path = if placed.is_empty() {
-                    PlacementPath::Ordered
-                } else {
+                let path = if placed_any {
                     PlacementPath::Backfilled
+                } else {
+                    PlacementPath::Ordered
                 };
-                placed.push(Placement::via(job.id, nodes, path));
+                placed_any = true;
+                out.push(Placement::via(job.id, nodes, path));
             } else {
                 // The plan thought this reservation matured (estimated
                 // ends counted as releases) but the nodes are still busy:
@@ -215,9 +257,9 @@ impl BuiltinScheduler {
         self.decision_hint = if unallocatable_due {
             Some(now) // pin: no sound time bound until the plan settles
         } else {
-            next_planned_start(&plan, now)
+            next_planned_start(scratch.plan(), now)
         };
-        placed
+        self.plan = scratch;
     }
 }
 
@@ -232,17 +274,36 @@ impl SchedulerBackend for BuiltinScheduler {
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
         ctx: &SchedContext<'_>,
-    ) -> Result<Vec<Placement>> {
+        out: &mut Vec<Placement>,
+    ) -> Result<()> {
+        debug_assert!(
+            self.timeline.matches(ctx.running),
+            "timeline out of lockstep with ctx.running: {} tracked vs {} running",
+            self.timeline.jobs(),
+            ctx.running.len()
+        );
         self.stats.invocations += 1;
-        let placed = if self.policy == PolicyKind::Replay {
-            self.schedule_replay(now, queue, rm)
+        if self.policy == PolicyKind::Replay {
+            self.schedule_replay(now, queue, rm, out);
         } else {
-            self.schedule_ordered(now, queue, rm, ctx)
-        };
-        self.stats.record_placements(&placed);
-        let ids: Vec<_> = placed.iter().map(|p| p.job).collect();
-        queue.remove_placed(&ids);
-        Ok(placed)
+            self.schedule_ordered(now, queue, rm, ctx, out);
+        }
+        self.stats.record_placements(out);
+        self.placed_ids.clear();
+        self.placed_ids.extend(out.iter().map(|p| p.job));
+        queue.remove_placed(&self.placed_ids);
+        Ok(())
+    }
+
+    fn on_job_started(&mut self, est_end: SimTime, nodes: u32) {
+        self.timeline.add(est_end, nodes);
+    }
+
+    fn on_job_completed(&mut self, est_end: SimTime, nodes: u32) {
+        self.timeline.remove(est_end, nodes);
+        // Account statistics fold in completed jobs, so account-policy
+        // sort keys are only stale across completions: version them.
+        self.completion_epoch += 1;
     }
 
     fn next_decision_time(&self, _now: SimTime) -> Option<SimTime> {
@@ -282,6 +343,9 @@ mod tests {
         }
     }
 
+    /// Engine contract: every entry of `running` was announced to the
+    /// scheduler via `on_job_started` before this call (tests do that
+    /// with [`announce`]).
     fn schedule(
         s: &mut BuiltinScheduler,
         now: i64,
@@ -289,8 +353,22 @@ mod tests {
         rm: &mut ResourceManager,
         running: &[RunningView],
     ) -> Vec<Placement> {
-        s.schedule(SimTime::seconds(now), queue, rm, &ctx_with(running))
-            .unwrap()
+        let mut out = Vec::new();
+        s.schedule(
+            SimTime::seconds(now),
+            queue,
+            rm,
+            &ctx_with(running),
+            &mut out,
+        )
+        .unwrap();
+        out
+    }
+
+    fn announce(s: &mut BuiltinScheduler, running: &[RunningView]) {
+        for r in running {
+            s.on_job_started(r.estimated_end, r.nodes);
+        }
     }
 
     #[test]
@@ -332,6 +410,7 @@ mod tests {
             nodes: 8,
             estimated_end: SimTime::seconds(1000),
         }];
+        announce(&mut s, &running);
         let mut q = JobQueue::new();
         q.push(qj(1, 0, 10, 100)); // head: needs the whole machine → blocked
         q.push(qj(2, 1, 2, 500)); // ends at 10+500 < 1000 → backfills
@@ -458,6 +537,7 @@ mod tests {
             nodes: 8,
             estimated_end: SimTime::seconds(1000),
         }];
+        announce(&mut s, &running);
         let mut q = JobQueue::new();
         q.push(qj(1, 0, 8, 100)); // reserved at the running job's est end
         let placed = schedule(&mut s, 10, &mut q, &mut rm, &running);
@@ -483,6 +563,7 @@ mod tests {
             nodes: 8,
             estimated_end: SimTime::seconds(50), // already passed
         }];
+        announce(&mut s, &running);
         let mut q = JobQueue::new();
         q.push(qj(1, 0, 8, 100));
         let placed = schedule(&mut s, 100, &mut q, &mut rm, &running);

@@ -56,13 +56,22 @@ impl SchedulerBackend for ExperimentalScheduler {
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
         ctx: &SchedContext<'_>,
-    ) -> Result<Vec<Placement>> {
+        out: &mut Vec<Placement>,
+    ) -> Result<()> {
         // Pin the collection-phase snapshot over whatever the engine passed.
         let pinned = SchedContext {
             running: ctx.running,
             accounts: Some(&self.accounts),
         };
-        self.inner.schedule(now, queue, rm, &pinned)
+        self.inner.schedule(now, queue, rm, &pinned, out)
+    }
+
+    fn on_job_started(&mut self, est_end: SimTime, nodes: u32) {
+        self.inner.on_job_started(est_end, nodes);
+    }
+
+    fn on_job_completed(&mut self, est_end: SimTime, nodes: u32) {
+        self.inner.on_job_completed(est_end, nodes);
     }
 
     /// Account keys come from a *pinned* collection-phase snapshot, so the
@@ -143,7 +152,9 @@ mod tests {
             running: &[],
             accounts: None, // engine doesn't know; scheduler pins its own
         };
-        let placed = s.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx).unwrap();
+        let mut placed = Vec::new();
+        s.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx, &mut placed)
+            .unwrap();
         assert_eq!(placed.len(), 1);
         assert_eq!(placed[0].job, JobId(11), "frugal account's job first");
     }
@@ -163,7 +174,9 @@ mod tests {
                 running: &[],
                 accounts: None,
             };
-            let placed = s.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx).unwrap();
+            let mut placed = Vec::new();
+            s.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx, &mut placed)
+                .unwrap();
             assert_eq!(placed[0].job, expect_first, "{}", policy.name());
         }
     }

@@ -20,14 +20,16 @@ pub mod power_cap;
 pub mod queue;
 pub mod resource_manager;
 pub mod scheduler;
+pub mod timeline;
 
 pub use backfill::BackfillKind;
 pub use builtin::BuiltinScheduler;
 pub use experimental::ExperimentalScheduler;
 pub use policy::PolicyKind;
 pub use power_cap::PowerCapScheduler;
-pub use queue::{JobQueue, QueuedJob};
+pub use queue::{JobQueue, OrderStamp, QueuedJob};
 pub use resource_manager::ResourceManager;
 pub use scheduler::{
     Placement, PlacementPath, RunningView, SchedContext, SchedulerBackend, SchedulerStats,
 };
+pub use timeline::{CapacityTimeline, PlanScratch};

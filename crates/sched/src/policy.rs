@@ -86,14 +86,28 @@ impl PolicyKind {
         )
     }
 
-    /// Reorder the queue in place: ascending key = schedule first. `now`
-    /// is available for wait-time-sensitive policies; note that uniform
-    /// aging deliberately avoids it (see [`PolicyKind::PriorityAging`]'s
-    /// key) so every built-in ordering is time-invariant between queue
-    /// mutations — the property the engine's event core relies on to
-    /// skip no-op scheduler calls.
-    pub fn order(self, queue: &mut JobQueue, ctx: &SchedContext<'_>, now: sraps_types::SimTime) {
-        let _ = now;
+    /// Whether this policy's sort key can change between queue mutations.
+    /// Builtin job-field keys are immutable once the job is queued; only
+    /// the account policies read live statistics (which move whenever a
+    /// job completes), so their keys are versioned by the scheduler's
+    /// completion count.
+    pub fn key_is_versioned(self) -> bool {
+        self.needs_accounts()
+    }
+
+    /// The scheduling sort key for one queued job: ascending key =
+    /// schedule first (ties broken by submit time, then id — see
+    /// [`JobQueue::sort_by_key_stable`]).
+    ///
+    /// No key depends on `now`: uniform aging orders by
+    /// `submit/3600 − priority` ascending, the same order as
+    /// `priority + (now − submit)/3600` descending with every job aging
+    /// at the same rate. Keeping `now` out makes the order provably
+    /// constant between events (no f64 rounding collapse as waits grow) —
+    /// the property the engine's event core relies on to skip no-op
+    /// scheduler calls, and the property that lets [`JobQueue`] keep the
+    /// order incrementally instead of re-sorting per call.
+    pub fn sort_key(self, ctx: &SchedContext<'_>, j: &QueuedJob) -> f64 {
         let acct_key = |account: AccountId, f: &dyn Fn(&sraps_acct::AccountStats) -> f64| -> f64 {
             ctx.accounts
                 .and_then(|a| a.get(account))
@@ -103,38 +117,49 @@ impl PolicyKind {
         match self {
             // Replay order is by recorded start; the replay scheduler also
             // gates placement on reaching that time.
-            PolicyKind::Replay => queue.sort_by_key_stable(|j| j.recorded_start.as_secs() as f64),
-            PolicyKind::Fcfs => queue.sort_by_key_stable(|j| j.submit.as_secs() as f64),
-            PolicyKind::Sjf => queue.sort_by_key_stable(|j| j.estimate.as_secs_f64()),
-            PolicyKind::Ljf => queue.sort_by_key_stable(|j| -(j.nodes as f64)),
-            PolicyKind::Priority => queue.sort_by_key_stable(|j| -j.priority),
+            PolicyKind::Replay => j.recorded_start.as_secs() as f64,
+            PolicyKind::Fcfs => j.submit.as_secs() as f64,
+            PolicyKind::Sjf => j.estimate.as_secs_f64(),
+            PolicyKind::Ljf => -(j.nodes as f64),
+            PolicyKind::Priority => -j.priority,
             // Slurm-style uniform aging: effective priority = site
-            // priority + hours waited. Every queued job ages at the same
-            // rate, so ordering by `priority + (now − submit)/3600`
-            // descending is the same order as `submit/3600 − priority`
-            // ascending — without `now` in the key. Keeping `now` out
-            // makes the order provably constant between events (no f64
-            // rounding collapse as waits grow), which lets the event core
-            // treat aging as event-bound.
-            PolicyKind::PriorityAging => {
-                queue.sort_by_key_stable(|j| j.submit.as_secs_f64() / 3600.0 - j.priority)
-            }
-            PolicyKind::AcctAvgPower => queue
-                .sort_by_key_stable(|j: &QueuedJob| -acct_key(j.account, &|s| s.avg_node_power_kw)),
-            PolicyKind::AcctLowAvgPower => queue
-                .sort_by_key_stable(|j: &QueuedJob| acct_key(j.account, &|s| s.avg_node_power_kw)),
-            PolicyKind::AcctEdp => {
-                queue.sort_by_key_stable(|j: &QueuedJob| acct_key(j.account, &|s| s.mean_edp()))
-            }
-            PolicyKind::AcctEd2p => {
-                queue.sort_by_key_stable(|j: &QueuedJob| acct_key(j.account, &|s| s.mean_ed2p()))
-            }
-            PolicyKind::AcctFugakuPts => {
-                queue.sort_by_key_stable(|j: &QueuedJob| -acct_key(j.account, &|s| s.fugaku_points))
-            }
+            // priority + hours waited (see the method docs for why `now`
+            // cancels out of the key).
+            PolicyKind::PriorityAging => j.submit.as_secs_f64() / 3600.0 - j.priority,
+            PolicyKind::AcctAvgPower => -acct_key(j.account, &|s| s.avg_node_power_kw),
+            PolicyKind::AcctLowAvgPower => acct_key(j.account, &|s| s.avg_node_power_kw),
+            PolicyKind::AcctEdp => acct_key(j.account, &|s| s.mean_edp()),
+            PolicyKind::AcctEd2p => acct_key(j.account, &|s| s.mean_ed2p()),
+            PolicyKind::AcctFugakuPts => -acct_key(j.account, &|s| s.fugaku_points),
             // Higher score = smaller predicted system impact = first.
-            PolicyKind::Ml => queue.sort_by_key_stable(|j| -j.ml_score.unwrap_or(0.0)),
+            PolicyKind::Ml => -j.ml_score.unwrap_or(0.0),
         }
+    }
+
+    /// Reorder the queue in place with a full stable sort — the
+    /// from-scratch reference. The scheduler hot path uses
+    /// [`PolicyKind::order_incremental`], which produces the identical
+    /// order.
+    pub fn order(self, queue: &mut JobQueue, ctx: &SchedContext<'_>, now: sraps_types::SimTime) {
+        let _ = now;
+        queue.sort_by_key_stable(|j| self.sort_key(ctx, j));
+    }
+
+    /// Establish the policy order incrementally: no-op when the queue is
+    /// already in this policy's order at `key_epoch`, binary insertion
+    /// for new arrivals, full sort only when the stamp changed.
+    /// `key_epoch` versions mutable key sources (account statistics); it
+    /// is ignored for policies whose keys are pure job functions.
+    pub fn order_incremental(self, queue: &mut JobQueue, ctx: &SchedContext<'_>, key_epoch: u64) {
+        let stamp = crate::queue::OrderStamp {
+            policy: self,
+            key_epoch: if self.key_is_versioned() {
+                key_epoch
+            } else {
+                0
+            },
+        };
+        queue.ensure_order_by(stamp, |j| self.sort_key(ctx, j));
     }
 }
 

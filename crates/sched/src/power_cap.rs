@@ -35,6 +35,13 @@ pub struct PowerCapScheduler {
     /// `placements`/`backfilled` with every re-proposal (and make them
     /// depend on how often the engine polls the scheduler).
     stats: SchedulerStats,
+    /// Shadow mirrors of the engine's state, refreshed by `clone_from`
+    /// each call so the per-invocation deep copies stop allocating.
+    shadow_rm: Option<ResourceManager>,
+    shadow_queue: JobQueue,
+    /// Scratch for the inner scheduler's proposal and the admitted ids.
+    proposed: Vec<Placement>,
+    admitted_ids: Vec<JobId>,
 }
 
 impl PowerCapScheduler {
@@ -46,6 +53,10 @@ impl PowerCapScheduler {
             deferred: 0,
             deferred_last_call: false,
             stats: SchedulerStats::default(),
+            shadow_rm: None,
+            shadow_queue: JobQueue::new(),
+            proposed: Vec::new(),
+            admitted_ids: Vec::new(),
         }
     }
 
@@ -70,7 +81,8 @@ impl SchedulerBackend for PowerCapScheduler {
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
         ctx: &SchedContext<'_>,
-    ) -> Result<Vec<Placement>> {
+        out: &mut Vec<Placement>,
+    ) -> Result<()> {
         self.stats.invocations += 1;
         // Budget left after the jobs already running.
         let running_kw: f64 = ctx.running.iter().map(|r| self.estimate(r.id)).sum();
@@ -79,30 +91,49 @@ impl SchedulerBackend for PowerCapScheduler {
         // Let the inner policy decide on shadow state, then admit its
         // placements in order while the budget lasts. The shadow resource
         // manager mirrors the real one, so admitted node sets are free in
-        // the real manager too (placements are mutually disjoint).
-        let mut shadow_rm = rm.clone();
-        let mut shadow_q = queue.clone();
-        let proposed = self
-            .inner
-            .schedule(now, &mut shadow_q, &mut shadow_rm, ctx)?;
+        // the real manager too (placements are mutually disjoint). The
+        // mirrors and the proposal buffer persist across calls
+        // (`clone_from` reuses their allocations), and the *real* queue
+        // is put in policy order first so the shadow copy carries the
+        // order stamp with it — the inner pass then re-sorts nothing.
+        self.inner.order_queue(queue, ctx);
+        match &mut self.shadow_rm {
+            Some(shadow) => shadow.clone_from(rm),
+            None => self.shadow_rm = Some(rm.clone()),
+        }
+        self.shadow_queue.clone_from(queue);
+        self.proposed.clear();
+        let mut proposed = std::mem::take(&mut self.proposed);
+        let shadow_rm = self.shadow_rm.as_mut().expect("installed above");
+        self.inner
+            .schedule(now, &mut self.shadow_queue, shadow_rm, ctx, &mut proposed)?;
 
-        let mut admitted = Vec::with_capacity(proposed.len());
         self.deferred_last_call = false;
-        for p in proposed {
+        for p in proposed.drain(..) {
             let est = self.estimate(p.job);
             if est <= budget {
                 budget -= est;
                 rm.allocate_exact(&p.nodes)?;
-                admitted.push(p);
+                out.push(p);
             } else {
                 self.deferred += 1;
                 self.deferred_last_call = true;
             }
         }
-        self.stats.record_placements(&admitted);
-        let ids: Vec<JobId> = admitted.iter().map(|p| p.job).collect();
-        queue.remove_placed(&ids);
-        Ok(admitted)
+        self.proposed = proposed;
+        self.stats.record_placements(out);
+        self.admitted_ids.clear();
+        self.admitted_ids.extend(out.iter().map(|p| p.job));
+        queue.remove_placed(&self.admitted_ids);
+        Ok(())
+    }
+
+    fn on_job_started(&mut self, est_end: SimTime, nodes: u32) {
+        self.inner.on_job_started(est_end, nodes);
+    }
+
+    fn on_job_completed(&mut self, est_end: SimTime, nodes: u32) {
+        self.inner.on_job_completed(est_end, nodes);
     }
 
     /// The budget moves only with the running set (placements and
@@ -185,6 +216,18 @@ mod tests {
         }
     }
 
+    fn run(
+        s: &mut PowerCapScheduler,
+        now: SimTime,
+        q: &mut JobQueue,
+        rm: &mut ResourceManager,
+        ctx: &SchedContext<'_>,
+    ) -> Vec<Placement> {
+        let mut out = Vec::new();
+        s.schedule(now, q, rm, ctx, &mut out).unwrap();
+        out
+    }
+
     #[test]
     fn admits_until_budget_exhausted() {
         let mut s = capped(100.0, &[(1, 60.0), (2, 60.0), (3, 30.0)]);
@@ -193,7 +236,7 @@ mod tests {
         q.push(qj(2, 2));
         q.push(qj(3, 2));
         let mut rm = ResourceManager::new(16);
-        let placed = s.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx()).unwrap();
+        let placed = run(&mut s, SimTime::ZERO, &mut q, &mut rm, &ctx());
         let ids: Vec<u64> = placed.iter().map(|p| p.job.0).collect();
         // Job 1 (60) fits; job 2 (60) would exceed 100; job 3 (30) fits.
         assert_eq!(ids, vec![1, 3]);
@@ -209,6 +252,7 @@ mod tests {
             nodes: 4,
             estimated_end: SimTime::seconds(1000),
         }];
+        s.on_job_started(SimTime::seconds(1000), 4);
         let c = SchedContext {
             running: &running,
             accounts: None,
@@ -217,7 +261,7 @@ mod tests {
         q.push(qj(1, 2));
         let mut rm = ResourceManager::new(16);
         rm.allocate(4).unwrap(); // the running job's nodes
-        let placed = s.schedule(SimTime::ZERO, &mut q, &mut rm, &c).unwrap();
+        let placed = run(&mut s, SimTime::ZERO, &mut q, &mut rm, &c);
         assert!(placed.is_empty(), "80 running + 50 requested > 100 cap");
         assert_eq!(s.deferred(), 1);
     }
@@ -229,13 +273,11 @@ mod tests {
         q.push(qj(1, 2));
         q.push(qj(2, 2));
         let mut rm = ResourceManager::new(8);
-        let first = s.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx()).unwrap();
+        let first = run(&mut s, SimTime::ZERO, &mut q, &mut rm, &ctx());
         assert_eq!(first.len(), 1);
         // Job 1 finished: nodes released, no longer in ctx.running.
         rm.release(&first[0].nodes);
-        let second = s
-            .schedule(SimTime::seconds(100), &mut q, &mut rm, &ctx())
-            .unwrap();
+        let second = run(&mut s, SimTime::seconds(100), &mut q, &mut rm, &ctx());
         assert_eq!(second.len(), 1);
         assert_eq!(second[0].job, JobId(2));
     }
@@ -247,7 +289,28 @@ mod tests {
         let mut q = JobQueue::new();
         q.push(qj(1, 2));
         let mut rm = ResourceManager::new(8);
-        let placed = s.schedule(SimTime::ZERO, &mut q, &mut rm, &ctx()).unwrap();
+        let placed = run(&mut s, SimTime::ZERO, &mut q, &mut rm, &ctx());
         assert_eq!(placed.len(), 1);
+    }
+
+    #[test]
+    fn shadow_state_reuse_is_invisible_across_calls() {
+        // Consecutive calls with mutating real state must behave as if the
+        // shadow were built fresh each time (it is `clone_from`-refreshed).
+        let mut s = capped(1000.0, &[(1, 10.0), (2, 10.0), (3, 10.0)]);
+        let mut q = JobQueue::new();
+        q.push(qj(1, 2));
+        q.push(qj(2, 2));
+        let mut rm = ResourceManager::new(4);
+        let first = run(&mut s, SimTime::ZERO, &mut q, &mut rm, &ctx());
+        assert_eq!(first.len(), 2);
+        assert!(q.is_empty());
+        q.push(qj(3, 2));
+        let blocked = run(&mut s, SimTime::seconds(60), &mut q, &mut rm, &ctx());
+        assert!(blocked.is_empty(), "machine is full");
+        rm.release(&first[0].nodes);
+        let third = run(&mut s, SimTime::seconds(120), &mut q, &mut rm, &ctx());
+        assert_eq!(third.len(), 1);
+        assert_eq!(third[0].job, JobId(3));
     }
 }

@@ -7,11 +7,43 @@
 use sraps_types::{Bitset, NodeId, NodeSet, Result, SrapsError};
 
 /// Tracks free/busy/down state for every node of the system.
-#[derive(Debug, Clone)]
+///
+/// Free/down counts are cached as plain integers maintained on every
+/// transition (and cross-checked against the bitsets in debug builds), so
+/// the per-tick history sampling — `utilization`, `busy_count` — and the
+/// scheduler's `can_allocate` probes cost two integer reads instead of
+/// bitset popcounts.
+#[derive(Debug)]
 pub struct ResourceManager {
     total: u32,
     free: Bitset,
     down: Bitset,
+    /// Cached `free.count_ones()`.
+    free_count: u32,
+    /// Cached `down.count_ones()`.
+    down_count: u32,
+}
+
+impl Clone for ResourceManager {
+    fn clone(&self) -> Self {
+        ResourceManager {
+            total: self.total,
+            free: self.free.clone(),
+            down: self.down.clone(),
+            free_count: self.free_count,
+            down_count: self.down_count,
+        }
+    }
+
+    /// Reuses `self`'s bitset buffers — the power-cap scheduler mirrors
+    /// the real manager into its shadow copy every invocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.total = source.total;
+        self.free.clone_from(&source.free);
+        self.down.clone_from(&source.down);
+        self.free_count = source.free_count;
+        self.down_count = source.down_count;
+    }
 }
 
 impl ResourceManager {
@@ -20,6 +52,8 @@ impl ResourceManager {
             total: total_nodes,
             free: Bitset::full(total_nodes as usize),
             down: Bitset::new(total_nodes as usize),
+            free_count: total_nodes,
+            down_count: 0,
         }
     }
 
@@ -29,7 +63,8 @@ impl ResourceManager {
 
     /// Nodes currently available for allocation.
     pub fn free_count(&self) -> u32 {
-        self.free.count_ones() as u32
+        debug_assert_eq!(self.free_count as usize, self.free.count_ones());
+        self.free_count
     }
 
     /// Nodes currently allocated to jobs.
@@ -39,7 +74,8 @@ impl ResourceManager {
 
     /// Nodes marked down/drained.
     pub fn down_count(&self) -> u32 {
-        self.down.count_ones() as u32
+        debug_assert_eq!(self.down_count as usize, self.down.count_ones());
+        self.down_count
     }
 
     /// Occupancy utilization in \[0,1\]: busy / (total − down).
@@ -54,24 +90,24 @@ impl ResourceManager {
 
     /// Whether a `count`-node allocation could be granted right now.
     pub fn can_allocate(&self, count: u32) -> bool {
-        count > 0 && count <= self.free_count()
+        count > 0 && count <= self.free_count
     }
 
-    /// First-fit allocation of `count` nodes (lowest-index free nodes).
+    /// First-fit allocation of `count` nodes (lowest-index free nodes):
+    /// one word-level pass that collects and claims together.
     pub fn allocate(&mut self, count: u32) -> Result<NodeSet> {
         if count == 0 {
             return Err(SrapsError::Allocation("zero-node allocation".into()));
         }
-        let picked = self.free.collect_first_set(count as usize).ok_or_else(|| {
-            SrapsError::Allocation(format!(
+        let mut picked = Vec::with_capacity(count as usize);
+        if !self.free.take_first_set(count as usize, &mut picked) {
+            return Err(SrapsError::Allocation(format!(
                 "{count} nodes requested, {} free",
                 self.free_count()
-            ))
-        })?;
-        for &i in &picked {
-            self.free.clear(i as usize);
+            )));
         }
-        Ok(NodeSet::from_indices(picked))
+        self.free_count -= count;
+        Ok(NodeSet::from_sorted(picked))
     }
 
     /// Allocate exactly `nodes` (replay placement). Fails if any node is
@@ -92,7 +128,9 @@ impl ResourceManager {
             }
         }
         for n in nodes.iter() {
-            self.free.clear(n.index());
+            if self.free.clear(n.index()) {
+                self.free_count -= 1;
+            }
         }
         Ok(())
     }
@@ -101,8 +139,8 @@ impl ResourceManager {
     /// job ran stay down.
     pub fn release(&mut self, nodes: &NodeSet) {
         for n in nodes.iter() {
-            if !self.down.get(n.index()) {
-                self.free.set(n.index());
+            if !self.down.get(n.index()) && self.free.set(n.index()) {
+                self.free_count += 1;
             }
         }
     }
@@ -112,8 +150,12 @@ impl ResourceManager {
     pub fn mark_down(&mut self, nodes: &NodeSet) {
         for n in nodes.iter() {
             if n.index() < self.total as usize {
-                self.down.set(n.index());
-                self.free.clear(n.index());
+                if self.down.set(n.index()) {
+                    self.down_count += 1;
+                }
+                if self.free.clear(n.index()) {
+                    self.free_count -= 1;
+                }
             }
         }
     }
@@ -122,7 +164,10 @@ impl ResourceManager {
     pub fn mark_up(&mut self, nodes: &NodeSet) {
         for n in nodes.iter() {
             if n.index() < self.total as usize && self.down.clear(n.index()) {
-                self.free.set(n.index());
+                self.down_count -= 1;
+                if self.free.set(n.index()) {
+                    self.free_count += 1;
+                }
             }
         }
     }

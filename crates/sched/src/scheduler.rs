@@ -109,15 +109,30 @@ pub trait SchedulerBackend {
     /// Name for logs and output directories.
     fn name(&self) -> &'static str;
 
-    /// Decide placements for this tick. Implementations allocate from `rm`
-    /// themselves so the engine can trust the returned node sets.
+    /// Decide placements for this tick, appending them to `out` (handed
+    /// in empty; the engine owns and reuses the buffer across calls so
+    /// the hot path stops allocating a placement list per invocation).
+    /// Implementations allocate from `rm` themselves so the engine can
+    /// trust the returned node sets.
     fn schedule(
         &mut self,
         now: SimTime,
         queue: &mut JobQueue,
         rm: &mut ResourceManager,
         ctx: &SchedContext<'_>,
-    ) -> Result<Vec<Placement>>;
+        out: &mut Vec<Placement>,
+    ) -> Result<()>;
+
+    /// Notification: a job `nodes` wide started (or was prepopulated)
+    /// with scheduler-visible estimated end `est_end`. The engine calls
+    /// this for every activation, letting backends maintain incremental
+    /// state — the builtin scheduler's free-capacity timeline — instead
+    /// of rebuilding it from [`SchedContext::running`] each invocation.
+    fn on_job_started(&mut self, _est_end: SimTime, _nodes: u32) {}
+
+    /// Notification: a running job completed and released its nodes.
+    /// `est_end`/`nodes` match the values its `on_job_started` carried.
+    fn on_job_completed(&mut self, _est_end: SimTime, _nodes: u32) {}
 
     /// The earliest future instant at which this backend's scheduling
     /// answer could change *without* an engine-visible event (completion,

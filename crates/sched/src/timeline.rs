@@ -1,0 +1,320 @@
+//! The free-capacity timeline: a persistent availability profile over the
+//! running jobs' *estimated* ends.
+//!
+//! Every reservation computation — EASY's shadow time, conservative
+//! backfill's per-job plan — is a question about when capacity frees up
+//! at the latest-known wall-time estimates. The from-scratch planners in
+//! [`crate::backfill`] answer it by collecting and sorting every
+//! [`RunningView`](crate::scheduler::RunningView) end on every scheduler
+//! call; on a saturated machine that sort dominates the whole simulation.
+//!
+//! [`CapacityTimeline`] keeps the same information incrementally: the
+//! engine notifies the scheduler on every job start and completion
+//! ([`SchedulerBackend::on_job_started`](crate::scheduler::SchedulerBackend::on_job_started)
+//! /
+//! [`on_job_completed`](crate::scheduler::SchedulerBackend::on_job_completed)),
+//! and the timeline maintains a sorted map from estimated end to the
+//! total nodes releasing at that instant — O(log n) per transition, zero
+//! allocation and zero sorting per query. Outages need no notification:
+//! like the from-scratch planners, the timeline prices a running job at
+//! its full width (nodes downed mid-run stay down on release, but the
+//! scheduler's view has always treated estimates as full releases).
+//!
+//! Queries are *bit-identical* to their from-scratch counterparts
+//! ([`backfill::easy_reservation`](crate::backfill::easy_reservation) and
+//! [`backfill::conservative_plan`](crate::backfill::conservative_plan));
+//! the property tests in `tests/incremental.rs` pin that equivalence on
+//! random running/queue states.
+
+use crate::backfill::Reservation;
+use crate::queue::QueuedJob;
+use crate::scheduler::RunningView;
+use sraps_types::SimTime;
+
+/// Sorted aggregate of the running jobs' estimated ends: for each distinct
+/// end time, the total nodes whose estimates mature then.
+///
+/// Backed by a sorted `Vec` rather than a tree: estimated ends are
+/// quantized to the tick grid, so many jobs share an end and most
+/// transitions are an in-place `+=`/`-=` after a binary search; a true
+/// insert is a small memmove within retained capacity. Steady-state
+/// maintenance therefore allocates nothing and stays cache-resident.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityTimeline {
+    /// (estimated end, total nodes releasing then), ascending by time.
+    ends: Vec<(SimTime, u32)>,
+    /// Running jobs tracked (for the cross-check against `ctx.running`).
+    jobs: usize,
+    /// Σ nodes over tracked jobs.
+    nodes: u64,
+}
+
+impl CapacityTimeline {
+    pub fn new() -> Self {
+        CapacityTimeline::default()
+    }
+
+    /// A job started: `nodes` wide, estimated to end at `est_end`.
+    pub fn add(&mut self, est_end: SimTime, nodes: u32) {
+        let at = self.ends.partition_point(|&(t, _)| t < est_end);
+        match self.ends.get_mut(at) {
+            Some(entry) if entry.0 == est_end => entry.1 += nodes,
+            _ => self.ends.insert(at, (est_end, nodes)),
+        }
+        self.jobs += 1;
+        self.nodes += nodes as u64;
+    }
+
+    /// A running job completed; `est_end`/`nodes` must match its `add`.
+    pub fn remove(&mut self, est_end: SimTime, nodes: u32) {
+        let at = self.ends.partition_point(|&(t, _)| t < est_end);
+        let entry = self
+            .ends
+            .get_mut(at)
+            .filter(|e| e.0 == est_end)
+            .expect("remove of an end never added");
+        debug_assert!(entry.1 >= nodes, "timeline node count underflow");
+        entry.1 -= nodes;
+        if entry.1 == 0 {
+            self.ends.remove(at);
+        }
+        self.jobs -= 1;
+        self.nodes -= nodes as u64;
+    }
+
+    /// Running jobs tracked.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether the timeline agrees with a [`RunningView`] slice — the
+    /// engine-plumbing invariant the builtin scheduler asserts in debug
+    /// builds.
+    pub fn matches(&self, running: &[RunningView]) -> bool {
+        self.jobs == running.len()
+            && self.nodes == running.iter().map(|r| r.nodes as u64).sum::<u64>()
+    }
+
+    /// The EASY reservation for a blocked head needing `head_nodes`, with
+    /// `free_now` nodes free: walk the ends in order accumulating freed
+    /// nodes until the head fits. Same contract as
+    /// [`backfill::easy_reservation`](crate::backfill::easy_reservation),
+    /// minus the per-call collect + sort.
+    pub fn easy_reservation(&self, head_nodes: u32, free_now: u32) -> Option<Reservation> {
+        debug_assert!(head_nodes > free_now, "reservation only for blocked heads");
+        let mut avail = free_now;
+        for &(end, nodes) in &self.ends {
+            avail += nodes;
+            if avail >= head_nodes {
+                return Some(Reservation {
+                    shadow_time: end,
+                    extra_nodes: avail - head_nodes,
+                });
+            }
+        }
+        None
+    }
+
+    /// Conservative plan over the timeline: the earliest feasible start
+    /// per queued job, in queue order, holding earlier jobs' reservations
+    /// fixed — exactly
+    /// [`backfill::conservative_plan`](crate::backfill::conservative_plan)
+    /// (`SimTime::MAX` for jobs wider than the machine), computed by one
+    /// forward sweep over a free-capacity step profile per job instead of
+    /// a candidate-set collect + sort + per-candidate rescan.
+    ///
+    /// The profile lives in `scratch` (read the result via
+    /// [`PlanScratch::plan`]), so steady-state calls allocate nothing.
+    pub fn plan_conservative(
+        &self,
+        queue: &[QueuedJob],
+        now: SimTime,
+        free_now: u32,
+        total_nodes: u32,
+        scratch: &mut PlanScratch,
+    ) {
+        // Capacity deltas by time, ascending: releases from the running
+        // set, plus `now` as a zero-delta breakpoint so it is a candidate
+        // start. Entries sharing a time are summed before any feasibility
+        // decision (all estimates maturing at an instant release together).
+        let deltas = &mut scratch.deltas;
+        deltas.clear();
+        deltas.extend(self.ends.iter().map(|&(t, n)| (t, n as i64)));
+        let at = deltas.partition_point(|&(t, _)| t < now);
+        deltas.insert(at, (now, 0));
+
+        scratch.plan.clear();
+        for job in queue {
+            if job.nodes > total_nodes {
+                scratch.plan.push(SimTime::MAX);
+                continue;
+            }
+            let need = job.nodes as i64;
+            // Sweep the profile keeping `anchor` = the earliest breakpoint
+            // from which free capacity has stayed ≥ `need`. The moment the
+            // sweep passes `anchor + estimate`, the whole window is
+            // covered and the anchor is the earliest feasible start; a dip
+            // below `need` invalidates it. Feasible starts only ever sit
+            // at capacity *increases* (or `now`), which is exactly the
+            // candidate set the from-scratch planner enumerates.
+            let mut free = free_now as i64;
+            let mut anchor: Option<SimTime> = None;
+            let mut start = None;
+            let mut i = 0;
+            while i < deltas.len() {
+                let t = deltas[i].0;
+                if let Some(a) = anchor {
+                    if t >= a + job.estimate {
+                        start = Some(a);
+                        break;
+                    }
+                }
+                while i < deltas.len() && deltas[i].0 == t {
+                    free += deltas[i].1;
+                    i += 1;
+                }
+                if free < need {
+                    anchor = None;
+                } else if anchor.is_none() {
+                    anchor = Some(t);
+                }
+            }
+            // Past the last breakpoint the profile is flat forever, so a
+            // surviving anchor's window is covered no matter the estimate.
+            let start = start.or(anchor).unwrap_or(SimTime::MAX);
+            scratch.plan.push(start);
+            if start != SimTime::MAX {
+                let end = start + job.estimate;
+                let at = deltas.partition_point(|&(t, _)| t < start);
+                deltas.insert(at, (start, -need));
+                let at = deltas.partition_point(|&(t, _)| t < end);
+                deltas.insert(at, (end, need));
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`CapacityTimeline::plan_conservative`]: the
+/// per-call capacity profile and the resulting plan, retained across
+/// scheduler invocations so the conservative hot path stops allocating.
+#[derive(Debug, Clone, Default)]
+pub struct PlanScratch {
+    /// (time, capacity delta) breakpoints, ascending by time.
+    deltas: Vec<(SimTime, i64)>,
+    /// One planned start per queue entry, in queue order.
+    plan: Vec<SimTime>,
+}
+
+impl PlanScratch {
+    pub fn new() -> Self {
+        PlanScratch::default()
+    }
+
+    /// The plan produced by the last `plan_conservative` call.
+    pub fn plan(&self) -> &[SimTime] {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backfill;
+    use sraps_types::{AccountId, JobId, SimDuration};
+
+    fn view(id: u64, nodes: u32, end: i64) -> RunningView {
+        RunningView {
+            id: JobId(id),
+            nodes,
+            estimated_end: SimTime::seconds(end),
+        }
+    }
+
+    fn qj(nodes: u32, est: i64) -> QueuedJob {
+        QueuedJob {
+            id: JobId(99),
+            account: AccountId(0),
+            submit: SimTime::ZERO,
+            nodes,
+            estimate: SimDuration::seconds(est),
+            priority: 0.0,
+            ml_score: None,
+            recorded_start: SimTime::ZERO,
+            recorded_nodes: None,
+        }
+    }
+
+    fn timeline_of(running: &[RunningView]) -> CapacityTimeline {
+        let mut t = CapacityTimeline::new();
+        for r in running {
+            t.add(r.estimated_end, r.nodes);
+        }
+        t
+    }
+
+    #[test]
+    fn add_remove_roundtrip_empties() {
+        let mut t = CapacityTimeline::new();
+        t.add(SimTime::seconds(100), 4);
+        t.add(SimTime::seconds(100), 2);
+        t.add(SimTime::seconds(50), 8);
+        assert_eq!(t.jobs(), 3);
+        t.remove(SimTime::seconds(100), 4);
+        t.remove(SimTime::seconds(50), 8);
+        t.remove(SimTime::seconds(100), 2);
+        assert_eq!(t.jobs(), 0);
+        assert!(t.matches(&[]));
+    }
+
+    #[test]
+    fn matches_checks_count_and_width() {
+        let running = [view(1, 4, 100), view(2, 6, 200)];
+        let t = timeline_of(&running);
+        assert!(t.matches(&running));
+        assert!(!t.matches(&running[..1]));
+    }
+
+    #[test]
+    fn easy_reservation_equals_from_scratch() {
+        let running = [view(1, 4, 100), view(2, 6, 200), view(3, 2, 100)];
+        let t = timeline_of(&running);
+        for (head, free) in [(10, 2), (5, 1), (100, 1), (7, 0)] {
+            assert_eq!(
+                t.easy_reservation(head, free),
+                backfill::easy_reservation(head, free, &running),
+                "head={head} free={free}"
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_plan_equals_from_scratch() {
+        let running = [view(1, 6, 100), view(2, 7, 100), view(3, 3, 250)];
+        let t = timeline_of(&running);
+        let queue = vec![qj(8, 100), qj(2, 50), qj(2, 500), qj(100, 10), qj(16, 40)];
+        let mut scratch = PlanScratch::new();
+        let now = SimTime::seconds(10);
+        t.plan_conservative(&queue, now, 2, 16, &mut scratch);
+        assert_eq!(
+            scratch.plan(),
+            backfill::conservative_plan(&queue, now, 2, 16, &running).as_slice()
+        );
+    }
+
+    #[test]
+    fn overdue_estimates_count_as_phantom_capacity() {
+        // A running job past its estimated end still releases "phantom"
+        // nodes in the plan — the overrun case the engine pin relies on.
+        let running = [view(1, 8, 50)];
+        let t = timeline_of(&running);
+        let queue = vec![qj(8, 100)];
+        let mut scratch = PlanScratch::new();
+        let now = SimTime::seconds(100);
+        t.plan_conservative(&queue, now, 0, 8, &mut scratch);
+        assert_eq!(
+            scratch.plan(),
+            backfill::conservative_plan(&queue, now, 0, 8, &running).as_slice()
+        );
+        assert_eq!(scratch.plan()[0], SimTime::seconds(50), "phantom release");
+    }
+}

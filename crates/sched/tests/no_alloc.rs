@@ -1,0 +1,162 @@
+//! Regression guard for the scheduler hot path: a `schedule` call that
+//! places nothing must perform **zero heap allocations**.
+//!
+//! On a saturated machine the engine issues such no-op calls at every
+//! event, and the pre-timeline code paid a full queue sort plus a
+//! collect+sort of every running end for each one. The incremental queue
+//! order, the capacity timeline, and the persistent plan scratch exist
+//! precisely so that work (and its allocator traffic) disappears; this
+//! test pins the "zero allocations" half with a counting global allocator.
+
+use sraps_sched::{
+    BackfillKind, BuiltinScheduler, JobQueue, Placement, PolicyKind, QueuedJob, ResourceManager,
+    RunningView, SchedContext, SchedulerBackend,
+};
+use sraps_types::{AccountId, JobId, SimDuration, SimTime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System`, with every allocation and reallocation counted.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn qj(id: u64, submit: i64, nodes: u32, est: i64) -> QueuedJob {
+    QueuedJob {
+        id: JobId(id),
+        account: AccountId(0),
+        submit: SimTime::seconds(submit),
+        nodes,
+        estimate: SimDuration::seconds(est),
+        priority: (id % 7) as f64,
+        ml_score: None,
+        recorded_start: SimTime::seconds(submit),
+        recorded_nodes: None,
+    }
+}
+
+/// Drive one saturated configuration: a wide running job pins the machine,
+/// a deep queue sits blocked behind it. After a warm-up call (which may
+/// size scratch buffers and sort once), every further no-op call must not
+/// touch the allocator.
+fn assert_noop_calls_do_not_allocate(policy: PolicyKind, backfill: BackfillKind) {
+    let mut sched = BuiltinScheduler::new(policy, backfill);
+    let mut rm = ResourceManager::new(64);
+    let busy = rm.allocate(60).unwrap();
+    let running = [RunningView {
+        id: JobId(10_000),
+        nodes: 60,
+        estimated_end: SimTime::seconds(100_000),
+    }];
+    sched.on_job_started(SimTime::seconds(100_000), 60);
+
+    let mut queue = JobQueue::new();
+    for i in 0..64 {
+        // All wider than the 4 free nodes: nothing can ever be placed.
+        queue.push(qj(i, i as i64, 8 + (i % 9) as u32, 600 + 60 * i as i64));
+    }
+    let ctx = SchedContext {
+        running: &running,
+        accounts: None,
+    };
+    let mut out: Vec<Placement> = Vec::new();
+
+    // Warm-up: first call may sort the queue and size the plan scratch.
+    sched
+        .schedule(SimTime::seconds(100), &mut queue, &mut rm, &ctx, &mut out)
+        .unwrap();
+    assert!(out.is_empty(), "{policy:?}-{backfill:?}: nothing fits");
+
+    let before = allocations();
+    for call in 0..50i64 {
+        sched
+            .schedule(
+                SimTime::seconds(160 + 60 * call),
+                &mut queue,
+                &mut rm,
+                &ctx,
+                &mut out,
+            )
+            .unwrap();
+        assert!(out.is_empty());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{policy:?}-{backfill:?}: a no-op schedule call allocated"
+    );
+
+    // New arrivals binary-insert without a re-sort. The absorbing call may
+    // grow scratch buffers once (the queue got longer); every no-op call
+    // after it must be allocation-free again.
+    queue.push(qj(1_000, 5_000, 9, 700));
+    sched
+        .schedule(SimTime::seconds(5_060), &mut queue, &mut rm, &ctx, &mut out)
+        .unwrap();
+    assert!(out.is_empty());
+    let before = allocations();
+    for call in 0..20i64 {
+        sched
+            .schedule(
+                SimTime::seconds(5_120 + 60 * call),
+                &mut queue,
+                &mut rm,
+                &ctx,
+                &mut out,
+            )
+            .unwrap();
+        assert!(out.is_empty());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{policy:?}-{backfill:?}: no-op calls after an arrival allocated"
+    );
+
+    rm.release(&busy);
+}
+
+#[test]
+fn noop_schedule_calls_allocate_nothing() {
+    for (policy, backfill) in [
+        (PolicyKind::Fcfs, BackfillKind::None),
+        (PolicyKind::Fcfs, BackfillKind::FirstFit),
+        (PolicyKind::Fcfs, BackfillKind::Easy),
+        (PolicyKind::Sjf, BackfillKind::Easy),
+        (PolicyKind::PriorityAging, BackfillKind::Easy),
+        (PolicyKind::Fcfs, BackfillKind::Conservative),
+        (PolicyKind::Sjf, BackfillKind::Conservative),
+    ] {
+        assert_noop_calls_do_not_allocate(policy, backfill);
+    }
+}

@@ -8,11 +8,30 @@
 use serde::{Deserialize, Serialize};
 
 /// Fixed-capacity bitset backed by 64-bit words.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bitset {
     len: usize,
     words: Vec<u64>,
     ones: usize,
+}
+
+impl Clone for Bitset {
+    fn clone(&self) -> Self {
+        Bitset {
+            len: self.len,
+            words: self.words.clone(),
+            ones: self.ones,
+        }
+    }
+
+    /// Reuses `self`'s word buffer (a plain memcpy when capacities match)
+    /// — mirror-state holders like the power-cap scheduler's shadow
+    /// resource manager refresh their copy every call.
+    fn clone_from(&mut self, source: &Self) {
+        self.len = source.len;
+        self.words.clone_from(&source.words);
+        self.ones = source.ones;
+    }
 }
 
 impl Bitset {
@@ -130,6 +149,36 @@ impl Bitset {
         Some(out)
     }
 
+    /// Claim (clear) the first `n` set bits in one word-level pass,
+    /// appending their indices in ascending order to `out`. Returns
+    /// `false` without modification if fewer than `n` bits are set.
+    ///
+    /// This is the resource manager's first-fit hot path: one sweep that
+    /// reads each word once and clears bits as it collects them, instead
+    /// of a scan ([`Bitset::collect_first_set`]) followed by a second
+    /// per-index [`Bitset::clear`] pass.
+    pub fn take_first_set(&mut self, n: usize, out: &mut Vec<u32>) -> bool {
+        if n > self.ones {
+            return false;
+        }
+        let mut remaining = n;
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            while *w != 0 {
+                if remaining == 0 {
+                    self.ones -= n;
+                    return true;
+                }
+                let bit = w.trailing_zeros() as usize;
+                *w &= *w - 1; // clear the lowest set bit
+                out.push((wi * 64 + bit) as u32);
+                remaining -= 1;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "ones said {n} bits were available");
+        self.ones -= n;
+        true
+    }
+
     /// Iterate over all set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         let mut next = 0usize;
@@ -195,6 +244,54 @@ mod tests {
         assert_eq!(b.collect_first_set(2), Some(vec![7, 70]));
         assert_eq!(b.collect_first_set(3), Some(vec![7, 70, 100]));
         assert_eq!(b.collect_first_set(4), None);
+    }
+
+    #[test]
+    fn take_first_set_claims_in_one_pass() {
+        let mut b = Bitset::full(130);
+        let mut out = Vec::new();
+        assert!(b.take_first_set(3, &mut out));
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(b.count_ones(), 127);
+        assert!(!b.get(0) && !b.get(2) && b.get(3));
+        // Spans a word boundary.
+        out.clear();
+        assert!(b.take_first_set(70, &mut out));
+        assert_eq!(out.first(), Some(&3));
+        assert_eq!(out.len(), 70);
+        assert_eq!(b.count_ones(), 57);
+        // Appends without clearing the output buffer.
+        let mut acc = vec![999];
+        assert!(b.take_first_set(1, &mut acc));
+        assert_eq!(acc, vec![999, 73]);
+    }
+
+    #[test]
+    fn take_first_set_fails_atomically() {
+        let mut b = Bitset::new(64);
+        b.set(5);
+        let mut out = Vec::new();
+        assert!(!b.take_first_set(2, &mut out));
+        assert!(out.is_empty());
+        assert_eq!(b.count_ones(), 1);
+        assert!(b.get(5));
+    }
+
+    #[test]
+    fn take_first_set_matches_collect_then_clear() {
+        let mut a = Bitset::new(200);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            a.set(i);
+        }
+        let mut b = a.clone();
+        let picked = a.collect_first_set(5).unwrap();
+        for &i in &picked {
+            a.clear(i as usize);
+        }
+        let mut taken = Vec::new();
+        assert!(b.take_first_set(5, &mut taken));
+        assert_eq!(picked, taken);
+        assert_eq!(a, b);
     }
 
     #[test]

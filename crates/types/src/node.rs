@@ -46,6 +46,17 @@ impl NodeSet {
         NodeSet(ids)
     }
 
+    /// Build from indices already in strictly ascending order (the shape
+    /// every bitset scan produces), skipping the sort+dedup of
+    /// [`NodeSet::from_indices`].
+    pub fn from_sorted(ids: Vec<u32>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly ascending indices"
+        );
+        NodeSet(ids)
+    }
+
     /// Build from a contiguous range `[start, start+count)`.
     pub fn contiguous(start: u32, count: u32) -> Self {
         NodeSet((start..start + count).collect())

@@ -192,8 +192,9 @@ proptest! {
             });
         }
         let ctx = SchedContext { running: &[], accounts: None };
-        let placed = sched
-            .schedule(SimTime::seconds(100), &mut queue, &mut rm, &ctx)
+        let mut placed = Vec::new();
+        sched
+            .schedule(SimTime::seconds(100), &mut queue, &mut rm, &ctx, &mut placed)
             .unwrap();
         // No duplicate ids.
         let mut ids: Vec<u64> = placed.iter().map(|p| p.job.0).collect();
