@@ -50,6 +50,8 @@ struct CliArgs {
     accounts_json: Option<PathBuf>,
     power_cap_kw: Option<f64>,
     out_dir: Option<PathBuf>,
+    profile: bool,
+    trace_out: Option<PathBuf>,
 }
 
 impl Default for CliArgs {
@@ -72,6 +74,8 @@ impl Default for CliArgs {
             accounts_json: None,
             power_cap_kw: None,
             out_dir: None,
+            profile: false,
+            trace_out: None,
         }
     }
 }
@@ -80,6 +84,9 @@ const USAGE: &str = "\
 usage: sraps (--system NAME | --scenario fig4|fig5|fig6|fig7|fig8|fig10) [options]
        sraps sweep ...        run an experiment matrix, optionally cached and
                               metrics-only (see `sraps sweep --help`)
+       sraps validate-trace PATH
+                              check a --trace-out file is well-formed
+                              chrome-trace JSON with properly nested spans
 
 options:
   --system NAME          frontier | marconi100 | fugaku | lassen | adastra
@@ -100,6 +107,10 @@ options:
   --accounts-json FILE   reload collection-phase accounts.json
   --power-cap KW         enforce a facility job-power cap
   -o, --output DIR       output directory (default simulation_results/<id>)
+  --profile              print per-phase timings and counters on stderr and
+                         write profile.json into the output directory
+  --trace-out PATH       write a chrome-trace (Perfetto-loadable) JSON of
+                         every instrumented span to PATH
   -h, --help             this help
 ";
 
@@ -165,6 +176,8 @@ fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
                 );
             }
             "-o" | "--output" => a.out_dir = Some(PathBuf::from(value(&mut i, "--output")?)),
+            "--profile" => a.profile = true,
+            "--trace-out" => a.trace_out = Some(PathBuf::from(value(&mut i, "--trace-out")?)),
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
@@ -266,10 +279,19 @@ fn run(a: CliArgs) -> Result<(), String> {
         sim = sim.with_power_cap(cap);
     }
 
+    // Instrumentation is process-global; flip it on for exactly this run.
+    sraps_obs::set_profile(a.profile);
+    sraps_obs::set_trace(a.trace_out.is_some());
     let out = Engine::new(sim, &dataset)
         .map_err(|e| e.to_string())?
         .run()
         .map_err(|e| e.to_string())?;
+    sraps_obs::set_profile(false);
+    sraps_obs::set_trace(false);
+    if let Some(path) = &a.trace_out {
+        sraps_obs::write_trace(path).map_err(|e| format!("write trace {}: {e}", path.display()))?;
+        eprintln!("trace written to {}", path.display());
+    }
 
     println!(
         "{}: {} jobs, util {:.1}%, mean {:.1} kW, peak {:.1} kW, {:.0}x real-time",
@@ -294,7 +316,22 @@ fn run(a: CliArgs) -> Result<(), String> {
         PathBuf::from("simulation_results").join(id)
     });
     write_outputs(&dir, &out).map_err(|e| e.to_string())?;
+    if let Some(profile) = &out.profile {
+        eprint!("\n{}", profile.render_table());
+        let json = serde_json::to_string_pretty(profile).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("profile.json"), json).map_err(|e| e.to_string())?;
+    }
     println!("output written to {}", dir.display());
+    Ok(())
+}
+
+/// `sraps validate-trace PATH`: parse and structurally check a chrome-trace
+/// file (every `E` closes a matching `B`, per-thread timestamps are
+/// monotone). Prints the event count on success.
+fn validate_trace(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let events = sraps_obs::validate_chrome_trace(&text)?;
+    println!("trace ok: {events} events ({path})");
     Ok(())
 }
 
@@ -306,6 +343,20 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // `sraps validate-trace PATH` — structural check of a --trace-out file.
+    if argv.first().map(String::as_str) == Some("validate-trace") {
+        let result = match argv.get(1) {
+            Some(path) if argv.len() == 2 => validate_trace(path),
+            _ => Err("usage: sraps validate-trace PATH".into()),
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
                 ExitCode::FAILURE
             }
         };
@@ -377,6 +428,24 @@ mod tests {
         let a = parse(&["--system", "adastra", "-t", "1h", "--span", "15d"]).unwrap();
         assert_eq!(a.duration, Some(SimDuration::hours(1)));
         assert_eq!(a.span, SimDuration::days(15));
+    }
+
+    #[test]
+    fn profile_and_trace_flags_parse() {
+        let a = parse(&["--system", "adastra"]).unwrap();
+        assert!(!a.profile);
+        assert_eq!(a.trace_out, None);
+        let a = parse(&[
+            "--system",
+            "adastra",
+            "--profile",
+            "--trace-out",
+            "/tmp/t.json",
+        ])
+        .unwrap();
+        assert!(a.profile);
+        assert_eq!(a.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        assert!(parse(&["--system", "adastra", "--trace-out"]).is_err());
     }
 
     #[test]

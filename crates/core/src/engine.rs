@@ -31,6 +31,7 @@ use sraps_acct::{Accounts, JobOutcome, SystemStats};
 use sraps_cooling::CoolingPlant;
 use sraps_data::Dataset;
 use sraps_extsched::{ExternalAdapter, FastSim, ScheduleFlow};
+use sraps_obs::{Counter, Phase as ObsPhase};
 use sraps_power::{node_power_from_telemetry, node_power_w, PowerModel};
 use sraps_sched::{
     BuiltinScheduler, ExperimentalScheduler, JobQueue, QueuedJob, ResourceManager, RunningView,
@@ -555,6 +556,7 @@ impl Engine {
                 break;
             }
             self.completions.pop();
+            sraps_obs::bump(Counter::EngineHeapPops);
             let i = self
                 .active_pos
                 .remove(&id)
@@ -989,7 +991,11 @@ impl Engine {
 
     /// Run to the end of the window and assemble the output.
     pub fn run(mut self) -> Result<SimOutput> {
-        let wall_start = std::time::Instant::now();
+        // The one timing pathway: the stopwatch always measures (its value
+        // is `SimOutput::wall_time`); the capture snapshots the thread's
+        // obs accumulators so the output carries this run's profile delta.
+        let run_capture = sraps_obs::capture();
+        let run_watch = sraps_obs::stopwatch(ObsPhase::EngineRun);
         let dt = self.sim.system.tick;
         let dt_secs = dt.as_secs();
         let event_mode = self.sim.engine == EngineMode::Event;
@@ -998,11 +1004,18 @@ impl Engine {
         let mut remaining = ((self.sim_end - self.sim_start).as_secs() + dt_secs - 1) / dt_secs;
         let mut now = self.sim_start;
         while remaining > 0 {
-            self.complete_jobs(now);
-            self.apply_outages(now);
-            self.enqueue_eligible(now);
-            let placed = self.schedule(now)?;
+            {
+                let _s = sraps_obs::span(ObsPhase::EngineEvents);
+                self.complete_jobs(now);
+                self.apply_outages(now);
+                self.enqueue_eligible(now);
+            }
+            let placed = {
+                let _s = sraps_obs::span(ObsPhase::EngineScheduler);
+                self.schedule(now)?
+            };
             if !event_mode {
+                let _s = sraps_obs::span(ObsPhase::EnginePhysics);
                 self.tick_physics(now);
                 now += dt;
                 remaining -= 1;
@@ -1015,38 +1028,46 @@ impl Engine {
             // and the scheduler is event-bound — outright (OnEvents) or
             // up to an internal deadline it reports, which then bounds
             // the horizon (Hinted).
-            let mut deadline: Option<SimTime> = None;
-            let can_skip = if self.queue.is_empty() {
-                true
-            } else if placed > 0 {
-                false
-            } else {
-                match self.skip {
-                    SchedSkip::OnEvents => true,
-                    SchedSkip::Hinted => match self.scheduler.next_decision_time(now) {
-                        None => true,
-                        Some(t) if t > now => {
-                            deadline = Some(t);
-                            true
-                        }
-                        Some(_) => false,
-                    },
+            let span = {
+                let _s = sraps_obs::span(ObsPhase::EngineHorizon);
+                let mut deadline: Option<SimTime> = None;
+                let can_skip = if self.queue.is_empty() {
+                    true
+                } else if placed > 0 {
+                    false
+                } else {
+                    match self.skip {
+                        SchedSkip::OnEvents => true,
+                        SchedSkip::Hinted => match self.scheduler.next_decision_time(now) {
+                            None => true,
+                            Some(t) if t > now => {
+                                deadline = Some(t);
+                                true
+                            }
+                            Some(_) => false,
+                        },
+                    }
+                };
+                if can_skip {
+                    let mut horizon = self.next_event_time(now);
+                    if let Some(t) = deadline {
+                        horizon = horizon.min(t);
+                    }
+                    let raw = (horizon - now).as_secs();
+                    ((raw + dt_secs - 1) / dt_secs).clamp(1, remaining)
+                } else {
+                    1
                 }
             };
-            let span = if can_skip {
-                let mut horizon = self.next_event_time(now);
-                if let Some(t) = deadline {
-                    horizon = horizon.min(t);
-                }
-                let raw = (horizon - now).as_secs();
-                ((raw + dt_secs - 1) / dt_secs).clamp(1, remaining)
-            } else {
-                1
-            };
-            self.advance_physics(now, span as usize);
+            sraps_obs::add(Counter::EngineTicksSkipped, (span - 1) as u64);
+            {
+                let _s = sraps_obs::span(ObsPhase::EnginePhysics);
+                self.advance_physics(now, span as usize);
+            }
             now += SimDuration::seconds(dt_secs * span);
             remaining -= span;
         }
+        let finalize = sraps_obs::span(ObsPhase::EngineFinalize);
         // Final sweep so jobs ending exactly at the boundary complete.
         self.complete_jobs(now);
         // The tick grid the histories were sampled on.
@@ -1076,6 +1097,21 @@ impl Engine {
             sraps_sched::PolicyKind::Replay => "replay".to_string(),
             p => format!("{}-{}", p.name(), self.sim.backfill.name()),
         };
+        // Fold the scheduler's own lifetime counters into the obs view
+        // exactly once per run, so `--profile` shows invocations and
+        // placements next to phase timings without double-counting.
+        let sched_stats = self.scheduler.stats();
+        sraps_obs::add(Counter::SchedInvocations, sched_stats.invocations);
+        sraps_obs::add(Counter::SchedPlacements, sched_stats.placements);
+        sraps_obs::add(Counter::SchedRecomputations, sched_stats.recomputations);
+        sraps_obs::add(Counter::SchedBackfilled, sched_stats.backfilled);
+        sraps_obs::add(
+            Counter::SchedPlacementFallbacks,
+            sched_stats.placement_fallbacks,
+        );
+        drop(finalize);
+        let wall_time = run_watch.finish();
+        let profile = run_capture.finish();
         Ok(SimOutput {
             label,
             scheduler_name: self.scheduler.name(),
@@ -1089,9 +1125,10 @@ impl Engine {
             outcomes: self.outcomes,
             stats,
             accounts: self.accounts,
-            sched_stats: self.scheduler.stats(),
-            wall_time: wall_start.elapsed(),
+            sched_stats,
+            wall_time,
             sim_span: span,
+            profile,
         })
     }
 }

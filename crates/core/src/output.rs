@@ -38,6 +38,9 @@ pub struct SimOutput {
     pub wall_time: std::time::Duration,
     /// Simulated span.
     pub sim_span: SimDuration,
+    /// This run's observability delta (phase timings + counters); `None`
+    /// unless profiling was enabled (`sraps_obs::set_profile(true)`).
+    pub profile: Option<sraps_obs::Profile>,
 }
 
 impl SimOutput {
@@ -214,6 +217,7 @@ mod tests {
             sched_stats: SchedulerStats::default(),
             wall_time: std::time::Duration::from_millis(500),
             sim_span: SimDuration::seconds(180),
+            profile: None,
         }
     }
 

@@ -101,20 +101,46 @@ impl CellCache {
     /// hits an entry that cannot supply them. Every failure mode is a
     /// miss (`None`) by design — see the module docs.
     pub fn load(&self, key: &str, need_histories: bool) -> Option<CachedCell> {
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        let _s = sraps_obs::span(sraps_obs::Phase::CacheRead);
+        let (cell, healed) = self.load_inner(key, need_histories);
+        match cell {
+            Some(_) => sraps_obs::bump(sraps_obs::Counter::CacheHits),
+            None => {
+                sraps_obs::bump(sraps_obs::Counter::CacheMisses);
+                if healed {
+                    sraps_obs::bump(sraps_obs::Counter::CacheSelfHeals);
+                }
+            }
+        }
+        cell
+    }
+
+    /// The lookup itself, split out so [`CellCache::load`] can distinguish
+    /// a plain miss (no entry on disk) from a *self-healing* one (an entry
+    /// exists but is defective and will be recomputed and rewritten).
+    fn load_inner(&self, key: &str, need_histories: bool) -> (Option<CachedCell>, bool) {
+        let text = match std::fs::read_to_string(self.entry_path(key)) {
+            Ok(text) => text,
+            Err(_) => return (None, false),
+        };
+        let Ok(entry) = serde_json::from_str::<CacheEntry>(&text) else {
+            return (None, true);
+        };
         if entry.schema != CACHE_SCHEMA_VERSION || entry.key != key {
-            return None;
+            return (None, true);
         }
         if need_histories {
             let (power, util) = self.history_paths(key);
             if !power.is_file() || !util.is_file() {
-                return None;
+                return (None, true);
             }
         }
-        Some(CachedCell {
-            metrics: entry.metrics,
-        })
+        (
+            Some(CachedCell {
+                metrics: entry.metrics,
+            }),
+            false,
+        )
     }
 
     /// Store a finished cell, optionally spilling its history CSVs.
@@ -127,6 +153,7 @@ impl CellCache {
         metrics: &CellMetrics,
         histories: Option<(&str, &str)>,
     ) -> Result<()> {
+        let _s = sraps_obs::span(sraps_obs::Phase::CacheWrite);
         if let Some((power_csv, util_csv)) = histories {
             let (power, util) = self.history_paths(key);
             self.write_atomic(&power, power_csv.as_bytes())?;

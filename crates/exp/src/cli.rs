@@ -55,6 +55,13 @@ execution & output:
   -q, --quiet            suppress per-cell progress lines
   -h, --help             this help
 
+observability:
+  --profile              collect per-phase timings and counters; print the
+                         aggregated profile table on stderr after the run
+  --trace-out PATH       write a chrome-trace (Perfetto-loadable) JSON of
+                         every span to PATH (validate with
+                         `sraps validate-trace PATH`)
+
 caching & memory:
   --cache                memoize cells on disk: hits skip simulation,
                          misses simulate and write back atomically
@@ -96,6 +103,11 @@ pub struct SweepArgs {
     /// [`CellCache::default_dir`].
     pub cache_dir: Option<PathBuf>,
     pub metrics_only: bool,
+    /// `--profile`: collect phase timings + counters and print the
+    /// aggregated table on stderr.
+    pub profile: bool,
+    /// `--trace-out PATH`: write a chrome-trace JSON of every span.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for SweepArgs {
@@ -122,6 +134,8 @@ impl Default for SweepArgs {
             cache: None,
             cache_dir: None,
             metrics_only: false,
+            profile: false,
+            trace_out: None,
         }
     }
 }
@@ -254,6 +268,8 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
             }
             "--no-cache" => a.cache = Some(false),
             "--metrics-only" => a.metrics_only = true,
+            "--profile" => a.profile = true,
+            "--trace-out" => a.trace_out = Some(PathBuf::from(value(&mut i, "--trace-out")?)),
             "-q" | "--quiet" => a.quiet = true,
             "-h" | "--help" => return Err(SWEEP_USAGE.to_string()),
             other => return Err(format!("unknown sweep argument '{other}'\n\n{SWEEP_USAGE}")),
@@ -369,7 +385,16 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
+    // Instrumentation is process-global; flip it on for exactly this run.
+    sraps_obs::set_profile(a.profile);
+    sraps_obs::set_trace(a.trace_out.is_some());
     let results = runner.run(&matrix).map_err(|e| e.to_string())?;
+    sraps_obs::set_profile(false);
+    sraps_obs::set_trace(false);
+    if let Some(path) = &a.trace_out {
+        sraps_obs::write_trace(path).map_err(|e| format!("write trace {}: {e}", path.display()))?;
+        eprintln!("trace written to {}", path.display());
+    }
     let report = match &a.baseline {
         Some(kind) => Report::with_baseline(&results, kind),
         None => Report::from_results(&results),
@@ -406,6 +431,10 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
             results.cache_misses(),
             dir.display()
         );
+    }
+    if a.profile {
+        // stderr keeps stdout (table + grepped lines) machine-stable.
+        eprint!("\n{}", Report::render_profile_table(&results));
     }
 
     std::fs::create_dir_all(&a.out_dir).map_err(|e| e.to_string())?;
@@ -545,6 +574,25 @@ mod tests {
             assert_eq!(a.cache, Some(false));
             assert_eq!(a.resolved_cache_dir(), None);
         }
+    }
+
+    #[test]
+    fn profile_and_trace_flags_parse() {
+        let a = parse(&["--system", "lassen"]).unwrap();
+        assert!(!a.profile);
+        assert_eq!(a.trace_out, None);
+
+        let a = parse(&[
+            "--system",
+            "lassen",
+            "--profile",
+            "--trace-out",
+            "/tmp/trace.json",
+        ])
+        .unwrap();
+        assert!(a.profile);
+        assert_eq!(a.trace_out, Some(PathBuf::from("/tmp/trace.json")));
+        assert!(parse(&["--system", "lassen", "--trace-out"]).is_err());
     }
 
     #[test]

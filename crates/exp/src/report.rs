@@ -286,6 +286,47 @@ impl Report {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
     }
+
+    /// The `--profile` view of a sweep: a per-cell breakdown (source and
+    /// wall time of each cell, cache hits reporting their cache-read time
+    /// rather than zeroed engine phases) followed by the aggregated
+    /// phase/counter table from [`SweepResults::profile`].
+    ///
+    /// Wall-clock numbers vary run to run by nature; the *counters* in
+    /// the aggregate table are deterministic for any `--jobs` value.
+    pub fn render_profile_table(results: &SweepResults) -> String {
+        let mut s = format!(
+            "sweep profile: {} cells ({} cached, {} simulated), jobs={}, wall {}\n",
+            results.cells.len(),
+            results.cache_hits(),
+            results.cache_misses(),
+            results.jobs,
+            sraps_obs::format_ns(results.wall.as_nanos().min(u64::MAX as u128) as u64),
+        );
+        if results.cells.iter().any(|c| c.profile.is_some()) {
+            s.push_str(&format!(
+                "\n{:<40} {:>9} {:>10} {:>12} {:>12}\n",
+                "cell", "source", "time", "sched_calls", "ticks_skip"
+            ));
+            for cell in &results.cells {
+                let Some(p) = &cell.profile else { continue };
+                let cell_ns = p
+                    .phase(sraps_obs::Phase::SweepCell.name())
+                    .map_or(0, |ph| ph.total_ns);
+                s.push_str(&format!(
+                    "{:<40} {:>9} {:>10} {:>12} {:>12}\n",
+                    cell.spec.label,
+                    if cell.from_cache { "cache" } else { "sim" },
+                    sraps_obs::format_ns(cell_ns),
+                    p.counter(sraps_obs::Counter::SchedInvocations.name()),
+                    p.counter(sraps_obs::Counter::EngineTicksSkipped.name()),
+                ));
+            }
+        }
+        s.push('\n');
+        s.push_str(&results.profile().render_table());
+        s
+    }
 }
 
 #[cfg(test)]

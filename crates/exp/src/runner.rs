@@ -32,11 +32,12 @@ use crate::cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
 use crate::matrix::ExperimentMatrix;
 use crate::metrics::CellMetrics;
 use sraps_core::{Engine, Fingerprint, SimOutput};
+use sraps_obs::{Counter, Phase as ObsPhase, Profile};
 use sraps_types::{Result, SrapsError};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A workload materialized at most once, on demand. In a cached sweep
 /// the dataset is only built when some cell actually misses — a fully
@@ -83,6 +84,12 @@ pub struct CellResult {
     /// True when the metrics were deserialized from the cache instead of
     /// simulated.
     pub from_cache: bool,
+    /// This cell's observability delta when profiling was enabled: for a
+    /// miss, the engine's phases and counters; for a hit, the cache-read
+    /// span and hit counter (never zeroed engine phases). Each cell runs
+    /// wholly on one worker thread, so the delta is deterministic for any
+    /// `--jobs` value.
+    pub profile: Option<Profile>,
 }
 
 /// Everything a sweep produced, cells in matrix order.
@@ -97,6 +104,9 @@ pub struct SweepResults {
     pub jobs: usize,
     /// Cache directory consulted, when caching was enabled.
     pub cache_dir: Option<PathBuf>,
+    /// Work items (workloads + cells) claimed off the shared cursor by
+    /// *spawned* worker threads — 0 on the serial fast path.
+    pub worker_steals: u64,
 }
 
 impl SweepResults {
@@ -137,6 +147,34 @@ impl SweepResults {
     /// Cells that were simulated (and, when caching, written back).
     pub fn cache_misses(&self) -> usize {
         self.cells.len() - self.cache_hits()
+    }
+
+    /// The per-cell profiles merged in matrix order — deterministic
+    /// counters regardless of `--jobs` (phase *timings* are wall-clock
+    /// and naturally vary). `None` when profiling was disabled.
+    pub fn merged_profile(&self) -> Option<Profile> {
+        let mut merged: Option<Profile> = None;
+        for cell in &self.cells {
+            if let Some(p) = &cell.profile {
+                merged.get_or_insert_with(Profile::default).merge(p);
+            }
+        }
+        merged
+    }
+
+    /// The display profile `--profile` renders: the merged per-cell
+    /// deltas plus the sweep-level wall clock and worker-steal count
+    /// (which depend on thread scheduling and so stay out of
+    /// [`SweepResults::merged_profile`]).
+    pub fn profile(&self) -> Profile {
+        let mut p = self.merged_profile().unwrap_or_default();
+        p.record_phase(
+            ObsPhase::SweepRun.name(),
+            1,
+            self.wall.as_nanos().min(u64::MAX as u128) as u64,
+        );
+        p.add_counter(Counter::SweepWorkerSteals.name(), self.worker_steals);
+        p
     }
 }
 
@@ -214,7 +252,10 @@ impl SweepRunner {
     /// returned (already-running cells finish first), keeping even the
     /// error path independent of thread count.
     pub fn run(&self, matrix: &ExperimentMatrix) -> Result<SweepResults> {
-        let started = Instant::now();
+        // The one timing pathway for the sweep wall clock (records into
+        // the profile/trace only when obs is enabled, measures always).
+        let sweep_watch = sraps_obs::stopwatch(ObsPhase::SweepRun);
+        let steals = AtomicU64::new(0);
         let (plans, cells) = matrix.expand()?;
         if self.spill_histories && self.cache_dir.is_none() {
             return Err(SrapsError::Config(
@@ -235,7 +276,7 @@ impl SweepRunner {
         let workloads: Vec<LazyWorkload> = plans.iter().map(LazyWorkload::new).collect();
         let fingerprints: Vec<Option<Fingerprint>> = {
             let phase1_jobs = self.jobs.min(plans.len().max(1));
-            let results = run_indexed(phase1_jobs, plans.len(), |i| match &cache {
+            let results = run_indexed(phase1_jobs, plans.len(), &steals, |i| match &cache {
                 Some(_) => plans[i].fingerprint().map(Some),
                 None => workloads[i].get().map(|_| None),
             });
@@ -245,13 +286,22 @@ impl SweepRunner {
         // Phase 2: cells, cursor-parallel, collected by index.
         let total = cells.len();
         let counter = AtomicUsize::new(0);
-        let results = run_indexed(self.jobs.min(total.max(1)), total, |i| {
+        let results = run_indexed(self.jobs.min(total.max(1)), total, &steals, |i| {
             let cell = &cells[i];
             let workload = &workloads[cell.workload];
-            let cell_started = Instant::now();
+            // A cell runs wholly on this thread: the capture delta over
+            // the thread-local accumulators is exactly its profile, and
+            // the stopwatch is the one per-cell timing pathway (it also
+            // emits the `sweep.cell` trace span).
+            let cell_capture = sraps_obs::capture();
+            let cell_watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
 
             let key = fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
-            let done = |metrics: CellMetrics, output: Option<SimOutput>, cached: bool| {
+            let done = |metrics: CellMetrics,
+                        output: Option<SimOutput>,
+                        cached: bool,
+                        elapsed: Duration,
+                        profile: Option<Profile>| {
                 if self.progress {
                     let done = counter.fetch_add(1, Ordering::Relaxed) + 1;
                     eprintln!(
@@ -262,7 +312,7 @@ impl SweepRunner {
                         if cached {
                             "  cached".to_string()
                         } else {
-                            format!("{:>8.2}s", cell_started.elapsed().as_secs_f64())
+                            format!("{:>8.2}s", elapsed.as_secs_f64())
                         },
                     );
                 }
@@ -278,12 +328,17 @@ impl SweepRunner {
                     output,
                     cache_key: key.clone(),
                     from_cache: cached,
+                    profile,
                 }
             };
 
             if let (Some(cache), Some(key)) = (&cache, &key) {
                 if let Some(hit) = cache.load(key, self.spill_histories) {
-                    return Ok(done(hit.metrics, None, true));
+                    // A hit's profile is the cache-read span + hit
+                    // counter — real timing, not zeroed engine phases.
+                    let elapsed = cell_watch.finish();
+                    let profile = cell_capture.finish();
+                    return Ok(done(hit.metrics, None, true, elapsed, profile));
                 }
             }
 
@@ -303,16 +358,19 @@ impl SweepRunner {
                 )?;
             }
             let output = (!self.metrics_only).then_some(output);
-            Ok(done(metrics, output, false))
+            let elapsed = cell_watch.finish();
+            let profile = cell_capture.finish();
+            Ok(done(metrics, output, false, elapsed, profile))
         });
         let cells = collect_ordered(results)?;
 
         Ok(SweepResults {
             cells,
             workload_labels: plans.iter().map(|p| p.label()).collect(),
-            wall: started.elapsed(),
+            wall: sweep_watch.finish(),
             jobs: self.jobs,
             cache_dir: self.cache_dir.clone(),
+            worker_steals: steals.into_inner(),
         })
     }
 }
@@ -320,8 +378,15 @@ impl SweepRunner {
 /// Run `task(i)` for `i in 0..total` on `jobs` threads pulling indices
 /// from a shared cursor; slot results by index. After any task fails, no
 /// *new* indices are dispatched (in-flight tasks finish), so a failing
-/// matrix doesn't burn through its remaining cells.
-fn run_indexed<T, F>(jobs: usize, total: usize, task: F) -> Vec<Option<Result<T>>>
+/// matrix doesn't burn through its remaining cells. Every index a
+/// *spawned* worker claims bumps `steals` (the serial fast path never
+/// does).
+fn run_indexed<T, F>(
+    jobs: usize,
+    total: usize,
+    steals: &AtomicU64,
+    task: F,
+) -> Vec<Option<Result<T>>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
@@ -348,19 +413,26 @@ where
     }
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
+            scope.spawn(|| {
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    steals.fetch_add(1, Ordering::Relaxed);
+                    let result = task(i);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    slots.lock().unwrap()[i] = Some(result);
                 }
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let result = task(i);
-                if result.is_err() {
-                    failed.store(true, Ordering::Relaxed);
-                }
-                slots.lock().unwrap()[i] = Some(result);
+                // Scoped threads signal completion before their TLS
+                // destructors run; flush any buffered trace events now so
+                // a `--trace-out` write after this scope sees them.
+                sraps_obs::flush_thread_trace();
             });
         }
     });
@@ -554,9 +626,15 @@ mod tests {
 
     #[test]
     fn run_indexed_covers_every_slot() {
-        let out = run_indexed(8, 100, |i| Ok(i * i));
+        let steals = AtomicU64::new(0);
+        let out = run_indexed(8, 100, &steals, |i| Ok(i * i));
         let vals = collect_ordered(out).unwrap();
         assert_eq!(vals, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(
+            steals.into_inner(),
+            100,
+            "every index is claimed by a spawned worker"
+        );
     }
 
     #[test]
@@ -566,7 +644,7 @@ mod tests {
         // actually executes tasks when jobs > 1 (work stealing, not a
         // serial loop behind a flag). A short sleep keeps the first
         // worker from draining the cursor before the others start.
-        let out = run_indexed(4, 16, |i| {
+        let out = run_indexed(4, 16, &AtomicU64::new(0), |i| {
             std::thread::sleep(std::time::Duration::from_millis(5));
             Ok((i, std::thread::current().id()))
         });
@@ -577,19 +655,22 @@ mod tests {
             "expected multiple worker threads, saw {}",
             distinct.len()
         );
-        // And the serial fast path stays on the caller's thread.
+        // And the serial fast path stays on the caller's thread — and
+        // counts no steals.
         let here = std::thread::current().id();
-        let out = run_indexed(1, 4, |i| Ok((i, std::thread::current().id())));
+        let steals = AtomicU64::new(0);
+        let out = run_indexed(1, 4, &steals, |i| Ok((i, std::thread::current().id())));
         assert!(collect_ordered(out)
             .unwrap()
             .iter()
             .all(|(_, tid)| *tid == here));
+        assert_eq!(steals.into_inner(), 0, "serial path steals nothing");
     }
 
     #[test]
     fn first_error_is_deterministic() {
         for jobs in [1, 4] {
-            let out = run_indexed(jobs, 10, |i| {
+            let out = run_indexed(jobs, 10, &AtomicU64::new(0), |i| {
                 if i % 3 == 1 {
                     Err(SrapsError::Config(format!("cell {i} boom")))
                 } else {

@@ -1,0 +1,196 @@
+//! Profile determinism suite: the observability layer must report the
+//! same *counters* no matter how a sweep's cells are spread over worker
+//! threads, and cache hits must profile as cache reads rather than
+//! zeroed engine phases.
+//!
+//! Phase *timings* are wall-clock and naturally vary run-to-run, so the
+//! assertions here compare counter vectors and phase presence/call
+//! counts, never nanoseconds.
+
+use proptest::prelude::*;
+use sraps_exp::{ExperimentMatrix, SweepResults, SweepRunner};
+use sraps_obs::{Counter, Phase};
+use sraps_types::SimDuration;
+use std::sync::Mutex;
+
+/// Obs enablement is process-global; tests that flip it must not
+/// overlap (the harness runs tests on parallel threads).
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII: profiling on for the scope, off (and trace drained) after.
+struct ProfiledScope<'a> {
+    _guard: std::sync::MutexGuard<'a, ()>,
+}
+
+impl ProfiledScope<'_> {
+    fn new() -> Self {
+        let guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        sraps_obs::set_profile(true);
+        ProfiledScope { _guard: guard }
+    }
+}
+
+impl Drop for ProfiledScope<'_> {
+    fn drop(&mut self) {
+        sraps_obs::set_profile(false);
+        sraps_obs::set_trace(false);
+        let _ = sraps_obs::take_trace_json();
+    }
+}
+
+fn matrix(seed: u64, span_hours: i64, easy: bool) -> ExperimentMatrix {
+    let backfills: &[&str] = if easy { &["none", "easy"] } else { &["none"] };
+    ExperimentMatrix::synthetic(["lassen"])
+        .seeds([seed])
+        .span(SimDuration::hours(span_hours))
+        .policies(["fcfs", "sjf"])
+        .backfills(backfills.iter().copied())
+}
+
+fn run(matrix: &ExperimentMatrix, jobs: usize) -> SweepResults {
+    SweepRunner::new(jobs)
+        .progress(false)
+        .run(matrix)
+        .expect("sweep runs")
+}
+
+/// The deterministic face of a cell's profile: label, provenance, and
+/// counters (no timings).
+type CellCounters = Vec<(String, bool, Vec<(String, u64)>)>;
+
+fn cell_counters(results: &SweepResults) -> CellCounters {
+    results
+        .cells
+        .iter()
+        .map(|c| {
+            let counters = c
+                .profile
+                .as_ref()
+                .map(|p| {
+                    p.counters
+                        .iter()
+                        .map(|s| (s.name.clone(), s.value))
+                        .collect()
+                })
+                .unwrap_or_default();
+            (c.spec.label.clone(), c.from_cache, counters)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Merging per-cell profiles must be order-independent: a serial and
+    /// a 4-worker run of the same deterministic matrix report identical
+    /// aggregated counters and identical per-cell counter sets.
+    #[test]
+    fn merged_counters_are_jobs_independent(
+        seed in 1u64..500,
+        span_hours in 1i64..4,
+        easy in any::<bool>(),
+    ) {
+        let _obs = ProfiledScope::new();
+        let m = matrix(seed, span_hours, easy);
+        let serial = run(&m, 1);
+        let parallel = run(&m, 4);
+
+        let merged_serial = serial.merged_profile().expect("profiling was on");
+        let merged_parallel = parallel.merged_profile().expect("profiling was on");
+        prop_assert_eq!(&merged_serial.counters, &merged_parallel.counters);
+        prop_assert_eq!(cell_counters(&serial), cell_counters(&parallel));
+        // Same phases fire in both (calls match; durations may not).
+        let calls = |p: &sraps_obs::Profile| -> Vec<(String, u64)> {
+            p.phases.iter().map(|s| (s.name.clone(), s.calls)).collect()
+        };
+        prop_assert_eq!(calls(&merged_serial), calls(&merged_parallel));
+    }
+}
+
+#[test]
+fn profiles_absent_when_disabled() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let results = run(&matrix(7, 1, false), 2);
+    assert!(
+        results.cells.iter().all(|c| c.profile.is_none()),
+        "no cell carries a profile unless profiling is enabled"
+    );
+    assert!(results.merged_profile().is_none());
+}
+
+#[test]
+fn metrics_only_counters_match_full_retention() {
+    let _obs = ProfiledScope::new();
+    let m = matrix(11, 2, true);
+    let full = run(&m, 2);
+    let lean = SweepRunner::new(2)
+        .progress(false)
+        .metrics_only(true)
+        .run(&m)
+        .expect("sweep runs");
+    // --metrics-only drops outputs, not instrumentation: identical
+    // counters, cell for cell.
+    assert_eq!(cell_counters(&full), cell_counters(&lean));
+}
+
+#[test]
+fn cache_hits_profile_as_cache_reads_not_zeroed_engine_phases() {
+    let _obs = ProfiledScope::new();
+    let dir = std::env::temp_dir().join(format!("sraps-profile-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let m = matrix(23, 1, false);
+    let runner = |jobs| {
+        let r = SweepRunner::new(jobs).progress(false).cache_dir(&dir);
+        r.run(&m).expect("sweep runs")
+    };
+
+    let cold = runner(2);
+    assert_eq!(cold.cache_hits(), 0);
+    for cell in &cold.cells {
+        let p = cell.profile.as_ref().expect("profiling was on");
+        assert!(
+            p.phase(Phase::EngineRun.name()).is_some(),
+            "a miss simulates: engine phases present ({})",
+            cell.spec.label
+        );
+        assert_eq!(p.counter(Counter::CacheMisses.name()), 1);
+        assert_eq!(p.counter(Counter::CacheHits.name()), 0);
+    }
+
+    let warm = runner(1);
+    assert_eq!(warm.cache_misses(), 0);
+    for cell in &warm.cells {
+        assert!(cell.from_cache);
+        let p = cell.profile.as_ref().expect("profiling stays on for hits");
+        // The hit's cost is the cache read — never a zeroed engine run.
+        assert!(
+            p.phase(Phase::EngineRun.name()).is_none(),
+            "a hit must not report engine phases ({})",
+            cell.spec.label
+        );
+        let read = p
+            .phase(Phase::CacheRead.name())
+            .expect("hit reports the cache read");
+        assert_eq!(read.calls, 1);
+        assert_eq!(p.counter(Counter::CacheHits.name()), 1);
+        let cell_span = p
+            .phase(Phase::SweepCell.name())
+            .expect("every cell reports its span");
+        assert_eq!(cell_span.calls, 1);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_trace_is_well_formed_and_nests() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = sraps_obs::take_trace_json(); // drop any stale events
+    sraps_obs::set_trace(true);
+    let results = run(&matrix(31, 1, true), 4);
+    sraps_obs::set_trace(false);
+    let json = sraps_obs::take_trace_json();
+    let events = sraps_obs::validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("sweep trace invalid: {e}\n{json}"));
+    // 4 cells × (sweep.cell + engine spans) — at least B/E per cell.
+    assert!(events >= 2 * results.cells.len(), "events: {events}");
+    assert!(json.contains("\"name\":\"sweep.cell\""), "{json}");
+    assert!(json.contains("\"name\":\"engine.run\""), "{json}");
+}

@@ -293,6 +293,85 @@ fn cached_write_histories_exports_from_the_spill() {
 }
 
 #[test]
+fn profile_and_trace_smoke() {
+    let base = std::env::temp_dir().join(format!("sraps-cli-prof-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let trace = base.join("trace.json");
+    let cache = base.join("cache");
+    let run = |jobs: &str, sub: &str| -> (String, String) {
+        let dir = base.join(sub);
+        let mut args = grid_args(jobs);
+        args.extend([
+            "--profile".into(),
+            "--trace-out".into(),
+            trace.display().to_string(),
+            "--cache-dir".into(),
+            cache.display().to_string(),
+            "-o".into(),
+        ]);
+        let out = sraps().args(&args).arg(&dir).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+
+    // Cold run: every cell simulates; the profile shows engine phases.
+    let (stdout, stderr) = run("2", "cold");
+    assert!(
+        stdout.contains("cache: 0 hits, 4 misses"),
+        "grepped cache line intact with --profile: {stdout}"
+    );
+    assert!(stderr.contains("sweep profile: 4 cells"), "{stderr}");
+    assert!(stderr.contains("engine.run"), "phase table: {stderr}");
+    assert!(stderr.contains("sched.invocations"), "counters: {stderr}");
+    assert!(stderr.contains("trace written to"), "{stderr}");
+
+    // The trace file is Perfetto-loadable: the validator subcommand
+    // checks B/E nesting and per-thread timestamp monotonicity.
+    let out = sraps()
+        .arg("validate-trace")
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "validate-trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("trace ok:"));
+
+    // Warm run: hits profile as cache reads, never zeroed engine phases.
+    let (stdout, stderr) = run("1", "warm");
+    assert!(stdout.contains("cache: 4 hits, 0 misses"), "{stdout}");
+    assert!(stderr.contains("cache.read"), "hits show reads: {stderr}");
+    assert!(stderr.contains("cache.hits"), "{stderr}");
+    assert!(
+        !stderr.contains("engine.run"),
+        "all-hit sweeps report no engine phases: {stderr}"
+    );
+
+    // A corrupt trace is rejected with a nonzero exit.
+    std::fs::write(
+        &trace,
+        "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":1}]}",
+    )
+    .unwrap();
+    let out = sraps()
+        .arg("validate-trace")
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "unmatched E must fail validation");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
 fn sweep_help_and_errors() {
     let out = sraps().args(["sweep", "--help"]).output().unwrap();
     assert!(out.status.success(), "--help is a success");

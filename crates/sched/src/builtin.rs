@@ -282,6 +282,7 @@ impl SchedulerBackend for BuiltinScheduler {
             self.timeline.jobs(),
             ctx.running.len()
         );
+        let _s = sraps_obs::span(sraps_obs::Phase::SchedSchedule);
         self.stats.invocations += 1;
         if self.policy == PolicyKind::Replay {
             self.schedule_replay(now, queue, rm, out);

@@ -118,6 +118,7 @@ impl SchedulerBackend for PowerCapScheduler {
             } else {
                 self.deferred += 1;
                 self.deferred_last_call = true;
+                sraps_obs::bump(sraps_obs::Counter::SchedCapDeferrals);
             }
         }
         self.proposed = proposed;

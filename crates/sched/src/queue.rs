@@ -175,11 +175,16 @@ impl JobQueue {
     /// would produce with the same key.
     pub fn ensure_order_by<F: FnMut(&QueuedJob) -> f64>(&mut self, stamp: OrderStamp, mut key: F) {
         if self.stamp != Some(stamp) {
+            sraps_obs::bump(sraps_obs::Counter::QueueResorts);
             self.jobs.sort_by(|a, b| Self::cmp_by(&mut key, a, b));
             self.stamp = Some(stamp);
             self.sorted_len = self.jobs.len();
             return;
         }
+        sraps_obs::add(
+            sraps_obs::Counter::QueueBinaryInserts,
+            (self.jobs.len() - self.sorted_len) as u64,
+        );
         for i in self.sorted_len..self.jobs.len() {
             let new_key = key(&self.jobs[i]);
             let (submit, id) = (self.jobs[i].submit, self.jobs[i].id);

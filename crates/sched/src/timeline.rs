@@ -58,8 +58,14 @@ impl CapacityTimeline {
     pub fn add(&mut self, est_end: SimTime, nodes: u32) {
         let at = self.ends.partition_point(|&(t, _)| t < est_end);
         match self.ends.get_mut(at) {
-            Some(entry) if entry.0 == est_end => entry.1 += nodes,
-            _ => self.ends.insert(at, (est_end, nodes)),
+            Some(entry) if entry.0 == est_end => {
+                entry.1 += nodes;
+                sraps_obs::bump(sraps_obs::Counter::TimelineInPlace);
+            }
+            _ => {
+                self.ends.insert(at, (est_end, nodes));
+                sraps_obs::bump(sraps_obs::Counter::TimelineEdits);
+            }
         }
         self.jobs += 1;
         self.nodes += nodes as u64;
@@ -77,6 +83,9 @@ impl CapacityTimeline {
         entry.1 -= nodes;
         if entry.1 == 0 {
             self.ends.remove(at);
+            sraps_obs::bump(sraps_obs::Counter::TimelineEdits);
+        } else {
+            sraps_obs::bump(sraps_obs::Counter::TimelineInPlace);
         }
         self.jobs -= 1;
         self.nodes -= nodes as u64;
@@ -102,6 +111,7 @@ impl CapacityTimeline {
     /// minus the per-call collect + sort.
     pub fn easy_reservation(&self, head_nodes: u32, free_now: u32) -> Option<Reservation> {
         debug_assert!(head_nodes > free_now, "reservation only for blocked heads");
+        sraps_obs::bump(sraps_obs::Counter::SchedEasyReservations);
         let mut avail = free_now;
         for &(end, nodes) in &self.ends {
             avail += nodes;
@@ -144,6 +154,7 @@ impl CapacityTimeline {
         deltas.insert(at, (now, 0));
 
         scratch.plan.clear();
+        sraps_obs::add(sraps_obs::Counter::SchedAnchorSweeps, queue.len() as u64);
         for job in queue {
             if job.nodes > total_nodes {
                 scratch.plan.push(SimTime::MAX);

@@ -15,6 +15,10 @@ use sraps_sched::{
 use sraps_types::{AccountId, JobId, SimDuration, SimTime};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Obs enablement is process-global; the two tests below must not overlap.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// `System`, with every allocation and reallocation counted.
 struct CountingAlloc;
@@ -146,17 +150,42 @@ fn assert_noop_calls_do_not_allocate(policy: PolicyKind, backfill: BackfillKind)
     rm.release(&busy);
 }
 
+const COMBOS: [(PolicyKind, BackfillKind); 7] = [
+    (PolicyKind::Fcfs, BackfillKind::None),
+    (PolicyKind::Fcfs, BackfillKind::FirstFit),
+    (PolicyKind::Fcfs, BackfillKind::Easy),
+    (PolicyKind::Sjf, BackfillKind::Easy),
+    (PolicyKind::PriorityAging, BackfillKind::Easy),
+    (PolicyKind::Fcfs, BackfillKind::Conservative),
+    (PolicyKind::Sjf, BackfillKind::Conservative),
+];
+
+/// The headline pin: obs compiled in but *disabled* (the default state) —
+/// the instrumented hot path still makes zero heap allocations.
 #[test]
 fn noop_schedule_calls_allocate_nothing() {
-    for (policy, backfill) in [
-        (PolicyKind::Fcfs, BackfillKind::None),
-        (PolicyKind::Fcfs, BackfillKind::FirstFit),
-        (PolicyKind::Fcfs, BackfillKind::Easy),
-        (PolicyKind::Sjf, BackfillKind::Easy),
-        (PolicyKind::PriorityAging, BackfillKind::Easy),
-        (PolicyKind::Fcfs, BackfillKind::Conservative),
-        (PolicyKind::Sjf, BackfillKind::Conservative),
-    ] {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(
+        !sraps_obs::profile_enabled() && !sraps_obs::trace_enabled(),
+        "obs must be disabled by default"
+    );
+    for (policy, backfill) in COMBOS {
         assert_noop_calls_do_not_allocate(policy, backfill);
     }
+}
+
+/// Even with *profiling on*, the recorder stays allocation-free: spans and
+/// counters land in const-initialized thread-local atomic arrays (no lazy
+/// boxes, no destructor registration, no trace buffering).
+#[test]
+fn noop_schedule_calls_allocate_nothing_with_profiling_enabled() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    sraps_obs::set_profile(true);
+    // Touch the thread-local recorder once outside the counted window, on
+    // the off chance TLS setup itself ever costs an allocation.
+    sraps_obs::bump(sraps_obs::Counter::SchedInvocations);
+    for (policy, backfill) in COMBOS {
+        assert_noop_calls_do_not_allocate(policy, backfill);
+    }
+    sraps_obs::set_profile(false);
 }
