@@ -1,0 +1,166 @@
+//! Batched-sweep throughput benchmark: cells/second on a 1000-cell
+//! same-system matrix, per-cell vs batched (`SweepRunner::batched`),
+//! plus a harness that writes `BENCH_sweep_batch.json` — the repo's
+//! perf-trajectory baseline for lane-grouped multi-sim execution.
+//! Re-run after engine/runner changes and commit the refreshed JSON:
+//!
+//! ```sh
+//! cargo bench -p sraps-bench --bench sweep_batch
+//! ```
+//!
+//! The matrix is the batched path's home turf and a realistic study
+//! shape: one hundred 1-hour windows marching through one shared
+//! 60-day trace (windowed replay of recorded segments — the paper's
+//! telemetry datasets span months), crossed with a 10-way policy ×
+//! backfill grid, one lane group per window. Per-cell execution
+//! rebuilds the window — scan the full trace and clone the in-window
+//! jobs — a thousand times; batched execution builds it once per lane
+//! group and shares it across ten engines, so per-cell cost collapses
+//! to the window's own simulation. Conservative backfill and power
+//! caps are deliberately absent from the grid: both are per-lane
+//! policy work (planner cost and cap-deferral scheduler churn,
+//! tracked by the scheduler micro-benches) that would drown the
+//! execution-path difference this bench isolates.
+//!
+//! `SRAPS_BENCH_SMOKE=1` runs one sample per case (CI smoke);
+//! `SRAPS_BENCH_SWEEP_BATCH_OUT` overrides the JSON path (default
+//! `BENCH_sweep_batch.json` at the workspace root).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use sraps_data::{lassen, WorkloadSpec};
+use sraps_exp::{ExperimentMatrix, PrebuiltWorkload, Report, SweepRunner};
+use sraps_systems::presets;
+use sraps_types::{SimDuration, SimTime};
+use std::sync::Arc;
+use std::time::Instant;
+
+const JOBS: usize = 4;
+
+/// One hundred 1 h windows over one shared 60-day lassen trace, × 10
+/// policy:backfill pairs = 1000 cells.
+fn matrix() -> ExperimentMatrix {
+    let cfg = presets::lassen();
+    let mut spec = WorkloadSpec::for_system(&cfg, 0.7, 42);
+    spec.span = SimDuration::days(60);
+    let dataset = Arc::new(lassen::synthesize(&cfg, &spec));
+    let windows: Vec<PrebuiltWorkload> = (0..100)
+        .map(|w| {
+            // One window every 14 h, marching through the trace.
+            let start = SimTime::seconds(6 * 3_600 + w * 14 * 3_600);
+            PrebuiltWorkload {
+                label: format!("lassen-w{w:02}"),
+                config: cfg.clone(),
+                dataset: Arc::clone(&dataset),
+                window: Some((start, start + SimDuration::hours(1))),
+            }
+        })
+        .collect();
+    ExperimentMatrix::scenarios(windows)
+        .policies(["fcfs", "sjf", "ljf", "priority", "priority_aging"])
+        .backfills(["firstfit", "easy"])
+}
+
+/// Median wall-time of `n` runs of `f`, in milliseconds.
+fn median_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    cells: usize,
+    jobs: usize,
+    samples: usize,
+    batch_max_lanes: usize,
+    percell_median_ms: f64,
+    batched_median_ms: f64,
+    percell_cells_per_sec: f64,
+    batched_cells_per_sec: f64,
+    /// batched / per-cell throughput.
+    speedup: f64,
+}
+
+fn smoke() -> bool {
+    std::env::var_os("SRAPS_BENCH_SMOKE").is_some()
+}
+
+fn bench_sweep_batch(c: &mut Criterion) {
+    let samples = if smoke() { 1 } else { 5 };
+    let m = matrix();
+    let cells = m.cell_count();
+    let percell = SweepRunner::new(JOBS).metrics_only(true);
+    let batched = percell.clone().batched(true);
+
+    // Byte-parity drift guard: a faster sweep that changed any report
+    // byte would be measuring a different experiment. (Also warms the
+    // dataset materialization both timed paths share.)
+    let a = percell.run(&m).expect("per-cell sweep");
+    let b = batched.run(&m).expect("batched sweep");
+    assert_eq!(
+        Report::from_results(&a).to_csv(),
+        Report::from_results(&b).to_csv(),
+        "batched report CSV drifted from per-cell"
+    );
+    assert_eq!(
+        Report::from_results(&a).to_json(),
+        Report::from_results(&b).to_json(),
+        "batched report JSON drifted from per-cell"
+    );
+    drop((a, b));
+
+    let mut g = c.benchmark_group("sweep_batch");
+    g.sample_size(samples.max(2));
+    g.bench_function("batched_1000_cells", |bch| {
+        bch.iter(|| criterion::black_box(batched.run(&m).unwrap()))
+    });
+    g.finish();
+
+    let percell_ms = median_ms(samples, || {
+        criterion::black_box(percell.run(&m).unwrap());
+    });
+    let batched_ms = median_ms(samples, || {
+        criterion::black_box(batched.run(&m).unwrap());
+    });
+
+    let report = BenchReport {
+        bench: "sweep_batch".to_string(),
+        cells,
+        jobs: JOBS,
+        samples,
+        batch_max_lanes: sraps_exp::DEFAULT_BATCH_MAX_LANES,
+        percell_median_ms: percell_ms,
+        batched_median_ms: batched_ms,
+        percell_cells_per_sec: cells as f64 / (percell_ms / 1e3).max(1e-9),
+        batched_cells_per_sec: cells as f64 / (batched_ms / 1e3).max(1e-9),
+        speedup: percell_ms / batched_ms.max(1e-9),
+    };
+    println!(
+        "sweep_batch: {} cells  per-cell {:>8.1} ms ({:>7.0} cells/s)  batched {:>8.1} ms ({:>7.0} cells/s)  speedup {:.2}x",
+        report.cells,
+        report.percell_median_ms,
+        report.percell_cells_per_sec,
+        report.batched_median_ms,
+        report.batched_cells_per_sec,
+        report.speedup
+    );
+    // Default to the workspace root so the committed baseline refreshes
+    // in place regardless of cargo's bench working directory.
+    let path = std::env::var("SRAPS_BENCH_SWEEP_BATCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep_batch.json").to_string()
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_sweep_batch.json");
+    println!("sweep_batch: baseline written to {path}");
+}
+
+criterion_group!(sweep_batch, bench_sweep_batch);
+criterion_main!(sweep_batch);

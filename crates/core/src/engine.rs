@@ -42,6 +42,7 @@ use sraps_types::{
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// How a job's telemetry drives the physics step.
 #[derive(Debug, Clone, Copy)]
@@ -275,12 +276,13 @@ pub struct Engine {
     rm: ResourceManager,
     queue: JobQueue,
     /// All in-window jobs; [`Active::job`] and `pending` index into this.
-    jobs: Vec<Job>,
+    /// Shared: every engine over the same [`SimWindow`] reads one copy.
+    jobs: Arc<Vec<Job>>,
     /// `JobId` → index in `jobs`; touched once per placement, never in
     /// the per-tick loops.
-    job_index: HashMap<JobId, usize>,
+    job_index: Arc<HashMap<JobId, usize>>,
     /// Not-yet-submitted jobs (indices into `jobs`), ascending by submit.
-    pending: Vec<usize>,
+    pending: Arc<Vec<usize>>,
     next_pending: usize,
     active: Vec<Active>,
     /// Position of each active job in `active`, so a completion popped
@@ -324,13 +326,35 @@ pub struct Engine {
     skip: SchedSkip,
 }
 
-impl Engine {
-    /// Initialize the system (§3.2.1): select the window, load in-window
-    /// jobs, build the scheduler, and prepopulate jobs already running at
-    /// the window start — "this allows us to represent the actual system
-    /// condition as observed in the telemetry at start of the simulation".
-    pub fn new(sim: SimConfig, dataset: &Dataset) -> Result<Engine> {
-        sim.validate()?;
+/// The cell-independent slice of engine construction: the simulation
+/// window bounds and the classified in-window job set, shareable across
+/// every engine simulating the same (dataset, window) pair.
+///
+/// [`Engine::new`] builds one privately; the batched sweep path builds
+/// one per lane group so K lanes stop re-cloning and re-sorting the same
+/// jobs (telemetry traces included). Both construction paths route
+/// through [`Engine::with_window`], so shared-window engines are
+/// identical to standalone ones by construction.
+pub struct SimWindow {
+    sim_start: SimTime,
+    sim_end: SimTime,
+    /// All in-window jobs; `Active::job` and `pending` index into this.
+    jobs: Arc<Vec<Job>>,
+    /// `JobId` → index in `jobs`.
+    job_index: Arc<HashMap<JobId, usize>>,
+    /// Not-yet-submitted jobs, ascending by (submit, id).
+    pending: Arc<Vec<usize>>,
+    /// Jobs mid-run at the window start (dataset order) — prepopulation
+    /// candidates; allocation is per-engine state and stays in
+    /// [`Engine::with_window`].
+    prepop: Vec<usize>,
+}
+
+impl SimWindow {
+    /// Select the window and classify the dataset's in-window jobs once
+    /// (§3.2.2): jobs submitted inside the window become `pending`, jobs
+    /// mid-run at the window start become prepopulation candidates.
+    pub fn new(sim: &SimConfig, dataset: &Dataset) -> Result<SimWindow> {
         let sim_start = sim.sim_start.unwrap_or(dataset.capture_start);
         let sim_end = sim.sim_end.unwrap_or(dataset.capture_end);
         if sim_end <= sim_start {
@@ -338,52 +362,87 @@ impl Engine {
                 "empty simulation window {sim_start}..{sim_end}"
             )));
         }
-
         // Dismiss out-of-window jobs (§3.2.2).
-        let in_window: Vec<Job> = dataset
+        let jobs: Vec<Job> = dataset
             .jobs_in_window(sim_start, sim_end)
             .cloned()
             .collect();
-        let scheduler = Self::build_scheduler(&sim, &in_window)?;
-
-        let mut rm = ResourceManager::new(sim.system.total_nodes);
-        let mut prepopulated = Vec::new();
-        let mut jobs: Vec<Job> = Vec::with_capacity(in_window.len());
-        let mut job_index = HashMap::with_capacity(in_window.len());
-        let mut pending: Vec<usize> = Vec::with_capacity(in_window.len());
-
-        for job in in_window {
-            let id = job.id;
-            let idx = jobs.len();
+        let mut job_index = HashMap::with_capacity(jobs.len());
+        let mut pending: Vec<usize> = Vec::with_capacity(jobs.len());
+        let mut prepop = Vec::new();
+        for (idx, job) in jobs.iter().enumerate() {
             if job.recorded_start < sim_start && job.recorded_end > sim_start {
-                // Prepopulation: the job was mid-run when the window opens.
-                let nodes = match &job.recorded_nodes {
-                    Some(set) if rm.allocate_exact(set).is_ok() => set.clone(),
-                    _ => match rm.allocate(job.nodes_requested) {
-                        Ok(set) => set,
-                        // An infeasible trace would land here; skip the job
-                        // rather than corrupting occupancy.
-                        Err(_) => continue,
-                    },
-                };
-                let est_end =
-                    (job.recorded_start + job.estimate()).max(sim_start + sim.system.tick);
-                prepopulated.push(Active::new(
-                    id,
-                    idx,
-                    nodes,
-                    sim_start,
-                    job.recorded_end,
-                    est_end,
-                    sim_start - job.recorded_start,
-                ));
+                prepop.push(idx);
             } else {
                 pending.push(idx);
             }
-            job_index.insert(id, idx);
-            jobs.push(job);
+            job_index.insert(job.id, idx);
         }
         pending.sort_by_key(|&i| (jobs[i].submit, jobs[i].id));
+        Ok(SimWindow {
+            sim_start,
+            sim_end,
+            jobs: Arc::new(jobs),
+            job_index: Arc::new(job_index),
+            pending: Arc::new(pending),
+            prepop,
+        })
+    }
+}
+
+impl Engine {
+    /// Initialize the system (§3.2.1): select the window, load in-window
+    /// jobs, build the scheduler, and prepopulate jobs already running at
+    /// the window start — "this allows us to represent the actual system
+    /// condition as observed in the telemetry at start of the simulation".
+    pub fn new(sim: SimConfig, dataset: &Dataset) -> Result<Engine> {
+        sim.validate()?;
+        let window = SimWindow::new(&sim, dataset)?;
+        Engine::with_window(sim, &window)
+    }
+
+    /// Like [`Engine::new`], but over a prebuilt [`SimWindow`] shared
+    /// with other engines. Per-engine state (resource manager, scheduler,
+    /// prepopulation allocations, histories) is still built here; only
+    /// the immutable job set is shared.
+    pub fn with_window(sim: SimConfig, window: &SimWindow) -> Result<Engine> {
+        sim.validate()?;
+        let sim_start = sim.sim_start.unwrap_or(window.sim_start);
+        let sim_end = sim.sim_end.unwrap_or(window.sim_end);
+        if (sim_start, sim_end) != (window.sim_start, window.sim_end) {
+            return Err(SrapsError::Config(format!(
+                "engine window {sim_start}..{sim_end} does not match shared window {}..{}",
+                window.sim_start, window.sim_end
+            )));
+        }
+        let scheduler = Self::build_scheduler(&sim, &window.jobs)?;
+
+        let mut rm = ResourceManager::new(sim.system.total_nodes);
+        let mut prepopulated = Vec::new();
+        for &idx in &window.prepop {
+            let job = &window.jobs[idx];
+            // Prepopulation: the job was mid-run when the window opens.
+            let nodes = match &job.recorded_nodes {
+                Some(set) if rm.allocate_exact(set).is_ok() => set.clone(),
+                _ => match rm.allocate(job.nodes_requested) {
+                    Ok(set) => set,
+                    // An infeasible trace would land here; skip the job
+                    // rather than corrupting occupancy (it stays in the
+                    // shared job set but is never queued or activated).
+                    Err(_) => continue,
+                },
+            };
+            let est_end = (job.recorded_start + job.estimate()).max(sim_start + sim.system.tick);
+            prepopulated.push(Active::new(
+                job.id,
+                idx,
+                nodes,
+                sim_start,
+                job.recorded_end,
+                est_end,
+                sim_start - job.recorded_start,
+            ));
+        }
 
         let power_model = PowerModel::new(&sim.system);
         let cooling = sim.cooling.then(|| CoolingPlant::new(&sim.system.cooling));
@@ -400,9 +459,9 @@ impl Engine {
             scheduler,
             rm,
             queue: JobQueue::new(),
-            jobs,
-            job_index,
-            pending,
+            jobs: Arc::clone(&window.jobs),
+            job_index: Arc::clone(&window.job_index),
+            pending: Arc::clone(&window.pending),
             next_pending: 0,
             active: Vec::new(),
             active_pos: HashMap::new(),
@@ -449,11 +508,15 @@ impl Engine {
     }
 
     fn build_scheduler(sim: &SimConfig, jobs: &[Job]) -> Result<Box<dyn SchedulerBackend>> {
-        // Duration oracle for external emulators: ground-truth runtimes.
-        let durations: HashMap<JobId, SimDuration> =
-            jobs.iter().map(|j| (j.id, j.duration())).collect();
         let tick = sim.system.tick;
-        let oracle = move |q: &QueuedJob| durations.get(&q.id).copied().unwrap_or(tick);
+        // Duration oracle for external emulators: ground-truth runtimes.
+        // Deferred to the external branches — the builtin scheduler never
+        // consults it, and the map costs O(jobs) per engine to assemble.
+        let oracle = || {
+            let durations: HashMap<JobId, SimDuration> =
+                jobs.iter().map(|j| (j.id, j.duration())).collect();
+            move |q: &QueuedJob| durations.get(&q.id).copied().unwrap_or(tick)
+        };
         Ok(match sim.scheduler {
             SchedulerSelect::Default => {
                 let builtin = BuiltinScheduler::new(sim.policy, sim.backfill);
@@ -488,13 +551,13 @@ impl Engine {
                 ScheduleFlow::new(sim.system.total_nodes),
                 true, // strict: report over-allocation as error (§4.2.1 AE)
                 "scheduleflow",
-                Box::new(oracle),
+                Box::new(oracle()),
             )),
             SchedulerSelect::FastSim => Box::new(ExternalAdapter::new(
                 FastSim::new(sim.system.total_nodes),
                 false,
                 "fastsim",
-                Box::new(oracle),
+                Box::new(oracle()),
             )),
         })
     }
@@ -816,16 +879,28 @@ impl Engine {
                 .resize(self.power_hist.len() + ticks, sample);
             if let Some(plant) = &mut self.cooling {
                 // The plant integrates state; it still steps per tick.
-                for k in 0..ticks {
-                    let now = from + SimDuration::seconds(dt_secs * k as i64);
-                    let reading = match &self.sim.wetbulb_trace {
-                        Some(trace) => {
+                match &self.sim.wetbulb_trace {
+                    Some(trace) => {
+                        for k in 0..ticks {
+                            let now = from + SimDuration::seconds(dt_secs * k as i64);
                             let ambient = trace.sample(now - self.sim_start) as f64;
-                            plant.step_at_ambient(dt, sample.it_power_kw, sample.total_kw, ambient)
+                            self.cooling_hist.push(plant.step_at_ambient(
+                                dt,
+                                sample.it_power_kw,
+                                sample.total_kw,
+                                ambient,
+                            ));
                         }
-                        None => plant.step(dt, sample.it_power_kw, sample.total_kw),
-                    };
-                    self.cooling_hist.push(reading);
+                    }
+                    // Constant heat, design ambient: the plant's batch
+                    // entry point (same per-tick steps, hoisted dispatch).
+                    None => plant.step_many(
+                        dt,
+                        sample.it_power_kw,
+                        sample.total_kw,
+                        ticks,
+                        &mut self.cooling_hist,
+                    ),
                 }
             }
             return;
@@ -940,20 +1015,27 @@ impl Engine {
             a.ticks += ticks as u64;
         }
 
-        for (k, &busy) in span_busy.iter().enumerate() {
-            let sample = self.power_model.sample(busy, free);
-            if let Some(plant) = &mut self.cooling {
-                let now = from + SimDuration::seconds(dt_secs * k as i64);
-                let reading = match &self.sim.wetbulb_trace {
-                    Some(trace) => {
-                        let ambient = trace.sample(now - self.sim_start) as f64;
-                        plant.step_at_ambient(dt, sample.it_power_kw, sample.total_kw, ambient)
-                    }
-                    None => plant.step(dt, sample.it_power_kw, sample.total_kw),
-                };
-                self.cooling_hist.push(reading);
+        if self.cooling.is_none() {
+            // No plant in the loop: the power model's batch entry point
+            // maps the summed span directly (same per-element sample).
+            self.power_model
+                .sample_each(&span_busy, free, &mut self.power_hist);
+        } else {
+            for (k, &busy) in span_busy.iter().enumerate() {
+                let sample = self.power_model.sample(busy, free);
+                if let Some(plant) = &mut self.cooling {
+                    let now = from + SimDuration::seconds(dt_secs * k as i64);
+                    let reading = match &self.sim.wetbulb_trace {
+                        Some(trace) => {
+                            let ambient = trace.sample(now - self.sim_start) as f64;
+                            plant.step_at_ambient(dt, sample.it_power_kw, sample.total_kw, ambient)
+                        }
+                        None => plant.step(dt, sample.it_power_kw, sample.total_kw),
+                    };
+                    self.cooling_hist.push(reading);
+                }
+                self.power_hist.push(sample);
             }
-            self.power_hist.push(sample);
         }
         self.span_busy = span_busy;
     }
@@ -989,6 +1071,78 @@ impl Engine {
         e
     }
 
+    /// Tick instants the run loop visits: `sim_start + k·dt` strictly
+    /// before `sim_end`.
+    fn ticks_total(&self) -> i64 {
+        let dt_secs = self.sim.system.tick.as_secs();
+        ((self.sim_end - self.sim_start).as_secs() + dt_secs - 1) / dt_secs
+    }
+
+    /// One control step at `now` — loop steps 1–3 plus the skip
+    /// decision: completions, outage edges, eligibility, the scheduler
+    /// invocation, and (in event mode) the event-horizon computation.
+    /// Returns the decided span: how many ticks of physics are due
+    /// before control must run again. Tick mode always decides 1.
+    ///
+    /// Shared by [`Engine::run`] and [`BatchedEngine::run`]; the caller
+    /// owns advancing physics across the returned span.
+    fn step_control(&mut self, now: SimTime, remaining: i64) -> Result<i64> {
+        {
+            let _s = sraps_obs::span(ObsPhase::EngineEvents);
+            self.complete_jobs(now);
+            self.apply_outages(now);
+            self.enqueue_eligible(now);
+        }
+        let placed = {
+            let _s = sraps_obs::span(ObsPhase::EngineScheduler);
+            self.schedule(now)?
+        };
+        if self.sim.engine != EngineMode::Event {
+            return Ok(1);
+        }
+        // Skip to the event horizon when steps 1–3 are provably
+        // no-ops until then: always with an empty queue, and with a
+        // non-empty one when this call placed nothing (placements can
+        // shift backfill reservations, so they force a one-tick step)
+        // and the scheduler is event-bound — outright (OnEvents) or
+        // up to an internal deadline it reports, which then bounds
+        // the horizon (Hinted).
+        let dt_secs = self.sim.system.tick.as_secs();
+        let span = {
+            let _s = sraps_obs::span(ObsPhase::EngineHorizon);
+            let mut deadline: Option<SimTime> = None;
+            let can_skip = if self.queue.is_empty() {
+                true
+            } else if placed > 0 {
+                false
+            } else {
+                match self.skip {
+                    SchedSkip::OnEvents => true,
+                    SchedSkip::Hinted => match self.scheduler.next_decision_time(now) {
+                        None => true,
+                        Some(t) if t > now => {
+                            deadline = Some(t);
+                            true
+                        }
+                        Some(_) => false,
+                    },
+                }
+            };
+            if can_skip {
+                let mut horizon = self.next_event_time(now);
+                if let Some(t) = deadline {
+                    horizon = horizon.min(t);
+                }
+                let raw = (horizon - now).as_secs();
+                ((raw + dt_secs - 1) / dt_secs).clamp(1, remaining)
+            } else {
+                1
+            }
+        };
+        sraps_obs::add(Counter::EngineTicksSkipped, (span - 1) as u64);
+        Ok(span)
+    }
+
     /// Run to the end of the window and assemble the output.
     pub fn run(mut self) -> Result<SimOutput> {
         // The one timing pathway: the stopwatch always measures (its value
@@ -996,77 +1150,42 @@ impl Engine {
         // obs accumulators so the output carries this run's profile delta.
         let run_capture = sraps_obs::capture();
         let run_watch = sraps_obs::stopwatch(ObsPhase::EngineRun);
-        let dt = self.sim.system.tick;
-        let dt_secs = dt.as_secs();
+        let dt_secs = self.sim.system.tick.as_secs();
         let event_mode = self.sim.engine == EngineMode::Event;
         // The loop visits tick instants sim_start + k·dt strictly before
         // sim_end; track the remaining count instead of re-dividing.
-        let mut remaining = ((self.sim_end - self.sim_start).as_secs() + dt_secs - 1) / dt_secs;
+        let mut remaining = self.ticks_total();
         let mut now = self.sim_start;
         while remaining > 0 {
+            let span = self.step_control(now, remaining)?;
             {
-                let _s = sraps_obs::span(ObsPhase::EngineEvents);
-                self.complete_jobs(now);
-                self.apply_outages(now);
-                self.enqueue_eligible(now);
-            }
-            let placed = {
-                let _s = sraps_obs::span(ObsPhase::EngineScheduler);
-                self.schedule(now)?
-            };
-            if !event_mode {
                 let _s = sraps_obs::span(ObsPhase::EnginePhysics);
-                self.tick_physics(now);
-                now += dt;
-                remaining -= 1;
-                continue;
-            }
-            // Skip to the event horizon when steps 1–3 are provably
-            // no-ops until then: always with an empty queue, and with a
-            // non-empty one when this call placed nothing (placements can
-            // shift backfill reservations, so they force a one-tick step)
-            // and the scheduler is event-bound — outright (OnEvents) or
-            // up to an internal deadline it reports, which then bounds
-            // the horizon (Hinted).
-            let span = {
-                let _s = sraps_obs::span(ObsPhase::EngineHorizon);
-                let mut deadline: Option<SimTime> = None;
-                let can_skip = if self.queue.is_empty() {
-                    true
-                } else if placed > 0 {
-                    false
+                if event_mode {
+                    self.advance_physics(now, span as usize);
                 } else {
-                    match self.skip {
-                        SchedSkip::OnEvents => true,
-                        SchedSkip::Hinted => match self.scheduler.next_decision_time(now) {
-                            None => true,
-                            Some(t) if t > now => {
-                                deadline = Some(t);
-                                true
-                            }
-                            Some(_) => false,
-                        },
-                    }
-                };
-                if can_skip {
-                    let mut horizon = self.next_event_time(now);
-                    if let Some(t) = deadline {
-                        horizon = horizon.min(t);
-                    }
-                    let raw = (horizon - now).as_secs();
-                    ((raw + dt_secs - 1) / dt_secs).clamp(1, remaining)
-                } else {
-                    1
+                    self.tick_physics(now);
                 }
-            };
-            sraps_obs::add(Counter::EngineTicksSkipped, (span - 1) as u64);
-            {
-                let _s = sraps_obs::span(ObsPhase::EnginePhysics);
-                self.advance_physics(now, span as usize);
             }
             now += SimDuration::seconds(dt_secs * span);
             remaining -= span;
         }
+        self.assemble(now, move || (run_watch.finish(), run_capture.finish()))
+    }
+
+    /// Post-loop assembly shared by [`Engine::run`] and
+    /// [`BatchedEngine::run`]: final completion sweep, history time
+    /// grid, facility stats, and the scheduler-stats fold. `finish`
+    /// runs after the finalize-span work and supplies the run's wall
+    /// time and profile delta — the per-cell path closes its stopwatch
+    /// and capture there; batched lanes report the shared batch clock
+    /// and no per-lane profile.
+    fn assemble(
+        mut self,
+        now: SimTime,
+        finish: impl FnOnce() -> (std::time::Duration, Option<sraps_obs::Profile>),
+    ) -> Result<SimOutput> {
+        let dt = self.sim.system.tick;
+        let dt_secs = dt.as_secs();
         let finalize = sraps_obs::span(ObsPhase::EngineFinalize);
         // Final sweep so jobs ending exactly at the boundary complete.
         self.complete_jobs(now);
@@ -1110,8 +1229,7 @@ impl Engine {
             sched_stats.placement_fallbacks,
         );
         drop(finalize);
-        let wall_time = run_watch.finish();
-        let profile = run_capture.finish();
+        let (wall_time, profile) = finish();
         Ok(SimOutput {
             label,
             scheduler_name: self.scheduler.name(),
@@ -1130,6 +1248,133 @@ impl Engine {
             sim_span: span,
             profile,
         })
+    }
+}
+
+/// One simulation inside a [`BatchedEngine`]: its engine plus the loop
+/// cursor [`Engine::run`] would otherwise keep on the stack.
+struct BatchLane {
+    engine: Engine,
+    now: SimTime,
+    /// Tick instants left to visit.
+    remaining: i64,
+    /// Ticks of the lane's current decided span not yet advanced.
+    span_left: i64,
+}
+
+/// K independent simulations stepped together.
+///
+/// Control (steps 1–3: completions, queues, scheduling) runs per lane
+/// at each lane's own event instants — lanes never see each other's
+/// state. Step-4 physics advances all lanes in shared chunks of
+/// `min(span_left)` ticks, one pass over the lane array per chunk under
+/// a single `physics.batched` span, with each lane's history arrays
+/// contiguous. Chunking is invisible to the results: within a lane,
+/// physics integrates tick by tick in tick order no matter how the span
+/// is cut (the repeated-addition discipline the engine parity suite
+/// pins), so outputs are bit-identical to running each engine alone —
+/// the `batch_parity` suite asserts exactly that.
+///
+/// Lanes share the batch's wall clock (each lane's
+/// [`SimOutput::wall_time`] measures from batch start to that lane's
+/// assembly) and carry no per-lane profile; the sweep runner captures
+/// one profile per lane group instead.
+pub struct BatchedEngine {
+    lanes: Vec<BatchLane>,
+}
+
+impl BatchedEngine {
+    /// Group `engines` into one batched run. Lanes must share the tick
+    /// grid and simulation window (the sweep runner's grouping by
+    /// workload guarantees it); anything else is a config error.
+    pub fn new(engines: Vec<Engine>) -> Result<BatchedEngine> {
+        let Some(first) = engines.first() else {
+            return Err(SrapsError::Config(
+                "batched run needs at least one lane".into(),
+            ));
+        };
+        let grid = (first.sim.system.tick, first.sim_start, first.sim_end);
+        if let Some(lane) = engines
+            .iter()
+            .find(|e| (e.sim.system.tick, e.sim_start, e.sim_end) != grid)
+        {
+            return Err(SrapsError::Config(format!(
+                "batched lanes must share the tick grid and window: \
+                 {}..{} at {}s vs {}..{} at {}s",
+                grid.1,
+                grid.2,
+                grid.0.as_secs(),
+                lane.sim_start,
+                lane.sim_end,
+                lane.sim.system.tick.as_secs(),
+            )));
+        }
+        Ok(BatchedEngine {
+            lanes: engines
+                .into_iter()
+                .map(|engine| BatchLane {
+                    now: engine.sim_start,
+                    remaining: engine.ticks_total(),
+                    span_left: 0,
+                    engine,
+                })
+                .collect(),
+        })
+    }
+
+    /// Lanes in this batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Run every lane to the end of the window; outputs in lane order.
+    pub fn run(mut self) -> Result<Vec<SimOutput>> {
+        sraps_obs::bump(Counter::BatchLanes);
+        sraps_obs::add(Counter::BatchCells, self.lanes.len() as u64);
+        let batch_start = std::time::Instant::now();
+        loop {
+            // Control pass: every lane that exhausted its span decides
+            // the next one; the shared chunk is the smallest span any
+            // live lane still has open.
+            let mut chunk = i64::MAX;
+            for lane in &mut self.lanes {
+                if lane.remaining == 0 {
+                    continue;
+                }
+                if lane.span_left == 0 {
+                    lane.span_left = lane.engine.step_control(lane.now, lane.remaining)?;
+                }
+                chunk = chunk.min(lane.span_left);
+            }
+            if chunk == i64::MAX {
+                break;
+            }
+            // Physics pass: advance every live lane by the chunk.
+            let _s = sraps_obs::span(ObsPhase::PhysicsBatched);
+            for lane in &mut self.lanes {
+                if lane.remaining == 0 {
+                    continue;
+                }
+                let dt_secs = lane.engine.sim.system.tick.as_secs();
+                if lane.engine.sim.engine == EngineMode::Event {
+                    lane.engine.advance_physics(lane.now, chunk as usize);
+                } else {
+                    // Tick-mode lanes decide span 1, so the chunk is 1
+                    // whenever one is live; step exactly as `run` would.
+                    lane.engine.tick_physics(lane.now);
+                }
+                lane.now += SimDuration::seconds(dt_secs * chunk);
+                lane.remaining -= chunk;
+                lane.span_left -= chunk;
+            }
+        }
+        self.lanes
+            .into_iter()
+            .map(|lane| {
+                lane.engine
+                    .assemble(lane.now, || (batch_start.elapsed(), None))
+            })
+            .collect()
     }
 }
 

@@ -44,7 +44,7 @@ pub mod output;
 pub mod validate;
 
 pub use config::{EngineMode, Outage, SchedulerSelect, SimConfig};
-pub use engine::Engine;
+pub use engine::{BatchedEngine, Engine, SimWindow};
 pub use fingerprint::{Fingerprint, Fingerprinter, ENGINE_SCHEMA_VERSION};
 pub use output::SimOutput;
 pub use validate::{compare_power, compare_series, compare_utilization, SeriesAgreement};

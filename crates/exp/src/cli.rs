@@ -49,6 +49,12 @@ run shape:
 
 execution & output:
   --jobs N               worker threads (default: all cores)
+  --batch                batched execution: group cache-missing cells of
+                         the same workload into lanes and run each group
+                         through one multi-sim engine pass — reports and
+                         caches stay bit-identical to the per-cell path
+  --batch-max-lanes N    cap lanes per batched group (implies --batch;
+                         default 32)
   --baseline P-B         baseline cell kind for deltas (default: first cell)
   -o, --output DIR       report directory (default simulation_results/sweep)
   --write-histories      also write per-cell power/util CSVs
@@ -92,6 +98,10 @@ pub struct SweepArgs {
     pub power_caps: Vec<Option<f64>>,
     pub engine: EngineMode,
     pub jobs: Option<usize>,
+    /// `--batch`: lane-grouped multi-sim execution.
+    pub batch: bool,
+    /// `--batch-max-lanes N` (implies `--batch`); `None` ⇒ runner default.
+    pub batch_max_lanes: Option<usize>,
     pub baseline: Option<String>,
     pub out_dir: PathBuf,
     pub write_histories: bool,
@@ -127,6 +137,8 @@ impl Default for SweepArgs {
             power_caps: vec![None],
             engine: EngineMode::default(),
             jobs: None,
+            batch: false,
+            batch_max_lanes: None,
             baseline: None,
             out_dir: PathBuf::from("simulation_results").join("sweep"),
             write_histories: false,
@@ -249,6 +261,17 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
                 }
                 a.jobs = Some(v);
             }
+            "--batch" => a.batch = true,
+            "--batch-max-lanes" => {
+                let v: usize = value(&mut i, "--batch-max-lanes")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch-max-lanes: {e}"))?;
+                if v == 0 {
+                    return Err("--batch-max-lanes must be ≥ 1".into());
+                }
+                a.batch = true;
+                a.batch_max_lanes = Some(v);
+            }
             "--baseline" => a.baseline = Some(value(&mut i, "--baseline")?),
             "-o" | "--output" => a.out_dir = PathBuf::from(value(&mut i, "--output")?),
             "--write-histories" => a.write_histories = true,
@@ -366,7 +389,11 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
         None => SweepRunner::auto(),
     }
     .progress(!a.quiet)
-    .metrics_only(a.metrics_only);
+    .metrics_only(a.metrics_only)
+    .batched(a.batch);
+    if let Some(lanes) = a.batch_max_lanes {
+        runner = runner.batch_max_lanes(lanes);
+    }
     if let Some(dir) = &cache_dir {
         runner = runner.cache_dir(dir);
         // With a cache in play, hits carry no in-memory output, so the
@@ -574,6 +601,25 @@ mod tests {
             assert_eq!(a.cache, Some(false));
             assert_eq!(a.resolved_cache_dir(), None);
         }
+    }
+
+    #[test]
+    fn batch_flags_parse() {
+        let a = parse(&["--system", "lassen"]).unwrap();
+        assert!(!a.batch);
+        assert_eq!(a.batch_max_lanes, None);
+
+        let a = parse(&["--system", "lassen", "--batch"]).unwrap();
+        assert!(a.batch);
+        assert_eq!(a.batch_max_lanes, None, "runner default applies");
+
+        // --batch-max-lanes implies --batch.
+        let a = parse(&["--system", "lassen", "--batch-max-lanes", "8"]).unwrap();
+        assert!(a.batch);
+        assert_eq!(a.batch_max_lanes, Some(8));
+
+        assert!(parse(&["--system", "lassen", "--batch-max-lanes", "0"]).is_err());
+        assert!(parse(&["--system", "lassen", "--batch-max-lanes"]).is_err());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::cache::CellCache;
 use crate::cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
 use crate::matrix::ExperimentMatrix;
 use crate::metrics::CellMetrics;
-use sraps_core::{Engine, Fingerprint, SimOutput};
+use sraps_core::{BatchedEngine, Engine, Fingerprint, SimOutput, SimWindow};
 use sraps_obs::{Counter, Phase as ObsPhase, Profile};
 use sraps_types::{Result, SrapsError};
 use std::path::PathBuf;
@@ -186,7 +186,12 @@ pub struct SweepRunner {
     cache_dir: Option<PathBuf>,
     metrics_only: bool,
     spill_histories: bool,
+    batch: bool,
+    batch_max_lanes: usize,
 }
+
+/// Default lane cap for batched sweeps (`--batch-max-lanes`).
+pub const DEFAULT_BATCH_MAX_LANES: usize = 32;
 
 impl SweepRunner {
     /// Run with exactly `jobs` worker threads (`0` ⇒ 1).
@@ -197,6 +202,8 @@ impl SweepRunner {
             cache_dir: None,
             metrics_only: false,
             spill_histories: false,
+            batch: false,
+            batch_max_lanes: DEFAULT_BATCH_MAX_LANES,
         }
     }
 
@@ -238,6 +245,25 @@ impl SweepRunner {
     /// cached sweeps.
     pub fn spill_histories(mut self, on: bool) -> Self {
         self.spill_histories = on;
+        self
+    }
+
+    /// Batched execution: group cache-missing cells of the same workload
+    /// into lanes and drive each group through one [`BatchedEngine`],
+    /// amortizing window construction and running step-4 physics as one
+    /// pass per chunk. Output is bit-identical to the unbatched sweep
+    /// (the engine's batch-parity suite pins it); only wall time and
+    /// profile attribution change.
+    pub fn batched(mut self, on: bool) -> Self {
+        self.batch = on;
+        self
+    }
+
+    /// Cap on lanes per batched group (implies nothing on its own; see
+    /// [`SweepRunner::batched`]). Larger groups amortize more but keep
+    /// more simulations' histories live at once.
+    pub fn batch_max_lanes(mut self, lanes: usize) -> Self {
+        self.batch_max_lanes = lanes.max(1);
         self
     }
 
@@ -283,86 +309,87 @@ impl SweepRunner {
             collect_ordered(results)?
         };
 
-        // Phase 2: cells, cursor-parallel, collected by index.
+        // Phase 2: cells, collected by index — either per-cell
+        // (cursor-parallel over cells) or batched (cursor-parallel over
+        // same-workload lane groups). Both orders of execution assemble
+        // into matrix order, and the engine pins batched lane outputs
+        // bit-identical to solo runs, so the two paths produce
+        // byte-identical reports and cache entries.
         let total = cells.len();
         let counter = AtomicUsize::new(0);
-        let results = run_indexed(self.jobs.min(total.max(1)), total, &steals, |i| {
-            let cell = &cells[i];
-            let workload = &workloads[cell.workload];
-            // A cell runs wholly on this thread: the capture delta over
-            // the thread-local accumulators is exactly its profile, and
-            // the stopwatch is the one per-cell timing pathway (it also
-            // emits the `sweep.cell` trace span).
-            let cell_capture = sraps_obs::capture();
-            let cell_watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
+        let cells = if self.batch {
+            self.run_cells_batched(
+                &cells,
+                &workloads,
+                &fingerprints,
+                cache.as_ref(),
+                &steals,
+                &counter,
+            )?
+        } else {
+            let results = run_indexed(self.jobs.min(total.max(1)), total, &steals, |i| {
+                let cell = &cells[i];
+                let workload = &workloads[cell.workload];
+                // A cell runs wholly on this thread: the capture delta
+                // over the thread-local accumulators is exactly its
+                // profile, and the stopwatch is the one per-cell timing
+                // pathway (it also emits the `sweep.cell` trace span).
+                let cell_capture = sraps_obs::capture();
+                let cell_watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
 
-            let key = fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
-            let done = |metrics: CellMetrics,
-                        output: Option<SimOutput>,
-                        cached: bool,
-                        elapsed: Duration,
-                        profile: Option<Profile>| {
-                if self.progress {
-                    let done = counter.fetch_add(1, Ordering::Relaxed) + 1;
-                    eprintln!(
-                        "  [{done:>3}/{total}] {:<40} {:>6} jobs  util {:>5.1}%  {}",
-                        cell.label,
-                        metrics.jobs_completed,
-                        metrics.mean_utilization * 100.0,
-                        if cached {
-                            "  cached".to_string()
-                        } else {
-                            format!("{:>8.2}s", elapsed.as_secs_f64())
-                        },
-                    );
+                let key = fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
+                if let (Some(cache), Some(key)) = (&cache, &key) {
+                    if let Some(hit) = cache.load(key, self.spill_histories) {
+                        // A hit's profile is the cache-read span + hit
+                        // counter — real timing, not zeroed engine phases.
+                        let elapsed = cell_watch.finish();
+                        let profile = cell_capture.finish();
+                        return Ok(self.finish_cell(
+                            cell,
+                            workload.plan,
+                            Some(key.clone()),
+                            (&counter, total),
+                            hit.metrics,
+                            None,
+                            true,
+                            elapsed,
+                            profile,
+                        ));
+                    }
                 }
-                CellResult {
-                    spec: cell.clone(),
-                    // Plan-derived metadata is identical to what
-                    // materialization would record, so hit and miss
-                    // paths produce the same result rows.
-                    workload_label: workload.plan.label(),
-                    workload_group: workload.plan.group(),
-                    seed: workload.plan.seed(),
+
+                let workload = workload.get()?;
+                let sim = cell.build_sim(workload)?;
+                let output = Engine::new(sim, &workload.dataset)?.run()?;
+                let metrics = CellMetrics::from_output(&output);
+                if let (Some(cache), Some(key)) = (&cache, &key) {
+                    let histories = self
+                        .spill_histories
+                        .then(|| (output.power_csv(), output.util_csv()));
+                    cache.store(
+                        key,
+                        &cell.label,
+                        &metrics,
+                        histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
+                    )?;
+                }
+                let output = (!self.metrics_only).then_some(output);
+                let elapsed = cell_watch.finish();
+                let profile = cell_capture.finish();
+                Ok(self.finish_cell(
+                    cell,
+                    workloads[cell.workload].plan,
+                    key,
+                    (&counter, total),
                     metrics,
                     output,
-                    cache_key: key.clone(),
-                    from_cache: cached,
+                    false,
+                    elapsed,
                     profile,
-                }
-            };
-
-            if let (Some(cache), Some(key)) = (&cache, &key) {
-                if let Some(hit) = cache.load(key, self.spill_histories) {
-                    // A hit's profile is the cache-read span + hit
-                    // counter — real timing, not zeroed engine phases.
-                    let elapsed = cell_watch.finish();
-                    let profile = cell_capture.finish();
-                    return Ok(done(hit.metrics, None, true, elapsed, profile));
-                }
-            }
-
-            let workload = workload.get()?;
-            let sim = cell.build_sim(workload)?;
-            let output = Engine::new(sim, &workload.dataset)?.run()?;
-            let metrics = CellMetrics::from_output(&output);
-            if let (Some(cache), Some(key)) = (&cache, &key) {
-                let histories = self
-                    .spill_histories
-                    .then(|| (output.power_csv(), output.util_csv()));
-                cache.store(
-                    key,
-                    &cell.label,
-                    &metrics,
-                    histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
-                )?;
-            }
-            let output = (!self.metrics_only).then_some(output);
-            let elapsed = cell_watch.finish();
-            let profile = cell_capture.finish();
-            Ok(done(metrics, output, false, elapsed, profile))
-        });
-        let cells = collect_ordered(results)?;
+                ))
+            });
+            collect_ordered(results)?
+        };
 
         Ok(SweepResults {
             cells,
@@ -372,6 +399,224 @@ impl SweepRunner {
             cache_dir: self.cache_dir.clone(),
             worker_steals: steals.into_inner(),
         })
+    }
+
+    /// Assemble one finished [`CellResult`] (and print the progress line
+    /// in CLI mode). Shared by the per-cell and batched paths so both
+    /// produce identical result rows.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_cell(
+        &self,
+        cell: &CellSpec,
+        plan: &WorkloadPlan,
+        cache_key: Option<String>,
+        progress: (&AtomicUsize, usize),
+        metrics: CellMetrics,
+        output: Option<SimOutput>,
+        from_cache: bool,
+        elapsed: Duration,
+        profile: Option<Profile>,
+    ) -> CellResult {
+        if self.progress {
+            let (counter, total) = progress;
+            let done = counter.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "  [{done:>3}/{total}] {:<40} {:>6} jobs  util {:>5.1}%  {}",
+                cell.label,
+                metrics.jobs_completed,
+                metrics.mean_utilization * 100.0,
+                if from_cache {
+                    "  cached".to_string()
+                } else {
+                    format!("{:>8.2}s", elapsed.as_secs_f64())
+                },
+            );
+        }
+        CellResult {
+            spec: cell.clone(),
+            // Plan-derived metadata is identical to what materialization
+            // would record, so hit and miss paths produce the same
+            // result rows.
+            workload_label: plan.label(),
+            workload_group: plan.group(),
+            seed: plan.seed(),
+            metrics,
+            output,
+            cache_key,
+            from_cache,
+            profile,
+        }
+    }
+
+    /// Batched phase 2, in three stages:
+    ///
+    /// * **A — consult**: every cell checks the cache (cursor-parallel).
+    ///   Hits finish immediately and never enter a lane; misses carry
+    ///   their cache-read profile forward.
+    /// * **B — lane formation**: miss indices in matrix order, bucketed
+    ///   by workload (one workload ⇒ one system, tick grid, and window —
+    ///   the lane-compatibility key), each bucket chunked to
+    ///   `batch_max_lanes`. A pure function of the consult outcomes, so
+    ///   grouping is identical for any `--jobs` value.
+    /// * **C — execute**: groups run cursor-parallel; each builds one
+    ///   shared [`SimWindow`], one engine per lane via
+    ///   [`Engine::with_window`], and drives them through a
+    ///   [`BatchedEngine`]. Cache write-back and metrics folding happen
+    ///   inside the group's capture, so the group profile (attached to
+    ///   the group's first lane; other lanes keep only their consult
+    ///   delta) accounts for all work, exactly once.
+    fn run_cells_batched(
+        &self,
+        cells: &[CellSpec],
+        workloads: &[LazyWorkload],
+        fingerprints: &[Option<Fingerprint>],
+        cache: Option<&CellCache>,
+        steals: &AtomicU64,
+        counter: &AtomicUsize,
+    ) -> Result<Vec<CellResult>> {
+        struct Consult {
+            /// Finished result for a cache hit; `None` ⇒ lane candidate.
+            result: Option<CellResult>,
+            key: Option<String>,
+            /// A miss's cache-read delta, merged into its lane result.
+            profile: Option<Profile>,
+        }
+        let total = cells.len();
+
+        let consults = run_indexed(self.jobs.min(total.max(1)), total, steals, |i| {
+            let cell = &cells[i];
+            let key = fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
+            if let (Some(cache), Some(k)) = (cache, &key) {
+                let capture = sraps_obs::capture();
+                let watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
+                if let Some(hit) = cache.load(k, self.spill_histories) {
+                    let elapsed = watch.finish();
+                    let profile = capture.finish();
+                    return Ok(Consult {
+                        result: Some(self.finish_cell(
+                            cell,
+                            workloads[cell.workload].plan,
+                            key.clone(),
+                            (counter, total),
+                            hit.metrics,
+                            None,
+                            true,
+                            elapsed,
+                            profile,
+                        )),
+                        key,
+                        profile: None,
+                    });
+                }
+                let _ = watch.finish();
+                return Ok(Consult {
+                    result: None,
+                    key,
+                    profile: capture.finish(),
+                });
+            }
+            Ok(Consult {
+                result: None,
+                key,
+                profile: None,
+            })
+        });
+        let consults = collect_ordered(consults)?;
+
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workloads.len()];
+        for (i, consult) in consults.iter().enumerate() {
+            if consult.result.is_none() {
+                buckets[cells[i].workload].push(i);
+            }
+        }
+        let groups: Vec<&[usize]> = buckets
+            .iter()
+            .flat_map(|bucket| bucket.chunks(self.batch_max_lanes))
+            .collect();
+
+        let group_results = run_indexed(
+            self.jobs.min(groups.len().max(1)),
+            groups.len(),
+            steals,
+            |g| {
+                let group = groups[g];
+                // The whole group runs on this thread: one `sweep.cell`
+                // span and one capture cover window construction, all K
+                // lanes' simulation, metrics folding, and write-back.
+                let group_capture = sraps_obs::capture();
+                let group_watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
+                let workload = workloads[cells[group[0]].workload].get()?;
+                let sims = group
+                    .iter()
+                    .map(|&i| cells[i].build_sim(workload))
+                    .collect::<Result<Vec<_>>>()?;
+                let window = SimWindow::new(&sims[0], &workload.dataset)?;
+                let engines = sims
+                    .into_iter()
+                    .map(|sim| Engine::with_window(sim, &window))
+                    .collect::<Result<Vec<_>>>()?;
+                let outputs = BatchedEngine::new(engines)?.run()?;
+                let mut lanes = Vec::with_capacity(group.len());
+                for (&i, output) in group.iter().zip(outputs) {
+                    let metrics = CellMetrics::from_output(&output);
+                    if let (Some(cache), Some(key)) = (cache, &consults[i].key) {
+                        let histories = self
+                            .spill_histories
+                            .then(|| (output.power_csv(), output.util_csv()));
+                        cache.store(
+                            key,
+                            &cells[i].label,
+                            &metrics,
+                            histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
+                        )?;
+                    }
+                    lanes.push((i, metrics, (!self.metrics_only).then_some(output)));
+                }
+                let elapsed = group_watch.finish();
+                let mut group_profile = group_capture.finish();
+                Ok(lanes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, (i, metrics, output))| {
+                        let mut profile = consults[i].profile.clone();
+                        if k == 0 {
+                            if let Some(gp) = group_profile.take() {
+                                profile.get_or_insert_with(Profile::default).merge(&gp);
+                            }
+                        }
+                        let result = self.finish_cell(
+                            &cells[i],
+                            workloads[cells[i].workload].plan,
+                            consults[i].key.clone(),
+                            (counter, total),
+                            metrics,
+                            output,
+                            false,
+                            elapsed,
+                            profile,
+                        );
+                        (i, result)
+                    })
+                    .collect::<Vec<_>>())
+            },
+        );
+        let group_results = collect_ordered(group_results)?;
+
+        let mut slots: Vec<Option<CellResult>> = consults.into_iter().map(|c| c.result).collect();
+        for lanes in group_results {
+            for (i, result) in lanes {
+                slots[i] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| {
+                    SrapsError::Config(format!("internal: batched sweep cell {i} was never run"))
+                })
+            })
+            .collect()
     }
 }
 

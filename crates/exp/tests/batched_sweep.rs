@@ -1,0 +1,185 @@
+//! Batched-sweep parity suite: `SweepRunner::batched` must be a pure
+//! execution-strategy switch. Reports, CSV/JSON exports, retained
+//! outputs, and cache entries are byte-identical to the per-cell path;
+//! cache hits never enter a lane; and the batched path stays
+//! deterministic across `--jobs` values.
+
+use sraps_exp::{CellCache, ExperimentMatrix, Report, SweepResults, SweepRunner};
+use sraps_obs::Counter;
+use sraps_types::SimDuration;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Obs enablement is process-global; profiled tests must not overlap.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Two workloads × three cells each — grouping has multiple buckets.
+fn matrix() -> ExperimentMatrix {
+    ExperimentMatrix::synthetic(["lassen"])
+        .span(SimDuration::hours(2))
+        .loads([0.5])
+        .seed_count(2)
+        .pairs([("fcfs", "none"), ("fcfs", "easy"), ("sjf", "easy")])
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sraps-batched-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Everything a results consumer can observe, cell for cell.
+fn assert_same_results(a: &SweepResults, b: &SweepResults, what: &str) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{what}: cell count");
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.spec.label, y.spec.label, "{what}: order");
+        assert_eq!(x.metrics, y.metrics, "{what}: metrics ({})", x.spec.label);
+        assert_eq!(x.cache_key, y.cache_key, "{what}: keys ({})", x.spec.label);
+        match (&x.output, &y.output) {
+            (Some(xo), Some(yo)) => {
+                assert_eq!(
+                    xo.power_csv(),
+                    yo.power_csv(),
+                    "{what}: power CSV ({})",
+                    x.spec.label
+                );
+                assert_eq!(
+                    xo.util_csv(),
+                    yo.util_csv(),
+                    "{what}: util CSV ({})",
+                    x.spec.label
+                );
+                assert_eq!(xo.outcomes, yo.outcomes, "{what}: outcomes");
+                assert_eq!(xo.sched_stats, yo.sched_stats, "{what}: sched stats");
+            }
+            (None, None) => {}
+            _ => panic!("{what}: output retention differs ({})", x.spec.label),
+        }
+    }
+    let (ra, rb) = (Report::from_results(a), Report::from_results(b));
+    assert_eq!(ra.to_csv(), rb.to_csv(), "{what}: report CSV");
+    assert_eq!(ra.to_json(), rb.to_json(), "{what}: report JSON");
+    assert_eq!(ra.render_table(), rb.render_table(), "{what}: table");
+}
+
+#[test]
+fn batched_sweep_matches_unbatched_byte_for_byte() {
+    let m = matrix();
+    let plain = SweepRunner::new(2).run(&m).unwrap();
+    let batched = SweepRunner::new(2).batched(true).run(&m).unwrap();
+    assert_same_results(&plain, &batched, "batched vs per-cell");
+    // A lane cap below the bucket size forces chunked groups — still
+    // identical (chunking only changes which engines share a pass).
+    let chunked = SweepRunner::new(2)
+        .batched(true)
+        .batch_max_lanes(2)
+        .run(&m)
+        .unwrap();
+    assert_same_results(&plain, &chunked, "chunked lanes");
+    // Degenerate single-lane groups are per-cell execution in disguise.
+    let single = SweepRunner::new(2)
+        .batched(true)
+        .batch_max_lanes(1)
+        .run(&m)
+        .unwrap();
+    assert_same_results(&plain, &single, "single-lane groups");
+}
+
+#[test]
+fn batched_jobs_one_equals_jobs_four() {
+    let m = matrix();
+    let serial = SweepRunner::new(1).batched(true).run(&m).unwrap();
+    let parallel = SweepRunner::new(4).batched(true).run(&m).unwrap();
+    assert_same_results(&serial, &parallel, "batched --jobs 1 vs --jobs 4");
+}
+
+#[test]
+fn batched_cache_entries_match_unbatched_bytes() {
+    let m = matrix();
+    let plain_dir = temp_dir("plain");
+    let batch_dir = temp_dir("batch");
+    let plain = SweepRunner::new(2).cache_dir(&plain_dir).run(&m).unwrap();
+    let batched = SweepRunner::new(2)
+        .cache_dir(&batch_dir)
+        .batched(true)
+        .run(&m)
+        .unwrap();
+    assert_same_results(&plain, &batched, "cold cached runs");
+    for cell in &plain.cells {
+        let key = cell.cache_key.as_ref().unwrap();
+        let name = format!("{key}.json");
+        let a = std::fs::read(plain_dir.join(&name)).unwrap();
+        let b = std::fs::read(batch_dir.join(&name)).unwrap();
+        assert_eq!(a, b, "cache entry {} differs", cell.spec.label);
+    }
+    std::fs::remove_dir_all(&plain_dir).ok();
+    std::fs::remove_dir_all(&batch_dir).ok();
+}
+
+#[test]
+fn warm_cells_are_excluded_from_lanes_in_a_mixed_batch() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("mixed");
+    // Warm exactly one cell kind (both seeds): the full matrix then
+    // mixes 2 hits with 4 misses.
+    let subset = ExperimentMatrix::synthetic(["lassen"])
+        .span(SimDuration::hours(2))
+        .loads([0.5])
+        .seed_count(2)
+        .pairs([("fcfs", "none")]);
+    let warmed = SweepRunner::new(2).cache_dir(&dir).run(&subset).unwrap();
+    assert_eq!(warmed.cache_misses(), 2);
+
+    sraps_obs::set_profile(true);
+    let mixed = SweepRunner::new(2)
+        .cache_dir(&dir)
+        .batched(true)
+        .run(&matrix())
+        .unwrap();
+    sraps_obs::set_profile(false);
+    assert_eq!(mixed.cache_hits(), 2, "warmed kind hits for both seeds");
+    assert_eq!(mixed.cache_misses(), 4);
+    for cell in &mixed.cells {
+        assert_eq!(
+            cell.from_cache,
+            cell.spec.label.ends_with("fcfs-none"),
+            "{}",
+            cell.spec.label
+        );
+    }
+    // Only the misses entered lanes: `batch.cells` counts simulated
+    // lanes, and the 4 misses split into one group per workload.
+    let profile = mixed.merged_profile().expect("profiling was on");
+    assert_eq!(profile.counter(Counter::BatchCells.name()), 4);
+    assert_eq!(profile.counter(Counter::BatchLanes.name()), 2);
+
+    // And the mixed run's report matches a fully-cold unbatched run.
+    let cold = SweepRunner::new(2).run(&matrix()).unwrap();
+    let (rm, rc) = (Report::from_results(&mixed), Report::from_results(&cold));
+    assert_eq!(rm.to_csv(), rc.to_csv(), "mixed warm/cold report CSV");
+    assert_eq!(rm.to_json(), rc.to_json(), "mixed warm/cold report JSON");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batched_metrics_only_and_spill_survive_hits() {
+    let dir = temp_dir("spill");
+    let runner = SweepRunner::new(2)
+        .cache_dir(&dir)
+        .metrics_only(true)
+        .spill_histories(true)
+        .batched(true);
+    let cold = runner.run(&matrix()).unwrap();
+    assert!(cold.cells.iter().all(|c| c.output.is_none()));
+    let cache = CellCache::open(&dir).unwrap();
+    for cell in &cold.cells {
+        let (power, util) = cache.history_paths(cell.cache_key.as_ref().unwrap());
+        assert!(power.is_file(), "spilled power CSV ({})", cell.spec.label);
+        assert!(util.is_file(), "spilled util CSV ({})", cell.spec.label);
+    }
+    let warm = runner.run(&matrix()).unwrap();
+    assert_eq!(warm.cache_hits(), 6, "hits satisfied from the spill");
+    let (rc, rw) = (Report::from_results(&cold), Report::from_results(&warm));
+    assert_eq!(rc.to_csv(), rw.to_csv());
+    std::fs::remove_dir_all(&dir).ok();
+}

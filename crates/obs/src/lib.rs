@@ -92,6 +92,9 @@ pub enum Phase {
     EngineHorizon,
     /// Loop step 4: physics advanced across the span.
     EnginePhysics,
+    /// Batched physics chunk: one pass advancing every lane of a
+    /// `BatchedEngine` by the shared chunk.
+    PhysicsBatched,
     /// Post-loop history grid + stats assembly.
     EngineFinalize,
     /// Scheduler backend `schedule()` body (nests inside `engine.scheduler`).
@@ -106,7 +109,7 @@ pub enum Phase {
     SweepRun,
 }
 
-const PHASE_COUNT: usize = 11;
+const PHASE_COUNT: usize = 12;
 
 impl Phase {
     pub const ALL: [Phase; PHASE_COUNT] = [
@@ -115,6 +118,7 @@ impl Phase {
         Phase::EngineScheduler,
         Phase::EngineHorizon,
         Phase::EnginePhysics,
+        Phase::PhysicsBatched,
         Phase::EngineFinalize,
         Phase::SchedSchedule,
         Phase::CacheRead,
@@ -130,6 +134,7 @@ impl Phase {
             Phase::EngineScheduler => "engine.scheduler",
             Phase::EngineHorizon => "engine.horizon",
             Phase::EnginePhysics => "engine.physics",
+            Phase::PhysicsBatched => "physics.batched",
             Phase::EngineFinalize => "engine.finalize",
             Phase::SchedSchedule => "sched.schedule",
             Phase::CacheRead => "cache.read",
@@ -161,8 +166,11 @@ pub enum Counter {
     /// `SchedulerStats`).
     SchedPlacementFallbacks,
     /// Conservative-backfill anchor sweeps over the capacity timeline
-    /// (one per queued job per planning pass).
+    /// (one per queued job that walked the breakpoint profile).
     SchedAnchorSweeps,
+    /// Conservative-backfill jobs anchored by the O(1) min-free fast
+    /// path, skipping the breakpoint walk entirely.
+    SchedPlanFastPaths,
     /// EASY shadow-time reservations computed against the timeline.
     SchedEasyReservations,
     /// Power-cap proposals deferred by the admission loop.
@@ -185,9 +193,13 @@ pub enum Counter {
     CacheSelfHeals,
     /// Cells claimed off the shared cursor by spawned sweep workers.
     SweepWorkerSteals,
+    /// Lane groups executed by a `BatchedEngine`.
+    BatchLanes,
+    /// Sweep cells simulated inside a batched lane group.
+    BatchCells,
 }
 
-const COUNTER_COUNT: usize = 18;
+const COUNTER_COUNT: usize = 21;
 
 impl Counter {
     pub const ALL: [Counter; COUNTER_COUNT] = [
@@ -199,6 +211,7 @@ impl Counter {
         Counter::SchedBackfilled,
         Counter::SchedPlacementFallbacks,
         Counter::SchedAnchorSweeps,
+        Counter::SchedPlanFastPaths,
         Counter::SchedEasyReservations,
         Counter::SchedCapDeferrals,
         Counter::QueueResorts,
@@ -209,6 +222,8 @@ impl Counter {
         Counter::CacheMisses,
         Counter::CacheSelfHeals,
         Counter::SweepWorkerSteals,
+        Counter::BatchLanes,
+        Counter::BatchCells,
     ];
 
     pub const fn name(self) -> &'static str {
@@ -221,6 +236,7 @@ impl Counter {
             Counter::SchedBackfilled => "sched.backfilled",
             Counter::SchedPlacementFallbacks => "sched.placement_fallbacks",
             Counter::SchedAnchorSweeps => "sched.anchor_sweeps",
+            Counter::SchedPlanFastPaths => "sched.plan_fast_paths",
             Counter::SchedEasyReservations => "sched.easy_reservations",
             Counter::SchedCapDeferrals => "sched.cap_deferrals",
             Counter::QueueResorts => "queue.resorts",
@@ -231,6 +247,8 @@ impl Counter {
             Counter::CacheMisses => "cache.misses",
             Counter::CacheSelfHeals => "cache.self_heals",
             Counter::SweepWorkerSteals => "sweep.worker_steals",
+            Counter::BatchLanes => "batch.lanes",
+            Counter::BatchCells => "batch.cells",
         }
     }
 
@@ -245,6 +263,7 @@ impl Counter {
             Counter::SchedBackfilled => "jobs placed out of order by backfill",
             Counter::SchedPlacementFallbacks => "replay placements that fell back to first-fit",
             Counter::SchedAnchorSweeps => "conservative anchor sweeps over the timeline",
+            Counter::SchedPlanFastPaths => "conservative jobs anchored by the min-free fast path",
             Counter::SchedEasyReservations => "EASY shadow-time reservations computed",
             Counter::SchedCapDeferrals => "power-cap proposals deferred",
             Counter::QueueResorts => "full queue re-sorts (order stamp changed)",
@@ -255,6 +274,8 @@ impl Counter {
             Counter::CacheMisses => "sweep cells the cache could not serve",
             Counter::CacheSelfHeals => "defective cache entries demoted to misses",
             Counter::SweepWorkerSteals => "cells claimed by spawned sweep workers",
+            Counter::BatchLanes => "lane groups executed by the batched engine",
+            Counter::BatchCells => "cells simulated inside batched lane groups",
         }
     }
 }

@@ -131,7 +131,9 @@ impl CapacityTimeline {
     /// [`backfill::conservative_plan`](crate::backfill::conservative_plan)
     /// (`SimTime::MAX` for jobs wider than the machine), computed by one
     /// forward sweep over a free-capacity step profile per job instead of
-    /// a candidate-set collect + sort + per-candidate rescan.
+    /// a candidate-set collect + sort + per-candidate rescan. Jobs whose
+    /// demand fits under the profile's minimum free capacity skip the
+    /// sweep entirely: they anchor at the first breakpoint in O(1).
     ///
     /// The profile lives in `scratch` (read the result via
     /// [`PlanScratch::plan`]), so steady-state calls allocate nothing.
@@ -153,14 +155,42 @@ impl CapacityTimeline {
         let at = deltas.partition_point(|&(t, _)| t < now);
         deltas.insert(at, (now, 0));
 
+        // Before any reservation lands, every delta is a release (≥ 0),
+        // so free capacity is non-decreasing over the profile and its
+        // minimum sits at the first breakpoint. Maintain that minimum as
+        // a lower bound across reservations (each subtracts at most
+        // `need` everywhere): any job whose demand fits under it anchors
+        // at the first breakpoint with no walk — the sweep below could
+        // never invalidate an anchor the profile never dips under.
+        let t_first = deltas[0].0;
+        let mut min_free = free_now as i64;
+        for &(t, d) in deltas.iter() {
+            if t != t_first {
+                break;
+            }
+            min_free += d;
+        }
+
         scratch.plan.clear();
-        sraps_obs::add(sraps_obs::Counter::SchedAnchorSweeps, queue.len() as u64);
+        let mut sweeps = 0u64;
+        let mut fast_paths = 0u64;
         for job in queue {
             if job.nodes > total_nodes {
                 scratch.plan.push(SimTime::MAX);
                 continue;
             }
             let need = job.nodes as i64;
+            if need <= min_free {
+                fast_paths += 1;
+                let end = t_first + job.estimate;
+                scratch.plan.push(t_first);
+                deltas.insert(0, (t_first, -need));
+                let at = deltas.partition_point(|&(t, _)| t < end);
+                deltas.insert(at, (end, need));
+                min_free -= need;
+                continue;
+            }
+            sweeps += 1;
             // Sweep the profile keeping `anchor` = the earliest breakpoint
             // from which free capacity has stayed ≥ `need`. The moment the
             // sweep passes `anchor + estimate`, the whole window is
@@ -200,8 +230,13 @@ impl CapacityTimeline {
                 deltas.insert(at, (start, -need));
                 let at = deltas.partition_point(|&(t, _)| t < end);
                 deltas.insert(at, (end, need));
+                // The reservation lowers the profile by at most `need`
+                // anywhere, so the bound stays sound.
+                min_free -= need;
             }
         }
+        sraps_obs::add(sraps_obs::Counter::SchedAnchorSweeps, sweeps);
+        sraps_obs::add(sraps_obs::Counter::SchedPlanFastPaths, fast_paths);
     }
 }
 
@@ -310,6 +345,25 @@ mod tests {
             scratch.plan(),
             backfill::conservative_plan(&queue, now, 2, 16, &running).as_slice()
         );
+    }
+
+    #[test]
+    fn fast_path_plan_equals_from_scratch() {
+        // Plenty of headroom: the narrow jobs anchor via the O(1)
+        // min-free fast path, the wide one walks the profile; both must
+        // match the from-scratch planner, including the reservations the
+        // fast-pathed jobs leave behind for later queue entries.
+        let running = [view(1, 2, 100), view(2, 3, 200)];
+        let t = timeline_of(&running);
+        let queue = vec![qj(1, 50), qj(2, 80), qj(14, 30), qj(1, 10)];
+        let mut scratch = PlanScratch::new();
+        let now = SimTime::seconds(10);
+        t.plan_conservative(&queue, now, 11, 16, &mut scratch);
+        assert_eq!(
+            scratch.plan(),
+            backfill::conservative_plan(&queue, now, 11, 16, &running).as_slice()
+        );
+        assert_eq!(scratch.plan()[0], now, "headroom jobs start immediately");
     }
 
     #[test]

@@ -164,4 +164,48 @@ proptest! {
         timeline.plan_conservative(&jobs, now, free, total, &mut scratch);
         prop_assert_eq!(scratch.plan(), reference.as_slice());
     }
+
+    /// Fast-path-weighted variant: generous headroom and mostly-narrow
+    /// jobs so the O(1) min-free anchor fires for most queue entries,
+    /// with occasional wide jobs forcing the full sweep in between. The
+    /// interleaving matters: fast-pathed reservations must leave the
+    /// profile exactly as a swept placement would, or later sweeps (and
+    /// the from-scratch oracle) diverge.
+    #[test]
+    fn timeline_conservative_fast_path_equals_from_scratch(
+        running in prop::collection::vec((1u32..24, -100i64..2_000), 0..12),
+        queue in prop::collection::vec((1u32..200, 0i64..800, 0i64..50), 0..24),
+        now in 0i64..200,
+        free in 64u32..256,
+    ) {
+        let views: Vec<RunningView> = running
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, end))| RunningView {
+                id: JobId(i as u64),
+                nodes: n,
+                estimated_end: SimTime::seconds(end),
+            })
+            .collect();
+        let mut timeline = CapacityTimeline::new();
+        for v in &views {
+            timeline.add(v.estimated_end, v.nodes);
+        }
+        let jobs: Vec<QueuedJob> = queue
+            .iter()
+            .enumerate()
+            // Mostly narrow (fast path under `free` ≥ 64), every fifth
+            // wide enough to need the sweep or be outright infeasible.
+            .map(|(i, &(nodes, est, submit))| {
+                let nodes = if i % 5 == 4 { nodes.max(64) } else { nodes % 16 + 1 };
+                qj(i as u64, submit, nodes, est, 0.0)
+            })
+            .collect();
+        let now = SimTime::seconds(now);
+        let total = 255u32;
+        let mut scratch = PlanScratch::new();
+        timeline.plan_conservative(&jobs, now, free, total, &mut scratch);
+        let reference = conservative_plan(&jobs, now, free, total, &views);
+        prop_assert_eq!(scratch.plan(), reference.as_slice());
+    }
 }
