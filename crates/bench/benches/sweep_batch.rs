@@ -1,5 +1,5 @@
 //! Batched-sweep throughput benchmark: cells/second on a 1000-cell
-//! same-system matrix, per-cell vs batched (`SweepRunner::batched`),
+//! same-system matrix, per-cell vs batched (`SweepOptions::batch`),
 //! plus a harness that writes `BENCH_sweep_batch.json` — the repo's
 //! perf-trajectory baseline for lane-grouped multi-sim execution.
 //! Re-run after engine/runner changes and commit the refreshed JSON:
@@ -29,7 +29,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use serde::Serialize;
 use sraps_data::{lassen, WorkloadSpec};
-use sraps_exp::{ExperimentMatrix, PrebuiltWorkload, Report, SweepRunner};
+use sraps_exp::{ExperimentMatrix, PrebuiltWorkload, Report, SweepOptions, SweepRunner};
 use sraps_systems::presets;
 use sraps_types::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -97,8 +97,9 @@ fn bench_sweep_batch(c: &mut Criterion) {
     let samples = if smoke() { 1 } else { 5 };
     let m = matrix();
     let cells = m.cell_count();
-    let percell = SweepRunner::new(JOBS).metrics_only(true);
-    let batched = percell.clone().batched(true);
+    let opts = SweepOptions::new().metrics_only(true);
+    let percell = SweepRunner::with_options(JOBS, opts.clone());
+    let batched = SweepRunner::with_options(JOBS, opts.batch(true));
 
     // Byte-parity drift guard: a faster sweep that changed any report
     // byte would be measuring a different experiment. (Also warms the

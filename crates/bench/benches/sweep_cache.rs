@@ -14,7 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use serde::Serialize;
-use sraps_exp::{ExperimentMatrix, Report, SweepRunner};
+use sraps_exp::{ExperimentMatrix, Report, SweepOptions, SweepRunner};
 use sraps_types::SimDuration;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -103,13 +103,14 @@ fn bench_sweep_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("sweep_cache");
     g.sample_size(samples.max(2));
     for case in cases() {
-        let runner = SweepRunner::new(jobs).metrics_only(true);
+        let opts = SweepOptions::new().metrics_only(true);
+        let runner = SweepRunner::with_options(jobs, opts.clone());
 
         // Criterion lines for the terminal report (warm path only —
         // cold runs mutate the cache, which criterion's iteration model
         // cannot reset between samples)…
         let warm_dir = fresh_dir(case.name);
-        let warm_runner = runner.clone().cache_dir(&warm_dir);
+        let warm_runner = SweepRunner::with_options(jobs, opts.clone().cache_dir(&warm_dir));
         let seeded = warm_runner.run(&case.matrix).expect("seed run");
         assert_eq!(seeded.cache_misses(), case.cells);
         g.bench_function(format!("{}_warm", case.name), |b| {
@@ -122,7 +123,9 @@ fn bench_sweep_cache(c: &mut Criterion) {
         });
         let cold_ms = median_ms(samples, || {
             let dir = fresh_dir("cold");
-            let r = runner.clone().cache_dir(&dir).run(&case.matrix).unwrap();
+            let r = SweepRunner::with_options(jobs, opts.clone().cache_dir(&dir))
+                .run(&case.matrix)
+                .unwrap();
             assert_eq!(r.cache_hits(), 0, "cold run must not hit");
             criterion::black_box(&r);
             std::fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,174 @@
+//! Prefix-sharing benchmark: a late-binding power-cap sweep run per-cell
+//! (every cell privately simulates its own uncapped prefix) vs with
+//! `--prefix-share` (one snapshot forked into every cap branch), plus a
+//! harness that writes `BENCH_sweep_prefix.json` — the repo's
+//! perf-trajectory baseline for snapshot-forked sweeps.
+//! Re-run after engine/snapshot/runner changes and commit the JSON:
+//!
+//! ```sh
+//! cargo bench -p sraps-bench --bench sweep_prefix
+//! ```
+//!
+//! `SRAPS_BENCH_SMOKE=1` runs one sample per case (CI smoke);
+//! `SRAPS_BENCH_SWEEP_PREFIX_OUT` overrides the JSON path (default
+//! `BENCH_sweep_prefix.json` at the workspace root).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use sraps_exp::{ExperimentMatrix, Report, SweepOptions, SweepRunner};
+use sraps_types::SimDuration;
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    matrix: ExperimentMatrix,
+    cells: usize,
+}
+
+/// The benched grids: capacity-planning shapes — one uncapped prefix,
+/// many candidate caps binding late in the window. The cap binds at
+/// 7/8 of the span, so nearly all of every cell's work is the
+/// shareable prefix.
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "cap_scan_8way",
+            matrix: ExperimentMatrix::synthetic(["lassen"])
+                .span(SimDuration::hours(48))
+                .loads([0.7])
+                .seed_count(1)
+                .pairs([("fcfs", "easy")])
+                .power_caps_kw(
+                    [800.0, 900.0, 1000.0, 1100.0, 1200.0, 1300.0, 1400.0, 1500.0].map(Some),
+                )
+                .power_cap_at(SimDuration::hours(42)),
+            cells: 8,
+        },
+        Case {
+            name: "cap_scan_2policies",
+            matrix: ExperimentMatrix::synthetic(["adastra"])
+                .span(SimDuration::hours(48))
+                .loads([0.6])
+                .seed_count(1)
+                .pairs([("fcfs", "easy"), ("sjf", "easy")])
+                .power_caps_kw([700.0, 800.0, 900.0, 1000.0, 1100.0, 1200.0].map(Some))
+                .power_cap_at(SimDuration::hours(42)),
+            cells: 12,
+        },
+    ]
+}
+
+/// Median wall-time of `n` runs of `f`, in milliseconds.
+fn median_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[derive(Serialize)]
+struct CaseResult {
+    name: String,
+    cells: usize,
+    shared_prefixes: usize,
+    forks: usize,
+    jobs: usize,
+    samples: usize,
+    unshared_median_ms: f64,
+    shared_median_ms: f64,
+    /// unshared / shared: what forking one snapshot saves over every
+    /// cell privately re-simulating the same prefix.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    cases: Vec<CaseResult>,
+}
+
+fn smoke() -> bool {
+    std::env::var_os("SRAPS_BENCH_SMOKE").is_some()
+}
+
+fn bench_sweep_prefix(c: &mut Criterion) {
+    let samples = if smoke() { 1 } else { 5 };
+    // Serial: total simulated work, not scheduling luck, is the metric.
+    let jobs = 1;
+    let mut results = Vec::new();
+    let mut g = c.benchmark_group("sweep_prefix");
+    g.sample_size(samples.max(2));
+    for case in cases() {
+        let opts = SweepOptions::new().metrics_only(true);
+        let unshared = SweepRunner::with_options(jobs, opts.clone());
+        let shared = SweepRunner::with_options(jobs, opts.prefix_share(true));
+
+        g.bench_function(format!("{}_shared", case.name), |b| {
+            b.iter(|| criterion::black_box(shared.run(&case.matrix).unwrap()))
+        });
+
+        let unshared_ms = median_ms(samples, || {
+            criterion::black_box(unshared.run(&case.matrix).unwrap());
+        });
+        let shared_ms = median_ms(samples, || {
+            criterion::black_box(shared.run(&case.matrix).unwrap());
+        });
+
+        // Byte-parity drift guard: a faster sweep that changed any report
+        // byte would be measuring a different experiment.
+        let a = unshared.run(&case.matrix).expect("unshared sweep");
+        let b = shared.run(&case.matrix).expect("shared sweep");
+        assert_eq!(
+            Report::from_results(&a).to_csv(),
+            Report::from_results(&b).to_csv(),
+            "{}: shared report CSV drifted from unshared",
+            case.name
+        );
+        assert!(b.prefix_groups >= 1, "{}: nothing shared", case.name);
+        assert_eq!(
+            b.prefix_forks, case.cells,
+            "{}: not all cells forked",
+            case.name
+        );
+
+        results.push(CaseResult {
+            name: case.name.to_string(),
+            cells: case.cells,
+            shared_prefixes: b.prefix_groups,
+            forks: b.prefix_forks,
+            jobs,
+            samples,
+            unshared_median_ms: unshared_ms,
+            shared_median_ms: shared_ms,
+            speedup: unshared_ms / shared_ms.max(1e-9),
+        });
+    }
+    g.finish();
+
+    let report = BenchReport {
+        bench: "sweep_prefix".to_string(),
+        cases: results,
+    };
+    for r in &report.cases {
+        println!(
+            "sweep_prefix/{:<18} unshared {:>8.2} ms  shared {:>8.2} ms  speedup {:>5.2}x  ({} prefixes -> {} forks)",
+            r.name, r.unshared_median_ms, r.shared_median_ms, r.speedup, r.shared_prefixes, r.forks
+        );
+    }
+    // Default to the workspace root so the committed baseline refreshes
+    // in place regardless of cargo's bench working directory.
+    let path = std::env::var("SRAPS_BENCH_SWEEP_PREFIX_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep_prefix.json").to_string()
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_sweep_prefix.json");
+    println!("sweep_prefix: baseline written to {path}");
+}
+
+criterion_group!(sweep_prefix, bench_sweep_prefix);
+criterion_main!(sweep_prefix);

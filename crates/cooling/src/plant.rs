@@ -60,6 +60,14 @@ impl CoolingPlant {
         self.loop_temp_c
     }
 
+    /// Overwrite the integrated loop temperature. The loop temperature is
+    /// the plant's *only* mutable state (spec, CDU and tower are rebuilt
+    /// from the [`CoolingSpec`]), so restoring it from an engine snapshot
+    /// resumes the transient bit-identically.
+    pub fn set_loop_temp_c(&mut self, temp_c: f64) {
+        self.loop_temp_c = temp_c;
+    }
+
     /// Advance the plant one tick at the system's design ambient.
     ///
     /// * `dt` — engine tick;

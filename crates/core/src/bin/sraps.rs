@@ -24,7 +24,7 @@
 //! only simulates the cells that changed; `--metrics-only` bounds sweep
 //! memory for very large matrices.
 
-use sraps_core::{Engine, EngineMode, SchedulerSelect, SimConfig, SimOutput};
+use sraps_core::{Engine, EngineMode, EngineSnapshot, SchedulerSelect, SimConfig, SimOutput};
 use sraps_data::{scenario, Dataset, WorkloadSpec};
 use sraps_systems::SystemConfig;
 use sraps_types::{time::parse_duration, SimDuration, SimTime};
@@ -52,6 +52,9 @@ struct CliArgs {
     out_dir: Option<PathBuf>,
     profile: bool,
     trace_out: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_at: Option<SimDuration>,
+    resume: Option<PathBuf>,
 }
 
 impl Default for CliArgs {
@@ -76,6 +79,9 @@ impl Default for CliArgs {
             out_dir: None,
             profile: false,
             trace_out: None,
+            checkpoint: None,
+            checkpoint_at: None,
+            resume: None,
         }
     }
 }
@@ -111,6 +117,13 @@ options:
                          write profile.json into the output directory
   --trace-out PATH       write a chrome-trace (Perfetto-loadable) JSON of
                          every instrumented span to PATH
+  --checkpoint PATH      pause at --checkpoint-at, write an engine snapshot
+                         (JSON) to PATH, and exit without simulating further
+  --checkpoint-at DUR    offset into the window at which to checkpoint
+                         (required by --checkpoint, tick-boundary-aligned)
+  --resume PATH          restore a --checkpoint snapshot and continue; with
+                         the same flags the finished run is byte-identical
+                         to one that never paused
   -h, --help             this help
 ";
 
@@ -178,6 +191,13 @@ fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
             "-o" | "--output" => a.out_dir = Some(PathBuf::from(value(&mut i, "--output")?)),
             "--profile" => a.profile = true,
             "--trace-out" => a.trace_out = Some(PathBuf::from(value(&mut i, "--trace-out")?)),
+            "--checkpoint" => a.checkpoint = Some(PathBuf::from(value(&mut i, "--checkpoint")?)),
+            "--checkpoint-at" => {
+                let v = value(&mut i, "--checkpoint-at")?;
+                a.checkpoint_at =
+                    Some(parse_duration(&v).ok_or_else(|| format!("bad --checkpoint-at '{v}'"))?);
+            }
+            "--resume" => a.resume = Some(PathBuf::from(value(&mut i, "--resume")?)),
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
@@ -185,6 +205,9 @@ fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
     }
     if a.system.is_none() && a.scenario.is_none() {
         return Err(format!("need --system or --scenario\n\n{USAGE}"));
+    }
+    if a.checkpoint.is_some() != a.checkpoint_at.is_some() {
+        return Err("--checkpoint and --checkpoint-at must be given together".into());
     }
     Ok(a)
 }
@@ -282,10 +305,39 @@ fn run(a: CliArgs) -> Result<(), String> {
     // Instrumentation is process-global; flip it on for exactly this run.
     sraps_obs::set_profile(a.profile);
     sraps_obs::set_trace(a.trace_out.is_some());
-    let out = Engine::new(sim, &dataset)
-        .map_err(|e| e.to_string())?
-        .run()
-        .map_err(|e| e.to_string())?;
+    let mut engine = match &a.resume {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read snapshot {}: {e}", path.display()))?;
+            let snap: EngineSnapshot = serde_json::from_str(&text)
+                .map_err(|e| format!("parse snapshot {}: {e}", path.display()))?;
+            Engine::builder(sim)
+                .resume(&snap)
+                .build(&dataset)
+                .map_err(|e| e.to_string())?
+        }
+        None => Engine::new(sim, &dataset).map_err(|e| e.to_string())?,
+    };
+    if let (Some(path), Some(at)) = (&a.checkpoint, a.checkpoint_at) {
+        // Pause at the tick boundary, persist, and stop: the snapshot is
+        // the run's artifact (resume it with --resume to finish).
+        let result = (|| -> Result<(), String> {
+            engine
+                .run_until(engine.sim_start() + at)
+                .map_err(|e| e.to_string())?;
+            let snap = engine.snapshot().map_err(|e| e.to_string())?;
+            let json = serde_json::to_string(&snap).map_err(|e| e.to_string())?;
+            std::fs::write(path, json)
+                .map_err(|e| format!("write snapshot {}: {e}", path.display()))?;
+            Ok(())
+        })();
+        sraps_obs::set_profile(false);
+        sraps_obs::set_trace(false);
+        result?;
+        println!("checkpoint written to {}", path.display());
+        return Ok(());
+    }
+    let out = engine.run().map_err(|e| e.to_string())?;
     sraps_obs::set_profile(false);
     sraps_obs::set_trace(false);
     if let Some(path) = &a.trace_out {
@@ -446,6 +498,31 @@ mod tests {
         assert!(a.profile);
         assert_eq!(a.trace_out, Some(PathBuf::from("/tmp/t.json")));
         assert!(parse(&["--system", "adastra", "--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_pair_up() {
+        let a = parse(&[
+            "--system",
+            "adastra",
+            "--checkpoint",
+            "/tmp/s.json",
+            "--checkpoint-at",
+            "30m",
+        ])
+        .unwrap();
+        assert_eq!(a.checkpoint, Some(PathBuf::from("/tmp/s.json")));
+        assert_eq!(a.checkpoint_at, Some(SimDuration::minutes(30)));
+
+        let a = parse(&["--system", "adastra", "--resume", "/tmp/s.json"]).unwrap();
+        assert_eq!(a.resume, Some(PathBuf::from("/tmp/s.json")));
+
+        // Either half of the checkpoint pair alone is a usage error.
+        let e = parse(&["--system", "adastra", "--checkpoint", "/tmp/s.json"]).unwrap_err();
+        assert!(e.contains("--checkpoint-at"));
+        let e = parse(&["--system", "adastra", "--checkpoint-at", "30m"]).unwrap_err();
+        assert!(e.contains("--checkpoint"));
+        assert!(parse(&["--system", "adastra", "--checkpoint-at", "soon"]).is_err());
     }
 
     #[test]

@@ -26,7 +26,9 @@
 //! without an event hint) still force one-tick stepping.
 
 use crate::config::{EngineMode, SchedulerSelect, SimConfig};
+use crate::fingerprint::ENGINE_SCHEMA_VERSION;
 use crate::output::SimOutput;
+use crate::snapshot::{ActiveSnapshot, EngineSnapshot};
 use sraps_acct::{Accounts, JobOutcome, SystemStats};
 use sraps_cooling::CoolingPlant;
 use sraps_data::Dataset;
@@ -42,7 +44,7 @@ use sraps_types::{
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// How a job's telemetry drives the physics step.
 #[derive(Debug, Clone, Copy)]
@@ -268,10 +270,22 @@ impl SchedSkip {
     }
 }
 
-/// The simulation engine. Create with [`Engine::new`], run with
-/// [`Engine::run`].
+/// The simulation engine. Create with [`Engine::builder`] (or the
+/// [`Engine::new`] shorthand), run with [`Engine::run`] — or drive it
+/// incrementally with [`Engine::run_until`], capture the full state with
+/// [`Engine::snapshot`], and continue a capture via
+/// [`EngineBuilder::resume`] or [`Engine::fork`].
 pub struct Engine {
     sim: SimConfig,
+    /// Loop cursor: the next tick instant to visit.
+    now: SimTime,
+    /// Loop cursor: tick instants left to visit before `sim_end`.
+    remaining: i64,
+    /// Ticks of the current decided span whose physics has not advanced
+    /// yet — control (steps 1–3) already ran for them. Non-zero between
+    /// a control step and the completion of its physics span, i.e. when
+    /// [`Engine::run_until`] or a batched chunk cut the span short.
+    span_left: i64,
     scheduler: Box<dyn SchedulerBackend>,
     rm: ResourceManager,
     queue: JobQueue,
@@ -348,6 +362,11 @@ pub struct SimWindow {
     /// candidates; allocation is per-engine state and stays in
     /// [`Engine::with_window`].
     prepop: Vec<usize>,
+    /// Per-job mean-power estimates (kW), the power-cap scheduler's
+    /// input (§5). A pure fold over the jobs' telemetry traces, so it is
+    /// computed once per window and shared: a forked power-cap scan
+    /// builds many capped engines over one window.
+    power_estimates: OnceLock<HashMap<JobId, f64>>,
 }
 
 impl SimWindow {
@@ -386,6 +405,26 @@ impl SimWindow {
             job_index: Arc::new(job_index),
             pending: Arc::new(pending),
             prepop,
+            power_estimates: OnceLock::new(),
+        })
+    }
+
+    /// Per-job power estimates: what a site would have from user
+    /// estimates or fingerprinting (§5). Lazy — uncapped windows never
+    /// pay for it — and memoized across every engine on this window.
+    fn power_estimates(&self) -> &HashMap<JobId, f64> {
+        self.power_estimates.get_or_init(|| {
+            self.jobs
+                .iter()
+                .map(|j| {
+                    let node_kw = j
+                        .telemetry
+                        .node_power_w
+                        .as_ref()
+                        .map_or(0.0, |t| t.mean() as f64 / 1000.0);
+                    (j.id, node_kw * j.nodes_requested as f64)
+                })
+                .collect()
         })
     }
 }
@@ -395,10 +434,20 @@ impl Engine {
     /// jobs, build the scheduler, and prepopulate jobs already running at
     /// the window start — "this allows us to represent the actual system
     /// condition as observed in the telemetry at start of the simulation".
+    ///
+    /// Shorthand for `Engine::builder(sim).build(dataset)`.
     pub fn new(sim: SimConfig, dataset: &Dataset) -> Result<Engine> {
-        sim.validate()?;
-        let window = SimWindow::new(&sim, dataset)?;
-        Engine::with_window(sim, &window)
+        Engine::builder(sim).build(dataset)
+    }
+
+    /// Start building an engine. [`EngineBuilder`] is the single
+    /// construction front: fresh engines, shared-window engines, and
+    /// engines resumed from an [`EngineSnapshot`] all go through it.
+    pub fn builder(sim: SimConfig) -> EngineBuilder<'static> {
+        EngineBuilder {
+            sim,
+            snapshot: None,
+        }
     }
 
     /// Like [`Engine::new`], but over a prebuilt [`SimWindow`] shared
@@ -406,6 +455,42 @@ impl Engine {
     /// prepopulation allocations, histories) is still built here; only
     /// the immutable job set is shared.
     pub fn with_window(sim: SimConfig, window: &SimWindow) -> Result<Engine> {
+        let mut engine = Engine::bare(sim, window)?;
+        for &idx in &window.prepop {
+            let job = &engine.jobs[idx];
+            // Prepopulation: the job was mid-run when the window opens.
+            let nodes = match &job.recorded_nodes {
+                Some(set) if engine.rm.allocate_exact(set).is_ok() => set.clone(),
+                _ => match engine.rm.allocate(job.nodes_requested) {
+                    Ok(set) => set,
+                    // An infeasible trace would land here; skip the job
+                    // rather than corrupting occupancy (it stays in the
+                    // shared job set but is never queued or activated).
+                    Err(_) => continue,
+                },
+            };
+            let est_end = (job.recorded_start + job.estimate())
+                .max(engine.sim_start + engine.sim.system.tick);
+            let a = Active::new(
+                job.id,
+                idx,
+                nodes,
+                engine.sim_start,
+                job.recorded_end,
+                est_end,
+                engine.sim_start - job.recorded_start,
+            );
+            engine.activate(a);
+        }
+        Ok(engine)
+    }
+
+    /// The state-free part of construction shared by fresh starts and
+    /// snapshot restores: everything derivable from the config and the
+    /// window — scheduler, physical models, outage edges, reserved
+    /// histories — with an idle machine and the cursor at the window
+    /// start. No prepopulation, no activation.
+    fn bare(sim: SimConfig, window: &SimWindow) -> Result<Engine> {
         sim.validate()?;
         let sim_start = sim.sim_start.unwrap_or(window.sim_start);
         let sim_end = sim.sim_end.unwrap_or(window.sim_end);
@@ -415,35 +500,8 @@ impl Engine {
                 window.sim_start, window.sim_end
             )));
         }
-        let scheduler = Self::build_scheduler(&sim, &window.jobs)?;
-
-        let mut rm = ResourceManager::new(sim.system.total_nodes);
-        let mut prepopulated = Vec::new();
-        for &idx in &window.prepop {
-            let job = &window.jobs[idx];
-            // Prepopulation: the job was mid-run when the window opens.
-            let nodes = match &job.recorded_nodes {
-                Some(set) if rm.allocate_exact(set).is_ok() => set.clone(),
-                _ => match rm.allocate(job.nodes_requested) {
-                    Ok(set) => set,
-                    // An infeasible trace would land here; skip the job
-                    // rather than corrupting occupancy (it stays in the
-                    // shared job set but is never queued or activated).
-                    Err(_) => continue,
-                },
-            };
-            let est_end = (job.recorded_start + job.estimate()).max(sim_start + sim.system.tick);
-            prepopulated.push(Active::new(
-                job.id,
-                idx,
-                nodes,
-                sim_start,
-                job.recorded_end,
-                est_end,
-                sim_start - job.recorded_start,
-            ));
-        }
-
+        let scheduler = Self::build_scheduler(&sim, window)?;
+        let rm = ResourceManager::new(sim.system.total_nodes);
         let power_model = PowerModel::new(&sim.system);
         let cooling = sim.cooling.then(|| CoolingPlant::new(&sim.system.cooling));
         let accounts = sim
@@ -458,6 +516,9 @@ impl Engine {
         let mut engine = Engine {
             scheduler,
             rm,
+            now: sim_start,
+            remaining: 0,
+            span_left: 0,
             queue: JobQueue::new(),
             jobs: Arc::clone(&window.jobs),
             job_index: Arc::clone(&window.job_index),
@@ -489,10 +550,8 @@ impl Engine {
             sim,
         };
         // Histories have a known final length: one sample per tick.
-        let total_ticks = {
-            let dt = engine.sim.system.tick.as_secs();
-            (((sim_end - sim_start).as_secs() + dt - 1) / dt) as usize
-        };
+        engine.remaining = engine.ticks_total();
+        let total_ticks = engine.remaining as usize;
         engine.times.reserve_exact(total_ticks);
         engine.power_hist.reserve_exact(total_ticks);
         engine.util_hist.reserve_exact(total_ticks);
@@ -501,13 +560,11 @@ impl Engine {
         if engine.cooling.is_some() {
             engine.cooling_hist.reserve_exact(total_ticks);
         }
-        for a in prepopulated {
-            engine.activate(a);
-        }
         Ok(engine)
     }
 
-    fn build_scheduler(sim: &SimConfig, jobs: &[Job]) -> Result<Box<dyn SchedulerBackend>> {
+    fn build_scheduler(sim: &SimConfig, window: &SimWindow) -> Result<Box<dyn SchedulerBackend>> {
+        let jobs: &[Job] = &window.jobs;
         let tick = sim.system.tick;
         // Duration oracle for external emulators: ground-truth runtimes.
         // Deferred to the external branches — the builtin scheduler never
@@ -521,24 +578,11 @@ impl Engine {
             SchedulerSelect::Default => {
                 let builtin = BuiltinScheduler::new(sim.policy, sim.backfill);
                 match sim.power_cap_kw {
-                    Some(cap_kw) => {
-                        // Per-job power estimates: what a site would have
-                        // from user estimates or fingerprinting (§5).
-                        let estimates: HashMap<JobId, f64> = jobs
-                            .iter()
-                            .map(|j| {
-                                let node_kw = j
-                                    .telemetry
-                                    .node_power_w
-                                    .as_ref()
-                                    .map_or(0.0, |t| t.mean() as f64 / 1000.0);
-                                (j.id, node_kw * j.nodes_requested as f64)
-                            })
-                            .collect();
-                        Box::new(sraps_sched::PowerCapScheduler::new(
-                            builtin, cap_kw, estimates,
-                        ))
-                    }
+                    Some(cap_kw) => Box::new(sraps_sched::PowerCapScheduler::new(
+                        builtin,
+                        cap_kw,
+                        window.power_estimates().clone(),
+                    )),
                     None => Box::new(builtin),
                 }
             }
@@ -569,6 +613,14 @@ impl Engine {
     fn activate(&mut self, mut a: Active) {
         self.scheduler
             .on_job_started(a.est_end, a.nodes.len() as u32);
+        self.classify(&mut a);
+        self.attach(a);
+    }
+
+    /// Set the job's physics profile from its telemetry — a pure function
+    /// of the job and its offset, so restore re-derives it instead of
+    /// serializing floats twice.
+    fn classify(&self, a: &mut Active) {
         let tel = &self.jobs[a.job].telemetry;
         if is_constant(&tel.node_power_w)
             && is_constant(&tel.cpu_util)
@@ -584,6 +636,15 @@ impl Engine {
             };
         } else {
             a.profile = Profile::Traced;
+        }
+    }
+
+    /// Index a classified [`Active`] into every engine-side structure.
+    /// Restore uses this directly: the scheduler's own record of the job
+    /// is already inside its snapshotted state, so no
+    /// [`SchedulerBackend::on_job_started`] call happens here.
+    fn attach(&mut self, a: Active) {
+        if let Profile::Traced = a.profile {
             self.traced_active += 1;
         }
         self.completions.push(Reverse((a.actual_end, a.id)));
@@ -1143,33 +1204,244 @@ impl Engine {
         Ok(span)
     }
 
-    /// Run to the end of the window and assemble the output.
+    /// Run to the end of the window and assemble the output. Works both
+    /// on fresh engines and on engines resumed mid-run (the cursor picks
+    /// up wherever the last [`Engine::run_until`] or snapshot left it).
     pub fn run(mut self) -> Result<SimOutput> {
         // The one timing pathway: the stopwatch always measures (its value
         // is `SimOutput::wall_time`); the capture snapshots the thread's
         // obs accumulators so the output carries this run's profile delta.
         let run_capture = sraps_obs::capture();
         let run_watch = sraps_obs::stopwatch(ObsPhase::EngineRun);
+        self.run_until(self.sim_end)?;
+        let now = self.now;
+        self.assemble(now, move || (run_watch.finish(), run_capture.finish()))
+    }
+
+    /// Window start of this engine's run.
+    pub fn sim_start(&self) -> SimTime {
+        self.sim_start
+    }
+
+    /// The engine's current instant — a tick boundary, advanced by
+    /// [`Engine::run_until`] (the window start on a fresh engine).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the simulation up to the first tick boundary at or past
+    /// `until` (bounded by the window end), then pause. The engine stays
+    /// usable: call again with a later target, [`Engine::snapshot`] the
+    /// state, or hand the engine to [`Engine::run`] to finish.
+    ///
+    /// Pausing is invisible to the results: physics spans integrate tick
+    /// by tick in tick order no matter how they are cut (the discipline
+    /// the batch-parity suite pins), and a span cut mid-way is remembered
+    /// in the cursor so control is not re-run at resume.
+    pub fn run_until(&mut self, until: SimTime) -> Result<()> {
         let dt_secs = self.sim.system.tick.as_secs();
         let event_mode = self.sim.engine == EngineMode::Event;
         // The loop visits tick instants sim_start + k·dt strictly before
-        // sim_end; track the remaining count instead of re-dividing.
-        let mut remaining = self.ticks_total();
-        let mut now = self.sim_start;
-        while remaining > 0 {
-            let span = self.step_control(now, remaining)?;
+        // sim_end; `remaining` tracks the count instead of re-dividing.
+        while self.remaining > 0 && self.now < until {
+            if self.span_left == 0 {
+                self.span_left = self.step_control(self.now, self.remaining)?;
+            }
+            // Ceiling-align the target to the tick grid so an unaligned
+            // `until` cannot produce a zero-tick chunk and stall.
+            let want = (((until - self.now).as_secs() + dt_secs - 1) / dt_secs).max(1);
+            let chunk = if event_mode {
+                self.span_left.min(want)
+            } else {
+                1
+            };
             {
                 let _s = sraps_obs::span(ObsPhase::EnginePhysics);
                 if event_mode {
-                    self.advance_physics(now, span as usize);
+                    self.advance_physics(self.now, chunk as usize);
                 } else {
-                    self.tick_physics(now);
+                    self.tick_physics(self.now);
                 }
             }
-            now += SimDuration::seconds(dt_secs * span);
-            remaining -= span;
+            self.now += SimDuration::seconds(dt_secs * chunk);
+            self.remaining -= chunk;
+            self.span_left -= chunk;
         }
-        self.assemble(now, move || (run_watch.finish(), run_capture.finish()))
+        Ok(())
+    }
+
+    /// Capture the engine's full mid-run state at the current tick
+    /// boundary. Fails when the scheduler backend cannot serialize its
+    /// state ([`SchedulerBackend::snapshot_state`]).
+    pub fn snapshot(&self) -> Result<EngineSnapshot> {
+        Ok(EngineSnapshot {
+            schema: ENGINE_SCHEMA_VERSION,
+            jobs_len: self.jobs.len(),
+            now: self.now,
+            remaining: self.remaining,
+            span_left: self.span_left,
+            next_pending: self.next_pending,
+            active: self
+                .active
+                .iter()
+                .map(|a| ActiveSnapshot {
+                    id: a.id,
+                    job: a.job,
+                    nodes: a.nodes.clone(),
+                    start: a.start,
+                    actual_end: a.actual_end,
+                    est_end: a.est_end,
+                    telemetry_offset: a.telemetry_offset,
+                    energy_kwh: a.energy_kwh,
+                    node_power_sum_kw: a.node_power_sum_kw,
+                    cpu_util_sum: a.cpu_util_sum,
+                    gpu_util_sum: a.gpu_util_sum,
+                    ticks: a.ticks,
+                })
+                .collect(),
+            queue: self.queue.clone(),
+            rm: self.rm.clone(),
+            scheduler: self.scheduler.snapshot_state()?,
+            outage_active: self.outage_active.clone(),
+            outage_cursor: self.outage_cursor,
+            outcomes: self.outcomes.clone(),
+            accounts: self.accounts.clone(),
+            power_hist: self.power_hist.clone(),
+            cooling_hist: self.cooling_hist.clone(),
+            util_hist: self.util_hist.clone(),
+            queue_hist: self.queue_hist.clone(),
+            queue_demand_hist: self.queue_demand_hist.clone(),
+            cooling_loop_temp_c: self.cooling.as_ref().map(|p| p.loop_temp_c()),
+        })
+    }
+
+    /// Fork this engine at its current instant under a (possibly
+    /// different) configuration, sharing the immutable window. The
+    /// original engine is untouched; the fork continues from here.
+    ///
+    /// With the same config the fork finishes bit-identically to the
+    /// original. Late-binding changes — a power cap applied or removed, a
+    /// policy switch — take effect from the forked instant on: scheduler
+    /// state round-trips across compatible backend variants, and the
+    /// queue re-sorts under the new policy exactly once.
+    pub fn fork(&self, sim: SimConfig) -> Result<Engine> {
+        let snap = self.snapshot()?;
+        self.resume_with(sim, &snap)
+    }
+
+    /// Rebuild an engine over this engine's shared window from `snap`
+    /// under `sim`. Like [`Engine::fork`] but reusing a snapshot already
+    /// taken — the prefix-sharing sweep forks K branches from one capture.
+    pub fn resume_with(&self, sim: SimConfig, snap: &EngineSnapshot) -> Result<Engine> {
+        let window = SimWindow {
+            sim_start: self.sim_start,
+            sim_end: self.sim_end,
+            jobs: Arc::clone(&self.jobs),
+            job_index: Arc::clone(&self.job_index),
+            pending: Arc::clone(&self.pending),
+            prepop: Vec::new(),
+            power_estimates: OnceLock::new(),
+        };
+        let mut engine = Engine::bare(sim, &window)?;
+        engine.apply_snapshot(snap)?;
+        Ok(engine)
+    }
+
+    /// Overwrite a [`Engine::bare`] engine's state with a snapshot's.
+    /// Validates the schema, the window job set, and the config before
+    /// touching anything, so a stale or mismatched snapshot is an
+    /// [`SrapsError::Snapshot`] rather than a wrong resume.
+    fn apply_snapshot(&mut self, snap: &EngineSnapshot) -> Result<()> {
+        if snap.schema != ENGINE_SCHEMA_VERSION {
+            return Err(SrapsError::Snapshot(format!(
+                "snapshot schema v{} does not match engine schema v{ENGINE_SCHEMA_VERSION}",
+                snap.schema
+            )));
+        }
+        if snap.jobs_len != self.jobs.len() {
+            return Err(SrapsError::Snapshot(format!(
+                "snapshot covers {} jobs, window has {}",
+                snap.jobs_len,
+                self.jobs.len()
+            )));
+        }
+        if snap.rm.total_nodes() != self.sim.system.total_nodes {
+            return Err(SrapsError::Snapshot(format!(
+                "snapshot machine has {} nodes, config has {}",
+                snap.rm.total_nodes(),
+                self.sim.system.total_nodes
+            )));
+        }
+        if snap.outage_active.len() != self.sim.outages.len() {
+            return Err(SrapsError::Snapshot(format!(
+                "snapshot tracks {} outages, config has {}",
+                snap.outage_active.len(),
+                self.sim.outages.len()
+            )));
+        }
+        if snap.cooling_loop_temp_c.is_some() != self.cooling.is_some() {
+            return Err(SrapsError::Snapshot(
+                "snapshot and config disagree on cooling".into(),
+            ));
+        }
+        if snap.next_pending > self.pending.len() {
+            return Err(SrapsError::Snapshot(format!(
+                "snapshot pending cursor {} out of range ({} pending jobs)",
+                snap.next_pending,
+                self.pending.len()
+            )));
+        }
+        for a in &snap.active {
+            if self.jobs.get(a.job).map(|j| j.id) != Some(a.id) {
+                return Err(SrapsError::Snapshot(format!(
+                    "snapshot active job {} does not match window index {}",
+                    a.id, a.job
+                )));
+            }
+        }
+        self.scheduler.restore_state(&snap.scheduler)?;
+
+        self.now = snap.now;
+        self.remaining = snap.remaining;
+        self.span_left = snap.span_left;
+        self.next_pending = snap.next_pending;
+        self.queue = snap.queue.clone();
+        self.rm = snap.rm.clone();
+        self.outage_active.clone_from(&snap.outage_active);
+        self.outage_cursor = snap.outage_cursor.min(self.outage_edges.len());
+        self.outcomes = snap.outcomes.clone();
+        self.accounts = snap.accounts.clone();
+        self.power_hist = snap.power_hist.clone();
+        self.cooling_hist = snap.cooling_hist.clone();
+        self.util_hist = snap.util_hist.clone();
+        self.queue_hist = snap.queue_hist.clone();
+        self.queue_demand_hist = snap.queue_demand_hist.clone();
+        if let (Some(plant), Some(temp)) = (&mut self.cooling, snap.cooling_loop_temp_c) {
+            plant.set_loop_temp_c(temp);
+        }
+        // Rebuild the derived structures: profiles reclassify from the
+        // telemetry (deterministic), the completion heap's pop order is
+        // fully determined by its total element order no matter the
+        // insertion sequence, and the running views mirror `active`.
+        for s in &snap.active {
+            let mut a = Active::new(
+                s.id,
+                s.job,
+                s.nodes.clone(),
+                s.start,
+                s.actual_end,
+                s.est_end,
+                s.telemetry_offset,
+            );
+            a.energy_kwh = s.energy_kwh;
+            a.node_power_sum_kw = s.node_power_sum_kw;
+            a.cpu_util_sum = s.cpu_util_sum;
+            a.gpu_util_sum = s.gpu_util_sum;
+            a.ticks = s.ticks;
+            self.classify(&mut a);
+            self.attach(a);
+        }
+        Ok(())
     }
 
     /// Post-loop assembly shared by [`Engine::run`] and
@@ -1251,15 +1523,49 @@ impl Engine {
     }
 }
 
-/// One simulation inside a [`BatchedEngine`]: its engine plus the loop
-/// cursor [`Engine::run`] would otherwise keep on the stack.
-struct BatchLane {
-    engine: Engine,
-    now: SimTime,
-    /// Tick instants left to visit.
-    remaining: i64,
-    /// Ticks of the lane's current decided span not yet advanced.
-    span_left: i64,
+/// Builder for [`Engine`]: the single construction front unifying fresh
+/// starts, shared-window construction, and snapshot resumes.
+///
+/// ```ignore
+/// let engine = Engine::builder(sim).build(&dataset)?;            // fresh
+/// let engine = Engine::builder(sim).resume(&snap).build(&ds)?;   // resumed
+/// let engine = Engine::builder(sim).build_in_window(&window)?;   // shared
+/// ```
+pub struct EngineBuilder<'a> {
+    sim: SimConfig,
+    snapshot: Option<&'a EngineSnapshot>,
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// Continue from a previously captured [`EngineSnapshot`] instead of
+    /// starting fresh. The snapshot must come from an engine over the
+    /// same dataset window; the config may differ in late-binding axes
+    /// (power cap, policy) — see [`Engine::fork`].
+    pub fn resume<'b>(self, snap: &'b EngineSnapshot) -> EngineBuilder<'b> {
+        EngineBuilder {
+            sim: self.sim,
+            snapshot: Some(snap),
+        }
+    }
+
+    /// Build over `dataset`, selecting the window from the config.
+    pub fn build(self, dataset: &Dataset) -> Result<Engine> {
+        self.sim.validate()?;
+        let window = SimWindow::new(&self.sim, dataset)?;
+        self.build_in_window(&window)
+    }
+
+    /// Build over a prebuilt [`SimWindow`] shared with other engines.
+    pub fn build_in_window(self, window: &SimWindow) -> Result<Engine> {
+        match self.snapshot {
+            None => Engine::with_window(self.sim, window),
+            Some(snap) => {
+                let mut engine = Engine::bare(self.sim, window)?;
+                engine.apply_snapshot(snap)?;
+                Ok(engine)
+            }
+        }
+    }
 }
 
 /// K independent simulations stepped together.
@@ -1280,7 +1586,7 @@ struct BatchLane {
 /// assembly) and carry no per-lane profile; the sweep runner captures
 /// one profile per lane group instead.
 pub struct BatchedEngine {
-    lanes: Vec<BatchLane>,
+    lanes: Vec<Engine>,
 }
 
 impl BatchedEngine {
@@ -1309,17 +1615,7 @@ impl BatchedEngine {
                 lane.sim.system.tick.as_secs(),
             )));
         }
-        Ok(BatchedEngine {
-            lanes: engines
-                .into_iter()
-                .map(|engine| BatchLane {
-                    now: engine.sim_start,
-                    remaining: engine.ticks_total(),
-                    span_left: 0,
-                    engine,
-                })
-                .collect(),
-        })
+        Ok(BatchedEngine { lanes: engines })
     }
 
     /// Lanes in this batch.
@@ -1342,7 +1638,7 @@ impl BatchedEngine {
                     continue;
                 }
                 if lane.span_left == 0 {
-                    lane.span_left = lane.engine.step_control(lane.now, lane.remaining)?;
+                    lane.span_left = lane.step_control(lane.now, lane.remaining)?;
                 }
                 chunk = chunk.min(lane.span_left);
             }
@@ -1355,13 +1651,13 @@ impl BatchedEngine {
                 if lane.remaining == 0 {
                     continue;
                 }
-                let dt_secs = lane.engine.sim.system.tick.as_secs();
-                if lane.engine.sim.engine == EngineMode::Event {
-                    lane.engine.advance_physics(lane.now, chunk as usize);
+                let dt_secs = lane.sim.system.tick.as_secs();
+                if lane.sim.engine == EngineMode::Event {
+                    lane.advance_physics(lane.now, chunk as usize);
                 } else {
                     // Tick-mode lanes decide span 1, so the chunk is 1
                     // whenever one is live; step exactly as `run` would.
-                    lane.engine.tick_physics(lane.now);
+                    lane.tick_physics(lane.now);
                 }
                 lane.now += SimDuration::seconds(dt_secs * chunk);
                 lane.remaining -= chunk;
@@ -1371,8 +1667,8 @@ impl BatchedEngine {
         self.lanes
             .into_iter()
             .map(|lane| {
-                lane.engine
-                    .assemble(lane.now, || (batch_start.elapsed(), None))
+                let now = lane.now;
+                lane.assemble(now, || (batch_start.elapsed(), None))
             })
             .collect()
     }
@@ -1713,6 +2009,88 @@ mod tests {
             mean_return(&hot_out),
             mean_return(&cool_out)
         );
+    }
+
+    #[test]
+    fn run_until_snapshot_restore_matches_uninterrupted() {
+        let (cfg, ds) = small_adastra();
+        let sim = || SimConfig::new(cfg.clone(), "fcfs", "easy").unwrap();
+        let baseline = Engine::new(sim(), &ds).unwrap().run().unwrap();
+
+        let mut paused = Engine::new(sim(), &ds).unwrap();
+        paused
+            .run_until(ds.capture_start + SimDuration::hours(2))
+            .unwrap();
+        let snap = paused.snapshot().unwrap();
+        let resumed = Engine::builder(sim())
+            .resume(&snap)
+            .build(&ds)
+            .unwrap()
+            .run()
+            .unwrap();
+
+        assert_eq!(baseline.times, resumed.times);
+        assert_eq!(baseline.outcomes, resumed.outcomes);
+        assert_eq!(baseline.utilization, resumed.utilization);
+        assert_eq!(baseline.queue_depth, resumed.queue_depth);
+        for (a, b) in baseline.power.iter().zip(&resumed.power) {
+            assert_eq!(a.total_kw, b.total_kw);
+            assert_eq!(a.loss_kw, b.loss_kw);
+        }
+        assert_eq!(baseline.sched_stats, resumed.sched_stats);
+    }
+
+    #[test]
+    fn fork_continues_and_late_cap_binds() {
+        let (cfg, ds) = small_adastra();
+        let base = SimConfig::new(cfg.clone(), "fcfs", "firstfit").unwrap();
+        let mut prefix = Engine::new(base.clone(), &ds).unwrap();
+        prefix
+            .run_until(ds.capture_start + SimDuration::hours(1))
+            .unwrap();
+
+        // Fork 1: same config — must finish identically to a straight run.
+        let same = prefix.fork(base.clone()).unwrap().run().unwrap();
+        let straight = Engine::new(base.clone(), &ds).unwrap().run().unwrap();
+        assert_eq!(straight.outcomes, same.outcomes);
+        for (a, b) in straight.power.iter().zip(&same.power) {
+            assert_eq!(a.total_kw, b.total_kw);
+        }
+
+        // Fork 2: a power cap binding from the forked instant on.
+        let idle_kw = cfg.idle_it_power_kw();
+        let peak_job_kw = straight
+            .power
+            .iter()
+            .map(|p| p.it_power_kw)
+            .fold(0.0, f64::max)
+            - idle_kw;
+        let capped_sim = SimConfig::new(cfg, "fcfs", "firstfit")
+            .unwrap()
+            .with_power_cap(peak_job_kw * 0.5);
+        let capped = prefix.fork(capped_sim).unwrap().run().unwrap();
+        // The shared prefix is bit-identical; afterwards the cap defers work.
+        assert_eq!(
+            straight.power[0].total_kw, capped.power[0].total_kw,
+            "prefix must be shared"
+        );
+        assert!(
+            capped.stats.avg_wait_secs() >= straight.stats.avg_wait_secs(),
+            "capping cannot reduce waits"
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_schema_is_rejected() {
+        let (cfg, ds) = small_adastra();
+        let sim = SimConfig::new(cfg.clone(), "fcfs", "easy").unwrap();
+        let mut e = Engine::new(sim.clone(), &ds).unwrap();
+        e.run_until(ds.capture_start + SimDuration::hours(1))
+            .unwrap();
+        let mut snap = e.snapshot().unwrap();
+        snap.schema += 1;
+        let err = Engine::builder(sim).resume(&snap).build(&ds).err();
+        assert!(matches!(err, Some(SrapsError::Snapshot(_))), "{err:?}");
     }
 
     #[test]

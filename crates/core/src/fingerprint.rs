@@ -39,7 +39,11 @@ use std::fmt;
 /// mathematical order, but f64 rounding ties can resolve differently)
 /// and power-capped runs now report effected placements instead of
 /// shadow proposals in their scheduler statistics.
-pub const ENGINE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: cell fingerprints gained the late-binding power-cap axis
+/// (`cap_at`), and engine snapshots became cache-addressable under the
+/// same version stamp.
+pub const ENGINE_SCHEMA_VERSION: u32 = 3;
 
 /// A finished 128-bit fingerprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -227,6 +231,6 @@ mod tests {
         // deliberately (it is what invalidates every on-disk cache).
         let mut fp = Fingerprinter::new();
         fp.write_str("golden");
-        assert_eq!(fp.finish().hex(), "7a0ac5c03f4b2cb2d11e2c8562bc6210");
+        assert_eq!(fp.finish().hex(), "23b4281528e93259c408f1ab7292c0f5");
     }
 }

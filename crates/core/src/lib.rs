@@ -41,10 +41,12 @@ pub mod config;
 pub mod engine;
 pub mod fingerprint;
 pub mod output;
+pub mod snapshot;
 pub mod validate;
 
 pub use config::{EngineMode, Outage, SchedulerSelect, SimConfig};
-pub use engine::{BatchedEngine, Engine, SimWindow};
+pub use engine::{BatchedEngine, Engine, EngineBuilder, SimWindow};
 pub use fingerprint::{Fingerprint, Fingerprinter, ENGINE_SCHEMA_VERSION};
 pub use output::SimOutput;
+pub use snapshot::{ActiveSnapshot, EngineSnapshot};
 pub use validate::{compare_power, compare_series, compare_utilization, SeriesAgreement};

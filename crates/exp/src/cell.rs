@@ -198,6 +198,11 @@ pub struct CellSpec {
     pub backfill: String,
     pub cooling: bool,
     pub power_cap_kw: Option<f64>,
+    /// When set (and the cell is capped), the cap binds only from
+    /// `sim_start + cap_at`: the runner simulates the uncapped prefix,
+    /// snapshots at the switch instant, and resumes under the cap. Cells
+    /// that differ only in `power_cap_kw` then share one prefix.
+    pub cap_at: Option<SimDuration>,
     pub scheduler: SchedulerSelect,
     /// Main-loop core for every run of the cell (tick vs event).
     pub engine: EngineMode,
@@ -223,6 +228,16 @@ impl CellSpec {
         fp.write_str(&self.backfill);
         fp.write_bool(self.cooling);
         fp.write_opt_f64(self.power_cap_kw);
+        // The effective late-cap switch: only a *capped* cell observes
+        // `cap_at`, so uncapped cells keep one key across `--cap-at`
+        // settings.
+        match self.late_cap() {
+            Some(at) => {
+                fp.write_u8(1);
+                fp.write_i64(at.as_secs());
+            }
+            None => fp.write_u8(0),
+        }
         fp.write_str(self.scheduler.name());
         fp.write_str(self.engine.name());
         match &self.accounts_in {
@@ -233,6 +248,37 @@ impl CellSpec {
             }
             None => fp.write_u8(0),
         }
+        fp.finish()
+    }
+
+    /// The cap-switch offset, when this cell actually defers a cap:
+    /// `Some` only if the cell is capped *and* a `cap_at` is set.
+    pub fn late_cap(&self) -> Option<SimDuration> {
+        match (self.power_cap_kw, self.cap_at) {
+            (Some(_), Some(at)) => Some(at),
+            _ => None,
+        }
+    }
+
+    /// The cell this cell's shared prefix simulates: the same spec with
+    /// the late-binding axes (the cap and its switch time) stripped.
+    pub fn prefix_spec(&self) -> CellSpec {
+        let mut prefix = self.clone();
+        prefix.power_cap_kw = None;
+        prefix.cap_at = None;
+        prefix
+    }
+
+    /// Cache key of the shared prefix run: the stripped spec's
+    /// fingerprint salted with the switch instant. Every cell whose
+    /// late-binding axes diverge only *after* `switch` maps to the same
+    /// prefix key, which is what makes prefix snapshots addressable in
+    /// the [`crate::CellCache`].
+    pub fn prefix_fingerprint(&self, workload_fp: Fingerprint, switch: SimDuration) -> Fingerprint {
+        let mut fp = Fingerprinter::new();
+        fp.write_str("prefix");
+        fp.write_fingerprint(self.prefix_spec().fingerprint(workload_fp));
+        fp.write_i64(switch.as_secs());
         fp.finish()
     }
 
@@ -301,6 +347,7 @@ mod tests {
             backfill: "easy".into(),
             cooling: true,
             power_cap_kw: None,
+            cap_at: None,
             scheduler: SchedulerSelect::Default,
             engine: EngineMode::default(),
             accounts_in: None,

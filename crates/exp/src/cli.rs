@@ -15,7 +15,7 @@
 use crate::cache::CellCache;
 use crate::matrix::ExperimentMatrix;
 use crate::report::Report;
-use crate::runner::SweepRunner;
+use crate::runner::{SweepOptions, SweepRunner};
 use sraps_core::EngineMode;
 use sraps_data::scenario;
 use sraps_types::time::parse_duration;
@@ -44,6 +44,9 @@ run shape:
   -c, --cooling          run the cooling model in every cell
   --power-caps KW,KW     facility power-cap axis; 'none' = uncapped
                          (e.g. --power-caps none,1200)
+  --cap-at DUR           defer every cell's power cap until DUR past the
+                         window start (uncapped cells unaffected); needs a
+                         non-'none' --power-caps value
   --engine E             event|tick main-loop core for every cell
                          (default event; both produce identical output)
 
@@ -55,6 +58,11 @@ execution & output:
                          caches stay bit-identical to the per-cell path
   --batch-max-lanes N    cap lanes per batched group (implies --batch;
                          default 32)
+  --prefix-share         simulate the shared pre---cap-at prefix once per
+                         group and fork one resumed engine per capped
+                         cell; bit-identical to the unshared sweep (with
+                         --cache the prefix snapshot is stored and reused
+                         across runs); requires --cap-at
   --baseline P-B         baseline cell kind for deltas (default: first cell)
   -o, --output DIR       report directory (default simulation_results/sweep)
   --write-histories      also write per-cell power/util CSVs
@@ -96,6 +104,10 @@ pub struct SweepArgs {
     pub scale: f64,
     pub cooling: bool,
     pub power_caps: Vec<Option<f64>>,
+    /// `--cap-at DUR`: defer every cell's cap until this offset.
+    pub cap_at: Option<SimDuration>,
+    /// `--prefix-share`: fork capped cells off one shared prefix run.
+    pub prefix_share: bool,
     pub engine: EngineMode,
     pub jobs: Option<usize>,
     /// `--batch`: lane-grouped multi-sim execution.
@@ -135,6 +147,8 @@ impl Default for SweepArgs {
             scale: 1.0,
             cooling: false,
             power_caps: vec![None],
+            cap_at: None,
+            prefix_share: false,
             engine: EngineMode::default(),
             jobs: None,
             batch: false,
@@ -247,6 +261,12 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
                     })
                     .collect::<Result<_, String>>()?;
             }
+            "--cap-at" => {
+                let v = value(&mut i, "--cap-at")?;
+                a.cap_at =
+                    Some(parse_duration(&v).ok_or_else(|| format!("bad --cap-at value '{v}'"))?);
+            }
+            "--prefix-share" => a.prefix_share = true,
             "--engine" => {
                 let v = value(&mut i, "--engine")?;
                 a.engine =
@@ -303,6 +323,16 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
         return Err(format!(
             "need exactly one of --system or --scenario\n\n{SWEEP_USAGE}"
         ));
+    }
+    if a.cap_at.is_some() && !a.power_caps.iter().any(Option::is_some) {
+        return Err("--cap-at needs at least one non-'none' --power-caps value".into());
+    }
+    if a.prefix_share && a.cap_at.is_none() {
+        return Err(
+            "--prefix-share needs --cap-at (there is no shared prefix without \
+             a late-binding axis)"
+                .into(),
+        );
     }
     Ok(a)
 }
@@ -365,6 +395,9 @@ pub fn build_matrix(a: &SweepArgs) -> Result<ExperimentMatrix, String> {
         matrix = matrix.with_cooling();
     }
     matrix = matrix.power_caps_kw(a.power_caps.clone()).engine(a.engine);
+    if let Some(at) = a.cap_at {
+        matrix = matrix.power_cap_at(at);
+    }
     Ok(matrix)
 }
 
@@ -384,24 +417,26 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
                 .into(),
         );
     }
-    let mut runner = match a.jobs {
-        Some(n) => SweepRunner::new(n),
-        None => SweepRunner::auto(),
-    }
-    .progress(!a.quiet)
-    .metrics_only(a.metrics_only)
-    .batched(a.batch);
+    let mut opts = SweepOptions::new()
+        .progress(!a.quiet)
+        .metrics_only(a.metrics_only)
+        .batch(a.batch)
+        .prefix_share(a.prefix_share);
     if let Some(lanes) = a.batch_max_lanes {
-        runner = runner.batch_max_lanes(lanes);
+        opts = opts.batch_max_lanes(lanes);
     }
     if let Some(dir) = &cache_dir {
-        runner = runner.cache_dir(dir);
+        opts = opts.cache_dir(dir);
         // With a cache in play, hits carry no in-memory output, so the
         // histories must come from (and therefore go to) the spill.
         if a.write_histories {
-            runner = runner.spill_histories(true);
+            opts = opts.spill_histories(true);
         }
     }
+    let runner = match a.jobs {
+        Some(n) => SweepRunner::with_options(n, opts),
+        None => SweepRunner::auto_with(opts),
+    };
 
     println!(
         "sweep: {} cells on {} threads{}",
@@ -457,6 +492,13 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
             results.cache_hits(),
             results.cache_misses(),
             dir.display()
+        );
+    }
+    if a.prefix_share {
+        // The CI snapshot-parity job greps this line.
+        println!(
+            "prefix: {} shared prefixes across {} cells",
+            results.prefix_groups, results.prefix_forks
         );
     }
     if a.profile {
@@ -620,6 +662,51 @@ mod tests {
 
         assert!(parse(&["--system", "lassen", "--batch-max-lanes", "0"]).is_err());
         assert!(parse(&["--system", "lassen", "--batch-max-lanes"]).is_err());
+    }
+
+    #[test]
+    fn cap_at_and_prefix_share_parse_with_validation() {
+        let a = parse(&[
+            "--system",
+            "lassen",
+            "--power-caps",
+            "none,1200",
+            "--cap-at",
+            "45m",
+            "--prefix-share",
+        ])
+        .unwrap();
+        assert_eq!(a.cap_at, Some(SimDuration::minutes(45)));
+        assert!(a.prefix_share);
+        let m = build_matrix(&a).unwrap();
+        assert_eq!(m.cell_count(), 2);
+
+        // --cap-at without any actual cap is meaningless.
+        let err = parse(&["--system", "lassen", "--cap-at", "45m"]).unwrap_err();
+        assert!(err.contains("non-'none' --power-caps"), "{err}");
+        let err = parse(&[
+            "--system",
+            "lassen",
+            "--power-caps",
+            "none",
+            "--cap-at",
+            "45m",
+        ])
+        .unwrap_err();
+        assert!(err.contains("non-'none' --power-caps"), "{err}");
+
+        // --prefix-share without --cap-at has nothing to share.
+        let err = parse(&[
+            "--system",
+            "lassen",
+            "--power-caps",
+            "1200",
+            "--prefix-share",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--prefix-share needs --cap-at"), "{err}");
+
+        assert!(parse(&["--system", "lassen", "--cap-at", "bogus"]).is_err());
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
 pub use matrix::{ExperimentMatrix, PrebuiltWorkload};
 pub use metrics::CellMetrics;
 pub use report::{Report, ReportRow};
-pub use runner::{CellResult, SweepResults, SweepRunner, DEFAULT_BATCH_MAX_LANES};
+pub use runner::{CellResult, SweepOptions, SweepResults, SweepRunner, DEFAULT_BATCH_MAX_LANES};

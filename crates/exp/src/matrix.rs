@@ -68,6 +68,10 @@ pub struct ExperimentMatrix {
     pairs: Option<Vec<(String, String)>>,
     cooling: Vec<bool>,
     power_caps_kw: Vec<Option<f64>>,
+    /// Cap-switch offset: capped cells bind their cap only from
+    /// `sim_start + cap_at` (the prefix before it is shared — see
+    /// [`crate::SweepOptions::prefix_share`]).
+    cap_at: Option<SimDuration>,
     scheduler: SchedulerSelect,
     /// Main-loop core for every cell (default: the hybrid event core).
     engine: EngineMode,
@@ -95,6 +99,7 @@ impl ExperimentMatrix {
             pairs: None,
             cooling: vec![false],
             power_caps_kw: vec![None],
+            cap_at: None,
             scheduler: SchedulerSelect::Default,
             engine: EngineMode::default(),
             accounts_in: None,
@@ -114,6 +119,7 @@ impl ExperimentMatrix {
             pairs: None,
             cooling: vec![false],
             power_caps_kw: vec![None],
+            cap_at: None,
             scheduler: SchedulerSelect::Default,
             engine: EngineMode::default(),
             accounts_in: None,
@@ -218,6 +224,15 @@ impl ExperimentMatrix {
     /// Facility power-cap axis (`None` = uncapped).
     pub fn power_caps_kw<I: IntoIterator<Item = Option<f64>>>(mut self, caps: I) -> Self {
         self.power_caps_kw = caps.into_iter().collect();
+        self
+    }
+
+    /// Defer every cell's power cap until `at` past the window start
+    /// (uncapped cells are unaffected). Cells that differ only in the
+    /// cap value then share their pre-switch prefix, which
+    /// [`crate::SweepOptions::prefix_share`] simulates once and forks.
+    pub fn power_cap_at(mut self, at: SimDuration) -> Self {
+        self.cap_at = Some(at);
         self
     }
 
@@ -332,6 +347,9 @@ impl ExperimentMatrix {
                                 // Shortest-roundtrip float: distinct caps
                                 // always yield distinct labels.
                                 label.push_str(&format!("+cap{kw}"));
+                                if let Some(at) = self.cap_at {
+                                    label.push_str(&format!("@{}s", at.as_secs()));
+                                }
                             }
                         }
                         cells.push(CellSpec {
@@ -342,6 +360,7 @@ impl ExperimentMatrix {
                             backfill: backfill.clone(),
                             cooling,
                             power_cap_kw: cap,
+                            cap_at: self.cap_at,
                             scheduler: self.scheduler.clone(),
                             engine: self.engine,
                             accounts_in: self.accounts_in.clone(),
@@ -523,6 +542,35 @@ mod tests {
         let keys: std::collections::HashSet<String> =
             cells.iter().map(|c| c.fingerprint(wfp).hex()).collect();
         assert_eq!(keys.len(), cells.len(), "cache keys collided");
+    }
+
+    #[test]
+    fn cap_at_salts_labels_and_keys_of_capped_cells_only() {
+        let base = ExperimentMatrix::synthetic(["lassen"])
+            .policies(["fcfs"])
+            .backfills(["easy"])
+            .power_caps_kw([None, Some(1200.0)]);
+        let late = base.clone().power_cap_at(SimDuration::minutes(30));
+        let (plans, plain) = base.expand().unwrap();
+        let (_, deferred) = late.expand().unwrap();
+        assert_eq!(deferred[0].label, "fcfs-easy");
+        assert_eq!(deferred[1].label, "fcfs-easy+cap1200@1800s");
+        assert_eq!(deferred[1].late_cap(), Some(SimDuration::minutes(30)));
+        assert_eq!(deferred[0].late_cap(), None, "uncapped cell has no switch");
+        let wfp = plans[0].fingerprint().unwrap();
+        // An uncapped cell keeps its cache key across `--cap-at` settings;
+        // a capped cell is salted by the switch instant.
+        assert_eq!(plain[0].fingerprint(wfp), deferred[0].fingerprint(wfp));
+        assert_ne!(plain[1].fingerprint(wfp), deferred[1].fingerprint(wfp));
+        // The shared prefix of a deferred-cap cell keys like its uncapped
+        // sibling's simulation prefix — cap stripped, switch salted in.
+        let pfp = deferred[1].prefix_fingerprint(wfp, SimDuration::minutes(30));
+        assert_eq!(
+            pfp,
+            deferred[0].prefix_fingerprint(wfp, SimDuration::minutes(30)),
+            "cells differing only in cap share one prefix key"
+        );
+        assert_ne!(pfp, deferred[0].fingerprint(wfp));
     }
 
     #[test]

@@ -31,9 +31,11 @@ use crate::cache::CellCache;
 use crate::cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
 use crate::matrix::ExperimentMatrix;
 use crate::metrics::CellMetrics;
-use sraps_core::{BatchedEngine, Engine, Fingerprint, SimOutput, SimWindow};
+use sraps_core::{
+    BatchedEngine, Engine, EngineSnapshot, Fingerprint, SimConfig, SimOutput, SimWindow,
+};
 use sraps_obs::{Counter, Phase as ObsPhase, Profile};
-use sraps_types::{Result, SrapsError};
+use sraps_types::{Result, SimDuration, SrapsError};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -107,6 +109,10 @@ pub struct SweepResults {
     /// Work items (workloads + cells) claimed off the shared cursor by
     /// *spawned* worker threads — 0 on the serial fast path.
     pub worker_steals: u64,
+    /// Shared-prefix groups formed when prefix sharing was enabled.
+    pub prefix_groups: usize,
+    /// Cells that ran as forks of a shared prefix.
+    pub prefix_forks: usize,
 }
 
 impl SweepResults {
@@ -178,97 +184,154 @@ impl SweepResults {
     }
 }
 
-/// Work-stealing sweep executor.
-#[derive(Debug, Clone)]
-pub struct SweepRunner {
-    jobs: usize,
-    progress: bool,
-    cache_dir: Option<PathBuf>,
-    metrics_only: bool,
-    spill_histories: bool,
-    batch: bool,
-    batch_max_lanes: usize,
-}
-
 /// Default lane cap for batched sweeps (`--batch-max-lanes`).
 pub const DEFAULT_BATCH_MAX_LANES: usize = 32;
 
-impl SweepRunner {
-    /// Run with exactly `jobs` worker threads (`0` ⇒ 1).
-    pub fn new(jobs: usize) -> Self {
-        SweepRunner {
-            jobs: jobs.max(1),
-            progress: false,
-            cache_dir: None,
-            metrics_only: false,
-            spill_histories: false,
-            batch: false,
-            batch_max_lanes: DEFAULT_BATCH_MAX_LANES,
-        }
-    }
-
-    /// Use every available core.
-    pub fn auto() -> Self {
-        Self::new(
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        )
-    }
-
+/// Everything a sweep can be configured with, in one builder-style
+/// bundle shared by [`SweepRunner`] and both CLI paths. Construct with
+/// [`SweepOptions::new`] (or `default()`), chain setters, hand to
+/// [`SweepRunner::with_options`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
     /// Print per-cell progress lines to stderr (CLI mode).
-    pub fn progress(mut self, on: bool) -> Self {
-        self.progress = on;
-        self
-    }
-
-    /// Memoize cells under `dir`: hits skip simulation, misses simulate
-    /// and write back atomically. Cached cells return no [`SimOutput`],
-    /// so enable this for metrics/report consumers, not figure replays.
-    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache_dir = Some(dir.into());
-        self
-    }
-
+    pub progress: bool,
+    /// Memoize cells under this directory: hits skip simulation, misses
+    /// simulate and write back atomically. Cached cells return no
+    /// [`SimOutput`], so enable for metrics/report consumers, not figure
+    /// replays.
+    pub cache_dir: Option<PathBuf>,
     /// Drop each [`SimOutput`] after folding it into [`CellMetrics`]:
     /// sweep memory becomes O(cells × metrics) instead of O(cells ×
     /// history length). Reports are unchanged (they are pure functions
     /// of the metrics).
-    pub fn metrics_only(mut self, on: bool) -> Self {
-        self.metrics_only = on;
-        self
-    }
-
+    pub metrics_only: bool,
     /// Spill each simulated cell's power/util history CSVs into the
-    /// cache directory (requires [`SweepRunner::cache_dir`]), and require
-    /// them on hits — how `--write-histories` survives metrics-only and
-    /// cached sweeps.
-    pub fn spill_histories(mut self, on: bool) -> Self {
-        self.spill_histories = on;
-        self
-    }
-
+    /// cache directory (requires `cache_dir`), and require them on hits
+    /// — how `--write-histories` survives metrics-only and cached
+    /// sweeps.
+    pub spill_histories: bool,
     /// Batched execution: group cache-missing cells of the same workload
     /// into lanes and drive each group through one [`BatchedEngine`],
     /// amortizing window construction and running step-4 physics as one
     /// pass per chunk. Output is bit-identical to the unbatched sweep
     /// (the engine's batch-parity suite pins it); only wall time and
     /// profile attribution change.
-    pub fn batched(mut self, on: bool) -> Self {
+    pub batch: bool,
+    /// Cap on lanes per batched group. Larger groups amortize more but
+    /// keep more simulations' histories live at once.
+    pub batch_max_lanes: usize,
+    /// Prefix sharing: cells that differ only in late-binding axes (a
+    /// power cap deferred by [`crate::ExperimentMatrix::power_cap_at`])
+    /// simulate their common pre-switch prefix once, snapshot it, and
+    /// fork one resumed engine per cell. With a cache directory the
+    /// prefix snapshot is also stored content-addressed
+    /// ([`crate::CellSpec::prefix_fingerprint`]), so later sweeps fork
+    /// without re-simulating the prefix at all. Output is bit-identical
+    /// to unshared runs: the unshared path executes the same
+    /// snapshot/restore sequence privately.
+    pub prefix_share: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            progress: false,
+            cache_dir: None,
+            metrics_only: false,
+            spill_histories: false,
+            batch: false,
+            batch_max_lanes: DEFAULT_BATCH_MAX_LANES,
+            prefix_share: false,
+        }
+    }
+}
+
+impl SweepOptions {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    pub fn metrics_only(mut self, on: bool) -> Self {
+        self.metrics_only = on;
+        self
+    }
+
+    pub fn spill_histories(mut self, on: bool) -> Self {
+        self.spill_histories = on;
+        self
+    }
+
+    pub fn batch(mut self, on: bool) -> Self {
         self.batch = on;
         self
     }
 
-    /// Cap on lanes per batched group (implies nothing on its own; see
-    /// [`SweepRunner::batched`]). Larger groups amortize more but keep
-    /// more simulations' histories live at once.
     pub fn batch_max_lanes(mut self, lanes: usize) -> Self {
         self.batch_max_lanes = lanes.max(1);
         self
     }
 
+    pub fn prefix_share(mut self, on: bool) -> Self {
+        self.prefix_share = on;
+        self
+    }
+}
+
+/// Work-stealing sweep executor: a thread count plus a [`SweepOptions`].
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    jobs: usize,
+    opts: SweepOptions,
+}
+
+impl SweepRunner {
+    /// Run with exactly `jobs` worker threads (`0` ⇒ 1), default options.
+    pub fn new(jobs: usize) -> Self {
+        Self::with_options(jobs, SweepOptions::default())
+    }
+
+    /// Run with exactly `jobs` worker threads (`0` ⇒ 1) and `opts`.
+    pub fn with_options(jobs: usize, opts: SweepOptions) -> Self {
+        SweepRunner {
+            jobs: jobs.max(1),
+            opts: SweepOptions {
+                batch_max_lanes: opts.batch_max_lanes.max(1),
+                ..opts
+            },
+        }
+    }
+
+    /// Use every available core, default options.
+    pub fn auto() -> Self {
+        Self::auto_with(SweepOptions::default())
+    }
+
+    /// Use every available core with `opts`.
+    pub fn auto_with(opts: SweepOptions) -> Self {
+        Self::with_options(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            opts,
+        )
+    }
+
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    pub fn options(&self) -> &SweepOptions {
+        &self.opts
     }
 
     /// Execute the matrix: expand, materialize workloads, run every cell
@@ -283,12 +346,12 @@ impl SweepRunner {
         let sweep_watch = sraps_obs::stopwatch(ObsPhase::SweepRun);
         let steals = AtomicU64::new(0);
         let (plans, cells) = matrix.expand()?;
-        if self.spill_histories && self.cache_dir.is_none() {
+        if self.opts.spill_histories && self.opts.cache_dir.is_none() {
             return Err(SrapsError::Config(
-                "spill_histories needs a cache directory (SweepRunner::cache_dir)".into(),
+                "spill_histories needs a cache directory (SweepOptions::cache_dir)".into(),
             ));
         }
-        let cache = match &self.cache_dir {
+        let cache = match &self.opts.cache_dir {
             Some(dir) => Some(CellCache::open(dir)?),
             None => None,
         };
@@ -298,15 +361,35 @@ impl SweepRunner {
         // immediately). Cached: compute only the plan fingerprints —
         // synthetic plans fingerprint without building their dataset, so
         // a fully warm sweep synthesizes nothing; datasets materialize
-        // lazily when a cell actually misses.
+        // lazily when a cell actually misses. (Prefix sharing needs the
+        // fingerprints too — they key the shared-prefix groups.)
         let workloads: Vec<LazyWorkload> = plans.iter().map(LazyWorkload::new).collect();
+        let need_fps = cache.is_some() || self.opts.prefix_share;
         let fingerprints: Vec<Option<Fingerprint>> = {
             let phase1_jobs = self.jobs.min(plans.len().max(1));
-            let results = run_indexed(phase1_jobs, plans.len(), &steals, |i| match &cache {
-                Some(_) => plans[i].fingerprint().map(Some),
-                None => workloads[i].get().map(|_| None),
+            let results = run_indexed(phase1_jobs, plans.len(), &steals, |i| {
+                let fp = if need_fps {
+                    Some(plans[i].fingerprint()?)
+                } else {
+                    None
+                };
+                if cache.is_none() {
+                    workloads[i].get()?;
+                }
+                Ok(fp)
             });
             collect_ordered(results)?
+        };
+
+        // Prefix-sharing plan: group late-cap cells by their shared
+        // prefix key, in matrix order. A pure function of the expanded
+        // matrix, so grouping is identical for any `--jobs` value; the
+        // snapshot itself is computed (or loaded) lazily, at most once
+        // per group, by whichever worker reaches the group first.
+        let (prefix_of, prefix_slots) = if self.opts.prefix_share {
+            plan_prefixes(&cells, &fingerprints, cache.is_some())
+        } else {
+            (vec![None; cells.len()], Vec::new())
         };
 
         // Phase 2: cells, collected by index — either per-cell
@@ -317,11 +400,14 @@ impl SweepRunner {
         // byte-identical reports and cache entries.
         let total = cells.len();
         let counter = AtomicUsize::new(0);
-        let cells = if self.batch {
+        let prefix_groups = prefix_slots.len();
+        let prefix_forks = prefix_of.iter().flatten().count();
+        let cells = if self.opts.batch {
             self.run_cells_batched(
                 &cells,
                 &workloads,
                 &fingerprints,
+                (&prefix_of, &prefix_slots),
                 cache.as_ref(),
                 &steals,
                 &counter,
@@ -339,7 +425,7 @@ impl SweepRunner {
 
                 let key = fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
                 if let (Some(cache), Some(key)) = (&cache, &key) {
-                    if let Some(hit) = cache.load(key, self.spill_histories) {
+                    if let Some(hit) = cache.load(key, self.opts.spill_histories) {
                         // A hit's profile is the cache-read span + hit
                         // counter — real timing, not zeroed engine phases.
                         let elapsed = cell_watch.finish();
@@ -359,11 +445,12 @@ impl SweepRunner {
                 }
 
                 let workload = workload.get()?;
-                let sim = cell.build_sim(workload)?;
-                let output = Engine::new(sim, &workload.dataset)?.run()?;
+                let prefix = prefix_of[i].map(|s| &prefix_slots[s]);
+                let output = simulate_cell(cell, workload, prefix, cache.as_ref())?;
                 let metrics = CellMetrics::from_output(&output);
                 if let (Some(cache), Some(key)) = (&cache, &key) {
                     let histories = self
+                        .opts
                         .spill_histories
                         .then(|| (output.power_csv(), output.util_csv()));
                     cache.store(
@@ -373,7 +460,7 @@ impl SweepRunner {
                         histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
                     )?;
                 }
-                let output = (!self.metrics_only).then_some(output);
+                let output = (!self.opts.metrics_only).then_some(output);
                 let elapsed = cell_watch.finish();
                 let profile = cell_capture.finish();
                 Ok(self.finish_cell(
@@ -396,8 +483,10 @@ impl SweepRunner {
             workload_labels: plans.iter().map(|p| p.label()).collect(),
             wall: sweep_watch.finish(),
             jobs: self.jobs,
-            cache_dir: self.cache_dir.clone(),
+            cache_dir: self.opts.cache_dir.clone(),
             worker_steals: steals.into_inner(),
+            prefix_groups,
+            prefix_forks,
         })
     }
 
@@ -417,7 +506,7 @@ impl SweepRunner {
         elapsed: Duration,
         profile: Option<Profile>,
     ) -> CellResult {
-        if self.progress {
+        if self.opts.progress {
             let (counter, total) = progress;
             let done = counter.fetch_add(1, Ordering::Relaxed) + 1;
             eprintln!(
@@ -465,15 +554,18 @@ impl SweepRunner {
     ///   inside the group's capture, so the group profile (attached to
     ///   the group's first lane; other lanes keep only their consult
     ///   delta) accounts for all work, exactly once.
+    #[allow(clippy::too_many_arguments)]
     fn run_cells_batched(
         &self,
         cells: &[CellSpec],
         workloads: &[LazyWorkload],
         fingerprints: &[Option<Fingerprint>],
+        prefixes: (&[Option<usize>], &[PrefixSlot]),
         cache: Option<&CellCache>,
         steals: &AtomicU64,
         counter: &AtomicUsize,
     ) -> Result<Vec<CellResult>> {
+        let (prefix_of, prefix_slots) = prefixes;
         struct Consult {
             /// Finished result for a cache hit; `None` ⇒ lane candidate.
             result: Option<CellResult>,
@@ -489,7 +581,7 @@ impl SweepRunner {
             if let (Some(cache), Some(k)) = (cache, &key) {
                 let capture = sraps_obs::capture();
                 let watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
-                if let Some(hit) = cache.load(k, self.spill_histories) {
+                if let Some(hit) = cache.load(k, self.opts.spill_histories) {
                     let elapsed = watch.finish();
                     let profile = capture.finish();
                     return Ok(Consult {
@@ -531,7 +623,7 @@ impl SweepRunner {
         }
         let groups: Vec<&[usize]> = buckets
             .iter()
-            .flat_map(|bucket| bucket.chunks(self.batch_max_lanes))
+            .flat_map(|bucket| bucket.chunks(self.opts.batch_max_lanes))
             .collect();
 
         let group_results = run_indexed(
@@ -551,9 +643,32 @@ impl SweepRunner {
                     .map(|&i| cells[i].build_sim(workload))
                     .collect::<Result<Vec<_>>>()?;
                 let window = SimWindow::new(&sims[0], &workload.dataset)?;
-                let engines = sims
-                    .into_iter()
-                    .map(|sim| Engine::with_window(sim, &window))
+                // Lanes need not share a current instant — the batched
+                // core advances each lane from its own cursor — so fresh
+                // lanes and prefix-resumed lanes mix freely in one group.
+                let engines = group
+                    .iter()
+                    .zip(sims)
+                    .map(|(&i, sim)| {
+                        let cell = &cells[i];
+                        match cell.late_cap() {
+                            None => Engine::with_window(sim, &window),
+                            Some(switch) => match prefix_of[i].map(|s| &prefix_slots[s]) {
+                                Some(slot) => {
+                                    let (_, snap) = slot.get(cell, workload, switch, cache)?;
+                                    Engine::builder(sim).resume(snap).build_in_window(&window)
+                                }
+                                None => {
+                                    let snap = compute_prefix(
+                                        cell.prefix_spec().build_sim(workload)?,
+                                        &window,
+                                        switch,
+                                    )?;
+                                    Engine::builder(sim).resume(&snap).build_in_window(&window)
+                                }
+                            },
+                        }
+                    })
                     .collect::<Result<Vec<_>>>()?;
                 let outputs = BatchedEngine::new(engines)?.run()?;
                 let mut lanes = Vec::with_capacity(group.len());
@@ -561,6 +676,7 @@ impl SweepRunner {
                     let metrics = CellMetrics::from_output(&output);
                     if let (Some(cache), Some(key)) = (cache, &consults[i].key) {
                         let histories = self
+                            .opts
                             .spill_histories
                             .then(|| (output.power_csv(), output.util_csv()));
                         cache.store(
@@ -570,7 +686,7 @@ impl SweepRunner {
                             histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
                         )?;
                     }
-                    lanes.push((i, metrics, (!self.metrics_only).then_some(output)));
+                    lanes.push((i, metrics, (!self.opts.metrics_only).then_some(output)));
                 }
                 let elapsed = group_watch.finish();
                 let mut group_profile = group_capture.finish();
@@ -617,6 +733,127 @@ impl SweepRunner {
                 })
             })
             .collect()
+    }
+}
+
+/// One shared-prefix group: its content key (when a cache is configured)
+/// and the lazily obtained (window, snapshot) pair every member cell
+/// forks from. The [`SimWindow`] rides along because it is the expensive
+/// part of engine construction (cloning and sorting the in-window jobs,
+/// telemetry included) — forks reuse its `Arc`-shared job storage.
+struct PrefixSlot {
+    key: Option<String>,
+    slot: OnceLock<Result<(SimWindow, EngineSnapshot)>>,
+}
+
+impl PrefixSlot {
+    /// The group's window + snapshot — the snapshot loaded from the
+    /// cache's snapshot store, else computed (and stored) — at most once
+    /// per sweep; concurrent member cells block on the first.
+    fn get(
+        &self,
+        cell: &CellSpec,
+        workload: &MaterializedWorkload,
+        switch: SimDuration,
+        cache: Option<&CellCache>,
+    ) -> Result<(&SimWindow, &EngineSnapshot)> {
+        self.slot
+            .get_or_init(|| {
+                let sim = cell.prefix_spec().build_sim(workload)?;
+                let window = SimWindow::new(&sim, &workload.dataset)?;
+                if let (Some(cache), Some(key)) = (cache, self.key.as_deref()) {
+                    if let Some(snap) = cache.load_snapshot(key) {
+                        return Ok((window, snap));
+                    }
+                    let snap = compute_prefix(sim, &window, switch)?;
+                    cache.store_snapshot(key, &snap)?;
+                    return Ok((window, snap));
+                }
+                let snap = compute_prefix(sim, &window, switch)?;
+                Ok((window, snap))
+            })
+            .as_ref()
+            .map(|(window, snap)| (window, snap))
+            .map_err(Clone::clone)
+    }
+}
+
+/// Group late-cap cells by shared prefix key, in matrix order. Pure, so
+/// the plan — and therefore which cells fork — is independent of thread
+/// count and interleaving.
+fn plan_prefixes(
+    cells: &[CellSpec],
+    fingerprints: &[Option<Fingerprint>],
+    cached: bool,
+) -> (Vec<Option<usize>>, Vec<PrefixSlot>) {
+    let mut prefix_of = vec![None; cells.len()];
+    let mut slots: Vec<PrefixSlot> = Vec::new();
+    let mut by_key: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let Some(switch) = cell.late_cap() else {
+            continue;
+        };
+        let Some(wfp) = fingerprints[cell.workload] else {
+            continue;
+        };
+        let key = cell.prefix_fingerprint(wfp, switch).hex();
+        let slot = *by_key.entry(key.clone()).or_insert_with(|| {
+            slots.push(PrefixSlot {
+                key: cached.then_some(key),
+                slot: OnceLock::new(),
+            });
+            slots.len() - 1
+        });
+        prefix_of[i] = Some(slot);
+    }
+    (prefix_of, slots)
+}
+
+/// Simulate an uncapped prefix config up to the switch instant and
+/// snapshot it there. `sim` must be a [`CellSpec::prefix_spec`] config
+/// and `window` its selected window.
+fn compute_prefix(
+    sim: SimConfig,
+    window: &SimWindow,
+    switch: SimDuration,
+) -> Result<EngineSnapshot> {
+    let mut engine = Engine::with_window(sim, window)?;
+    let at = engine.sim_start() + switch;
+    engine.run_until(at)?;
+    engine.snapshot()
+}
+
+/// Run one cell to completion. A late-cap cell *always* goes through
+/// the same snapshot-at-switch → resume-under-cap sequence, whether its
+/// prefix is shared or private — which is what makes prefix sharing
+/// bit-identical to the unshared sweep by construction.
+fn simulate_cell(
+    cell: &CellSpec,
+    workload: &MaterializedWorkload,
+    prefix: Option<&PrefixSlot>,
+    cache: Option<&CellCache>,
+) -> Result<SimOutput> {
+    let Some(switch) = cell.late_cap() else {
+        let sim = cell.build_sim(workload)?;
+        return Engine::new(sim, &workload.dataset)?.run();
+    };
+    let sim = cell.build_sim(workload)?;
+    match prefix {
+        Some(slot) => {
+            let (window, snap) = slot.get(cell, workload, switch, cache)?;
+            Engine::builder(sim)
+                .resume(snap)
+                .build_in_window(window)?
+                .run()
+        }
+        None => {
+            let window = SimWindow::new(&sim, &workload.dataset)?;
+            let snap = compute_prefix(cell.prefix_spec().build_sim(workload)?, &window, switch)?;
+            Engine::builder(sim)
+                .resume(&snap)
+                .build_in_window(&window)?
+                .run()
+        }
     }
 }
 
@@ -760,7 +997,7 @@ mod tests {
     #[test]
     fn warm_cache_skips_every_simulation_and_reports_identically() {
         let dir = temp_dir("warm");
-        let runner = SweepRunner::new(2).cache_dir(&dir);
+        let runner = SweepRunner::with_options(2, SweepOptions::new().cache_dir(&dir));
         let cold = runner.run(&small_matrix()).unwrap();
         assert_eq!(cold.cache_hits(), 0);
         assert_eq!(cold.cache_misses(), 3);
@@ -784,12 +1021,10 @@ mod tests {
     #[test]
     fn cold_parallel_equals_warm_serial_with_cache() {
         let dir = temp_dir("jobs-mix");
-        let cold = SweepRunner::new(4)
-            .cache_dir(&dir)
+        let cold = SweepRunner::with_options(4, SweepOptions::new().cache_dir(&dir))
             .run(&small_matrix())
             .unwrap();
-        let warm = SweepRunner::new(1)
-            .cache_dir(&dir)
+        let warm = SweepRunner::with_options(1, SweepOptions::new().cache_dir(&dir))
             .run(&small_matrix())
             .unwrap();
         assert_eq!(warm.cache_hits(), 3);
@@ -804,7 +1039,7 @@ mod tests {
     #[test]
     fn truncated_entry_is_recomputed_and_rewritten() {
         let dir = temp_dir("truncate");
-        let runner = SweepRunner::new(2).cache_dir(&dir);
+        let runner = SweepRunner::with_options(2, SweepOptions::new().cache_dir(&dir));
         let cold = runner.run(&small_matrix()).unwrap();
         let key = cold.cells[1].cache_key.clone().unwrap();
         let path = dir.join(format!("{key}.json"));
@@ -829,8 +1064,7 @@ mod tests {
     #[test]
     fn metrics_only_retains_no_outputs_and_reports_identically() {
         let full = SweepRunner::new(2).run(&small_matrix()).unwrap();
-        let lean = SweepRunner::new(2)
-            .metrics_only(true)
+        let lean = SweepRunner::with_options(2, SweepOptions::new().metrics_only(true))
             .run(&small_matrix())
             .unwrap();
         assert!(lean.cells.iter().all(|c| c.output.is_none()));
@@ -847,10 +1081,13 @@ mod tests {
     #[test]
     fn spilled_histories_survive_cache_hits() {
         let dir = temp_dir("spill");
-        let runner = SweepRunner::new(2)
-            .cache_dir(&dir)
-            .metrics_only(true)
-            .spill_histories(true);
+        let runner = SweepRunner::with_options(
+            2,
+            SweepOptions::new()
+                .cache_dir(&dir)
+                .metrics_only(true)
+                .spill_histories(true),
+        );
         let cold = runner.run(&small_matrix()).unwrap();
         let cache = CellCache::open(&dir).unwrap();
         for cell in &cold.cells {
@@ -862,10 +1099,109 @@ mod tests {
         let warm = runner.run(&small_matrix()).unwrap();
         assert_eq!(warm.cache_hits(), 3, "hits satisfied from spill");
         // Spill without a cache dir is a configuration error.
-        assert!(SweepRunner::new(1)
-            .spill_histories(true)
-            .run(&small_matrix())
-            .is_err());
+        assert!(
+            SweepRunner::with_options(1, SweepOptions::new().spill_histories(true))
+                .run(&small_matrix())
+                .is_err()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn capped_matrix() -> ExperimentMatrix {
+        ExperimentMatrix::synthetic(["lassen"])
+            .span(SimDuration::hours(2))
+            .loads([0.5])
+            .seed_count(1)
+            .pairs([("fcfs", "easy")])
+            .power_caps_kw([None, Some(900.0), Some(1100.0), Some(1300.0)])
+            .power_cap_at(SimDuration::minutes(60))
+    }
+
+    #[test]
+    fn prefix_sharing_is_bit_identical_to_unshared() {
+        let unshared = SweepRunner::new(2).run(&capped_matrix()).unwrap();
+        assert_eq!(unshared.prefix_groups, 0, "sharing off forms no groups");
+        let shared = SweepRunner::with_options(2, SweepOptions::new().prefix_share(true))
+            .run(&capped_matrix())
+            .unwrap();
+        assert_eq!(shared.prefix_groups, 1, "three capped cells, one prefix");
+        assert_eq!(shared.prefix_forks, 3);
+        assert_eq!(
+            Report::from_results(&unshared).to_csv(),
+            Report::from_results(&shared).to_csv(),
+            "forked cells must be byte-identical to privately resumed ones"
+        );
+        // …and in batched mode, where resumed lanes join the lane groups.
+        let batched =
+            SweepRunner::with_options(2, SweepOptions::new().prefix_share(true).batch(true))
+                .run(&capped_matrix())
+                .unwrap();
+        assert_eq!(
+            Report::from_results(&unshared).to_csv(),
+            Report::from_results(&batched).to_csv(),
+            "batched + prefix-shared sweep diverged"
+        );
+    }
+
+    #[test]
+    fn cap_at_zero_equals_cap_from_start() {
+        // A cap switched in at t=0 must reproduce the always-capped run
+        // exactly: the fork sequence (snapshot at the boundary, resume
+        // under the cap) adds nothing at offset zero.
+        let from_start = ExperimentMatrix::synthetic(["lassen"])
+            .span(SimDuration::hours(2))
+            .loads([0.5])
+            .pairs([("fcfs", "easy")])
+            .power_caps_kw([Some(1000.0)]);
+        let at_zero = from_start.clone().power_cap_at(SimDuration::seconds(0));
+        let a = SweepRunner::new(1).run(&from_start).unwrap();
+        let b = SweepRunner::new(1).run(&at_zero).unwrap();
+        assert_eq!(a.cells[0].metrics, b.cells[0].metrics);
+        let (ao, bo) = (
+            a.cells[0].output.as_ref().unwrap(),
+            b.cells[0].output.as_ref().unwrap(),
+        );
+        assert_eq!(ao.power_csv(), bo.power_csv());
+        assert_eq!(ao.util_csv(), bo.util_csv());
+    }
+
+    #[test]
+    fn prefix_snapshots_are_cached_and_reused() {
+        let dir = temp_dir("prefix-cache");
+        let runner =
+            SweepRunner::with_options(2, SweepOptions::new().cache_dir(&dir).prefix_share(true));
+        let cold = runner.run(&capped_matrix()).unwrap();
+        assert_eq!(cold.cache_misses(), 4);
+        let cache = CellCache::open(&dir).unwrap();
+        // The shared prefix was stored under its own content key…
+        let snaps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".snap.json"))
+            .collect();
+        assert_eq!(snaps.len(), 1, "one prefix group ⇒ one stored snapshot");
+        let key = snaps[0]
+            .file_name()
+            .to_string_lossy()
+            .trim_end_matches(".snap.json")
+            .to_string();
+        assert!(cache.load_snapshot(&key).is_some());
+        // …and a truncated snapshot self-heals: the sweep still succeeds
+        // (recomputing the prefix) and rewrites the entry.
+        let path = cache.snapshot_path(&key);
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let _ = std::fs::remove_file(dir.join(format!(
+            "{}.json",
+            cold.cells[1].cache_key.as_ref().unwrap()
+        )));
+        let healed = runner.run(&capped_matrix()).unwrap();
+        assert_eq!(healed.cache_hits(), 3, "only the deleted cell re-runs");
+        assert_eq!(healed.cells[1].metrics, cold.cells[1].metrics);
+        assert!(
+            cache.load_snapshot(&key).is_some(),
+            "defective snapshot was recomputed and rewritten"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

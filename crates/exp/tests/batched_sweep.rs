@@ -4,7 +4,7 @@
 //! cache hits never enter a lane; and the batched path stays
 //! deterministic across `--jobs` values.
 
-use sraps_exp::{CellCache, ExperimentMatrix, Report, SweepResults, SweepRunner};
+use sraps_exp::{CellCache, ExperimentMatrix, Report, SweepOptions, SweepResults, SweepRunner};
 use sraps_obs::Counter;
 use sraps_types::SimDuration;
 use std::path::PathBuf;
@@ -66,20 +66,18 @@ fn assert_same_results(a: &SweepResults, b: &SweepResults, what: &str) {
 fn batched_sweep_matches_unbatched_byte_for_byte() {
     let m = matrix();
     let plain = SweepRunner::new(2).run(&m).unwrap();
-    let batched = SweepRunner::new(2).batched(true).run(&m).unwrap();
+    let batched = SweepRunner::with_options(2, SweepOptions::new().batch(true))
+        .run(&m)
+        .unwrap();
     assert_same_results(&plain, &batched, "batched vs per-cell");
     // A lane cap below the bucket size forces chunked groups — still
     // identical (chunking only changes which engines share a pass).
-    let chunked = SweepRunner::new(2)
-        .batched(true)
-        .batch_max_lanes(2)
+    let chunked = SweepRunner::with_options(2, SweepOptions::new().batch(true).batch_max_lanes(2))
         .run(&m)
         .unwrap();
     assert_same_results(&plain, &chunked, "chunked lanes");
     // Degenerate single-lane groups are per-cell execution in disguise.
-    let single = SweepRunner::new(2)
-        .batched(true)
-        .batch_max_lanes(1)
+    let single = SweepRunner::with_options(2, SweepOptions::new().batch(true).batch_max_lanes(1))
         .run(&m)
         .unwrap();
     assert_same_results(&plain, &single, "single-lane groups");
@@ -88,8 +86,12 @@ fn batched_sweep_matches_unbatched_byte_for_byte() {
 #[test]
 fn batched_jobs_one_equals_jobs_four() {
     let m = matrix();
-    let serial = SweepRunner::new(1).batched(true).run(&m).unwrap();
-    let parallel = SweepRunner::new(4).batched(true).run(&m).unwrap();
+    let serial = SweepRunner::with_options(1, SweepOptions::new().batch(true))
+        .run(&m)
+        .unwrap();
+    let parallel = SweepRunner::with_options(4, SweepOptions::new().batch(true))
+        .run(&m)
+        .unwrap();
     assert_same_results(&serial, &parallel, "batched --jobs 1 vs --jobs 4");
 }
 
@@ -98,12 +100,13 @@ fn batched_cache_entries_match_unbatched_bytes() {
     let m = matrix();
     let plain_dir = temp_dir("plain");
     let batch_dir = temp_dir("batch");
-    let plain = SweepRunner::new(2).cache_dir(&plain_dir).run(&m).unwrap();
-    let batched = SweepRunner::new(2)
-        .cache_dir(&batch_dir)
-        .batched(true)
+    let plain = SweepRunner::with_options(2, SweepOptions::new().cache_dir(&plain_dir))
         .run(&m)
         .unwrap();
+    let batched =
+        SweepRunner::with_options(2, SweepOptions::new().cache_dir(&batch_dir).batch(true))
+            .run(&m)
+            .unwrap();
     assert_same_results(&plain, &batched, "cold cached runs");
     for cell in &plain.cells {
         let key = cell.cache_key.as_ref().unwrap();
@@ -127,13 +130,13 @@ fn warm_cells_are_excluded_from_lanes_in_a_mixed_batch() {
         .loads([0.5])
         .seed_count(2)
         .pairs([("fcfs", "none")]);
-    let warmed = SweepRunner::new(2).cache_dir(&dir).run(&subset).unwrap();
+    let warmed = SweepRunner::with_options(2, SweepOptions::new().cache_dir(&dir))
+        .run(&subset)
+        .unwrap();
     assert_eq!(warmed.cache_misses(), 2);
 
     sraps_obs::set_profile(true);
-    let mixed = SweepRunner::new(2)
-        .cache_dir(&dir)
-        .batched(true)
+    let mixed = SweepRunner::with_options(2, SweepOptions::new().cache_dir(&dir).batch(true))
         .run(&matrix())
         .unwrap();
     sraps_obs::set_profile(false);
@@ -164,11 +167,14 @@ fn warm_cells_are_excluded_from_lanes_in_a_mixed_batch() {
 #[test]
 fn batched_metrics_only_and_spill_survive_hits() {
     let dir = temp_dir("spill");
-    let runner = SweepRunner::new(2)
-        .cache_dir(&dir)
-        .metrics_only(true)
-        .spill_histories(true)
-        .batched(true);
+    let runner = SweepRunner::with_options(
+        2,
+        SweepOptions::new()
+            .cache_dir(&dir)
+            .metrics_only(true)
+            .spill_histories(true)
+            .batch(true),
+    );
     let cold = runner.run(&matrix()).unwrap();
     assert!(cold.cells.iter().all(|c| c.output.is_none()));
     let cache = CellCache::open(&dir).unwrap();

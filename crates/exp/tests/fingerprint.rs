@@ -41,6 +41,7 @@ fn cell(
         backfill: backfill.into(),
         cooling,
         power_cap_kw,
+        cap_at: None,
         scheduler: SchedulerSelect::Default,
         engine,
         accounts_in: None,
@@ -162,12 +163,12 @@ fn golden_keys_pin_the_schema() {
     let base = cell("fcfs", "easy", true, Some(1500.0), EngineMode::Event);
     assert_eq!(
         base.fingerprint(wfp).hex(),
-        "cd9e9031f62e7c152db85da6217c2ba9",
+        "37dae47215ddbc576b81ddb927d8fdf0",
         "cell fingerprint schema drifted"
     );
     assert_eq!(
         wfp.hex(),
-        "566218acbd3465d8755efdb8b3c7d00c",
+        "5c2a9c083412fd8fa59300c305f18801",
         "workload fingerprint schema drifted"
     );
 }

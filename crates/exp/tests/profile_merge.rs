@@ -8,7 +8,7 @@
 //! counts, never nanoseconds.
 
 use proptest::prelude::*;
-use sraps_exp::{ExperimentMatrix, SweepResults, SweepRunner};
+use sraps_exp::{ExperimentMatrix, SweepOptions, SweepResults, SweepRunner};
 use sraps_obs::{Counter, Phase};
 use sraps_types::SimDuration;
 use std::sync::Mutex;
@@ -48,10 +48,7 @@ fn matrix(seed: u64, span_hours: i64, easy: bool) -> ExperimentMatrix {
 }
 
 fn run(matrix: &ExperimentMatrix, jobs: usize) -> SweepResults {
-    SweepRunner::new(jobs)
-        .progress(false)
-        .run(matrix)
-        .expect("sweep runs")
+    SweepRunner::new(jobs).run(matrix).expect("sweep runs")
 }
 
 /// The deterministic face of a cell's profile: label, provenance, and
@@ -121,9 +118,7 @@ fn metrics_only_counters_match_full_retention() {
     let _obs = ProfiledScope::new();
     let m = matrix(11, 2, true);
     let full = run(&m, 2);
-    let lean = SweepRunner::new(2)
-        .progress(false)
-        .metrics_only(true)
+    let lean = SweepRunner::with_options(2, SweepOptions::new().metrics_only(true))
         .run(&m)
         .expect("sweep runs");
     // --metrics-only drops outputs, not instrumentation: identical
@@ -138,7 +133,7 @@ fn cache_hits_profile_as_cache_reads_not_zeroed_engine_phases() {
     let _ = std::fs::remove_dir_all(&dir);
     let m = matrix(23, 1, false);
     let runner = |jobs| {
-        let r = SweepRunner::new(jobs).progress(false).cache_dir(&dir);
+        let r = SweepRunner::with_options(jobs, SweepOptions::new().cache_dir(&dir));
         r.run(&m).expect("sweep runs")
     };
 

@@ -14,7 +14,7 @@
 
 use crate::plugin::{ExtJob, ExternalScheduler, SchedEvent};
 use serde::{Deserialize, Serialize};
-use sraps_types::{JobId, SimTime};
+use sraps_types::{JobId, Result, SimTime, SrapsError};
 use std::collections::BinaryHeap;
 
 /// A start decision from sequential mode.
@@ -32,12 +32,12 @@ pub struct FastSimStats {
     pub jobs_started: u64,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Pending {
     job: ExtJob,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct Running {
     id: JobId,
     nodes: u32,
@@ -50,6 +50,22 @@ struct Running {
 /// Min-heap item for internal events.
 #[derive(Debug, PartialEq, Eq)]
 struct Ev(SimTime, u64);
+
+/// Serialized form of the whole emulator. The arrival heap flattens to a
+/// sorted vec; restore pushes the entries back (pop order is fully
+/// determined because `Ev`'s ordering is total — indices are unique).
+#[derive(Debug, Serialize, Deserialize)]
+struct FastSimState {
+    total_nodes: u32,
+    free_nodes: u32,
+    clock: SimTime,
+    queue: Vec<Pending>,
+    running: Vec<Running>,
+    arrivals: Vec<(SimTime, u64)>,
+    arrival_jobs: Vec<Option<ExtJob>>,
+    stats: FastSimStats,
+    starts: Vec<ScheduledStart>,
+}
 
 impl Ord for Ev {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -306,6 +322,39 @@ impl ExternalScheduler for FastSim {
 
     fn recomputations(&self) -> u64 {
         self.stats.scheduling_passes
+    }
+
+    fn snapshot_blob(&self) -> Result<String> {
+        let mut arrivals: Vec<(SimTime, u64)> = self.arrivals.iter().map(|e| (e.0, e.1)).collect();
+        arrivals.sort_unstable();
+        let state = FastSimState {
+            total_nodes: self.total_nodes,
+            free_nodes: self.free_nodes,
+            clock: self.clock,
+            queue: self.queue.clone(),
+            running: self.running.clone(),
+            arrivals,
+            arrival_jobs: self.arrival_jobs.clone(),
+            stats: self.stats,
+            starts: self.starts.clone(),
+        };
+        serde_json::to_string(&state)
+            .map_err(|e| SrapsError::Snapshot(format!("fastsim state serialization: {e}")))
+    }
+
+    fn restore_blob(&mut self, blob: &str) -> Result<()> {
+        let state: FastSimState = serde_json::from_str(blob)
+            .map_err(|e| SrapsError::Snapshot(format!("fastsim state deserialization: {e}")))?;
+        self.total_nodes = state.total_nodes;
+        self.free_nodes = state.free_nodes;
+        self.clock = state.clock;
+        self.queue = state.queue;
+        self.running = state.running;
+        self.arrivals = state.arrivals.into_iter().map(|(t, i)| Ev(t, i)).collect();
+        self.arrival_jobs = state.arrival_jobs;
+        self.stats = state.stats;
+        self.starts = state.starts;
+        Ok(())
     }
 }
 

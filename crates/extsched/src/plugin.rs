@@ -1,8 +1,10 @@
 //! The external-scheduler plugin protocol (§3.2.4) and the adapter that
 //! makes any external engine drivable by S-RAPS.
 
+use serde::{Deserialize, Serialize};
 use sraps_sched::{
-    JobQueue, Placement, ResourceManager, SchedContext, SchedulerBackend, SchedulerStats,
+    ExternalSchedulerState, JobQueue, Placement, ResourceManager, SchedContext, SchedulerBackend,
+    SchedulerState, SchedulerStats,
 };
 use sraps_types::{JobId, Result, SimDuration, SimTime, SrapsError};
 use std::collections::HashSet;
@@ -11,7 +13,7 @@ use std::collections::HashSet;
 /// ground-truth duration the *emulator* needs to advance its own clock
 /// (real FastSim replays historical runtimes; policies still only see the
 /// wall-time estimate inside `job`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExtJob {
     pub job: sraps_sched::QueuedJob,
     pub duration: SimDuration,
@@ -59,6 +61,26 @@ pub trait ExternalScheduler {
 
     /// How many full plan recomputations the engine has performed.
     fn recomputations(&self) -> u64;
+
+    /// Serialize the engine's private state for an engine snapshot. The
+    /// blob is opaque to the host — it is only ever handed back to
+    /// [`ExternalScheduler::restore_blob`] of the same engine type.
+    fn snapshot_blob(&self) -> Result<String> {
+        Err(SrapsError::Snapshot(format!(
+            "external scheduler '{}' does not support state snapshots",
+            self.name()
+        )))
+    }
+
+    /// Restore private state from a blob produced by
+    /// [`ExternalScheduler::snapshot_blob`].
+    fn restore_blob(&mut self, blob: &str) -> Result<()> {
+        let _ = blob;
+        Err(SrapsError::Snapshot(format!(
+            "external scheduler '{}' does not support state snapshots",
+            self.name()
+        )))
+    }
 }
 
 /// Wraps an [`ExternalScheduler`] into a [`SchedulerBackend`]: forwards
@@ -181,6 +203,36 @@ impl<E: ExternalScheduler> SchedulerBackend for ExternalAdapter<E> {
 
     fn stats(&self) -> SchedulerStats {
         self.stats
+    }
+
+    /// Adapter bookkeeping plus the engine's private state as an opaque
+    /// blob. The `HashSet`s serialize as sorted id vectors so equal states
+    /// fingerprint identically.
+    fn snapshot_state(&self) -> Result<SchedulerState> {
+        let mut submitted: Vec<JobId> = self.submitted.iter().copied().collect();
+        submitted.sort_unstable();
+        let mut last_running: Vec<JobId> = self.last_running.iter().copied().collect();
+        last_running.sort_unstable();
+        Ok(SchedulerState::External(ExternalSchedulerState {
+            submitted,
+            last_running,
+            stats: self.stats,
+            engine: self.engine.snapshot_blob()?,
+        }))
+    }
+
+    fn restore_state(&mut self, state: &SchedulerState) -> Result<()> {
+        let SchedulerState::External(s) = state else {
+            return Err(SrapsError::Snapshot(format!(
+                "scheduler '{}' cannot restore a non-external snapshot",
+                self.name
+            )));
+        };
+        self.engine.restore_blob(&s.engine)?;
+        self.submitted = s.submitted.iter().copied().collect();
+        self.last_running = s.last_running.iter().copied().collect();
+        self.stats = s.stats;
+        Ok(())
     }
 }
 

@@ -15,21 +15,33 @@
 //!   the adapter validates placements (strict mode).
 
 use crate::plugin::{ExtJob, ExternalScheduler, SchedEvent};
-use sraps_types::{JobId, SimTime};
+use serde::{Deserialize, Serialize};
+use sraps_types::{JobId, Result, SimTime, SrapsError};
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Tracked {
     job: ExtJob,
     /// Planned start from the last full plan.
     planned_start: SimTime,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct Booked {
     id: JobId,
     nodes: u32,
     end: SimTime,
     est_end: SimTime,
+}
+
+/// Serialized form of the scheduler — everything is plain vectors, so the
+/// round-trip is verbatim.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScheduleFlowState {
+    total_nodes: u32,
+    clock: SimTime,
+    queue: Vec<Tracked>,
+    running: Vec<Booked>,
+    recomputations: u64,
 }
 
 /// The event-based scheduler.
@@ -177,6 +189,30 @@ impl ExternalScheduler for ScheduleFlow {
 
     fn recomputations(&self) -> u64 {
         self.recomputations
+    }
+
+    fn snapshot_blob(&self) -> Result<String> {
+        let state = ScheduleFlowState {
+            total_nodes: self.total_nodes,
+            clock: self.clock,
+            queue: self.queue.clone(),
+            running: self.running.clone(),
+            recomputations: self.recomputations,
+        };
+        serde_json::to_string(&state)
+            .map_err(|e| SrapsError::Snapshot(format!("scheduleflow state serialization: {e}")))
+    }
+
+    fn restore_blob(&mut self, blob: &str) -> Result<()> {
+        let state: ScheduleFlowState = serde_json::from_str(blob).map_err(|e| {
+            SrapsError::Snapshot(format!("scheduleflow state deserialization: {e}"))
+        })?;
+        self.total_nodes = state.total_nodes;
+        self.clock = state.clock;
+        self.queue = state.queue;
+        self.running = state.running;
+        self.recomputations = state.recomputations;
+        Ok(())
     }
 }
 

@@ -197,9 +197,12 @@ pub enum Counter {
     BatchLanes,
     /// Sweep cells simulated inside a batched lane group.
     BatchCells,
+    /// Defective snapshot entries (truncated, corrupt, stale schema)
+    /// demoted to misses for recompute-and-rewrite.
+    SnapshotSelfHeals,
 }
 
-const COUNTER_COUNT: usize = 21;
+const COUNTER_COUNT: usize = 22;
 
 impl Counter {
     pub const ALL: [Counter; COUNTER_COUNT] = [
@@ -224,6 +227,7 @@ impl Counter {
         Counter::SweepWorkerSteals,
         Counter::BatchLanes,
         Counter::BatchCells,
+        Counter::SnapshotSelfHeals,
     ];
 
     pub const fn name(self) -> &'static str {
@@ -249,6 +253,7 @@ impl Counter {
             Counter::SweepWorkerSteals => "sweep.worker_steals",
             Counter::BatchLanes => "batch.lanes",
             Counter::BatchCells => "batch.cells",
+            Counter::SnapshotSelfHeals => "snapshot.self_heals",
         }
     }
 
@@ -276,6 +281,7 @@ impl Counter {
             Counter::SweepWorkerSteals => "cells claimed by spawned sweep workers",
             Counter::BatchLanes => "lane groups executed by the batched engine",
             Counter::BatchCells => "cells simulated inside batched lane groups",
+            Counter::SnapshotSelfHeals => "defective snapshot entries demoted to misses",
         }
     }
 }

@@ -12,7 +12,10 @@ use crate::backfill::{easy_admits, next_planned_start, BackfillKind};
 use crate::policy::PolicyKind;
 use crate::queue::JobQueue;
 use crate::resource_manager::ResourceManager;
-use crate::scheduler::{Placement, PlacementPath, SchedContext, SchedulerBackend, SchedulerStats};
+use crate::scheduler::{
+    snapshot_unsupported, BuiltinSchedulerState, Placement, PlacementPath, SchedContext,
+    SchedulerBackend, SchedulerState, SchedulerStats,
+};
 use crate::timeline::{CapacityTimeline, PlanScratch};
 use sraps_types::{JobId, Result, SimTime};
 
@@ -261,6 +264,23 @@ impl BuiltinScheduler {
         };
         self.plan = scratch;
     }
+
+    /// The builtin's mid-run state (also what wrappers embed).
+    pub(crate) fn state(&self) -> BuiltinSchedulerState {
+        BuiltinSchedulerState {
+            stats: self.stats,
+            decision_hint: self.decision_hint,
+            timeline: self.timeline.snapshot(),
+            completion_epoch: self.completion_epoch,
+        }
+    }
+
+    pub(crate) fn apply_state(&mut self, state: &BuiltinSchedulerState) {
+        self.stats = state.stats;
+        self.decision_hint = state.decision_hint;
+        self.timeline.restore(&state.timeline);
+        self.completion_epoch = state.completion_epoch;
+    }
 }
 
 impl SchedulerBackend for BuiltinScheduler {
@@ -313,6 +333,22 @@ impl SchedulerBackend for BuiltinScheduler {
 
     fn stats(&self) -> SchedulerStats {
         self.stats
+    }
+
+    fn snapshot_state(&self) -> Result<SchedulerState> {
+        Ok(SchedulerState::Builtin(self.state()))
+    }
+
+    /// Accepts its own record, and tolerates a power-cap record by
+    /// adopting the embedded inner state — the cap-removal direction of a
+    /// late-binding fork.
+    fn restore_state(&mut self, state: &SchedulerState) -> Result<()> {
+        match state {
+            SchedulerState::Builtin(s) => self.apply_state(s),
+            SchedulerState::PowerCap(s) => self.apply_state(&s.inner),
+            SchedulerState::External(_) => return Err(snapshot_unsupported(self.name())),
+        }
+        Ok(())
     }
 }
 

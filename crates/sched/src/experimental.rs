@@ -13,7 +13,7 @@ use crate::builtin::BuiltinScheduler;
 use crate::policy::PolicyKind;
 use crate::queue::JobQueue;
 use crate::resource_manager::ResourceManager;
-use crate::scheduler::{Placement, SchedContext, SchedulerBackend, SchedulerStats};
+use crate::scheduler::{Placement, SchedContext, SchedulerBackend, SchedulerState, SchedulerStats};
 use sraps_acct::Accounts;
 use sraps_types::{Result, SimTime, SrapsError};
 
@@ -83,6 +83,17 @@ impl SchedulerBackend for ExperimentalScheduler {
 
     fn stats(&self) -> SchedulerStats {
         self.inner.stats()
+    }
+
+    /// The account table is construction input (reloaded from the
+    /// collection-phase `accounts.json`), so the mid-run state is exactly
+    /// the inner builtin's.
+    fn snapshot_state(&self) -> Result<SchedulerState> {
+        self.inner.snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &SchedulerState) -> Result<()> {
+        self.inner.restore_state(state)
     }
 }
 

@@ -30,6 +30,8 @@ pub use power_cap::PowerCapScheduler;
 pub use queue::{JobQueue, OrderStamp, QueuedJob};
 pub use resource_manager::ResourceManager;
 pub use scheduler::{
-    Placement, PlacementPath, RunningView, SchedContext, SchedulerBackend, SchedulerStats,
+    BuiltinSchedulerState, ExternalSchedulerState, Placement, PlacementPath,
+    PowerCapSchedulerState, RunningView, SchedContext, SchedulerBackend, SchedulerState,
+    SchedulerStats,
 };
-pub use timeline::{CapacityTimeline, PlanScratch};
+pub use timeline::{CapacityTimeline, PlanScratch, TimelineState};

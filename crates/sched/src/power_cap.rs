@@ -12,7 +12,10 @@
 use crate::builtin::BuiltinScheduler;
 use crate::queue::JobQueue;
 use crate::resource_manager::ResourceManager;
-use crate::scheduler::{Placement, SchedContext, SchedulerBackend, SchedulerStats};
+use crate::scheduler::{
+    snapshot_unsupported, Placement, PowerCapSchedulerState, SchedContext, SchedulerBackend,
+    SchedulerState, SchedulerStats,
+};
 use sraps_types::{JobId, Result, SimTime};
 use std::collections::HashMap;
 
@@ -177,6 +180,38 @@ impl SchedulerBackend for PowerCapScheduler {
             recomputations: self.inner.stats().recomputations,
             ..self.stats
         }
+    }
+
+    fn snapshot_state(&self) -> Result<SchedulerState> {
+        Ok(SchedulerState::PowerCap(PowerCapSchedulerState {
+            inner: self.inner.state(),
+            deferred: self.deferred,
+            deferred_last_call: self.deferred_last_call,
+            stats: self.stats,
+        }))
+    }
+
+    /// Accepts its own record, and tolerates a plain builtin record — the
+    /// cap-applied-at-*t* fork: the prefix ran uncapped, so the wrapper's
+    /// own deferral counters start from zero. Shadow mirrors and scratch
+    /// buffers are per-call state and need no restoration.
+    fn restore_state(&mut self, state: &SchedulerState) -> Result<()> {
+        match state {
+            SchedulerState::PowerCap(s) => {
+                self.inner.apply_state(&s.inner);
+                self.deferred = s.deferred;
+                self.deferred_last_call = s.deferred_last_call;
+                self.stats = s.stats;
+            }
+            SchedulerState::Builtin(s) => {
+                self.inner.apply_state(s);
+                self.deferred = 0;
+                self.deferred_last_call = false;
+                self.stats = SchedulerStats::default();
+            }
+            SchedulerState::External(_) => return Err(snapshot_unsupported(self.name())),
+        }
+        Ok(())
     }
 }
 

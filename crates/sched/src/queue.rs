@@ -32,7 +32,7 @@ pub struct QueuedJob {
 /// (account statistics fold in completed jobs, so account-policy keys are
 /// versioned by the scheduler's completion count; every other builtin key
 /// is a pure function of immutable job fields and stays at epoch 0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OrderStamp {
     pub policy: PolicyKind,
     pub key_epoch: u64,
@@ -51,7 +51,10 @@ pub struct OrderStamp {
 /// jobs pushed since need placing — [`JobQueue::ensure_order_by`] inserts
 /// them by binary search and falls back to a full stable sort only when
 /// the stamp (policy or key version) actually changes.
-#[derive(Debug, Default)]
+/// Serialization (engine snapshots) round-trips every field, including
+/// the sorted-prefix length and order stamp, so a restored queue resumes
+/// the incremental-order fast path without a re-sort.
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct JobQueue {
     jobs: Vec<QueuedJob>,
     /// Σ `nodes` over queued jobs, kept in sync by push/remove.

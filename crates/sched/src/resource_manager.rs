@@ -4,6 +4,7 @@
 //! and is the single authority on node occupancy. Replay mode additionally
 //! enforces the exact recorded placement (§3.2.3).
 
+use serde::{Deserialize, Serialize};
 use sraps_types::{Bitset, NodeId, NodeSet, Result, SrapsError};
 
 /// Tracks free/busy/down state for every node of the system.
@@ -13,7 +14,11 @@ use sraps_types::{Bitset, NodeId, NodeSet, Result, SrapsError};
 /// the per-tick history sampling — `utilization`, `busy_count` — and the
 /// scheduler's `can_allocate` probes cost two integer reads instead of
 /// bitset popcounts.
-#[derive(Debug)]
+/// Serialization (engine snapshots) round-trips the bitsets verbatim —
+/// load-bearing because down-marking of busy nodes is lazy: a node that
+/// went down mid-job only leaves the free pool on release, so the
+/// free/down distinction is not reconstructible from counts alone.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct ResourceManager {
     total: u32,
     free: Bitset,

@@ -3,9 +3,10 @@
 
 use crate::queue::JobQueue;
 use crate::resource_manager::ResourceManager;
+use crate::timeline::TimelineState;
 use serde::{Deserialize, Serialize};
 use sraps_acct::Accounts;
-use sraps_types::{JobId, NodeSet, Result, SimTime};
+use sraps_types::{JobId, NodeSet, Result, SimTime, SrapsError};
 
 /// How a placement came about — carried on the [`Placement`] itself so
 /// wrappers that admit only a subset of a proposal (the power-cap
@@ -98,6 +99,72 @@ impl SchedulerStats {
     }
 }
 
+/// Serializable mid-run state of a scheduler backend — everything a
+/// backend accumulates between `schedule` calls that is not rebuilt from
+/// its construction inputs. Captured by
+/// [`SchedulerBackend::snapshot_state`] and replayed into a freshly
+/// constructed backend by [`SchedulerBackend::restore_state`], so an
+/// engine snapshot round-trips the PR 5 incremental structures (capacity
+/// timeline, decision hints, power-cap deferral state, external-adapter
+/// bookkeeping) bit-identically.
+///
+/// Restoration is tolerant across *wrapper* boundaries: a
+/// [`SchedulerState::Builtin`] record restores into a power-cap wrapper
+/// (the wrapper's own counters start at zero) and vice versa. That is
+/// what makes late-binding forks — "run uncapped to *t*, then continue
+/// under a cap" — a plain snapshot/restore composition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerState {
+    /// [`crate::BuiltinScheduler`] (also the state the experimental
+    /// wrapper delegates to — its account table is construction input).
+    Builtin(BuiltinSchedulerState),
+    /// [`crate::PowerCapScheduler`] wrapper around a builtin.
+    PowerCap(PowerCapSchedulerState),
+    /// An external-simulator adapter: bookkeeping plus the engine's own
+    /// opaque serialized state.
+    External(ExternalSchedulerState),
+}
+
+/// Mid-run state of the builtin scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuiltinSchedulerState {
+    pub stats: SchedulerStats,
+    /// The cached [`SchedulerBackend::next_decision_time`] answer.
+    pub decision_hint: Option<SimTime>,
+    pub timeline: TimelineState,
+    pub completion_epoch: u64,
+}
+
+/// Mid-run state of the power-cap wrapper (inner builtin included).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapSchedulerState {
+    pub inner: BuiltinSchedulerState,
+    pub deferred: u64,
+    pub deferred_last_call: bool,
+    pub stats: SchedulerStats,
+}
+
+/// Mid-run state of an external-scheduler adapter. The wrapped engine
+/// serializes itself to an opaque `engine` blob (JSON by convention) via
+/// its own snapshot hooks, so this crate needs no knowledge of the
+/// engine's internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExternalSchedulerState {
+    /// Sorted ids already forwarded as submissions.
+    pub submitted: Vec<JobId>,
+    /// Sorted ids the adapter last saw running.
+    pub last_running: Vec<JobId>,
+    pub stats: SchedulerStats,
+    pub engine: String,
+}
+
+/// The uniform "this backend/state combination cannot round-trip" error.
+pub fn snapshot_unsupported(name: &str) -> SrapsError {
+    SrapsError::Snapshot(format!(
+        "scheduler '{name}' does not support state snapshots"
+    ))
+}
+
 /// Any scheduler S-RAPS can drive: the built-in one, the experimental
 /// account-priority one, or adapters around external simulators (§4.2).
 ///
@@ -158,6 +225,22 @@ pub trait SchedulerBackend {
 
     /// Cumulative counters.
     fn stats(&self) -> SchedulerStats;
+
+    /// Capture this backend's mid-run state for an engine snapshot.
+    ///
+    /// The default refuses: a backend must opt in, because a silently
+    /// partial snapshot would restore into a run that diverges from the
+    /// uninterrupted one — the one guarantee snapshots exist to give.
+    fn snapshot_state(&self) -> Result<SchedulerState> {
+        Err(snapshot_unsupported(self.name()))
+    }
+
+    /// Replay a previously captured state into this freshly constructed
+    /// backend, after which scheduling continues bit-identically to the
+    /// run the state was captured from.
+    fn restore_state(&mut self, _state: &SchedulerState) -> Result<()> {
+        Err(snapshot_unsupported(self.name()))
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,16 @@
 use crate::backfill::Reservation;
 use crate::queue::QueuedJob;
 use crate::scheduler::RunningView;
+use serde::{Deserialize, Serialize};
 use sraps_types::SimTime;
+
+/// Serializable image of a [`CapacityTimeline`] for engine snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TimelineState {
+    pub ends: Vec<(SimTime, u32)>,
+    pub jobs: usize,
+    pub nodes: u64,
+}
 
 /// Sorted aggregate of the running jobs' estimated ends: for each distinct
 /// end time, the total nodes whose estimates mature then.
@@ -94,6 +103,23 @@ impl CapacityTimeline {
     /// Running jobs tracked.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Capture the timeline for an engine snapshot.
+    pub fn snapshot(&self) -> TimelineState {
+        TimelineState {
+            ends: self.ends.clone(),
+            jobs: self.jobs,
+            nodes: self.nodes,
+        }
+    }
+
+    /// Replace this timeline with a previously captured image.
+    pub fn restore(&mut self, state: &TimelineState) {
+        self.ends.clear();
+        self.ends.extend_from_slice(&state.ends);
+        self.jobs = state.jobs;
+        self.nodes = state.nodes;
     }
 
     /// Whether the timeline agrees with a [`RunningView`] slice — the

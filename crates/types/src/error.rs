@@ -23,6 +23,9 @@ pub enum SrapsError {
     Telemetry(String),
     /// An external scheduler returned a state S-RAPS cannot interpret.
     ExternalScheduler(String),
+    /// An engine snapshot cannot be taken or restored (schema mismatch,
+    /// wrong workload, or a backend without snapshot support).
+    Snapshot(String),
     /// I/O error carrying the rendered message (keeps the type `Clone`).
     Io(String),
 }
@@ -35,6 +38,7 @@ impl fmt::Display for SrapsError {
             SrapsError::Data(m) => write!(f, "data error: {m}"),
             SrapsError::Telemetry(m) => write!(f, "telemetry error: {m}"),
             SrapsError::ExternalScheduler(m) => write!(f, "external scheduler error: {m}"),
+            SrapsError::Snapshot(m) => write!(f, "snapshot error: {m}"),
             SrapsError::Io(m) => write!(f, "io error: {m}"),
         }
     }

@@ -51,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let sim = SimConfig::new(s.config.clone(), policy, "firstfit")
                 .expect("valid")
                 .with_window(s.sim_start, s.sim_end);
-            Engine::new(sim, &s.dataset)
+            Engine::builder(sim)
+                .build(&s.dataset)
                 .expect("builds")
                 .run()
                 .expect("runs")

@@ -3,7 +3,7 @@
 //! the real engine.
 
 use sraps_core::SchedulerSelect;
-use sraps_exp::{ExperimentMatrix, Report, SweepRunner};
+use sraps_exp::{ExperimentMatrix, Report, SweepOptions, SweepRunner};
 use sraps_integration::{small_workload, sweep_pairs, workload_of};
 use sraps_types::SimDuration;
 
@@ -145,7 +145,7 @@ fn cache_warms_across_runs_and_matrix_overlaps() {
     let (cfg, ds) = small_workload(0.6, 3, 31);
     let base = ExperimentMatrix::scenario(workload_of(&cfg, &ds))
         .pairs([("fcfs", "easy"), ("sjf", "none")]);
-    let runner = SweepRunner::new(2).cache_dir(&dir);
+    let runner = SweepRunner::with_options(2, SweepOptions::new().cache_dir(&dir));
 
     let cold = runner.run(&base).unwrap();
     assert_eq!((cold.cache_hits(), cold.cache_misses()), (0, 2));
