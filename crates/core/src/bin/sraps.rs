@@ -27,7 +27,7 @@
 use sraps_core::{Engine, EngineMode, EngineSnapshot, SchedulerSelect, SimConfig, SimOutput};
 use sraps_data::{scenario, Dataset, WorkloadSpec};
 use sraps_systems::SystemConfig;
-use sraps_types::{time::parse_duration, SimDuration, SimTime};
+use sraps_types::{fsio::write_atomic, time::parse_duration, SimDuration, SimTime};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -239,19 +239,23 @@ fn build_inputs(a: &CliArgs) -> Result<RunInputs, String> {
     Ok((cfg, ds, None))
 }
 
-fn write_outputs(dir: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join("power_history.csv"), out.power_csv())?;
-    std::fs::write(dir.join("util.csv"), out.util_csv())?;
-    std::fs::write(dir.join("job_history.csv"), out.job_csv())?;
-    std::fs::write(dir.join("stats.out"), out.stats.render())?;
+// Artifacts install via temp+rename so an interrupted run never leaves a
+// torn CSV where the next tool (or a rerun's diff) would read it.
+fn write_outputs(dir: &PathBuf, out: &SimOutput) -> sraps_types::Result<()> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        sraps_types::SrapsError::Io(format!("create output dir {}: {e}", dir.display()))
+    })?;
+    write_atomic(&dir.join("power_history.csv"), out.power_csv().as_bytes())?;
+    write_atomic(&dir.join("util.csv"), out.util_csv().as_bytes())?;
+    write_atomic(&dir.join("job_history.csv"), out.job_csv().as_bytes())?;
+    write_atomic(&dir.join("stats.out"), out.stats.render().as_bytes())?;
     if !out.cooling.is_empty() {
-        std::fs::write(dir.join("cooling_model.csv"), out.cooling_csv())?;
+        write_atomic(&dir.join("cooling_model.csv"), out.cooling_csv().as_bytes())?;
     }
     if !out.accounts.is_empty() {
-        std::fs::write(
-            dir.join("accounts.json"),
-            out.accounts.to_json().unwrap_or_default(),
+        write_atomic(
+            &dir.join("accounts.json"),
+            out.accounts.to_json().unwrap_or_default().as_bytes(),
         )?;
     }
     Ok(())
@@ -327,7 +331,7 @@ fn run(a: CliArgs) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let snap = engine.snapshot().map_err(|e| e.to_string())?;
             let json = serde_json::to_string(&snap).map_err(|e| e.to_string())?;
-            std::fs::write(path, json)
+            write_atomic(path, json.as_bytes())
                 .map_err(|e| format!("write snapshot {}: {e}", path.display()))?;
             Ok(())
         })();
@@ -371,7 +375,7 @@ fn run(a: CliArgs) -> Result<(), String> {
     if let Some(profile) = &out.profile {
         eprint!("\n{}", profile.render_table());
         let json = serde_json::to_string_pretty(profile).map_err(|e| e.to_string())?;
-        std::fs::write(dir.join("profile.json"), json).map_err(|e| e.to_string())?;
+        write_atomic(&dir.join("profile.json"), json.as_bytes()).map_err(|e| e.to_string())?;
     }
     println!("output written to {}", dir.display());
     Ok(())

@@ -85,8 +85,19 @@ impl CellCache {
         &self.dir
     }
 
-    fn entry_path(&self, key: &str) -> PathBuf {
+    /// Path of the metrics envelope for `key` (the fault harness tears
+    /// it; the claim protocol leases beside it).
+    pub fn entry_path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.json"))
+    }
+
+    /// Counter-free lookup. Used to revalidate a cell right after its
+    /// claim lease is acquired and while polling a deferred cell: the
+    /// consult already counted the one real miss, and an entry landing
+    /// in between is another worker's completion — not a second consult
+    /// — so the hit/miss counters must not move again.
+    pub fn peek(&self, key: &str, need_histories: bool) -> Option<CachedCell> {
+        self.load_inner(key, need_histories).0
     }
 
     /// Paths of the spilled history CSVs for `key` (power, util).
@@ -206,25 +217,15 @@ impl CellCache {
         self.write_atomic(&self.entry_path(key), json.as_bytes())
     }
 
-    /// Temp file + rename in the same directory; the temp name carries
+    /// Temp file + rename in the same directory (the workspace-wide
+    /// [`sraps_types::fsio::write_atomic`] idiom); the temp name carries
     /// the pid (processes sharing a cache dir) plus a process-wide
     /// counter (threads storing the same key — possible when two
     /// workloads share content under different labels, since labels are
     /// excluded from keys), so concurrent writers never collide on the
     /// temp path and at worst race identical bytes through `rename`.
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
-        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
-        let tmp = self
-            .dir
-            .join(format!(".{file_name}.tmp.{}.{seq}", std::process::id()));
-        std::fs::write(&tmp, bytes)
-            .map_err(|e| SrapsError::Io(format!("write {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, path).map_err(|e| {
-            let _ = std::fs::remove_file(&tmp);
-            SrapsError::Io(format!("install {}: {e}", path.display()))
-        })
+        sraps_types::fsio::write_atomic(path, bytes)
     }
 }
 

@@ -18,6 +18,7 @@ use crate::report::Report;
 use crate::runner::{SweepOptions, SweepRunner};
 use sraps_core::EngineMode;
 use sraps_data::scenario;
+use sraps_types::fsio::write_atomic;
 use sraps_types::time::parse_duration;
 use sraps_types::SimDuration;
 use std::path::PathBuf;
@@ -76,6 +77,26 @@ observability:
                          every span to PATH (validate with
                          `sraps validate-trace PATH`)
 
+fault tolerance:
+  --retries N            per-cell retry budget for worker panics and
+                         transient I/O (default 2); exhausted cells land
+                         in the failed-cells table and the sweep exits
+                         nonzero
+  --fail-fast            abort the whole sweep on the first cell that
+                         exhausts its retries, instead of collecting it
+                         into the failed-cells table
+  --no-claims            skip the per-cell claim leases cached sweeps use
+                         to partition work across cooperating processes
+                         (claim TTL/poll tune via SRAPS_CLAIM_TTL_MS and
+                         SRAPS_CLAIM_POLL_MS)
+  --faults SPEC          arm the deterministic fault-injection harness
+                         (also: SRAPS_FAULTS env; the flag wins). SPEC is
+                         comma-separated entries KIND@INDEX or KIND%RATE
+                         with optional :persist / :seedN / :DURms
+                         modifiers; kinds: panic, write-fail,
+                         write-delay, truncate. e.g.
+                         'panic@2,truncate@0' or 'panic%25:seed7'
+
 caching & memory:
   --cache                memoize cells on disk: hits skip simulation,
                          misses simulate and write back atomically
@@ -130,6 +151,14 @@ pub struct SweepArgs {
     pub profile: bool,
     /// `--trace-out PATH`: write a chrome-trace JSON of every span.
     pub trace_out: Option<PathBuf>,
+    /// `--retries N`; `None` ⇒ runner default.
+    pub retries: Option<u32>,
+    /// `--fail-fast`: abort on the first permanently failed cell.
+    pub fail_fast: bool,
+    /// `--no-claims` clears this (claim leases are on by default).
+    pub claims: bool,
+    /// `--faults SPEC`: validated fault-plan spec (armed at run time).
+    pub faults: Option<String>,
 }
 
 impl Default for SweepArgs {
@@ -162,6 +191,10 @@ impl Default for SweepArgs {
             metrics_only: false,
             profile: false,
             trace_out: None,
+            retries: None,
+            fail_fast: false,
+            claims: true,
+            faults: None,
         }
     }
 }
@@ -313,6 +346,21 @@ pub fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
             "--metrics-only" => a.metrics_only = true,
             "--profile" => a.profile = true,
             "--trace-out" => a.trace_out = Some(PathBuf::from(value(&mut i, "--trace-out")?)),
+            "--retries" => {
+                a.retries = Some(
+                    value(&mut i, "--retries")?
+                        .parse()
+                        .map_err(|e| format!("bad --retries: {e}"))?,
+                );
+            }
+            "--fail-fast" => a.fail_fast = true,
+            "--no-claims" => a.claims = false,
+            "--faults" => {
+                let spec = value(&mut i, "--faults")?;
+                // Validate eagerly so a typo fails before any simulation.
+                crate::faults::FaultPlan::parse(&spec)?;
+                a.faults = Some(spec);
+            }
             "-q" | "--quiet" => a.quiet = true,
             "-h" | "--help" => return Err(SWEEP_USAGE.to_string()),
             other => return Err(format!("unknown sweep argument '{other}'\n\n{SWEEP_USAGE}")),
@@ -421,7 +469,12 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
         .progress(!a.quiet)
         .metrics_only(a.metrics_only)
         .batch(a.batch)
-        .prefix_share(a.prefix_share);
+        .prefix_share(a.prefix_share)
+        .claims(a.claims)
+        .fail_fast(a.fail_fast);
+    if let Some(retries) = a.retries {
+        opts = opts.retries(retries);
+    }
     if let Some(lanes) = a.batch_max_lanes {
         opts = opts.batch_max_lanes(lanes);
     }
@@ -447,10 +500,22 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
+    // Fault injection is process-global and deterministic; arm it for
+    // exactly this run. The flag wins over the SRAPS_FAULTS env knob.
+    let fault_spec = a
+        .faults
+        .clone()
+        .or_else(|| std::env::var("SRAPS_FAULTS").ok().filter(|s| !s.is_empty()));
+    if let Some(spec) = &fault_spec {
+        crate::faults::arm(crate::faults::FaultPlan::parse(spec)?);
+        eprintln!("faults armed: {spec}");
+    }
     // Instrumentation is process-global; flip it on for exactly this run.
     sraps_obs::set_profile(a.profile);
     sraps_obs::set_trace(a.trace_out.is_some());
-    let results = runner.run(&matrix).map_err(|e| e.to_string())?;
+    let results = runner.run(&matrix);
+    crate::faults::disarm();
+    let results = results.map_err(|e| e.to_string())?;
     sraps_obs::set_profile(false);
     sraps_obs::set_trace(false);
     if let Some(path) = &a.trace_out {
@@ -479,12 +544,20 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
 
     println!();
     print!("{}", report.render_table());
+    if !report.failed.is_empty() {
+        println!();
+        print!("{}", report.render_failed_table());
+    }
     println!(
         "\n{} cells in {:.2}s wall ({} threads)",
         results.cells.len(),
         results.wall.as_secs_f64(),
         results.jobs
     );
+    if !report.failed.is_empty() {
+        // Greppable (tests and CI pin this shape), mirrors the cache line.
+        println!("failed: {} cells exhausted retries", report.failed.len());
+    }
     if let Some(dir) = &cache_dir {
         // The CI cache job greps this exact shape.
         println!(
@@ -506,15 +579,21 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
         eprint!("\n{}", Report::render_profile_table(&results));
     }
 
+    // Every report artifact installs via temp+rename: a crash (or an
+    // injected fault) mid-write never leaves a torn file where a
+    // cooperating process — or the user — would read it.
+    let install = |path: PathBuf, bytes: &[u8]| -> Result<(), String> {
+        write_atomic(&path, bytes).map_err(|e| e.to_string())
+    };
     std::fs::create_dir_all(&a.out_dir).map_err(|e| e.to_string())?;
-    std::fs::write(a.out_dir.join("sweep.csv"), report.to_csv()).map_err(|e| e.to_string())?;
-    std::fs::write(a.out_dir.join("sweep.json"), report.to_json()).map_err(|e| e.to_string())?;
+    install(a.out_dir.join("sweep.csv"), report.to_csv().as_bytes())?;
+    install(a.out_dir.join("sweep.json"), report.to_json().as_bytes())?;
     if a.write_histories {
         let cache = match &cache_dir {
             Some(dir) => Some(CellCache::open(dir).map_err(|e| e.to_string())?),
             None => None,
         };
-        for cell in &results.cells {
+        for cell in results.cells.iter().filter(|c| c.failure.is_none()) {
             let stem = cell.spec.label.replace('/', "_");
             let (power_out, util_out) = (
                 a.out_dir.join(format!("{stem}-power.csv")),
@@ -526,18 +605,31 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
                 // re-rendering tick-resolution histories from memory.
                 let key = cell.cache_key.as_ref().expect("cache implies key");
                 let (power_in, util_in) = cache.history_paths(key);
-                std::fs::copy(power_in, power_out).map_err(|e| e.to_string())?;
-                std::fs::copy(util_in, util_out).map_err(|e| e.to_string())?;
+                let read = |p: &std::path::Path| {
+                    std::fs::read(p).map_err(|e| format!("{}: {e}", p.display()))
+                };
+                install(power_out, &read(&power_in)?)?;
+                install(util_out, &read(&util_in)?)?;
             } else {
                 // Uncached (full-retention) sweep: histories are in
                 // memory.
                 let out = cell.output.as_ref().expect("uncached retains outputs");
-                std::fs::write(power_out, out.power_csv()).map_err(|e| e.to_string())?;
-                std::fs::write(util_out, out.util_csv()).map_err(|e| e.to_string())?;
+                install(power_out, out.power_csv().as_bytes())?;
+                install(util_out, out.util_csv().as_bytes())?;
             }
         }
     }
     println!("report written to {}", a.out_dir.display());
+    // The reports above are written first — a partially failed sweep
+    // still leaves its (failure-annotated) artifacts behind — and *then*
+    // the run exits nonzero so scripts and CI notice.
+    if !report.failed.is_empty() {
+        return Err(format!(
+            "{} of {} cells exhausted retries (see the failed-cells table above)",
+            report.failed.len(),
+            results.cells.len(),
+        ));
+    }
     Ok(())
 }
 

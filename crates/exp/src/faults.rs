@@ -1,0 +1,360 @@
+//! Deterministic fault injection for crash-safety testing.
+//!
+//! A [`FaultPlan`] names exactly which sweep cells misbehave and how:
+//! worker panics, failed or delayed cache writes, and mid-write
+//! truncation of the just-installed cache entry (the on-disk state a
+//! `kill -9` between write and rename would leave behind). Plans are
+//! armed per process — via `sraps sweep --faults SPEC` or the
+//! `SRAPS_FAULTS` environment variable — and checked behind a single
+//! relaxed atomic load, so like `sraps-obs` the harness is zero-cost
+//! when off.
+//!
+//! Spec grammar (comma-separated entries):
+//!
+//! ```text
+//! panic@2              panic while simulating cell index 2 (first attempt only)
+//! panic@2:persist      …on every attempt (the cell fails permanently)
+//! write-fail@1         cache write-back of cell 1 returns an I/O error once
+//! write-delay@4:250ms  cache write-back of cell 4 sleeps 250 ms first
+//! truncate@0           cell 0's cache entry is truncated right after install
+//! panic%25:seed7       seeded selection: each cell panics with p=25%
+//! ```
+//!
+//! Every fault fires **once** per (entry, cell) unless `:persist` is
+//! given, so retry/backoff paths converge deterministically: the retry
+//! of a faulted attempt runs clean. Seeded selection hashes
+//! `seed ^ cell` through splitmix64, so the same spec hits the same
+//! cells on every run, on every machine.
+
+use sraps_types::SrapsError;
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What an armed fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the worker while the cell simulates.
+    Panic,
+    /// The cache write-back returns an I/O error.
+    WriteFail,
+    /// The cache write-back sleeps first (stalls a lease heartbeat
+    /// window without killing anything).
+    WriteDelay,
+    /// The installed cache entry is truncated to half its bytes — the
+    /// torn-write state a crash between write and rename would leave.
+    Truncate,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "write-fail" => Some(FaultKind::WriteFail),
+            "write-delay" => Some(FaultKind::WriteDelay),
+            "truncate" => Some(FaultKind::Truncate),
+            _ => None,
+        }
+    }
+}
+
+/// Which cells an entry selects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Select {
+    /// One explicit cell index.
+    Index(usize),
+    /// Seeded Bernoulli over cell indices: fires at cell `i` when
+    /// `splitmix64(seed ^ i) % 100 < rate`.
+    Seeded { rate: u64, seed: u64 },
+}
+
+impl Select {
+    fn matches(&self, cell: usize) -> bool {
+        match *self {
+            Select::Index(i) => i == cell,
+            Select::Seeded { rate, seed } => splitmix64(seed ^ cell as u64) % 100 < rate,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FaultSpec {
+    kind: FaultKind,
+    select: Select,
+    /// Fire on every attempt instead of once per (entry, cell).
+    persist: bool,
+    /// Sleep duration for [`FaultKind::WriteDelay`].
+    delay: Duration,
+}
+
+/// A parsed, deterministic fault schedule. Arm with [`arm`]; the sweep
+/// runner calls the injection hooks ([`panic_point`],
+/// [`before_cache_write`], [`after_cache_write`]) at the matching sites.
+#[derive(Debug)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    /// (entry index, cell index) pairs that already fired — the fire-once
+    /// ledger that makes retries converge.
+    fired: Mutex<HashSet<(usize, usize)>>,
+}
+
+impl FaultPlan {
+    /// Parse a spec string (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut specs = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            specs.push(Self::parse_entry(entry)?);
+        }
+        if specs.is_empty() {
+            return Err(format!("fault spec {spec:?} names no faults"));
+        }
+        Ok(FaultPlan {
+            specs,
+            fired: Mutex::new(HashSet::new()),
+        })
+    }
+
+    fn parse_entry(entry: &str) -> Result<FaultSpec, String> {
+        let (head, mods) = match entry.split_once(':') {
+            Some((h, m)) => (h, Some(m)),
+            None => (entry, None),
+        };
+        let (kind_s, select) = if let Some((k, idx)) = head.split_once('@') {
+            let i = idx
+                .parse::<usize>()
+                .map_err(|_| format!("bad cell index in fault entry {entry:?}"))?;
+            (k, Select::Index(i))
+        } else if let Some((k, rate)) = head.split_once('%') {
+            let rate = rate
+                .parse::<u64>()
+                .map_err(|_| format!("bad rate in fault entry {entry:?}"))?;
+            if rate > 100 {
+                return Err(format!("rate above 100% in fault entry {entry:?}"));
+            }
+            // Seed arrives as a `seedN` modifier; default 0.
+            (k, Select::Seeded { rate, seed: 0 })
+        } else {
+            return Err(format!(
+                "fault entry {entry:?} needs `@index` or `%rate` selection"
+            ));
+        };
+        let kind = FaultKind::parse(kind_s)
+            .ok_or_else(|| format!("unknown fault kind {kind_s:?} in entry {entry:?}"))?;
+        let mut spec = FaultSpec {
+            kind,
+            select,
+            persist: false,
+            delay: Duration::from_millis(100),
+        };
+        for m in mods.into_iter().flat_map(|m| m.split(':')) {
+            if m == "persist" {
+                spec.persist = true;
+            } else if let Some(seed) = m.strip_prefix("seed") {
+                let seed = seed
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed in fault entry {entry:?}"))?;
+                match &mut spec.select {
+                    Select::Seeded { seed: s, .. } => *s = seed,
+                    Select::Index(_) => {
+                        return Err(format!("seed modifier on indexed fault entry {entry:?}"))
+                    }
+                }
+            } else if let Some(ms) = m.strip_suffix("ms") {
+                let ms = ms
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad delay in fault entry {entry:?}"))?;
+                spec.delay = Duration::from_millis(ms);
+            } else {
+                return Err(format!("unknown modifier {m:?} in fault entry {entry:?}"));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Whether the entry-`kind` fault at `cell` fires now. Consumes the
+    /// (entry, cell) charge unless the entry is persistent.
+    fn fire(&self, kind: FaultKind, cell: usize) -> Option<&FaultSpec> {
+        for (slot, spec) in self.specs.iter().enumerate() {
+            if spec.kind != kind || !spec.select.matches(cell) {
+                continue;
+            }
+            if spec.persist || self.fired.lock().unwrap().insert((slot, cell)) {
+                return Some(spec);
+            }
+        }
+        None
+    }
+}
+
+// ----------------------------------------------------------- global gate
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+
+/// Arm a fault plan process-wide. Replaces any previous plan.
+pub fn arm(plan: FaultPlan) {
+    *PLAN.lock().unwrap() = Some(Arc::new(plan));
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm fault injection (hooks return to their zero-cost fast path).
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+    *PLAN.lock().unwrap() = None;
+}
+
+/// Whether a plan is armed (single relaxed load — the hooks' fast path).
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+fn plan() -> Option<Arc<FaultPlan>> {
+    PLAN.lock().unwrap().clone()
+}
+
+fn injected() {
+    sraps_obs::bump(sraps_obs::Counter::FaultsInjected);
+}
+
+// ------------------------------------------------------- injection hooks
+
+/// Panic site: called by the worker inside its `catch_unwind` scope,
+/// right before the cell simulates.
+#[inline]
+pub fn panic_point(cell: usize) {
+    if !armed() {
+        return;
+    }
+    if let Some(p) = plan() {
+        if p.fire(FaultKind::Panic, cell).is_some() {
+            injected();
+            panic!("injected fault: worker panic at cell {cell}");
+        }
+    }
+}
+
+/// Cache write-back site, before the write: may sleep (`write-delay`)
+/// and may fail (`write-fail`).
+#[inline]
+pub fn before_cache_write(cell: usize) -> Result<(), SrapsError> {
+    if !armed() {
+        return Ok(());
+    }
+    if let Some(p) = plan() {
+        if let Some(spec) = p.fire(FaultKind::WriteDelay, cell) {
+            injected();
+            std::thread::sleep(spec.delay);
+        }
+        if p.fire(FaultKind::WriteFail, cell).is_some() {
+            injected();
+            return Err(SrapsError::Io(format!(
+                "injected fault: cache write failure at cell {cell}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Cache write-back site, after the entry installed: `truncate` tears
+/// the entry to half its bytes, reproducing on-disk state equivalent to
+/// a crash mid-write (the *next* reader self-heals it back to a miss).
+#[inline]
+pub fn after_cache_write(cell: usize, entry: &Path) {
+    if !armed() {
+        return;
+    }
+    if let Some(p) = plan() {
+        if p.fire(FaultKind::Truncate, cell).is_some() {
+            injected();
+            if let Ok(bytes) = std::fs::read(entry) {
+                let _ = std::fs::write(entry, &bytes[..bytes.len() / 2]);
+            }
+        }
+    }
+}
+
+/// splitmix64 — the mixing function behind seeded fault selection and
+/// claim-backoff jitter. Deterministic, allocation-free, good avalanche.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_grammar() {
+        let p = FaultPlan::parse("panic@2,write-fail@1,write-delay@4:250ms,truncate@0").unwrap();
+        assert_eq!(p.specs.len(), 4);
+        assert_eq!(p.specs[0].kind, FaultKind::Panic);
+        assert_eq!(p.specs[0].select, Select::Index(2));
+        assert!(!p.specs[0].persist);
+        assert_eq!(p.specs[2].delay, Duration::from_millis(250));
+
+        let p = FaultPlan::parse("panic@3:persist").unwrap();
+        assert!(p.specs[0].persist);
+
+        let p = FaultPlan::parse("panic%25:seed7").unwrap();
+        assert_eq!(p.specs[0].select, Select::Seeded { rate: 25, seed: 7 });
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "panic",
+            "panic@x",
+            "explode@1",
+            "panic%150",
+            "panic@1:seed3",
+            "panic@1:wat",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn faults_fire_once_unless_persistent() {
+        let p = FaultPlan::parse("panic@5").unwrap();
+        assert!(p.fire(FaultKind::Panic, 5).is_some());
+        assert!(p.fire(FaultKind::Panic, 5).is_none(), "charge consumed");
+        assert!(p.fire(FaultKind::Panic, 4).is_none(), "wrong cell");
+        assert!(p.fire(FaultKind::WriteFail, 5).is_none(), "wrong kind");
+
+        let p = FaultPlan::parse("panic@5:persist").unwrap();
+        assert!(p.fire(FaultKind::Panic, 5).is_some());
+        assert!(p.fire(FaultKind::Panic, 5).is_some(), "persistent refires");
+    }
+
+    #[test]
+    fn seeded_selection_is_deterministic() {
+        let a = FaultPlan::parse("panic%30:seed11").unwrap();
+        let b = FaultPlan::parse("panic%30:seed11").unwrap();
+        let hits_a: Vec<usize> = (0..64).filter(|&i| a.specs[0].select.matches(i)).collect();
+        let hits_b: Vec<usize> = (0..64).filter(|&i| b.specs[0].select.matches(i)).collect();
+        assert_eq!(hits_a, hits_b);
+        assert!(!hits_a.is_empty(), "30% of 64 cells should hit some");
+        assert!(hits_a.len() < 64, "…but not all");
+        let other: Vec<usize> = {
+            let c = FaultPlan::parse("panic%30:seed12").unwrap();
+            (0..64).filter(|&i| c.specs[0].select.matches(i)).collect()
+        };
+        assert_ne!(hits_a, other, "different seed, different cells");
+    }
+
+    #[test]
+    fn hooks_are_inert_when_disarmed() {
+        // Never armed in this test — every hook must be a no-op.
+        assert!(!armed());
+        panic_point(0);
+        before_cache_write(0).unwrap();
+        after_cache_write(0, Path::new("/nonexistent/entry.json"));
+    }
+}

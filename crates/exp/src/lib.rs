@@ -48,7 +48,9 @@
 
 pub mod cache;
 pub mod cell;
+pub mod claims;
 pub mod cli;
+pub mod faults;
 pub mod matrix;
 pub mod metrics;
 pub mod report;
@@ -56,7 +58,11 @@ pub mod runner;
 
 pub use cache::{CellCache, CACHE_SCHEMA_VERSION};
 pub use cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
+pub use claims::{ClaimOutcome, ClaimSet, Lease};
+pub use faults::FaultPlan;
 pub use matrix::{ExperimentMatrix, PrebuiltWorkload};
 pub use metrics::CellMetrics;
 pub use report::{Report, ReportRow};
-pub use runner::{CellResult, SweepOptions, SweepResults, SweepRunner, DEFAULT_BATCH_MAX_LANES};
+pub use runner::{
+    CellFailure, CellResult, SweepOptions, SweepResults, SweepRunner, DEFAULT_BATCH_MAX_LANES,
+};

@@ -52,6 +52,25 @@ impl CellMetrics {
         }
     }
 
+    /// All-zero placeholder carried by a cell that exhausted its retries
+    /// and landed in the failed-cells table. Never aggregated into
+    /// reports — report builders skip failed cells entirely.
+    pub fn failed() -> Self {
+        CellMetrics {
+            jobs_completed: 0,
+            jobs_censored: 0,
+            mean_utilization: 0.0,
+            mean_power_kw: 0.0,
+            peak_power_kw: 0.0,
+            max_power_swing_kw: 0.0,
+            energy_mwh: 0.0,
+            avg_wait_secs: 0.0,
+            p99_wait_secs: 0.0,
+            avg_turnaround_secs: 0.0,
+            run_pue: None,
+        }
+    }
+
     /// Element-wise mean over a set of metrics (seed aggregation). `None`
     /// PUEs poison the mean, mirroring "cooling was off somewhere".
     pub fn mean(samples: &[&CellMetrics]) -> Option<CellMetrics> {

@@ -47,10 +47,23 @@ pub struct SummaryRow {
     pub metrics: CellMetrics,
 }
 
+/// A cell that exhausted its retries. Kept out of [`Report::rows`] (its
+/// placeholder metrics would poison baselines and seed means) and listed
+/// here instead.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailedRow {
+    pub workload: String,
+    pub cell: String,
+    pub attempts: u32,
+    pub error: String,
+}
+
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
     pub rows: Vec<ReportRow>,
     pub summary: Vec<SummaryRow>,
+    /// Cells that failed permanently (empty on a healthy sweep).
+    pub failed: Vec<FailedRow>,
     /// The `<policy>-<backfill>` kind deltas are measured against, when
     /// one applied.
     pub baseline: Option<String>,
@@ -85,6 +98,10 @@ impl Report {
         let mut rows = Vec::with_capacity(results.cells.len());
         let mut resolved_baseline: Option<String> = baseline.map(str::to_string);
         for (_, cells) in results.by_workload() {
+            // Failed cells never become rows, baselines, or summary
+            // members — their all-zero placeholder metrics would poison
+            // every delta they touch.
+            let cells: Vec<_> = cells.into_iter().filter(|c| c.failure.is_none()).collect();
             let base = match baseline {
                 Some(kind) => cells
                     .iter()
@@ -118,6 +135,19 @@ impl Report {
         Report {
             rows,
             summary: Self::seed_summary(results),
+            failed: results
+                .failed_cells()
+                .into_iter()
+                .map(|c| {
+                    let f = c.failure.as_ref().expect("failed_cells filters on failure");
+                    FailedRow {
+                        workload: c.workload_label.clone(),
+                        cell: c.spec.label.clone(),
+                        attempts: f.attempts,
+                        error: f.error.clone(),
+                    }
+                })
+                .collect(),
             baseline: resolved_baseline,
         }
     }
@@ -138,7 +168,11 @@ impl Report {
             let members: Vec<&CellMetrics> = results
                 .cells
                 .iter()
-                .filter(|c| c.workload_group == group && cell_kind(&c.spec.label) == kind)
+                .filter(|c| {
+                    c.failure.is_none()
+                        && c.workload_group == group
+                        && cell_kind(&c.spec.label) == kind
+                })
                 .map(|c| &c.metrics)
                 .collect();
             if members.len() > 1 {
@@ -222,6 +256,26 @@ impl Report {
                     row.metrics.avg_wait_secs,
                 ));
             }
+        }
+        s
+    }
+
+    /// Aligned text table of permanently failed cells; empty string when
+    /// the sweep was healthy. The CLI prints this after the main table
+    /// (and exits nonzero) whenever it is non-empty.
+    pub fn render_failed_table(&self) -> String {
+        if self.failed.is_empty() {
+            return String::new();
+        }
+        let mut s = String::from("failed cells\n");
+        s.push_str(&format!("{:<26} {:>8}  {}\n", "cell", "attempts", "error"));
+        for row in &self.failed {
+            s.push_str(&format!(
+                "{:<26} {:>8}  {}\n",
+                cell_kind(&row.cell),
+                row.attempts,
+                row.error
+            ));
         }
         s
     }

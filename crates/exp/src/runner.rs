@@ -26,9 +26,21 @@
 //! Workloads materialize first (also cursor-parallel across unique
 //! workloads), then cells run against the shared `Arc<Dataset>`s,
 //! consulting the [`CellCache`] before simulating when one is configured.
+//!
+//! A fourth property rides on top of the original three —
+//! **crash-safety**: with a cache directory configured, every miss is
+//! guarded by a [`ClaimSet`] lease so N cooperating processes partition
+//! one matrix without duplicating simulation; each cell simulates
+//! inside `catch_unwind` with bounded, jittered retry, so a poisoned
+//! cell (or an injected [`crate::faults`] fault) degrades to a
+//! [`CellFailure`] row instead of tearing down the sweep; and cache
+//! write-back errors degrade to a warning plus counter while the result
+//! still flows to the report.
 
 use crate::cache::CellCache;
 use crate::cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
+use crate::claims::{ClaimOutcome, ClaimSet, Lease};
+use crate::faults;
 use crate::matrix::ExperimentMatrix;
 use crate::metrics::CellMetrics;
 use sraps_core::{
@@ -36,6 +48,7 @@ use sraps_core::{
 };
 use sraps_obs::{Counter, Phase as ObsPhase, Profile};
 use sraps_types::{Result, SimDuration, SrapsError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -66,6 +79,18 @@ impl<'a> LazyWorkload<'a> {
     }
 }
 
+/// Why a cell's result is a placeholder: it panicked or errored on
+/// every attempt. Failed cells are excluded from report rows and listed
+/// in the failed-cells table instead; any failure makes `sraps sweep`
+/// exit nonzero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Rendered error of the *last* attempt.
+    pub error: String,
+    /// Total attempts made (1 + retries).
+    pub attempts: u32,
+}
+
 /// One finished cell: its spec, its workload's label, the scalar metrics
 /// reports aggregate, and — in full-retention cold runs — the simulation
 /// output.
@@ -92,6 +117,9 @@ pub struct CellResult {
     /// wholly on one worker thread, so the delta is deterministic for any
     /// `--jobs` value.
     pub profile: Option<Profile>,
+    /// `Some` when the cell exhausted its retries: `metrics` is the
+    /// all-zero placeholder and the cell is excluded from report rows.
+    pub failure: Option<CellFailure>,
 }
 
 /// Everything a sweep produced, cells in matrix order.
@@ -153,6 +181,11 @@ impl SweepResults {
     /// Cells that were simulated (and, when caching, written back).
     pub fn cache_misses(&self) -> usize {
         self.cells.len() - self.cache_hits()
+    }
+
+    /// Cells that exhausted their retries, in matrix order.
+    pub fn failed_cells(&self) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| c.failure.is_some()).collect()
     }
 
     /// The per-cell profiles merged in matrix order — deterministic
@@ -230,6 +263,19 @@ pub struct SweepOptions {
     /// to unshared runs: the unshared path executes the same
     /// snapshot/restore sequence privately.
     pub prefix_share: bool,
+    /// Lease each cache miss via a `<key>.claim` file before simulating
+    /// (requires `cache_dir`; on by default) so cooperating processes
+    /// sharing one cache directory never simulate the same cell twice.
+    /// Contended cells are deferred, then served from the cache once
+    /// the lease holder completes — or reclaimed if it died.
+    pub claims: bool,
+    /// Retries per cell after a panic or transient I/O failure before
+    /// the cell lands in the failed-cells table (total attempts =
+    /// `retries + 1`).
+    pub retries: u32,
+    /// Abort the sweep on the first *permanent* cell failure instead of
+    /// degrading it to a failed-cells row.
+    pub fail_fast: bool,
 }
 
 impl Default for SweepOptions {
@@ -242,6 +288,9 @@ impl Default for SweepOptions {
             batch: false,
             batch_max_lanes: DEFAULT_BATCH_MAX_LANES,
             prefix_share: false,
+            claims: true,
+            retries: 2,
+            fail_fast: false,
         }
     }
 }
@@ -283,6 +332,21 @@ impl SweepOptions {
 
     pub fn prefix_share(mut self, on: bool) -> Self {
         self.prefix_share = on;
+        self
+    }
+
+    pub fn claims(mut self, on: bool) -> Self {
+        self.claims = on;
+        self
+    }
+
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    pub fn fail_fast(mut self, on: bool) -> Self {
+        self.fail_fast = on;
         self
     }
 }
@@ -392,91 +456,58 @@ impl SweepRunner {
             (vec![None; cells.len()], Vec::new())
         };
 
+        // Claim leases guard misses when both a cache and the (default
+        // on) claims option are configured: cooperating processes
+        // sharing the cache directory partition the matrix instead of
+        // simulating cells twice.
+        let claims = match (&cache, self.opts.claims) {
+            (Some(c), true) => Some(ClaimSet::open(c.dir())?),
+            _ => None,
+        };
+
         // Phase 2: cells, collected by index — either per-cell
         // (cursor-parallel over cells) or batched (cursor-parallel over
         // same-workload lane groups). Both orders of execution assemble
         // into matrix order, and the engine pins batched lane outputs
         // bit-identical to solo runs, so the two paths produce
-        // byte-identical reports and cache entries.
+        // byte-identical reports and cache entries. Cells whose claim is
+        // held by another process are *skipped* in this pass (the worker
+        // thread moves on) and resolved afterwards by polling the cache.
         let total = cells.len();
         let counter = AtomicUsize::new(0);
         let prefix_groups = prefix_slots.len();
         let prefix_forks = prefix_of.iter().flatten().count();
-        let cells = if self.opts.batch {
-            self.run_cells_batched(
-                &cells,
-                &workloads,
-                &fingerprints,
-                (&prefix_of, &prefix_slots),
-                cache.as_ref(),
-                &steals,
-                &counter,
-            )?
+        let exec = CellExec {
+            runner: self,
+            cells: &cells,
+            workloads: &workloads,
+            fingerprints: &fingerprints,
+            prefix_of: &prefix_of,
+            prefix_slots: &prefix_slots,
+            cache: cache.as_ref(),
+            claims: claims.as_ref(),
+            counter: &counter,
+            total,
+        };
+        let mut tries = if self.opts.batch {
+            self.run_cells_batched(&exec, &steals)?
         } else {
             let results = run_indexed(self.jobs.min(total.max(1)), total, &steals, |i| {
-                let cell = &cells[i];
-                let workload = &workloads[cell.workload];
-                // A cell runs wholly on this thread: the capture delta
-                // over the thread-local accumulators is exactly its
-                // profile, and the stopwatch is the one per-cell timing
-                // pathway (it also emits the `sweep.cell` trace span).
-                let cell_capture = sraps_obs::capture();
-                let cell_watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
-
-                let key = fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
-                if let (Some(cache), Some(key)) = (&cache, &key) {
-                    if let Some(hit) = cache.load(key, self.opts.spill_histories) {
-                        // A hit's profile is the cache-read span + hit
-                        // counter — real timing, not zeroed engine phases.
-                        let elapsed = cell_watch.finish();
-                        let profile = cell_capture.finish();
-                        return Ok(self.finish_cell(
-                            cell,
-                            workload.plan,
-                            Some(key.clone()),
-                            (&counter, total),
-                            hit.metrics,
-                            None,
-                            true,
-                            elapsed,
-                            profile,
-                        ));
-                    }
-                }
-
-                let workload = workload.get()?;
-                let prefix = prefix_of[i].map(|s| &prefix_slots[s]);
-                let output = simulate_cell(cell, workload, prefix, cache.as_ref())?;
-                let metrics = CellMetrics::from_output(&output);
-                if let (Some(cache), Some(key)) = (&cache, &key) {
-                    let histories = self
-                        .opts
-                        .spill_histories
-                        .then(|| (output.power_csv(), output.util_csv()));
-                    cache.store(
-                        key,
-                        &cell.label,
-                        &metrics,
-                        histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
-                    )?;
-                }
-                let output = (!self.opts.metrics_only).then_some(output);
-                let elapsed = cell_watch.finish();
-                let profile = cell_capture.finish();
-                Ok(self.finish_cell(
-                    cell,
-                    workloads[cell.workload].plan,
-                    key,
-                    (&counter, total),
-                    metrics,
-                    output,
-                    false,
-                    elapsed,
-                    profile,
-                ))
+                exec.run_cell(i)
             });
             collect_ordered(results)?
         };
+        exec.resolve_deferred(&mut tries)?;
+        let cells = tries
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                CellTry::Done(r) => Ok(*r),
+                CellTry::Deferred => Err(SrapsError::Config(format!(
+                    "internal: deferred sweep cell {i} was never resolved"
+                ))),
+            })
+            .collect::<Result<Vec<_>>>()?;
 
         Ok(SweepResults {
             cells,
@@ -505,6 +536,7 @@ impl SweepRunner {
         from_cache: bool,
         elapsed: Duration,
         profile: Option<Profile>,
+        failure: Option<CellFailure>,
     ) -> CellResult {
         if self.opts.progress {
             let (counter, total) = progress;
@@ -514,7 +546,9 @@ impl SweepRunner {
                 cell.label,
                 metrics.jobs_completed,
                 metrics.mean_utilization * 100.0,
-                if from_cache {
+                if failure.is_some() {
+                    "  FAILED".to_string()
+                } else if from_cache {
                     "  cached".to_string()
                 } else {
                     format!("{:>8.2}s", elapsed.as_secs_f64())
@@ -534,6 +568,7 @@ impl SweepRunner {
             cache_key,
             from_cache,
             profile,
+            failure,
         }
     }
 
@@ -554,30 +589,34 @@ impl SweepRunner {
     ///   inside the group's capture, so the group profile (attached to
     ///   the group's first lane; other lanes keep only their consult
     ///   delta) accounts for all work, exactly once.
-    #[allow(clippy::too_many_arguments)]
-    fn run_cells_batched(
-        &self,
-        cells: &[CellSpec],
-        workloads: &[LazyWorkload],
-        fingerprints: &[Option<Fingerprint>],
-        prefixes: (&[Option<usize>], &[PrefixSlot]),
-        cache: Option<&CellCache>,
-        steals: &AtomicU64,
-        counter: &AtomicUsize,
-    ) -> Result<Vec<CellResult>> {
-        let (prefix_of, prefix_slots) = prefixes;
+    ///
+    /// Crash-safety composes with batching: consult-stage misses are
+    /// claim-leased (contended cells are deferred, never entering a
+    /// lane), and a panic or error anywhere in a group falls back to
+    /// per-cell execution of its members — the full retry/isolation
+    /// machinery then quarantines the poisoned lane on its own.
+    fn run_cells_batched(&self, exec: &CellExec, steals: &AtomicU64) -> Result<Vec<CellTry>> {
+        let (cells, workloads) = (exec.cells, exec.workloads);
+        let (prefix_of, prefix_slots) = (exec.prefix_of, exec.prefix_slots);
+        let cache = exec.cache;
         struct Consult {
             /// Finished result for a cache hit; `None` ⇒ lane candidate.
             result: Option<CellResult>,
             key: Option<String>,
             /// A miss's cache-read delta, merged into its lane result.
             profile: Option<Profile>,
+            /// The miss's claim lease, taken by whichever stage installs
+            /// (or permanently fails) the cell.
+            lease: Mutex<Option<Lease>>,
+            /// Leased by another process: excluded from lanes, resolved
+            /// by the deferral loop.
+            deferred: bool,
         }
         let total = cells.len();
 
         let consults = run_indexed(self.jobs.min(total.max(1)), total, steals, |i| {
             let cell = &cells[i];
-            let key = fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
+            let key = exec.fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
             if let (Some(cache), Some(k)) = (cache, &key) {
                 let capture = sraps_obs::capture();
                 let watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
@@ -589,35 +628,52 @@ impl SweepRunner {
                             cell,
                             workloads[cell.workload].plan,
                             key.clone(),
-                            (counter, total),
+                            (exec.counter, total),
                             hit.metrics,
                             None,
                             true,
                             elapsed,
                             profile,
+                            None,
                         )),
                         key,
                         profile: None,
+                        lease: Mutex::new(None),
+                        deferred: false,
                     });
                 }
                 let _ = watch.finish();
-                return Ok(Consult {
-                    result: None,
-                    key,
-                    profile: capture.finish(),
-                });
+                let profile = capture.finish();
+                return match exec.claim(k) {
+                    ClaimDecision::Own(lease) => Ok(Consult {
+                        result: None,
+                        key,
+                        profile,
+                        lease: Mutex::new(lease),
+                        deferred: false,
+                    }),
+                    ClaimDecision::Defer => Ok(Consult {
+                        result: None,
+                        key,
+                        profile: None,
+                        lease: Mutex::new(None),
+                        deferred: true,
+                    }),
+                };
             }
             Ok(Consult {
                 result: None,
                 key,
                 profile: None,
+                lease: Mutex::new(None),
+                deferred: false,
             })
         });
         let consults = collect_ordered(consults)?;
 
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workloads.len()];
         for (i, consult) in consults.iter().enumerate() {
-            if consult.result.is_none() {
+            if consult.result.is_none() && !consult.deferred {
                 buckets[cells[i].workload].push(i);
             }
         }
@@ -637,56 +693,81 @@ impl SweepRunner {
                 // lanes' simulation, metrics folding, and write-back.
                 let group_capture = sraps_obs::capture();
                 let group_watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
-                let workload = workloads[cells[group[0]].workload].get()?;
-                let sims = group
-                    .iter()
-                    .map(|&i| cells[i].build_sim(workload))
-                    .collect::<Result<Vec<_>>>()?;
-                let window = SimWindow::new(&sims[0], &workload.dataset)?;
-                // Lanes need not share a current instant — the batched
-                // core advances each lane from its own cursor — so fresh
-                // lanes and prefix-resumed lanes mix freely in one group.
-                let engines = group
-                    .iter()
-                    .zip(sims)
-                    .map(|(&i, sim)| {
-                        let cell = &cells[i];
-                        match cell.late_cap() {
-                            None => Engine::with_window(sim, &window),
-                            Some(switch) => match prefix_of[i].map(|s| &prefix_slots[s]) {
-                                Some(slot) => {
-                                    let (_, snap) = slot.get(cell, workload, switch, cache)?;
-                                    Engine::builder(sim).resume(snap).build_in_window(&window)
-                                }
-                                None => {
-                                    let snap = compute_prefix(
-                                        cell.prefix_spec().build_sim(workload)?,
-                                        &window,
-                                        switch,
-                                    )?;
-                                    Engine::builder(sim).resume(&snap).build_in_window(&window)
-                                }
-                            },
-                        }
-                    })
-                    .collect::<Result<Vec<_>>>()?;
-                let outputs = BatchedEngine::new(engines)?.run()?;
-                let mut lanes = Vec::with_capacity(group.len());
-                for (&i, output) in group.iter().zip(outputs) {
-                    let metrics = CellMetrics::from_output(&output);
-                    if let (Some(cache), Some(key)) = (cache, &consults[i].key) {
-                        let histories = self
-                            .opts
-                            .spill_histories
-                            .then(|| (output.power_csv(), output.util_csv()));
-                        cache.store(
-                            key,
-                            &cells[i].label,
-                            &metrics,
-                            histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
-                        )?;
+                type Lanes = Vec<(usize, CellMetrics, Option<SimOutput>)>;
+                let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Lanes> {
+                    let workload = workloads[cells[group[0]].workload].get()?;
+                    for &i in group {
+                        faults::panic_point(i);
                     }
-                    lanes.push((i, metrics, (!self.opts.metrics_only).then_some(output)));
+                    let sims = group
+                        .iter()
+                        .map(|&i| cells[i].build_sim(workload))
+                        .collect::<Result<Vec<_>>>()?;
+                    let window = SimWindow::new(&sims[0], &workload.dataset)?;
+                    // Lanes need not share a current instant — the batched
+                    // core advances each lane from its own cursor — so fresh
+                    // lanes and prefix-resumed lanes mix freely in one group.
+                    let engines = group
+                        .iter()
+                        .zip(sims)
+                        .map(|(&i, sim)| {
+                            let cell = &cells[i];
+                            match cell.late_cap() {
+                                None => Engine::with_window(sim, &window),
+                                Some(switch) => match prefix_of[i].map(|s| &prefix_slots[s]) {
+                                    Some(slot) => {
+                                        let (_, snap) = slot.get(cell, workload, switch, cache)?;
+                                        Engine::builder(sim).resume(snap).build_in_window(&window)
+                                    }
+                                    None => {
+                                        let snap = compute_prefix(
+                                            cell.prefix_spec().build_sim(workload)?,
+                                            &window,
+                                            switch,
+                                        )?;
+                                        Engine::builder(sim).resume(&snap).build_in_window(&window)
+                                    }
+                                },
+                            }
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    let outputs = BatchedEngine::new(engines)?.run()?;
+                    let mut lanes = Vec::with_capacity(group.len());
+                    for (&i, output) in group.iter().zip(outputs) {
+                        let metrics = CellMetrics::from_output(&output);
+                        if let (Some(cache), Some(key)) = (cache, &consults[i].key) {
+                            exec.store_degraded(i, cache, key, &cells[i], &metrics, &output);
+                        }
+                        lanes.push((i, metrics, (!self.opts.metrics_only).then_some(output)));
+                    }
+                    Ok(lanes)
+                }));
+                let lanes = match attempt {
+                    Ok(Ok(lanes)) => lanes,
+                    // A panic or error anywhere in the group: discard the
+                    // group capture and re-run each member cell solo with
+                    // the full retry/isolation machinery — the poisoned
+                    // lane degrades to a failed-cells row on its own, and
+                    // healthy lanes still complete.
+                    Ok(Err(_)) | Err(_) => {
+                        let _ = group_watch.finish();
+                        let _ = group_capture.finish();
+                        let mut out = Vec::with_capacity(group.len());
+                        for &i in group {
+                            let lease = consults[i].lease.lock().unwrap().take();
+                            out.push((
+                                i,
+                                exec.run_cell_isolated(i, consults[i].key.clone(), lease)?,
+                            ));
+                        }
+                        return Ok(out);
+                    }
+                };
+                // Entries installed: the leases have done their job.
+                for &i in group {
+                    if let Some(lease) = consults[i].lease.lock().unwrap().take() {
+                        lease.release();
+                    }
                 }
                 let elapsed = group_watch.finish();
                 let mut group_profile = group_capture.finish();
@@ -704,12 +785,13 @@ impl SweepRunner {
                             &cells[i],
                             workloads[cells[i].workload].plan,
                             consults[i].key.clone(),
-                            (counter, total),
+                            (exec.counter, total),
                             metrics,
                             output,
                             false,
                             elapsed,
                             profile,
+                            None,
                         );
                         (i, result)
                     })
@@ -718,6 +800,7 @@ impl SweepRunner {
         );
         let group_results = collect_ordered(group_results)?;
 
+        let deferred: Vec<bool> = consults.iter().map(|c| c.deferred).collect();
         let mut slots: Vec<Option<CellResult>> = consults.into_iter().map(|c| c.result).collect();
         for lanes in group_results {
             for (i, result) in lanes {
@@ -726,14 +809,397 @@ impl SweepRunner {
         }
         slots
             .into_iter()
+            .zip(deferred)
             .enumerate()
-            .map(|(i, slot)| {
-                slot.ok_or_else(|| {
-                    SrapsError::Config(format!("internal: batched sweep cell {i} was never run"))
-                })
+            .map(|(i, (slot, deferred))| match (slot, deferred) {
+                (Some(r), _) => Ok(CellTry::Done(Box::new(r))),
+                (None, true) => Ok(CellTry::Deferred),
+                (None, false) => Err(SrapsError::Config(format!(
+                    "internal: batched sweep cell {i} was never run"
+                ))),
             })
             .collect()
     }
+}
+
+/// Outcome of one pass over a cell: finished, or skipped because another
+/// process holds its claim (resolved later by [`CellExec::resolve_deferred`]).
+enum CellTry {
+    Done(Box<CellResult>),
+    Deferred,
+}
+
+/// What to do with a cache miss after consulting the claim set.
+enum ClaimDecision {
+    /// Simulate here, releasing the lease (when one exists) afterwards.
+    Own(Option<Lease>),
+    /// A live foreign lease: skip for now, poll the cache later.
+    Defer,
+}
+
+/// Everything phase 2 needs to execute one cell, bundled so the per-cell,
+/// batched, and deferred-resolution paths share identical logic (and
+/// therefore identical results, counters, and failure semantics).
+struct CellExec<'a> {
+    runner: &'a SweepRunner,
+    cells: &'a [CellSpec],
+    workloads: &'a [LazyWorkload<'a>],
+    fingerprints: &'a [Option<Fingerprint>],
+    prefix_of: &'a [Option<usize>],
+    prefix_slots: &'a [PrefixSlot],
+    cache: Option<&'a CellCache>,
+    claims: Option<&'a ClaimSet>,
+    counter: &'a AtomicUsize,
+    total: usize,
+}
+
+impl CellExec<'_> {
+    /// One main-pass attempt at cell `i`: cache hit → done; miss → claim,
+    /// simulate when owned, defer when another process is on it.
+    fn run_cell(&self, i: usize) -> Result<CellTry> {
+        let cell = &self.cells[i];
+        // Per-cell observability: a `sweep.cell` span plus a thread-local
+        // capture of everything the cell does (cache probe included).
+        let capture = sraps_obs::capture();
+        let watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
+        let key = self.fingerprints[cell.workload].map(|fp| cell.fingerprint(fp).hex());
+        if let (Some(cache), Some(k)) = (self.cache, &key) {
+            if let Some(hit) = cache.load(k, self.runner.opts.spill_histories) {
+                let elapsed = watch.finish();
+                let profile = capture.finish();
+                return Ok(CellTry::Done(Box::new(self.runner.finish_cell(
+                    cell,
+                    self.workloads[cell.workload].plan,
+                    key,
+                    (self.counter, self.total),
+                    hit.metrics,
+                    None,
+                    true,
+                    elapsed,
+                    profile,
+                    None,
+                ))));
+            }
+            return match self.claim(k) {
+                ClaimDecision::Defer => {
+                    // Skip, don't block: the worker thread moves on to
+                    // other cells; the deferral loop picks this one up
+                    // afterwards.
+                    let _ = watch.finish();
+                    let _ = capture.finish();
+                    Ok(CellTry::Deferred)
+                }
+                ClaimDecision::Own(lease) => Ok(CellTry::Done(Box::new(
+                    self.simulate_claimed(i, cell, key, lease, capture, watch)?,
+                ))),
+            };
+        }
+        self.simulate_claimed(i, cell, key, None, capture, watch)
+            .map(|r| CellTry::Done(Box::new(r)))
+    }
+
+    /// Classify a miss against the claim set. Transient claim-I/O errors
+    /// get a short bounded retry; a persistently failing claim layer
+    /// degrades to running unclaimed (correctness never depends on
+    /// claims — only duplicate-work avoidance does).
+    fn claim(&self, key: &str) -> ClaimDecision {
+        let Some(claims) = self.claims else {
+            return ClaimDecision::Own(None);
+        };
+        let mut last_err = None;
+        for attempt in 0..3u32 {
+            if attempt > 0 {
+                std::thread::sleep(claims.backoff(key, attempt));
+                sraps_obs::bump(Counter::CellRetries);
+            }
+            match claims.try_acquire(key) {
+                Ok(ClaimOutcome::Acquired(lease)) => return ClaimDecision::Own(Some(lease)),
+                Ok(ClaimOutcome::Contended) => return ClaimDecision::Defer,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        eprintln!(
+            "warning: claim layer unavailable for cell {key}: {} (running unclaimed)",
+            last_err.expect("loop ran")
+        );
+        ClaimDecision::Own(None)
+    }
+
+    /// Simulate cell `i` under an (optional) held lease: re-validate the
+    /// cache, run inside `catch_unwind` with bounded jittered retries,
+    /// write back with degradation, release the lease, and fold permanent
+    /// failures into a [`CellFailure`] row (unless `fail_fast`).
+    fn simulate_claimed(
+        &self,
+        i: usize,
+        cell: &CellSpec,
+        key: Option<String>,
+        lease: Option<Lease>,
+        capture: sraps_obs::Capture,
+        watch: sraps_obs::Stopwatch,
+    ) -> Result<CellResult> {
+        let opts = &self.runner.opts;
+        // Between our miss and our claim, the previous owner may have
+        // finished the cell. Counter-free peek keeps single-process
+        // cache.hits/misses counters deterministic.
+        if lease.is_some() {
+            if let (Some(cache), Some(k)) = (self.cache, key.as_deref()) {
+                if let Some(hit) = cache.peek(k, opts.spill_histories) {
+                    if let Some(lease) = lease {
+                        lease.release();
+                    }
+                    let elapsed = watch.finish();
+                    let profile = capture.finish();
+                    return Ok(self.runner.finish_cell(
+                        cell,
+                        self.workloads[cell.workload].plan,
+                        key,
+                        (self.counter, self.total),
+                        hit.metrics,
+                        None,
+                        true,
+                        elapsed,
+                        profile,
+                        None,
+                    ));
+                }
+            }
+        }
+        // Workload materialization failures are configuration errors
+        // (bad scenario path, malformed plan): they abort the sweep
+        // rather than masquerade as per-cell failures.
+        let workload = self.workloads[cell.workload].get()?;
+        let prefix = self.prefix_of[i].map(|s| &self.prefix_slots[s]);
+        let mut attempts = 0u32;
+        let outcome = loop {
+            attempts += 1;
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                faults::panic_point(i);
+                simulate_cell(cell, workload, prefix, self.cache)
+            }));
+            let err = match attempt {
+                Ok(Ok(output)) => break Ok(output),
+                Ok(Err(e)) => e,
+                Err(payload) => SrapsError::Panic(panic_message(payload)),
+            };
+            if attempts > opts.retries || !retryable(&err) {
+                break Err(err);
+            }
+            sraps_obs::bump(Counter::CellRetries);
+            std::thread::sleep(retry_backoff(attempts, i));
+        };
+        match outcome {
+            Ok(output) => {
+                let metrics = CellMetrics::from_output(&output);
+                if let (Some(cache), Some(k)) = (self.cache, key.as_deref()) {
+                    self.store_degraded(i, cache, k, cell, &metrics, &output);
+                }
+                if let Some(lease) = lease {
+                    lease.release();
+                }
+                let elapsed = watch.finish();
+                let profile = capture.finish();
+                Ok(self.runner.finish_cell(
+                    cell,
+                    self.workloads[cell.workload].plan,
+                    key,
+                    (self.counter, self.total),
+                    metrics,
+                    (!opts.metrics_only).then_some(output),
+                    false,
+                    elapsed,
+                    profile,
+                    None,
+                ))
+            }
+            Err(e) => {
+                sraps_obs::bump(Counter::CellsFailed);
+                // Release so a cooperating process (or a rerun) can take
+                // another swing at the cell.
+                if let Some(lease) = lease {
+                    lease.release();
+                }
+                if opts.fail_fast {
+                    return Err(e);
+                }
+                let elapsed = watch.finish();
+                let profile = capture.finish();
+                Ok(self.runner.finish_cell(
+                    cell,
+                    self.workloads[cell.workload].plan,
+                    key,
+                    (self.counter, self.total),
+                    CellMetrics::failed(),
+                    None,
+                    false,
+                    elapsed,
+                    profile,
+                    Some(CellFailure {
+                        error: e.to_string(),
+                        attempts,
+                    }),
+                ))
+            }
+        }
+    }
+
+    /// Batched-path fallback: run cell `i` solo, with its already-held
+    /// lease, under the full retry/isolation machinery.
+    fn run_cell_isolated(
+        &self,
+        i: usize,
+        key: Option<String>,
+        lease: Option<Lease>,
+    ) -> Result<CellResult> {
+        let capture = sraps_obs::capture();
+        let watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
+        self.simulate_claimed(i, &self.cells[i], key, lease, capture, watch)
+    }
+
+    /// Cache write-back that *degrades* instead of failing: transient
+    /// errors get the bounded retry/backoff treatment, and exhaustion
+    /// surfaces as a warning plus `cache.write_errors` bump while the
+    /// cell result still flows to the report.
+    fn store_degraded(
+        &self,
+        i: usize,
+        cache: &CellCache,
+        key: &str,
+        cell: &CellSpec,
+        metrics: &CellMetrics,
+        output: &SimOutput,
+    ) {
+        let histories = self
+            .runner
+            .opts
+            .spill_histories
+            .then(|| (output.power_csv(), output.util_csv()));
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let wrote = faults::before_cache_write(i).and_then(|()| {
+                cache.store(
+                    key,
+                    &cell.label,
+                    metrics,
+                    histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
+                )
+            });
+            match wrote {
+                Ok(()) => {
+                    faults::after_cache_write(i, &cache.entry_path(key));
+                    return;
+                }
+                Err(_) if attempts <= self.runner.opts.retries => {
+                    sraps_obs::bump(Counter::CellRetries);
+                    std::thread::sleep(retry_backoff(attempts, i));
+                }
+                Err(e) => {
+                    sraps_obs::bump(Counter::CacheWriteErrors);
+                    eprintln!("warning: cache write failed for cell {key}: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Serial post-pass for cells the main pass deferred: poll each one's
+    /// cache entry (the other process usually finishes and installs it),
+    /// re-attempting the claim between polls so a crashed owner's stale
+    /// lease is reclaimed and the cell simulated here. Jittered sleeps
+    /// between rounds keep N pollers from stampeding.
+    fn resolve_deferred(&self, slots: &mut [CellTry]) -> Result<()> {
+        let (Some(cache), Some(claims)) = (self.cache, self.claims) else {
+            return Ok(());
+        };
+        let mut pending: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| matches!(t, CellTry::Deferred).then_some(i))
+            .collect();
+        let mut round = 0u32;
+        while !pending.is_empty() {
+            let mut still = Vec::with_capacity(pending.len());
+            for &i in &pending {
+                let cell = &self.cells[i];
+                let key = self.fingerprints[cell.workload]
+                    .map(|fp| cell.fingerprint(fp).hex())
+                    .expect("deferred cells always have a cache key");
+                let capture = sraps_obs::capture();
+                let watch = sraps_obs::stopwatch(ObsPhase::SweepCell);
+                if let Some(hit) = cache.peek(&key, self.runner.opts.spill_histories) {
+                    let elapsed = watch.finish();
+                    let profile = capture.finish();
+                    slots[i] = CellTry::Done(Box::new(self.runner.finish_cell(
+                        cell,
+                        self.workloads[cell.workload].plan,
+                        Some(key),
+                        (self.counter, self.total),
+                        hit.metrics,
+                        None,
+                        true,
+                        elapsed,
+                        profile,
+                        None,
+                    )));
+                    continue;
+                }
+                match self.claim(&key) {
+                    ClaimDecision::Own(lease) => {
+                        slots[i] = CellTry::Done(Box::new(self.simulate_claimed(
+                            i,
+                            cell,
+                            Some(key),
+                            lease,
+                            capture,
+                            watch,
+                        )?));
+                    }
+                    ClaimDecision::Defer => {
+                        let _ = watch.finish();
+                        let _ = capture.finish();
+                        still.push(i);
+                    }
+                }
+            }
+            if !still.is_empty() {
+                round = round.wrapping_add(1);
+                std::thread::sleep(claims.backoff("deferred", round));
+            }
+            pending = still;
+        }
+        Ok(())
+    }
+}
+
+/// Errors worth a bounded in-process retry: transient I/O hiccups and
+/// worker panics (which injected faults model as fire-once). Config and
+/// simulation-semantics errors are deterministic — retrying re-fails.
+fn retryable(e: &SrapsError) -> bool {
+    matches!(e, SrapsError::Io(_) | SrapsError::Panic(_))
+}
+
+/// Render a `catch_unwind` payload into the `SrapsError::Panic` message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Exponential backoff before retry `attempt` (1-based), jittered per
+/// cell so simultaneous retries across workers don't re-collide:
+/// ~10 ms · 2^(attempt−1), capped at ~500 ms, ±50% deterministic jitter.
+fn retry_backoff(attempt: u32, salt: usize) -> Duration {
+    let base = 10u64
+        .saturating_mul(1 << attempt.saturating_sub(1).min(6))
+        .min(500);
+    let jitter = faults::splitmix64(0x9e37_79b9_7f4a_7c15 ^ attempt as u64 ^ (salt as u64) << 32)
+        % base.max(1);
+    Duration::from_millis(base / 2 + jitter / 2 + 1)
 }
 
 /// One shared-prefix group: its content key (when a cache is configured)

@@ -200,9 +200,29 @@ pub enum Counter {
     /// Defective snapshot entries (truncated, corrupt, stale schema)
     /// demoted to misses for recompute-and-rewrite.
     SnapshotSelfHeals,
+    /// Cell claim leases acquired (this process owns the simulation).
+    ClaimsAcquired,
+    /// Stale claim leases (heartbeat older than the TTL) reclaimed from
+    /// a dead or wedged worker.
+    ClaimsStaleReclaimed,
+    /// Claim attempts that found a live lease held by another worker
+    /// (the cell was deferred, not simulated).
+    ClaimsContended,
+    /// Per-cell retry attempts after a worker panic or transient I/O
+    /// failure (attempts beyond the first).
+    CellRetries,
+    /// Cells that exhausted their retries and landed in the failed-cells
+    /// table instead of the report.
+    CellsFailed,
+    /// Faults fired by an armed `FaultPlan` (panics, failed/delayed
+    /// writes, truncations).
+    FaultsInjected,
+    /// Cache write-backs degraded to a warning (disk full, permission
+    /// denied, …); the cell result still flowed to the report.
+    CacheWriteErrors,
 }
 
-const COUNTER_COUNT: usize = 22;
+const COUNTER_COUNT: usize = 29;
 
 impl Counter {
     pub const ALL: [Counter; COUNTER_COUNT] = [
@@ -228,6 +248,13 @@ impl Counter {
         Counter::BatchLanes,
         Counter::BatchCells,
         Counter::SnapshotSelfHeals,
+        Counter::ClaimsAcquired,
+        Counter::ClaimsStaleReclaimed,
+        Counter::ClaimsContended,
+        Counter::CellRetries,
+        Counter::CellsFailed,
+        Counter::FaultsInjected,
+        Counter::CacheWriteErrors,
     ];
 
     pub const fn name(self) -> &'static str {
@@ -254,6 +281,13 @@ impl Counter {
             Counter::BatchLanes => "batch.lanes",
             Counter::BatchCells => "batch.cells",
             Counter::SnapshotSelfHeals => "snapshot.self_heals",
+            Counter::ClaimsAcquired => "claims.acquired",
+            Counter::ClaimsStaleReclaimed => "claims.stale_reclaimed",
+            Counter::ClaimsContended => "claims.contended",
+            Counter::CellRetries => "sweep.cell_retries",
+            Counter::CellsFailed => "sweep.cells_failed",
+            Counter::FaultsInjected => "faults.injected",
+            Counter::CacheWriteErrors => "cache.write_errors",
         }
     }
 
@@ -282,6 +316,13 @@ impl Counter {
             Counter::BatchLanes => "lane groups executed by the batched engine",
             Counter::BatchCells => "cells simulated inside batched lane groups",
             Counter::SnapshotSelfHeals => "defective snapshot entries demoted to misses",
+            Counter::ClaimsAcquired => "cell claim leases acquired by this worker",
+            Counter::ClaimsStaleReclaimed => "stale claim leases reclaimed after the TTL",
+            Counter::ClaimsContended => "claim attempts that found a live foreign lease",
+            Counter::CellRetries => "cell retry attempts after a panic or I/O fault",
+            Counter::CellsFailed => "cells that exhausted retries (failed-cells table)",
+            Counter::FaultsInjected => "faults fired by an armed fault plan",
+            Counter::CacheWriteErrors => "cache write-backs degraded to a warning",
         }
     }
 }
@@ -729,9 +770,21 @@ pub fn take_trace_json() -> String {
     s
 }
 
-/// Write the collected trace as a chrome-trace file at `path`.
+/// Write the collected trace as a chrome-trace file at `path`. Installed
+/// via temp file + rename (this crate sits below `sraps-types`, so the
+/// idiom is inlined rather than shared) — a killed process never leaves
+/// a torn trace behind.
 pub fn write_trace(path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, take_trace_json())
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("trace");
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, take_trace_json())?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 // ------------------------------------------------------------- validation

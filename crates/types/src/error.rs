@@ -28,6 +28,10 @@ pub enum SrapsError {
     Snapshot(String),
     /// I/O error carrying the rendered message (keeps the type `Clone`).
     Io(String),
+    /// A worker panicked while simulating; the payload is the rendered
+    /// panic message. Produced by `catch_unwind` isolation in the sweep
+    /// runner so one poisoned cell cannot tear down a whole sweep.
+    Panic(String),
 }
 
 impl fmt::Display for SrapsError {
@@ -40,6 +44,7 @@ impl fmt::Display for SrapsError {
             SrapsError::ExternalScheduler(m) => write!(f, "external scheduler error: {m}"),
             SrapsError::Snapshot(m) => write!(f, "snapshot error: {m}"),
             SrapsError::Io(m) => write!(f, "io error: {m}"),
+            SrapsError::Panic(m) => write!(f, "worker panic: {m}"),
         }
     }
 }

@@ -12,6 +12,7 @@
 
 pub mod bitset;
 pub mod error;
+pub mod fsio;
 pub mod job;
 pub mod node;
 pub mod telemetry;
