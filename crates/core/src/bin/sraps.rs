@@ -90,6 +90,10 @@ const USAGE: &str = "\
 usage: sraps (--system NAME | --scenario fig4|fig5|fig6|fig7|fig8|fig10) [options]
        sraps sweep ...        run an experiment matrix, optionally cached and
                               metrics-only (see `sraps sweep --help`)
+       sraps serve ...        run the resident what-if twin service
+                              (see `sraps serve --help`)
+       sraps query ...        send what-if queries to a running daemon
+                              (see `sraps query --help`)
        sraps validate-trace PATH
                               check a --trace-out file is well-formed
                               chrome-trace JSON with properly nested spans
@@ -396,6 +400,26 @@ fn main() -> ExitCode {
     // `sraps sweep ...` — the experiment-matrix subcommand (sraps-exp).
     if argv.first().map(String::as_str) == Some("sweep") {
         return match sraps_exp::cli::sweep_command(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // `sraps serve ...` / `sraps query ...` — the resident what-if twin
+    // service and its NDJSON client (sraps-serve).
+    if argv.first().map(String::as_str) == Some("serve") {
+        return match sraps_serve::cli::serve_command(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if argv.first().map(String::as_str) == Some("query") {
+        return match sraps_serve::cli::query_command(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");

@@ -47,8 +47,13 @@ use sraps_types::{fsio, Result, SrapsError};
 use std::collections::HashSet;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Every live [`ClaimSet`] in the process, so an interrupt handler (or
+/// the daemon's drain path) can release all held leases at once without
+/// threading handles through every call site.
+static LIVE: Mutex<Vec<Weak<Shared>>> = Mutex::new(Vec::new());
 
 /// Default lease TTL: a heartbeat older than this marks the owner dead.
 pub const DEFAULT_TTL: Duration = Duration::from_secs(30);
@@ -169,6 +174,64 @@ impl Shared {
             let _ = std::fs::remove_file(&path);
         }
     }
+
+    /// Release every lease this set still holds (interrupt/drain path).
+    /// Returns how many claim files were actually removed.
+    fn release_all(&self) -> usize {
+        let keys: Vec<String> = std::mem::take(&mut *self.held.lock().unwrap())
+            .into_iter()
+            .collect();
+        let mut removed = 0;
+        for key in keys {
+            let path = self.claim_path(&key);
+            if self.owned_by_us(&path) && std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+/// Release every lease held by every live [`ClaimSet`] in this process.
+/// Safe to call from a drain path at any time: later `Lease::release`
+/// calls become no-ops (the ownership check sees the file gone or
+/// re-owned). Returns the number of claim files removed.
+pub fn release_all_live() -> usize {
+    let mut live = LIVE.lock().unwrap();
+    let mut removed = 0;
+    live.retain(|w| match w.upgrade() {
+        Some(shared) => {
+            removed += shared.release_all();
+            true
+        }
+        None => false,
+    });
+    removed
+}
+
+/// Arm the SIGINT/SIGTERM latch and spawn a watcher that, on the first
+/// signal, releases every live claim lease and exits 130. Idempotent.
+///
+/// This is the `sraps sweep` shutdown path: a ctrl-c'd sweep must not
+/// leave `.claim` files for peers to wait a full TTL on. The resident
+/// daemon does **not** use this — it arms the same latch but runs its
+/// own drain (finish in-flight cells, then [`release_all_live`]).
+pub fn install_interrupt_release() {
+    static INSTALLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    if INSTALLED.swap(true, std::sync::atomic::Ordering::SeqCst) {
+        return;
+    }
+    sraps_types::signals::arm();
+    let _ = std::thread::Builder::new()
+        .name("sraps-interrupt-release".into())
+        .spawn(|| loop {
+            if sraps_types::signals::requested() {
+                let removed = release_all_live();
+                eprintln!("sraps: interrupted — released {removed} claim lease(s)");
+                std::process::exit(130);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
 }
 
 /// Handle on the claim namespace of one cache directory. Dropping the
@@ -217,10 +280,11 @@ impl Drop for Lease {
 impl ClaimSet {
     /// Open the claim namespace under `dir` (the cache directory) with
     /// TTL/poll taken from `SRAPS_CLAIM_TTL_MS` / `SRAPS_CLAIM_POLL_MS`
-    /// or their defaults.
+    /// or their defaults. A set-but-malformed knob is a
+    /// [`SrapsError::Config`] here, not a silent fallback to the default.
     pub fn open(dir: impl Into<PathBuf>) -> Result<ClaimSet> {
-        let ttl = env_ms("SRAPS_CLAIM_TTL_MS").unwrap_or(DEFAULT_TTL);
-        let poll = env_ms("SRAPS_CLAIM_POLL_MS").unwrap_or(DEFAULT_POLL);
+        let ttl = sraps_types::parse_env_ms("SRAPS_CLAIM_TTL_MS")?.unwrap_or(DEFAULT_TTL);
+        let poll = sraps_types::parse_env_ms("SRAPS_CLAIM_POLL_MS")?.unwrap_or(DEFAULT_POLL);
         Self::open_with(dir, ttl, poll)
     }
 
@@ -252,6 +316,7 @@ impl ClaimSet {
                 .spawn(move || heartbeat_loop(&shared))
                 .map_err(|e| SrapsError::Io(format!("spawn heartbeat thread: {e}")))?
         };
+        LIVE.lock().unwrap().push(Arc::downgrade(&shared));
         Ok(ClaimSet {
             shared,
             heartbeat: Some(heartbeat),
@@ -402,13 +467,6 @@ fn heartbeat_loop(shared: &Shared) {
             }
         }
     }
-}
-
-fn env_ms(var: &str) -> Option<Duration> {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_millis)
 }
 
 #[cfg(test)]
@@ -573,6 +631,48 @@ mod tests {
         assert!(set.claim_path("k5").is_file(), "successor claim survives");
         stolen.release();
         cleanup(&set);
+    }
+
+    #[test]
+    fn release_all_removes_only_owned_claims() {
+        // Exercised per-set (not via `release_all_live`, which would
+        // race other tests' live leases in this parallel test binary).
+        let set = temp_set("relall", DEFAULT_TTL);
+        let a = match set.try_acquire("ra").unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            ClaimOutcome::Contended => panic!(),
+        };
+        let b = match set.try_acquire("rb").unwrap() {
+            ClaimOutcome::Acquired(l) => l,
+            ClaimOutcome::Contended => panic!(),
+        };
+        // A foreign claim in the same dir must survive the sweep.
+        let foreign = serde_json::to_string(&ClaimFile {
+            owner: "other:1".into(),
+            pid: 1,
+            heartbeat_ms: now_ms(),
+        })
+        .unwrap();
+        std::fs::write(set.claim_path("rc"), foreign).unwrap();
+        assert_eq!(set.shared.release_all(), 2);
+        assert!(!set.claim_path("ra").is_file());
+        assert!(!set.claim_path("rb").is_file());
+        assert!(set.claim_path("rc").is_file(), "foreign claim untouched");
+        // The leases' own Drop releases are now no-ops.
+        drop(a);
+        drop(b);
+        assert!(set.claim_path("rc").is_file());
+        cleanup(&set);
+    }
+
+    #[test]
+    fn malformed_env_knob_is_a_config_error() {
+        // `parse_env_value` is the pure core `ClaimSet::open` routes
+        // through; asserting on it avoids mutating the process env in a
+        // parallel test binary.
+        let err = sraps_types::parse_env_value::<u64>("SRAPS_CLAIM_TTL_MS", Some("30s"))
+            .expect_err("malformed TTL must not silently default");
+        assert!(matches!(err, SrapsError::Config(_)), "got {err:?}");
     }
 
     #[test]

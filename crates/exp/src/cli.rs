@@ -93,9 +93,12 @@ fault tolerance:
                          (also: SRAPS_FAULTS env; the flag wins). SPEC is
                          comma-separated entries KIND@INDEX or KIND%RATE
                          with optional :persist / :seedN / :DURms
-                         modifiers; kinds: panic, write-fail,
-                         write-delay, truncate. e.g.
-                         'panic@2,truncate@0' or 'panic%25:seed7'
+                         modifiers; cell kinds: panic, write-fail,
+                         write-delay, truncate; service kinds (indexed
+                         by daemon request sequence): accept-fail,
+                         slow-worker, drop-conn. e.g.
+                         'panic@2,truncate@0', 'panic%25:seed7', or
+                         'slow-worker%50:200ms,drop-conn@2'
 
 caching & memory:
   --cache                memoize cells on disk: hits skip simulation,
@@ -490,6 +493,12 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
         Some(n) => SweepRunner::with_options(n, opts),
         None => SweepRunner::auto_with(opts),
     };
+    // A ctrl-c'd (or SIGTERM'd) sweep must not leave claim files behind
+    // for cooperating processes to wait a full TTL on: latch the signal,
+    // release every live lease, exit 130.
+    if cache_dir.is_some() && a.claims {
+        crate::claims::install_interrupt_release();
+    }
 
     println!(
         "sweep: {} cells on {} threads{}",
@@ -502,10 +511,10 @@ pub fn sweep_command(argv: &[String]) -> Result<(), String> {
     );
     // Fault injection is process-global and deterministic; arm it for
     // exactly this run. The flag wins over the SRAPS_FAULTS env knob.
-    let fault_spec = a
-        .faults
-        .clone()
-        .or_else(|| std::env::var("SRAPS_FAULTS").ok().filter(|s| !s.is_empty()));
+    let env_faults = sraps_types::string_env("SRAPS_FAULTS")
+        .map_err(|e| e.to_string())?
+        .filter(|s| !s.is_empty());
+    let fault_spec = a.faults.clone().or(env_faults);
     if let Some(spec) = &fault_spec {
         crate::faults::arm(crate::faults::FaultPlan::parse(spec)?);
         eprintln!("faults armed: {spec}");

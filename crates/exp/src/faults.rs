@@ -20,6 +20,16 @@
 //! panic%25:seed7       seeded selection: each cell panics with p=25%
 //! ```
 //!
+//! Service-path points (the `sraps serve` daemon indexes them by its
+//! request sequence number instead of a cell index):
+//!
+//! ```text
+//! accept-fail@3        admission artificially rejects request 3
+//! slow-worker%50:200ms half of all requests stall 200 ms on their worker
+//! drop-conn@2          the connection is dropped right after request 2
+//!                      is read (the client sees EOF, never a torn reply)
+//! ```
+//!
 //! Every fault fires **once** per (entry, cell) unless `:persist` is
 //! given, so retry/backoff paths converge deterministically: the retry
 //! of a faulted attempt runs clean. Seeded selection hashes
@@ -46,6 +56,16 @@ pub enum FaultKind {
     /// The installed cache entry is truncated to half its bytes — the
     /// torn-write state a crash between write and rename would leave.
     Truncate,
+    /// `sraps serve` admission artificially rejects the request (the
+    /// client sees a structured rejection with retry-after).
+    AcceptFail,
+    /// A `sraps serve` worker stalls before executing the request —
+    /// deterministic queue pressure for deadline/backpressure tests.
+    SlowWorker,
+    /// The `sraps serve` connection is dropped right after the request
+    /// is read, before any reply bytes — clients see EOF, never a torn
+    /// response.
+    DropConn,
 }
 
 impl FaultKind {
@@ -55,6 +75,9 @@ impl FaultKind {
             "write-fail" => Some(FaultKind::WriteFail),
             "write-delay" => Some(FaultKind::WriteDelay),
             "truncate" => Some(FaultKind::Truncate),
+            "accept-fail" => Some(FaultKind::AcceptFail),
+            "slow-worker" => Some(FaultKind::SlowWorker),
+            "drop-conn" => Some(FaultKind::DropConn),
             _ => None,
         }
     }
@@ -276,6 +299,64 @@ pub fn after_cache_write(cell: usize, entry: &Path) {
     }
 }
 
+// --------------------------------------------------- service-path hooks
+//
+// The `sraps serve` daemon's chaos points. They index by the daemon's
+// monotone request sequence number (the service-side analog of a cell
+// index), so `accept-fail@3` deterministically names "the 4th request
+// this process accepted" regardless of which connection carried it.
+
+/// Admission site: whether the request should be artificially rejected.
+#[inline]
+pub fn accept_fail(request: usize) -> bool {
+    if !armed() {
+        return false;
+    }
+    plan()
+        .map(|p| {
+            let fired = p.fire(FaultKind::AcceptFail, request).is_some();
+            if fired {
+                injected();
+            }
+            fired
+        })
+        .unwrap_or(false)
+}
+
+/// Worker dispatch site: how long the worker must stall before
+/// executing the request, when a `slow-worker` entry selects it.
+#[inline]
+pub fn slow_worker(request: usize) -> Option<Duration> {
+    if !armed() {
+        return None;
+    }
+    plan().and_then(|p| {
+        let delay = p.fire(FaultKind::SlowWorker, request).map(|s| s.delay);
+        if delay.is_some() {
+            injected();
+        }
+        delay
+    })
+}
+
+/// Connection site: whether to drop the connection right after reading
+/// this request (before any reply bytes hit the socket).
+#[inline]
+pub fn drop_conn(request: usize) -> bool {
+    if !armed() {
+        return false;
+    }
+    plan()
+        .map(|p| {
+            let fired = p.fire(FaultKind::DropConn, request).is_some();
+            if fired {
+                injected();
+            }
+            fired
+        })
+        .unwrap_or(false)
+}
+
 /// splitmix64 — the mixing function behind seeded fault selection and
 /// claim-backoff jitter. Deterministic, allocation-free, good avalanche.
 pub(crate) fn splitmix64(x: u64) -> u64 {
@@ -303,6 +384,43 @@ mod tests {
 
         let p = FaultPlan::parse("panic%25:seed7").unwrap();
         assert_eq!(p.specs[0].select, Select::Seeded { rate: 25, seed: 7 });
+    }
+
+    #[test]
+    fn parses_the_service_path_grammar() {
+        let p = FaultPlan::parse("accept-fail@3,slow-worker%50:200ms,drop-conn@2").unwrap();
+        assert_eq!(p.specs[0].kind, FaultKind::AcceptFail);
+        assert_eq!(p.specs[0].select, Select::Index(3));
+        assert_eq!(p.specs[1].kind, FaultKind::SlowWorker);
+        assert_eq!(p.specs[1].select, Select::Seeded { rate: 50, seed: 0 });
+        assert_eq!(p.specs[1].delay, Duration::from_millis(200));
+        assert_eq!(p.specs[2].kind, FaultKind::DropConn);
+    }
+
+    #[test]
+    fn service_faults_fire_once_like_cell_faults() {
+        // Exercised through `FaultPlan::fire` directly — this test
+        // binary never arms the global plan (see
+        // `hooks_are_inert_when_disarmed`).
+        let p = FaultPlan::parse("accept-fail@1,slow-worker@2:50ms,drop-conn@0").unwrap();
+        assert!(p.fire(FaultKind::AcceptFail, 0).is_none());
+        assert!(p.fire(FaultKind::AcceptFail, 1).is_some());
+        assert!(
+            p.fire(FaultKind::AcceptFail, 1).is_none(),
+            "charge consumed"
+        );
+        assert_eq!(
+            p.fire(FaultKind::SlowWorker, 2).map(|s| s.delay),
+            Some(Duration::from_millis(50))
+        );
+        assert!(p.fire(FaultKind::SlowWorker, 2).is_none());
+        assert!(p.fire(FaultKind::DropConn, 0).is_some());
+        assert!(p.fire(FaultKind::DropConn, 3).is_none());
+        // The hooks themselves are inert while nothing is armed.
+        assert!(!armed());
+        assert!(!accept_fail(1));
+        assert_eq!(slow_worker(2), None);
+        assert!(!drop_conn(0));
     }
 
     #[test]

@@ -58,11 +58,12 @@ pub mod runner;
 
 pub use cache::{CellCache, CACHE_SCHEMA_VERSION};
 pub use cell::{CellSpec, MaterializedWorkload, WorkloadPlan};
-pub use claims::{ClaimOutcome, ClaimSet, Lease};
+pub use claims::{release_all_live, ClaimOutcome, ClaimSet, Lease};
 pub use faults::FaultPlan;
 pub use matrix::{ExperimentMatrix, PrebuiltWorkload};
 pub use metrics::CellMetrics;
 pub use report::{Report, ReportRow};
 pub use runner::{
-    CellFailure, CellResult, SweepOptions, SweepResults, SweepRunner, DEFAULT_BATCH_MAX_LANES,
+    execute_single, CellFailure, CellOutcome, CellResult, SweepOptions, SweepResults, SweepRunner,
+    DEFAULT_BATCH_MAX_LANES,
 };

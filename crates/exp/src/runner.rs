@@ -1069,38 +1069,16 @@ impl CellExec<'_> {
         metrics: &CellMetrics,
         output: &SimOutput,
     ) {
-        let histories = self
-            .runner
-            .opts
-            .spill_histories
-            .then(|| (output.power_csv(), output.util_csv()));
-        let mut attempts = 0u32;
-        loop {
-            attempts += 1;
-            let wrote = faults::before_cache_write(i).and_then(|()| {
-                cache.store(
-                    key,
-                    &cell.label,
-                    metrics,
-                    histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
-                )
-            });
-            match wrote {
-                Ok(()) => {
-                    faults::after_cache_write(i, &cache.entry_path(key));
-                    return;
-                }
-                Err(_) if attempts <= self.runner.opts.retries => {
-                    sraps_obs::bump(Counter::CellRetries);
-                    std::thread::sleep(retry_backoff(attempts, i));
-                }
-                Err(e) => {
-                    sraps_obs::bump(Counter::CacheWriteErrors);
-                    eprintln!("warning: cache write failed for cell {key}: {e}");
-                    return;
-                }
-            }
-        }
+        store_with_retries(
+            cache,
+            key,
+            cell,
+            metrics,
+            output,
+            self.runner.opts.spill_histories,
+            self.runner.opts.retries,
+            i,
+        );
     }
 
     /// Serial post-pass for cells the main pass deferred: poll each one's
@@ -1169,6 +1147,178 @@ impl CellExec<'_> {
             pending = still;
         }
         Ok(())
+    }
+}
+
+/// Degrading cache write-back shared by the sweep path
+/// ([`CellExec::store_degraded`]) and the daemon's single-cell path
+/// ([`execute_single`]): transient errors retry with jittered backoff,
+/// exhaustion warns + bumps `cache.write_errors` while the result still
+/// flows to the caller.
+#[allow(clippy::too_many_arguments)]
+fn store_with_retries(
+    cache: &CellCache,
+    key: &str,
+    cell: &CellSpec,
+    metrics: &CellMetrics,
+    output: &SimOutput,
+    spill_histories: bool,
+    retries: u32,
+    salt: usize,
+) {
+    let histories = spill_histories.then(|| (output.power_csv(), output.util_csv()));
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let wrote = faults::before_cache_write(salt).and_then(|()| {
+            cache.store(
+                key,
+                &cell.label,
+                metrics,
+                histories.as_ref().map(|(p, u)| (p.as_str(), u.as_str())),
+            )
+        });
+        match wrote {
+            Ok(()) => {
+                faults::after_cache_write(salt, &cache.entry_path(key));
+                return;
+            }
+            Err(_) if attempts <= retries => {
+                sraps_obs::bump(Counter::CellRetries);
+                std::thread::sleep(retry_backoff(attempts, salt));
+            }
+            Err(e) => {
+                sraps_obs::bump(Counter::CacheWriteErrors);
+                eprintln!("warning: cache write failed for cell {key}: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Outcome of [`execute_single`] — one cell driven to a terminal state
+/// outside a sweep (the resident daemon's cold-query path).
+#[derive(Debug)]
+pub enum CellOutcome {
+    /// Metrics are available: simulated here, or installed by a peer
+    /// process (`from_cache`).
+    Done {
+        metrics: CellMetrics,
+        from_cache: bool,
+    },
+    /// The simulation exhausted its retries (or hit a non-retryable
+    /// error) — a structured per-cell failure, not a process error.
+    Failed { error: String, attempts: u32 },
+    /// `cancel` fired (deadline expiry, drain) before a terminal state.
+    Canceled,
+}
+
+/// Drive one cell to a terminal state under the full claim/retry
+/// protocol, exactly as a sweep worker would — so a resident daemon and
+/// external `sraps sweep` processes on the same cache directory
+/// cooperate (and produce byte-identical cache entries) by construction.
+///
+/// The loop: peek the cache → done on hit; claim the cell → on a live
+/// foreign lease, sleep a jittered backoff and re-poll (the peer usually
+/// installs the entry; a `kill -9`'d peer's claim goes stale and is
+/// reclaimed here); when owned, peek-revalidate then simulate inside
+/// `catch_unwind` with the sweep's bounded jittered retries, install the
+/// entry, release. `cancel` is consulted between claim rounds and retry
+/// attempts — a canceled request never abandons a held lease.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_single(
+    cell: &CellSpec,
+    key: &str,
+    workload: &MaterializedWorkload,
+    cache: &CellCache,
+    claims: &ClaimSet,
+    retries: u32,
+    cancel: &(dyn Fn() -> bool + Sync),
+    salt: usize,
+) -> Result<CellOutcome> {
+    let mut round = 0u32;
+    let mut claim_errors = 0u32;
+    loop {
+        if let Some(hit) = cache.peek(key, false) {
+            return Ok(CellOutcome::Done {
+                metrics: hit.metrics,
+                from_cache: true,
+            });
+        }
+        if cancel() {
+            return Ok(CellOutcome::Canceled);
+        }
+        let lease = match claims.try_acquire(key) {
+            Ok(ClaimOutcome::Acquired(lease)) => lease,
+            Ok(ClaimOutcome::Contended) => {
+                round = round.wrapping_add(1);
+                std::thread::sleep(claims.backoff(key, round));
+                continue;
+            }
+            Err(e) => {
+                // Transient claim-layer I/O gets a short bounded retry;
+                // persistent failure is a real error (the daemon turns
+                // it into a structured response, not a crash).
+                claim_errors += 1;
+                if claim_errors >= 3 {
+                    return Err(e);
+                }
+                std::thread::sleep(claims.backoff(key, claim_errors));
+                continue;
+            }
+        };
+        // Between our miss and our claim the previous owner may have
+        // installed the entry.
+        if let Some(hit) = cache.peek(key, false) {
+            lease.release();
+            return Ok(CellOutcome::Done {
+                metrics: hit.metrics,
+                from_cache: true,
+            });
+        }
+        let mut attempts = 0u32;
+        let outcome = loop {
+            attempts += 1;
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                faults::panic_point(salt);
+                simulate_cell(cell, workload, None, Some(cache))
+            }));
+            let err = match attempt {
+                Ok(Ok(output)) => break Ok(output),
+                Ok(Err(e)) => e,
+                Err(payload) => SrapsError::Panic(panic_message(payload)),
+            };
+            if attempts > retries || !retryable(&err) {
+                break Err(err);
+            }
+            sraps_obs::bump(Counter::CellRetries);
+            if cancel() {
+                lease.release();
+                return Ok(CellOutcome::Canceled);
+            }
+            std::thread::sleep(retry_backoff(attempts, salt));
+        };
+        return match outcome {
+            Ok(output) => {
+                let metrics = CellMetrics::from_output(&output);
+                store_with_retries(cache, key, cell, &metrics, &output, false, retries, salt);
+                lease.release();
+                Ok(CellOutcome::Done {
+                    metrics,
+                    from_cache: false,
+                })
+            }
+            Err(e) => {
+                sraps_obs::bump(Counter::CellsFailed);
+                // Release so a peer (or a retry from the client) can
+                // take another swing at the cell.
+                lease.release();
+                Ok(CellOutcome::Failed {
+                    error: e.to_string(),
+                    attempts,
+                })
+            }
+        };
     }
 }
 

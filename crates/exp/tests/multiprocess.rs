@@ -12,8 +12,29 @@
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 
+/// Locate the `sraps` binary at runtime. The bin target lives in
+/// `crates/serve` (the CLI dispatches serve/query too), so
+/// `env!("CARGO_BIN_EXE_sraps")` is unavailable here; a workspace-level
+/// `cargo build`/`cargo test` places it next to the test binary's
+/// profile directory.
+fn sraps_bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop();
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.push("sraps");
+    assert!(
+        path.is_file(),
+        "sraps binary not built at {} — run a workspace-level `cargo build` \
+         (the bin target lives in crates/serve)",
+        path.display()
+    );
+    path
+}
+
 fn sraps() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_sraps"))
+    Command::new(sraps_bin())
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -266,6 +287,156 @@ fn cli_fault_injected_run_converges_on_rerun() {
         read(base.join("out2").join("sweep.csv")),
         "injected faults never perturb report bytes"
     );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Fabricate a claim file as a (possibly dead) owner would leave it.
+fn write_claim(path: &Path, owner: &str, heartbeat_ms: u64) {
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(
+        path,
+        format!(r#"{{"owner":"{owner}","pid":1,"heartbeat_ms":{heartbeat_ms}}}"#),
+    )
+    .unwrap();
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64
+}
+
+#[test]
+fn deferred_cell_resolves_after_owner_dies_between_heartbeats() {
+    let base = temp_dir("dead-owner");
+    let cache = base.join("cache");
+    // Learn the single cell's cache key from a clean run, then reset the
+    // cache to just a *fresh* claim owned by a worker that will never
+    // heartbeat again — exactly what a crash between refreshes leaves.
+    let single = |out: &str| {
+        let mut cmd = sraps();
+        cmd.args([
+            "sweep", "--system", "lassen", "--span", "2h", "--quiet", "--jobs", "1",
+        ])
+        .arg("-o")
+        .arg(base.join(out))
+        .arg("--cache-dir")
+        .arg(&cache)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+        cmd
+    };
+    let learn = single("learn").output().expect("binary runs");
+    assert!(learn.status.success());
+    let key = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "json"))
+        .expect("one cache entry")
+        .file_stem()
+        .unwrap()
+        .to_string_lossy()
+        .into_owned();
+    std::fs::remove_dir_all(&cache).unwrap();
+    write_claim(&cache.join(format!("{key}.claim")), "dead:1:0", now_ms());
+
+    // The sweep first sees a live foreign lease (heartbeat is fresh) and
+    // defers; the owner is dead, so the heartbeat ages past the TTL and
+    // the deferral loop's claim re-attempt reclaims and simulates.
+    let out = single("resolved")
+        .env("SRAPS_CLAIM_TTL_MS", "300")
+        .env("SRAPS_CLAIM_POLL_MS", "20")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "deferred cell must resolve once the dead owner's lease ages out:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (h, m) = hits_misses(&String::from_utf8_lossy(&out.stdout));
+    assert_eq!((h, m), (0, 1), "the cell simulated here, not skipped");
+    assert_eq!(
+        read(base.join("learn").join("sweep.csv")),
+        read(base.join("resolved").join("sweep.csv")),
+        "recovery never perturbs report bytes"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn tombstone_rename_race_elects_exactly_one_reclaimer() {
+    use sraps_exp::{ClaimOutcome, ClaimSet};
+    use std::time::Duration;
+    let base = temp_dir("reclaim-race");
+    // Several rounds: the race window (pause → re-read → rename) is
+    // jittered per owner, so one round might not actually collide.
+    for round in 0..5 {
+        let key = format!("hot{round}");
+        write_claim(&base.join(format!("{key}.claim")), "dead:1:0", 1);
+        let sets: Vec<ClaimSet> = (0..4)
+            .map(|_| {
+                ClaimSet::open_with(&base, Duration::from_millis(20), Duration::from_millis(2))
+                    .unwrap()
+            })
+            .collect();
+        let wins: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = sets
+                .iter()
+                .map(|set| {
+                    s.spawn(|| matches!(set.try_acquire(&key).unwrap(), ClaimOutcome::Acquired(_)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            wins.iter().filter(|w| **w).count(),
+            1,
+            "round {round}: exactly one of 4 racing reclaimers wins the rename"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn sigterm_mid_sweep_releases_claim_leases() {
+    let base = temp_dir("sigterm-release");
+    let cache = base.join("cache");
+    // Every cache write stalls 10 s: the worker is guaranteed to be
+    // holding claims when the signal lands.
+    let victim = sweep_cmd(&base.join("victim"), &cache)
+        .env("SRAPS_FAULTS", "write-delay%100:10000ms")
+        .spawn()
+        .expect("victim spawns");
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    let held: usize = std::fs::read_dir(&cache)
+        .map(|d| {
+            d.filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "claim"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert!(held > 0, "victim must be holding claims when signaled");
+    let kill = Command::new("kill")
+        .arg("-TERM")
+        .arg(victim.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let out = victim.wait_with_output().expect("victim exits");
+    assert_eq!(out.status.code(), Some(130), "interrupt exit status");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("released"),
+        "release is announced:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let leaked = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "claim"))
+        .count();
+    assert_eq!(leaked, 0, "no claim file survives a SIGTERM'd sweep");
     std::fs::remove_dir_all(&base).ok();
 }
 

@@ -4,8 +4,21 @@
 use std::path::Path;
 use std::process::Command;
 
+/// Locate the `sraps` binary at runtime — the bin target lives in
+/// `crates/serve` (see tests/multiprocess.rs for the rationale).
 fn sraps() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_sraps"))
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop();
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.push("sraps");
+    assert!(
+        path.is_file(),
+        "sraps binary not built at {} — run a workspace-level `cargo build`",
+        path.display()
+    );
+    Command::new(path)
 }
 
 #[test]

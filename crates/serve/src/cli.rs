@@ -1,0 +1,498 @@
+//! `sraps serve` / `sraps query` — CLI front-ends for the resident
+//! what-if twin service.
+//!
+//! `serve` registers synthetic scenarios (the same axes `sraps sweep`
+//! takes) and runs the daemon until SIGTERM/ctrl-c; `query` is a small
+//! NDJSON client used interactively and by CI: it retries dropped
+//! connections and `rejected` responses with the server's backoff hint,
+//! and can self-assert a warm-query latency budget (`--assert-p50-ms`).
+
+use crate::protocol::{Request, Response};
+use crate::server::{serve, ServeConfig};
+use sraps_exp::ExperimentMatrix;
+use sraps_types::time::parse_duration;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SERVE_USAGE: &str = "\
+usage: sraps serve [options]
+
+Run a resident what-if twin service: scenarios are registered at
+startup, queries arrive as newline-delimited JSON over TCP, warm
+queries answer straight from the cell cache, cold queries run on an
+in-process worker pool under the sweep's claim-lease protocol (so
+external `sraps sweep` processes on the same cache directory
+co-compute). SIGTERM/ctrl-c drains gracefully: accepting stops,
+in-flight cells finish, claim leases are released, the trace flushes.
+
+scenarios (same synthetic axes as `sraps sweep`):
+  --systems LIST         comma-separated preset systems (default lassen)
+  --loads LIST           offered loads (default 0.8)
+  --seed N               base workload seed (default 42)
+  --seeds N              seeds per (system, load): N from --seed up
+  --seed-list LIST       explicit seeds (overrides --seeds)
+  --span DUR             synthetic workload span (default 1d)
+  --scale F              scale large machines by F
+
+service:
+  --addr HOST:PORT       bind address (default 127.0.0.1:0; the chosen
+                         port is printed as 'serve: listening on ...')
+  --cache-dir DIR        shared cell cache (default $SRAPS_CACHE_DIR)
+  --workers N            cold-path worker threads (default: CPUs)
+  --max-pending N        admission bound on queued cold requests
+                         (default 64; beyond it requests are rejected
+                         with a retry-after hint)
+  --per-client N         per-client fairness cap on queued-or-running
+                         requests (default 8)
+  --default-deadline-ms N  deadline when the client sends none
+                         (default 10000)
+  --max-deadline-ms N    server-side cap on client deadlines
+                         (default 60000)
+  --retries N            per-cell simulation retries (default 2)
+  --faults SPEC          arm fault injection (also SRAPS_FAULTS); adds
+                         service kinds accept-fail, slow-worker%R:MS,
+                         drop-conn alongside the cell kinds
+  --trace-out PATH       write a chrome trace at drain
+  --quiet                suppress per-drain chatter on stderr
+  -h, --help             this help
+";
+
+const QUERY_USAGE: &str = "\
+usage: sraps query --addr HOST:PORT [options]
+
+Send what-if queries (or health probes) to a running `sraps serve`
+daemon and print each NDJSON response. Dropped connections and
+'rejected' responses are retried with the server's backoff hint.
+
+  --addr HOST:PORT       daemon address (required)
+  --op OP                query | stats | ping (default query)
+  --scenario NAME        scenario to query (required for op=query)
+  --policy P             scheduling policy delta (default fcfs)
+  --backfill B           backfill delta (default none)
+  --power-cap KW         facility power-cap delta
+  --cap-at DUR           cap-switch offset (with --power-cap)
+  --deadline-ms N        per-request deadline (server-capped)
+  --client ID            fairness bucket (default: peer IP)
+  --count N              repeat the request N times (default 1)
+  --retries N            reconnect/rejection retries (default 5)
+  --assert-p50-ms F      exit nonzero unless the client-measured p50
+                         latency of the ok responses is <= F ms
+  --quiet                print only the summary and the last response
+  -h, --help             this help
+";
+
+fn value(argv: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    argv.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse::<T>().map_err(|e| format!("bad {flag} '{v}': {e}"))
+}
+
+fn parse_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+pub fn serve_command(argv: &[String]) -> Result<(), String> {
+    if argv.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{SERVE_USAGE}");
+        return Ok(());
+    }
+    let mut cfg = ServeConfig::default();
+    let mut systems = vec!["lassen".to_string()];
+    let mut loads = vec![0.8f64];
+    let mut seed = 42u64;
+    let mut seed_count = 1u64;
+    let mut seed_list: Option<Vec<u64>> = None;
+    let mut span = sraps_types::SimDuration::days(1);
+    let mut scale = 1.0f64;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => cfg.addr = value(argv, &mut i, "--addr")?,
+            "--systems" => systems = parse_list(&value(argv, &mut i, "--systems")?),
+            "--loads" => {
+                loads = parse_list(&value(argv, &mut i, "--loads")?)
+                    .iter()
+                    .map(|v| parse_num::<f64>(v, "--loads"))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => seed = parse_num(&value(argv, &mut i, "--seed")?, "--seed")?,
+            "--seeds" => seed_count = parse_num(&value(argv, &mut i, "--seeds")?, "--seeds")?,
+            "--seed-list" => {
+                seed_list = Some(
+                    parse_list(&value(argv, &mut i, "--seed-list")?)
+                        .iter()
+                        .map(|v| parse_num::<u64>(v, "--seed-list"))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--span" => {
+                let v = value(argv, &mut i, "--span")?;
+                span = parse_duration(&v).ok_or_else(|| format!("bad --span value '{v}'"))?;
+            }
+            "--scale" => scale = parse_num(&value(argv, &mut i, "--scale")?, "--scale")?,
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value(argv, &mut i, "--cache-dir")?)),
+            "--workers" => {
+                cfg.workers = parse_num(&value(argv, &mut i, "--workers")?, "--workers")?
+            }
+            "--max-pending" => {
+                cfg.max_pending =
+                    parse_num(&value(argv, &mut i, "--max-pending")?, "--max-pending")?;
+            }
+            "--per-client" => {
+                cfg.per_client = parse_num(&value(argv, &mut i, "--per-client")?, "--per-client")?;
+            }
+            "--default-deadline-ms" => {
+                cfg.default_deadline = Duration::from_millis(parse_num(
+                    &value(argv, &mut i, "--default-deadline-ms")?,
+                    "--default-deadline-ms",
+                )?);
+            }
+            "--max-deadline-ms" => {
+                cfg.max_deadline = Duration::from_millis(parse_num(
+                    &value(argv, &mut i, "--max-deadline-ms")?,
+                    "--max-deadline-ms",
+                )?);
+            }
+            "--retries" => {
+                cfg.retries = parse_num(&value(argv, &mut i, "--retries")?, "--retries")?
+            }
+            "--faults" => {
+                let spec = value(argv, &mut i, "--faults")?;
+                sraps_exp::FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
+                faults_spec = Some(spec);
+            }
+            "--trace-out" => {
+                cfg.trace_out = Some(PathBuf::from(value(argv, &mut i, "--trace-out")?));
+            }
+            "--quiet" => cfg.quiet = true,
+            other => return Err(format!("unknown argument '{other}'\n\n{SERVE_USAGE}")),
+        }
+        i += 1;
+    }
+    if cfg.workers == 0 {
+        return Err("--workers must be >= 1".into());
+    }
+    cfg.cache_dir = match cache_dir.or_else(|| {
+        std::env::var_os("SRAPS_CACHE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    }) {
+        Some(dir) => dir,
+        None => return Err("serve needs --cache-dir (or SRAPS_CACHE_DIR)".into()),
+    };
+
+    // Scenario registration goes through the sweep's own matrix
+    // expansion, so labels, validation, and workload fingerprints cannot
+    // drift between `sraps sweep` and the daemon.
+    let mut matrix = ExperimentMatrix::synthetic(systems.iter().map(String::as_str))
+        .loads(loads.iter().copied())
+        .span(span)
+        .scale(scale)
+        .policies(["fcfs"]);
+    matrix = match seed_list {
+        Some(seeds) => matrix.seeds(seeds),
+        None => matrix.seed_count_from(seed, seed_count),
+    };
+    let (plans, _cells) = matrix.expand().map_err(|e| e.to_string())?;
+    cfg.plans = plans;
+
+    // Fault injection is process-global and deterministic; arm it for
+    // exactly this daemon's lifetime. The flag wins over SRAPS_FAULTS.
+    let env_faults = sraps_types::string_env("SRAPS_FAULTS")
+        .map_err(|e| e.to_string())?
+        .filter(|s| !s.is_empty());
+    let fault_spec = faults_spec.or(env_faults);
+    if let Some(spec) = &fault_spec {
+        sraps_exp::faults::arm(sraps_exp::FaultPlan::parse(spec).map_err(|e| e.to_string())?);
+        eprintln!("faults armed: {spec}");
+    }
+    sraps_obs::set_trace(cfg.trace_out.is_some());
+    let result = serve(cfg);
+    sraps_exp::faults::disarm();
+    sraps_obs::set_trace(false);
+    result.map_err(|e| e.to_string())
+}
+
+#[derive(Debug)]
+struct QueryArgs {
+    addr: String,
+    req: Request,
+    count: usize,
+    retries: u32,
+    assert_p50_ms: Option<f64>,
+    quiet: bool,
+}
+
+fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
+    let mut a = QueryArgs {
+        addr: String::new(),
+        req: Request::default(),
+        count: 1,
+        retries: 5,
+        assert_p50_ms: None,
+        quiet: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => a.addr = value(argv, &mut i, "--addr")?,
+            "--op" => a.req.op = Some(value(argv, &mut i, "--op")?),
+            "--scenario" => a.req.scenario = Some(value(argv, &mut i, "--scenario")?),
+            "--policy" => a.req.policy = Some(value(argv, &mut i, "--policy")?),
+            "--backfill" => a.req.backfill = Some(value(argv, &mut i, "--backfill")?),
+            "--power-cap" => {
+                a.req.power_cap_kw = Some(parse_num(
+                    &value(argv, &mut i, "--power-cap")?,
+                    "--power-cap",
+                )?);
+            }
+            "--cap-at" => {
+                let v = value(argv, &mut i, "--cap-at")?;
+                let d = parse_duration(&v).ok_or_else(|| format!("bad --cap-at value '{v}'"))?;
+                a.req.cap_at_s = Some(d.as_secs());
+            }
+            "--deadline-ms" => {
+                a.req.deadline_ms = Some(parse_num(
+                    &value(argv, &mut i, "--deadline-ms")?,
+                    "--deadline-ms",
+                )?);
+            }
+            "--client" => a.req.client = Some(value(argv, &mut i, "--client")?),
+            "--count" => a.count = parse_num(&value(argv, &mut i, "--count")?, "--count")?,
+            "--retries" => a.retries = parse_num(&value(argv, &mut i, "--retries")?, "--retries")?,
+            "--assert-p50-ms" => {
+                a.assert_p50_ms = Some(parse_num(
+                    &value(argv, &mut i, "--assert-p50-ms")?,
+                    "--assert-p50-ms",
+                )?);
+            }
+            "--quiet" => a.quiet = true,
+            other => return Err(format!("unknown argument '{other}'\n\n{QUERY_USAGE}")),
+        }
+        i += 1;
+    }
+    if a.addr.is_empty() {
+        return Err(format!("--addr is required\n\n{QUERY_USAGE}"));
+    }
+    if a.req.op.as_deref().unwrap_or("query") == "query" && a.req.scenario.is_none() {
+        return Err(format!("op=query needs --scenario\n\n{QUERY_USAGE}"));
+    }
+    if a.count == 0 {
+        return Err("--count must be >= 1".into());
+    }
+    Ok(a)
+}
+
+/// A client connection that lazily (re)connects — dropped connections
+/// (the daemon's `drop-conn` fault, a restart) are survived by retrying
+/// the idempotent request on a fresh socket.
+struct Client {
+    addr: String,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+}
+
+impl Client {
+    fn connect(&mut self) -> Result<&mut (BufReader<TcpStream>, TcpStream), String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            // One-line exchanges: NODELAY, or Nagle + delayed ACK puts
+            // ~40 ms under every warm-latency measurement.
+            let _ = stream.set_nodelay(true);
+            stream
+                .set_read_timeout(Some(Duration::from_secs(120)))
+                .map_err(|e| format!("set timeout: {e}"))?;
+            let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+            self.conn = Some((reader, stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One request/response exchange; `Ok(None)` means the connection
+    /// died mid-exchange (caller reconnects and retries).
+    fn exchange(&mut self, line: &str) -> Result<Option<String>, String> {
+        let (reader, writer) = self.connect()?;
+        let sent = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if sent.is_err() {
+            self.conn = None;
+            return Ok(None);
+        }
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(0) | Err(_) => {
+                self.conn = None;
+                Ok(None)
+            }
+            Ok(_) => Ok(Some(resp.trim_end().to_string())),
+        }
+    }
+}
+
+pub fn query_command(argv: &[String]) -> Result<(), String> {
+    if argv.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{QUERY_USAGE}");
+        return Ok(());
+    }
+    let a = parse_query_args(argv)?;
+    let mut client = Client {
+        addr: a.addr.clone(),
+        conn: None,
+    };
+    let line = serde_json::to_string(&a.req).map_err(|e| format!("encode request: {e}"))?;
+    let mut ok_latencies_us: Vec<u64> = Vec::with_capacity(a.count);
+    let mut bad = 0usize;
+    let mut last = String::new();
+    for n in 0..a.count {
+        let mut budget = a.retries;
+        let resp_line = loop {
+            let t0 = Instant::now();
+            match client.exchange(&line)? {
+                Some(text) => {
+                    let resp: Response = serde_json::from_str(&text)
+                        .map_err(|e| format!("bad response '{text}': {e}"))?;
+                    if resp.status == "rejected" {
+                        if budget == 0 {
+                            break (text, None);
+                        }
+                        budget -= 1;
+                        let wait = resp.retry_after_ms.unwrap_or(25);
+                        std::thread::sleep(Duration::from_millis(wait));
+                        continue;
+                    }
+                    let us = t0.elapsed().as_micros() as u64;
+                    let good = matches!(resp.status.as_str(), "ok" | "pong" | "stats");
+                    break (text, good.then_some(us));
+                }
+                None => {
+                    // Connection dropped mid-exchange; the request is
+                    // idempotent, so reconnect and resend.
+                    if budget == 0 {
+                        return Err(format!("connection to {} kept dropping", a.addr));
+                    }
+                    budget -= 1;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        };
+        let (text, latency) = resp_line;
+        match latency {
+            Some(us) => ok_latencies_us.push(us),
+            None => bad += 1,
+        }
+        if !a.quiet || n + 1 == a.count {
+            println!("{text}");
+        }
+        last = text;
+    }
+    let summary_needed = a.count > 1 || a.assert_p50_ms.is_some();
+    if summary_needed {
+        let p50_us = percentile_us(&mut ok_latencies_us);
+        eprintln!(
+            "query: {} ok, {} other, p50 {:.3} ms",
+            ok_latencies_us.len(),
+            bad,
+            p50_us as f64 / 1000.0
+        );
+        if let Some(limit) = a.assert_p50_ms {
+            if ok_latencies_us.is_empty() {
+                return Err("assert-p50-ms: no successful responses".into());
+            }
+            let p50_ms = p50_us as f64 / 1000.0;
+            if p50_ms > limit {
+                return Err(format!("p50 {p50_ms:.3} ms exceeds budget {limit} ms"));
+            }
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad} request(s) did not succeed; last: {last}"));
+    }
+    Ok(())
+}
+
+fn percentile_us(latencies: &mut [u64]) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    latencies[latencies.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn query_args_parse_and_validate() {
+        let a = parse_query_args(&args(&[
+            "--addr",
+            "127.0.0.1:7777",
+            "--scenario",
+            "lassen",
+            "--policy",
+            "sjf",
+            "--backfill",
+            "easy",
+            "--power-cap",
+            "20000",
+            "--cap-at",
+            "1h",
+            "--deadline-ms",
+            "2500",
+            "--count",
+            "3",
+            "--assert-p50-ms",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(a.addr, "127.0.0.1:7777");
+        assert_eq!(a.req.scenario.as_deref(), Some("lassen"));
+        assert_eq!(a.req.policy.as_deref(), Some("sjf"));
+        assert_eq!(a.req.cap_at_s, Some(3600));
+        assert_eq!(a.req.deadline_ms, Some(2500));
+        assert_eq!(a.count, 3);
+        assert_eq!(a.assert_p50_ms, Some(5.0));
+    }
+
+    #[test]
+    fn query_requires_addr_and_scenario() {
+        assert!(parse_query_args(&args(&["--scenario", "x"]))
+            .unwrap_err()
+            .contains("--addr"));
+        assert!(parse_query_args(&args(&["--addr", "h:1"]))
+            .unwrap_err()
+            .contains("--scenario"));
+        // stats/ping probes need no scenario.
+        assert!(parse_query_args(&args(&["--addr", "h:1", "--op", "stats"])).is_ok());
+    }
+
+    #[test]
+    fn percentile_is_the_sorted_midpoint() {
+        assert_eq!(percentile_us(&mut []), 0);
+        assert_eq!(percentile_us(&mut [7]), 7);
+        assert_eq!(percentile_us(&mut [9, 1, 5]), 5);
+        assert_eq!(percentile_us(&mut [4, 3, 2, 1]), 3);
+    }
+}

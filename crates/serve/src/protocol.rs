@@ -1,0 +1,177 @@
+//! Wire protocol of the resident what-if twin service.
+//!
+//! Newline-delimited JSON over a stream socket: each request is one JSON
+//! object on one line, each response is one JSON object on one line, in
+//! request order per connection. Every field the client may omit is an
+//! `Option`, so old clients keep working as the schema grows.
+//!
+//! Requests (`op` selects the operation, default `query`):
+//!
+//! ```text
+//! {"op":"query","id":"q1","scenario":"lassen","policy":"sjf","backfill":"easy",
+//!  "power_cap_kw":20000.0,"cap_at_s":3600,"deadline_ms":5000,"client":"ci"}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! ```
+//!
+//! Responses always carry `status`:
+//!
+//! * `ok` — metrics attached; `warm` says the answer came straight from
+//!   the cell cache on the connection thread, `from_cache` whether the
+//!   metrics were computed by this process or a cooperating one.
+//! * `rejected` — admission control turned the request away *before*
+//!   queuing work (queue full, per-client fairness cap, drain in
+//!   progress, injected accept-fail). `retry_after_ms` hints when to
+//!   retry; absent for terminal rejections (drain).
+//! * `timeout` — the per-request deadline expired; queued work was
+//!   canceled and any running attempt stops at its next checkpoint.
+//! * `failed` — the simulation itself exhausted its retries (a
+//!   structured per-cell failure, mirroring a sweep's failed-cells row).
+//! * `error` — the request was malformed (unknown scenario/op, bad
+//!   JSON).
+//! * `pong` / `stats` — replies to the health endpoints.
+
+use serde::{Deserialize, Serialize};
+use sraps_exp::CellMetrics;
+
+/// One client request. Unknown `op` values are answered with an `error`
+/// response rather than dropped, so protocol drift is observable.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// `query` (default) | `stats` | `ping`.
+    pub op: Option<String>,
+    /// Echoed back verbatim so clients can pipeline.
+    pub id: Option<String>,
+    /// Fairness bucket; defaults to the connection's peer IP.
+    pub client: Option<String>,
+    /// Name of a scenario registered at daemon startup.
+    pub scenario: Option<String>,
+    /// Schedule-axis deltas against the scenario (sweep defaults apply).
+    pub policy: Option<String>,
+    pub backfill: Option<String>,
+    pub power_cap_kw: Option<f64>,
+    /// Cap-switch offset in seconds (binds only when a cap is set).
+    pub cap_at_s: Option<i64>,
+    /// Client deadline; capped by the server's `--max-deadline-ms`.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One server response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    pub id: Option<String>,
+    /// `ok` | `rejected` | `timeout` | `failed` | `error` | `pong` | `stats`.
+    pub status: String,
+    /// `ok`: answered on the connection thread straight from the cache.
+    pub warm: Option<bool>,
+    /// `ok`: metrics loaded from the cache (vs simulated just now).
+    pub from_cache: Option<bool>,
+    /// Server-side handling time, microseconds.
+    pub elapsed_us: Option<u64>,
+    pub error: Option<String>,
+    /// `rejected`: suggested client backoff before retrying.
+    pub retry_after_ms: Option<u64>,
+    /// `failed`: simulation attempts consumed.
+    pub attempts: Option<u64>,
+    pub metrics: Option<CellMetrics>,
+    pub stats: Option<StatsBody>,
+}
+
+impl Response {
+    pub fn new(id: Option<String>, status: &str) -> Response {
+        Response {
+            id,
+            status: status.to_string(),
+            warm: None,
+            from_cache: None,
+            elapsed_us: None,
+            error: None,
+            retry_after_ms: None,
+            attempts: None,
+            metrics: None,
+            stats: None,
+        }
+    }
+
+    pub fn error(id: Option<String>, msg: impl Into<String>) -> Response {
+        let mut r = Response::new(id, "error");
+        r.error = Some(msg.into());
+        r
+    }
+
+    pub fn rejected(
+        id: Option<String>,
+        msg: impl Into<String>,
+        retry_after_ms: Option<u64>,
+    ) -> Response {
+        let mut r = Response::new(id, "rejected");
+        r.error = Some(msg.into());
+        r.retry_after_ms = retry_after_ms;
+        r
+    }
+}
+
+/// Body of a `stats` response: the daemon's health/operational counters.
+/// These are always-on process-local numbers (independent of the
+/// zero-cost obs gate, which may be off).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsBody {
+    pub uptime_ms: u64,
+    pub scenarios: u64,
+    pub workers: u64,
+    /// Cold requests waiting for a worker right now.
+    pub queue_depth: u64,
+    /// Admitted requests (queued or running) not yet answered.
+    pub in_flight: u64,
+    pub draining: bool,
+    /// Admission outcomes since startup.
+    pub requests: u64,
+    pub warm_hits: u64,
+    pub cold_completed: u64,
+    pub rejected: u64,
+    pub timeouts: u64,
+    pub failed: u64,
+    /// warm_hits / requests (0 when no requests yet).
+    pub cache_hit_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_with_missing_fields() {
+        let req: Request =
+            serde_json::from_str(r#"{"op":"query","scenario":"lassen","policy":"sjf"}"#).unwrap();
+        assert_eq!(req.op.as_deref(), Some("query"));
+        assert_eq!(req.scenario.as_deref(), Some("lassen"));
+        assert_eq!(req.policy.as_deref(), Some("sjf"));
+        assert!(req.backfill.is_none() && req.deadline_ms.is_none());
+        let text = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.scenario.as_deref(), Some("lassen"));
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let mut resp = Response::new(Some("q1".into()), "ok");
+        resp.warm = Some(true);
+        resp.elapsed_us = Some(120);
+        let text = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.status, "ok");
+        assert_eq!(back.id.as_deref(), Some("q1"));
+        assert_eq!(back.warm, Some(true));
+        assert_eq!(back.elapsed_us, Some(120));
+    }
+
+    #[test]
+    fn rejected_carries_retry_hint() {
+        let r = Response::rejected(None, "queue full", Some(25));
+        let text = serde_json::to_string(&r).unwrap();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.status, "rejected");
+        assert_eq!(back.retry_after_ms, Some(25));
+        assert!(back.error.unwrap().contains("queue full"));
+    }
+}

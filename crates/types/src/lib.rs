@@ -11,14 +11,17 @@
 //! the engine can interoperate without cyclic dependencies.
 
 pub mod bitset;
+pub mod env;
 pub mod error;
 pub mod fsio;
 pub mod job;
 pub mod node;
+pub mod signals;
 pub mod telemetry;
 pub mod time;
 
 pub use bitset::Bitset;
+pub use env::{parse_env, parse_env_ms, parse_env_value, string_env};
 pub use error::{Result, SrapsError};
 pub use job::{AccountId, Job, JobId, JobState, UserId};
 pub use node::{NodeId, NodeSet};
